@@ -1,0 +1,37 @@
+//! Criterion: semantic clustering and entropy estimation (companion to E5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use unisem_entropy::{cluster_answers, ClusterConfig, EntropyEstimator};
+use unisem_slm::{Slm, SupportedAnswer};
+
+fn bench_entropy(c: &mut Criterion) {
+    let answers: Vec<String> = (0..20)
+        .map(|i| match i % 4 {
+            0 => "sales rose 20% in the second quarter".to_string(),
+            1 => "The answer is sales rose 20%.".to_string(),
+            2 => "revenue declined slightly".to_string(),
+            _ => format!("sample answer variant number {i}"),
+        })
+        .collect();
+    let refs: Vec<&str> = answers.iter().map(String::as_str).collect();
+
+    c.bench_function("cluster_20_answers", |b| {
+        b.iter(|| cluster_answers(&refs, &ClusterConfig::default()).len())
+    });
+
+    let est = EntropyEstimator::new(Slm::default());
+    let evidence = vec![
+        SupportedAnswer::new("sales rose 20%", 4.0),
+        SupportedAnswer::new("sales fell 3%", 1.0),
+    ];
+    c.bench_function("estimate_10_samples", |b| {
+        b.iter(|| est.estimate("How did sales change?", &evidence))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_entropy
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion: per-query retrieval latency, topology vs dense vs BM25
+//! (micro-benchmark companion to experiment E3).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use unisem_bench::harness::build_ecommerce_engine;
+use unisem_core::EngineConfig;
+use unisem_hetgraph::GraphBuilder;
+use unisem_retrieval::{
+    ChunkRetriever, DenseRetriever, LexicalRetriever, TopologyConfig, TopologyRetriever,
+};
+use unisem_slm::{Slm, SlmConfig};
+use unisem_workloads::{EcommerceConfig, EcommerceWorkload};
+
+fn workload() -> EcommerceWorkload {
+    EcommerceWorkload::generate(EcommerceConfig {
+        products: 16,
+        quarters: 4,
+        reviews_per_product: 3,
+        qa_per_category: 2,
+        seed: 0xBE7C4,
+            name_offset: 0,
+    })
+}
+
+fn bench_retrievers(c: &mut Criterion) {
+    let w = workload();
+    let docs = Arc::new(w.docstore());
+    let slm = Slm::new(SlmConfig { lexicon: w.lexicon.clone(), ..SlmConfig::default() });
+    let mut gb = GraphBuilder::new(slm.clone());
+    gb.add_docstore(&docs);
+    for name in w.db.table_names() {
+        gb.add_table(name, w.db.table(name).expect("listed"));
+    }
+    let (graph, _) = gb.finish();
+    let graph = Arc::new(graph);
+
+    let topo = TopologyRetriever::new(slm.clone(), graph, docs.clone(), TopologyConfig::default());
+    let dense = DenseRetriever::build(slm.clone(), &docs);
+    let bm25 = LexicalRetriever::new(docs.clone());
+    let query = "Which products had a sales increase of more than 10% in Q2 2023?";
+
+    let mut g = c.benchmark_group("retrieve_top5");
+    g.bench_function("topology", |b| b.iter(|| topo.retrieve(query, 5)));
+    g.bench_function("dense", |b| b.iter(|| dense.retrieve(query, 5)));
+    g.bench_function("bm25", |b| b.iter(|| bm25.retrieve(query, 5)));
+    g.finish();
+
+    // Engine-level retrieval including evidence extraction.
+    let engine = build_ecommerce_engine(&w, EngineConfig::default());
+    c.bench_function("engine_retrieve_top5", |b| {
+        b.iter_batched(
+            || query,
+            |q| engine.retrieve(q, 5),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_retrievers
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Diagnostic: print every wrong answer of the unified engine on the
+//! default experiment workloads.
+
+use unisem_bench::harness::{build_ecommerce_engine, build_healthcare_engine};
+use unisem_core::EngineConfig;
+use unisem_workloads::{
+    answer_matches, EcommerceConfig, EcommerceWorkload, HealthcareConfig, HealthcareWorkload,
+};
+
+fn main() {
+    let w = EcommerceWorkload::generate(EcommerceConfig {
+        products: 12,
+        quarters: 4,
+        reviews_per_product: 3,
+        qa_per_category: 5,
+        seed: 101,
+            name_offset: 0,
+    });
+    let engine = build_ecommerce_engine(&w, EngineConfig::default());
+    println!("--- ecommerce failures ---");
+    for item in &w.qa {
+        let a = engine.answer(&item.question);
+        if !answer_matches(&item.gold, &a.text) {
+            println!(
+                "[{}] Q: {}\n  gold: {:?}\n  got ({}): {}\n",
+                item.category.label(),
+                item.question,
+                item.gold,
+                a.route.label(),
+                a.text
+            );
+        }
+    }
+    let w = HealthcareWorkload::generate(HealthcareConfig {
+        drugs: 8,
+        patients: 16,
+        trials_per_drug: 3,
+        qa_per_category: 5,
+        seed: 202,
+    });
+    let engine = build_healthcare_engine(&w, EngineConfig::default());
+    println!("--- healthcare failures ---");
+    for item in &w.qa {
+        let a = engine.answer(&item.question);
+        if !answer_matches(&item.gold, &a.text) {
+            println!(
+                "[{}] Q: {}\n  gold: {:?}\n  got ({}): {}\n",
+                item.category.label(),
+                item.question,
+                item.gold,
+                a.route.label(),
+                a.text
+            );
+        }
+    }
+}

@@ -1,0 +1,696 @@
+//! The unified query engine: ingestion, indexing, routing, answering.
+
+use std::fmt;
+use std::sync::Arc;
+
+use unisem_docstore::{DocStore, DocumentId};
+use unisem_entropy::EntropyEstimator;
+use unisem_extract::TableGenerator;
+use unisem_hetgraph::{GraphBuilder, HetGraph};
+use unisem_relstore::plan::AggFunc;
+use unisem_relstore::{Database, RelError, Table};
+use unisem_retrieval::{
+    ChunkRetriever, DenseRetriever, RetrievalResult, TopologyConfig, TopologyRetriever,
+};
+use unisem_semistore::{FlattenError, JsonValue, SemiStore};
+use unisem_semops::synthesize::resolve_subject_column;
+use unisem_semops::{IntentParser, OperatorSynthesizer, QueryIntent};
+use unisem_slm::{CostMeter, Lexicon, ModelClass, Slm, SlmConfig, SupportedAnswer};
+use unisem_text::ChunkConfig;
+
+use crate::answer::{Answer, Provenance, Route};
+use crate::evidence::{extract_evidence_grounded, to_supported_answers};
+
+/// Engine construction / ingestion errors.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Relational layer failure.
+    Rel(RelError),
+    /// JSON flattening failure.
+    Flatten(FlattenError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Rel(e) => write!(f, "relational error: {e}"),
+            EngineError::Flatten(e) => write!(f, "flatten error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<RelError> for EngineError {
+    fn from(e: RelError) -> Self {
+        EngineError::Rel(e)
+    }
+}
+
+impl From<FlattenError> for EngineError {
+    fn from(e: FlattenError) -> Self {
+        EngineError::Flatten(e)
+    }
+}
+
+/// Engine configuration, including the ablation switches exercised by
+/// experiment E7.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Master seed for the SLM's stochastic paths.
+    pub seed: u64,
+    /// Simulated model class (cost accounting).
+    pub model_class: ModelClass,
+    /// Document chunking parameters.
+    pub chunk: ChunkConfig,
+    /// Topology retrieval parameters.
+    pub topology: TopologyConfig,
+    /// Chunks retrieved per lookup question.
+    pub retrieval_top_k: usize,
+    /// Samples drawn for semantic entropy.
+    pub entropy_samples: usize,
+    /// Sampling temperature for entropy estimation.
+    pub entropy_temperature: f64,
+    /// Abstain when confidence falls below this.
+    pub abstain_confidence: f64,
+    /// Ablation: run Relational Table Generation over ingested documents.
+    pub enable_extraction: bool,
+    /// Ablation: synthesize operators for analytical questions.
+    pub enable_synthesis: bool,
+    /// Ablation: use topology-enhanced retrieval (false = dense baseline
+    /// retrieval inside the same engine).
+    pub enable_topology: bool,
+    /// Ablation: index entity nodes in the graph (false = chunks/records
+    /// stay unlinked and retrieval loses its anchors).
+    pub enable_entity_nodes: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x0515,
+            model_class: ModelClass::SlmClass,
+            chunk: ChunkConfig::default(),
+            topology: TopologyConfig::default(),
+            retrieval_top_k: 5,
+            entropy_samples: 10,
+            entropy_temperature: 0.8,
+            abstain_confidence: 0.4,
+            enable_extraction: true,
+            enable_synthesis: true,
+            enable_topology: true,
+            enable_entity_nodes: true,
+        }
+    }
+}
+
+/// Accumulates heterogeneous sources, then builds a [`UnifiedEngine`].
+#[derive(Debug)]
+pub struct EngineBuilder {
+    config: EngineConfig,
+    lexicon: Lexicon,
+    docs: DocStore,
+    db: Database,
+    semi: SemiStore,
+}
+
+impl EngineBuilder {
+    /// Starts a builder with a domain lexicon (the SLM's world knowledge).
+    pub fn new(lexicon: Lexicon) -> Self {
+        Self::with_config(lexicon, EngineConfig::default())
+    }
+
+    /// Starts a builder with explicit configuration.
+    pub fn with_config(lexicon: Lexicon, config: EngineConfig) -> Self {
+        Self {
+            config,
+            lexicon,
+            docs: DocStore::new(config.chunk),
+            db: Database::new(),
+            semi: SemiStore::new(),
+        }
+    }
+
+    /// Ingests an unstructured document.
+    pub fn add_document(
+        &mut self,
+        title: impl Into<String>,
+        text: impl Into<String>,
+        source: impl Into<String>,
+    ) -> DocumentId {
+        self.docs.add_document(title, text, source)
+    }
+
+    /// Ingests a relational table.
+    pub fn add_table(&mut self, name: &str, table: Table) -> Result<(), EngineError> {
+        self.db.create_table(name, table)?;
+        Ok(())
+    }
+
+    /// Ingests one JSON document into a named collection.
+    pub fn add_json(&mut self, collection: &str, doc: JsonValue) {
+        self.semi.insert(collection, doc);
+    }
+
+    /// Ingests one XML document into a named collection ("XML
+    /// configurations", §I). The root element's *contents* become the
+    /// record (attributes as `@name`, text as `#text`).
+    pub fn add_xml(&mut self, collection: &str, xml: &str) -> Result<(), EngineError> {
+        let parsed = unisem_semistore::parse_xml(xml).map_err(|e| {
+            EngineError::Flatten(unisem_semistore::FlattenError::Rel(RelError::Parse(
+                e.to_string(),
+            )))
+        })?;
+        // Unwrap the single root-name key so sibling documents with the
+        // same root element flatten into one schema.
+        let doc = match &parsed {
+            JsonValue::Object(fields) if fields.len() == 1 => fields[0].1.clone(),
+            other => other.clone(),
+        };
+        self.semi.insert(collection, doc);
+        Ok(())
+    }
+
+    /// Builds the engine: flattens JSON, runs extraction, builds the graph,
+    /// and wires the retrievers.
+    pub fn build(self) -> Result<UnifiedEngine, EngineError> {
+        let EngineBuilder { config, lexicon, docs, mut db, semi } = self;
+        let slm = Slm::new(SlmConfig {
+            lexicon,
+            class: config.model_class,
+            seed: config.seed,
+            ..SlmConfig::default()
+        });
+
+        // Semi-structured → tables.
+        for coll in semi.collections() {
+            let table = semi.to_table(coll)?;
+            if db.has_table(coll) {
+                db.create_or_replace_table(&format!("json_{coll}"), table);
+            } else {
+                db.create_or_replace_table(coll, table);
+            }
+        }
+
+        // Unstructured → extracted table (§III.C task 1).
+        if config.enable_extraction && !docs.is_empty() {
+            let texts: Vec<&str> =
+                docs.documents().iter().map(|d| d.text.as_str()).collect();
+            let (extracted, _) = TableGenerator::new(slm.clone())
+                .generate_table(&texts)
+                .map_err(EngineError::Rel)?;
+            if !extracted.is_empty() {
+                db.create_or_replace_table("extracted", extracted);
+            }
+        }
+
+        // Graph index over every modality (§III.A).
+        let mut gb = GraphBuilder::new(slm.clone());
+        gb.set_index_entities(config.enable_entity_nodes);
+        gb.add_docstore(&docs);
+        for name in db.table_names().into_iter().map(String::from).collect::<Vec<_>>() {
+            // Extracted-table records duplicate chunk facts; indexing them
+            // is still useful (they join text to values) but keep the
+            // "extracted" table out to avoid double-counting mentions.
+            if name != "extracted" {
+                let table = db.table(&name)?.clone();
+                gb.add_table(&name, &table);
+            }
+        }
+        let (graph, _) = gb.finish();
+
+        let docs = Arc::new(docs);
+        let graph = Arc::new(graph);
+        let topo = TopologyRetriever::new(slm.clone(), graph.clone(), docs.clone(), config.topology);
+        let dense = DenseRetriever::build(slm.clone(), &docs);
+        let estimator = {
+            let mut e = EntropyEstimator::new(slm.clone());
+            e.n_samples = config.entropy_samples;
+            e.temperature = config.entropy_temperature;
+            e
+        };
+
+        Ok(UnifiedEngine {
+            parser: IntentParser::new(slm.clone()),
+            synthesizer: OperatorSynthesizer::new(),
+            estimator,
+            slm,
+            docs,
+            graph,
+            db,
+            topo,
+            dense,
+            config,
+        })
+    }
+}
+
+/// The unified semantic query engine.
+#[derive(Debug, Clone)]
+pub struct UnifiedEngine {
+    slm: Slm,
+    docs: Arc<DocStore>,
+    graph: Arc<HetGraph>,
+    db: Database,
+    topo: TopologyRetriever,
+    dense: DenseRetriever,
+    parser: IntentParser,
+    synthesizer: OperatorSynthesizer,
+    estimator: EntropyEstimator,
+    config: EngineConfig,
+}
+
+impl UnifiedEngine {
+    /// The configuration in effect.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The relational catalog (native + flattened + extracted tables).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The document store.
+    pub fn docs(&self) -> &DocStore {
+        &self.docs
+    }
+
+    /// The heterogeneous graph index.
+    pub fn graph(&self) -> &HetGraph {
+        &self.graph
+    }
+
+    /// The SLM (shared cost meter included).
+    pub fn slm(&self) -> &Slm {
+        &self.slm
+    }
+
+    /// The SLM usage meter for cost experiments.
+    pub fn meter(&self) -> &CostMeter {
+        self.slm.meter()
+    }
+
+    /// Total index footprint in bytes (graph + lexical postings + dense
+    /// vectors if the dense path is active).
+    pub fn index_bytes(&self) -> usize {
+        if self.config.enable_topology {
+            self.topo.index_bytes()
+        } else {
+            self.dense.index_bytes() + self.docs.index_bytes()
+        }
+    }
+
+    /// Retrieves chunks for a query using the configured retriever.
+    pub fn retrieve(&self, query: &str, k: usize) -> Vec<RetrievalResult> {
+        if self.config.enable_topology {
+            self.topo.retrieve(query, k)
+        } else {
+            self.dense.retrieve(query, k)
+        }
+    }
+
+    /// Parses a question into its intent (exposed for diagnostics).
+    pub fn analyze(&self, question: &str) -> QueryIntent {
+        self.parser.analyze(question)
+    }
+
+    /// Answers a natural-language question across all ingested modalities.
+    pub fn answer(&self, question: &str) -> Answer {
+        let intent = self.parser.analyze(question);
+
+        // Structured route for analytical intents (§III.C task 2).
+        let mut attempted_structured = false;
+        if self.config.enable_synthesis && !intent.is_plain_lookup() {
+            attempted_structured = true;
+            if let Some((table, result)) = self.try_structured(&intent) {
+                let text = render_structured(&intent, &self.db, &table, &result);
+                if !text.is_empty() {
+                    // Deterministic plan output = maximally grounded
+                    // evidence; entropy sampling confirms stability.
+                    let evidence = vec![SupportedAnswer::new(text.clone(), 6.0)];
+                    let report = self.estimator.estimate(question, &evidence);
+                    let confidence = confidence_from(&report);
+                    return Answer {
+                        text,
+                        confidence,
+                        entropy: report,
+                        route: Route::Structured { table: table.clone() },
+                        provenance: vec![Provenance::TableRows {
+                            table,
+                            rows: result.num_rows(),
+                        }],
+                        result_table: Some(result),
+                    };
+                }
+            }
+        }
+
+        // Retrieval route (§III.B).
+        let hits = self.retrieve(question, self.config.retrieval_top_k);
+        let chunk_triples: Vec<(usize, String, f64)> = hits
+            .iter()
+            .filter_map(|h| {
+                self.docs
+                    .chunk(h.chunk_id)
+                    .ok()
+                    .map(|c| (c.id, c.text.clone(), h.score))
+            })
+            .collect();
+        // Grounding: when the question names entities, only sentences
+        // mentioning them are admissible evidence — ungrounded context is
+        // exactly the hallucination source §I warns about. Filtering before
+        // IDF weighting also sharpens discriminative terms.
+        let evidence =
+            extract_evidence_grounded(question, &chunk_triples, 6, &intent.entities);
+        let supported = to_supported_answers(&evidence);
+        let report = self.estimator.estimate(question, &supported);
+        let confidence = confidence_from(&report);
+
+        let chunks: Vec<usize> = evidence.iter().map(|e| e.chunk_id).collect();
+        let provenance: Vec<Provenance> = evidence
+            .iter()
+            .filter_map(|e| {
+                self.docs
+                    .chunk(e.chunk_id)
+                    .ok()
+                    .map(|c| Provenance::Chunk { chunk_id: c.id, doc_id: c.doc_id })
+            })
+            .collect();
+
+        if supported.is_empty() || confidence < self.config.abstain_confidence {
+            return Answer {
+                text: "This cannot be determined from the available data.".to_string(),
+                confidence,
+                entropy: report,
+                route: Route::Abstained,
+                provenance,
+                result_table: None,
+            };
+        }
+
+        let text = report
+            .top_answer
+            .clone()
+            .unwrap_or_else(|| evidence[0].text.clone());
+        let route = if attempted_structured {
+            Route::Hybrid { table: None, chunks }
+        } else {
+            Route::Unstructured { chunks }
+        };
+        Answer { text, confidence, entropy: report, route, provenance, result_table: None }
+    }
+
+    /// Tries the structured route over candidate tables; returns the first
+    /// table whose synthesized plan yields a signal-bearing result.
+    fn try_structured(&self, intent: &QueryIntent) -> Option<(String, Table)> {
+        let mut names: Vec<String> =
+            self.db.table_names().into_iter().map(String::from).collect();
+        // Native tables first; the extracted table is the fallback source.
+        names.sort_by_key(|n| (n == "extracted", n.clone()));
+        for name in names {
+            let Ok(plan) = self.synthesizer.synthesize(intent, &self.db, &name) else {
+                continue;
+            };
+            let Ok(result) = self.db.run_plan(&plan) else { continue };
+            if has_signal(&result) {
+                return Some((name, result));
+            }
+        }
+        None
+    }
+}
+
+/// Confidence = 1 − normalized discrete semantic entropy.
+fn confidence_from(report: &unisem_entropy::EntropyReport) -> f64 {
+    let n = report.n_samples.max(2) as f64;
+    (1.0 - report.discrete_semantic_entropy / n.ln()).clamp(0.0, 1.0)
+}
+
+/// A result carries signal when it has rows and at least one non-null cell
+/// in its final (aggregate) column.
+fn has_signal(result: &Table) -> bool {
+    if result.is_empty() || result.num_columns() == 0 {
+        return false;
+    }
+    let last = result.num_columns() - 1;
+    (0..result.num_rows()).any(|r| !result.cell(r, last).is_null())
+}
+
+/// Renders a structured result into answer text appropriate for the intent.
+fn render_structured(
+    intent: &QueryIntent,
+    db: &Database,
+    table: &str,
+    result: &Table,
+) -> String {
+    if result.is_empty() {
+        return String::new();
+    }
+    // Single cell: the aggregate value.
+    if result.num_rows() == 1 && result.num_columns() == 1 {
+        let v = result.cell(0, 0);
+        if v.is_null() {
+            return String::new();
+        }
+        let label = intent
+            .aggregate
+            .as_ref()
+            .map(|(f, _)| match f {
+                AggFunc::Sum => "total",
+                AggFunc::Avg => "average",
+                AggFunc::Count | AggFunc::CountDistinct => "count",
+                AggFunc::Min => "minimum",
+                AggFunc::Max => "maximum",
+            })
+            .unwrap_or("value");
+        return format!("The {label} is {v}.");
+    }
+    // Comparative / superlative: headline only the top row, so the answer
+    // names exactly one entity.
+    if intent.comparative
+        || matches!(
+            intent.aggregate.as_ref().map(|(f, _)| f),
+            Some(AggFunc::Max) | Some(AggFunc::Min)
+        )
+    {
+        let subject = result.cell(0, 0);
+        let value = result.cell(0, result.num_columns() - 1);
+        return format!("{subject} ranks first with {value}.");
+    }
+    // Multi-entity selection: list distinct subject values.
+    let subject_col = db
+        .table(table)
+        .ok()
+        .and_then(|t| resolve_subject_column(t.schema()))
+        .and_then(|c| result.schema().index_of(&c))
+        .unwrap_or(0);
+    let mut seen = std::collections::BTreeSet::new();
+    for r in 0..result.num_rows() {
+        let v = result.cell(r, subject_col);
+        if !v.is_null() {
+            seen.insert(v.to_string());
+        }
+    }
+    if seen.is_empty() {
+        return String::new();
+    }
+    format!("Qualifying: {}.", seen.into_iter().collect::<Vec<_>>().join(", "))
+}
+
+/// Public wrapper over [`render_structured`] for the baseline pipelines.
+pub(crate) fn render_structured_public(
+    intent: &QueryIntent,
+    db: &Database,
+    table: &str,
+    result: &Table,
+) -> String {
+    if has_signal(result) {
+        render_structured(intent, db, table, result)
+    } else {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unisem_relstore::{DataType, Schema, Value};
+    use unisem_slm::EntityKind;
+
+    fn sample_lexicon() -> Lexicon {
+        Lexicon::new().with_entries([
+            ("Aero Widget", EntityKind::Product),
+            ("Nova Speaker", EntityKind::Product),
+            ("Acme Corp", EntityKind::Organization),
+        ])
+    }
+
+    fn sample_engine() -> UnifiedEngine {
+        let mut b = EngineBuilder::new(sample_lexicon());
+        let sales = Table::from_rows(
+            Schema::of(&[
+                ("product", DataType::Str),
+                ("quarter", DataType::Str),
+                ("amount", DataType::Float),
+            ]),
+            vec![
+                vec![Value::str("Aero Widget"), Value::str("Q1 2024"), Value::Float(100.0)],
+                vec![Value::str("Aero Widget"), Value::str("Q2 2024"), Value::Float(150.0)],
+                vec![Value::str("Nova Speaker"), Value::str("Q1 2024"), Value::Float(90.0)],
+                vec![Value::str("Nova Speaker"), Value::str("Q2 2024"), Value::Float(50.0)],
+            ],
+        )
+        .unwrap();
+        b.add_table("sales", sales).unwrap();
+        b.add_document(
+            "news",
+            "Acme Corp launched the Aero Widget. The Aero Widget is manufactured by Acme Corp.",
+            "news",
+        );
+        b.add_document(
+            "report",
+            "In Q2 2024, Aero Widget sales increased 50% to $150. Customers were pleased.",
+            "report",
+        );
+        b.add_json(
+            "orders",
+            unisem_semistore::parse_json(
+                r#"{"product": "Aero Widget", "quarter": "Q1 2024", "units": 10}"#,
+            )
+            .unwrap(),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_registers_all_modalities() {
+        let e = sample_engine();
+        assert!(e.db().has_table("sales"));
+        assert!(e.db().has_table("orders"), "flattened JSON collection");
+        assert!(e.db().has_table("extracted"), "extraction output");
+        assert!(e.docs().num_documents() == 2);
+        assert!(e.graph().num_nodes() > 0);
+    }
+
+    #[test]
+    fn structured_aggregate_answer() {
+        let e = sample_engine();
+        let a = e.answer("What was the total sales amount of Aero Widget across all quarters?");
+        assert_eq!(a.route.label(), "structured");
+        assert!(a.text.contains("250"), "{}", a.text);
+        assert!(a.confidence > 0.7);
+        assert!(a.result_table.is_some());
+    }
+
+    #[test]
+    fn comparative_names_only_winner() {
+        let e = sample_engine();
+        let a = e.answer("Compare the total sales of Aero Widget and Nova Speaker: which product sold more?");
+        assert!(a.text.contains("Aero Widget"), "{}", a.text);
+        assert!(!a.text.contains("Nova Speaker"), "must not name the loser: {}", a.text);
+    }
+
+    #[test]
+    fn lookup_goes_through_retrieval() {
+        let e = sample_engine();
+        let a = e.answer("Which manufacturer makes the Aero Widget?");
+        assert!(a.text.to_lowercase().contains("acme"), "{}", a.text);
+        assert!(matches!(a.route, Route::Unstructured { .. }));
+        assert!(!a.provenance.is_empty());
+    }
+
+    #[test]
+    fn unanswerable_abstains() {
+        let e = sample_engine();
+        let a = e.answer("What was the total sales of the Phantom Gizmo in Q2 2024?");
+        assert!(
+            a.is_abstention() || a.text.to_lowercase().contains("cannot"),
+            "expected abstention, got: {a}"
+        );
+    }
+
+    #[test]
+    fn answers_are_deterministic() {
+        let a = sample_engine().answer("Which manufacturer makes the Aero Widget?");
+        let b = sample_engine().answer("Which manufacturer makes the Aero Widget?");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ablation_flags_respected() {
+        let config = EngineConfig {
+            enable_extraction: false,
+            enable_topology: false,
+            ..EngineConfig::default()
+        };
+        let mut b = EngineBuilder::with_config(sample_lexicon(), config);
+        b.add_document("d", "Aero Widget sales increased 10% in Q1 2024.", "x");
+        let e = b.build().unwrap();
+        assert!(!e.db().has_table("extracted"));
+        // Dense retrieval still answers.
+        let hits = e.retrieve("Aero Widget sales", 2);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn meter_accumulates_usage() {
+        let e = sample_engine();
+        let before = e.meter().snapshot().total_tokens();
+        e.answer("Which manufacturer makes the Aero Widget?");
+        assert!(e.meter().snapshot().total_tokens() > before);
+    }
+
+    #[test]
+    fn has_signal_rules() {
+        let t = Table::from_rows(
+            Schema::of(&[("x", DataType::Float)]),
+            vec![vec![Value::Null]],
+        )
+        .unwrap();
+        assert!(!has_signal(&t));
+        let t2 = Table::from_rows(
+            Schema::of(&[("x", DataType::Float)]),
+            vec![vec![Value::Float(1.0)]],
+        )
+        .unwrap();
+        assert!(has_signal(&t2));
+        assert!(!has_signal(&Table::empty(Schema::of(&[("x", DataType::Int)]))));
+    }
+
+    #[test]
+    fn json_name_clash_prefixed() {
+        let mut b = EngineBuilder::new(Lexicon::new());
+        let t = Table::from_rows(
+            Schema::of(&[("x", DataType::Int)]),
+            vec![vec![Value::Int(1)]],
+        )
+        .unwrap();
+        b.add_table("orders", t).unwrap();
+        b.add_json("orders", unisem_semistore::parse_json(r#"{"y": 2}"#).unwrap());
+        let e = b.build().unwrap();
+        assert!(e.db().has_table("orders"));
+        assert!(e.db().has_table("json_orders"));
+    }
+
+    #[test]
+    fn xml_ingestion_flattens() {
+        let mut b = EngineBuilder::new(Lexicon::new());
+        b.add_xml("configs", r#"<cfg><host>alpha</host><port>80</port></cfg>"#).unwrap();
+        b.add_xml("configs", r#"<cfg><host>beta</host><port>443</port></cfg>"#).unwrap();
+        assert!(b.add_xml("configs", "<broken>").is_err());
+        let e = b.build().unwrap();
+        let t = e.db().table("configs").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        let out = e.db().run_sql("SELECT host FROM configs WHERE port = 443").unwrap();
+        assert_eq!(out.cell(0, 0), &Value::str("beta"));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut b = EngineBuilder::new(Lexicon::new());
+        let t = Table::empty(Schema::of(&[("x", DataType::Int)]));
+        b.add_table("t", t.clone()).unwrap();
+        assert!(b.add_table("t", t).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # unisem-core
+//!
+//! The paper's primary contribution: an **SLM-driven system for unified
+//! semantic queries across heterogeneous databases**.
+//!
+//! [`engine::UnifiedEngine`] ties the substrates together:
+//!
+//! 1. **Ingestion** ([`engine::EngineBuilder`]) — relational tables, JSON
+//!    collections (flattened via `unisem-semistore`), and free-text
+//!    documents (chunked via `unisem-docstore`). Unstructured documents
+//!    additionally pass through Relational Table Generation
+//!    (`unisem-extract`), producing the `extracted` table (§III.C task 1).
+//! 2. **Indexing** — one heterogeneous graph over chunks, entities,
+//!    records, and relational cues (`unisem-hetgraph`, §III.A).
+//! 3. **Query resolution** ([`UnifiedEngine::answer`]) — questions are
+//!    parsed into intents (`unisem-semops`, §III.C task 2) and routed:
+//!    analytical intents compile to plans over native/flattened/extracted
+//!    tables (TableQA); lookup intents go through topology-enhanced
+//!    retrieval (§III.B); failures fall back across routes (the hybrid
+//!    pipeline of §III.C).
+//! 4. **Uncertainty** — every answer carries a semantic-entropy report
+//!    (`unisem-entropy`, §III.D); high-entropy answers abstain.
+//!
+//! [`baselines`] implements the comparison systems of the evaluation
+//! (naive dense RAG, Text-to-SQL-only, direct SLM) and the ablations.
+
+pub mod answer;
+pub mod baselines;
+pub mod engine;
+pub mod evidence;
+
+pub use answer::{Answer, Provenance, Route};
+pub use baselines::{
+    DirectSlmPipeline, NaiveRagPipeline, QaPipeline, TextToSqlPipeline,
+};
+pub use engine::{EngineBuilder, EngineConfig, UnifiedEngine};
+
+// Re-export the pieces examples and benches need most.
+pub use unisem_entropy::EntropyReport;
+pub use unisem_relstore::{Database, Table, Value};
+pub use unisem_slm::{EntityKind, Lexicon, ModelClass, Slm, SlmConfig};

@@ -1,0 +1,139 @@
+//! End-to-end integration: UnifiedEngine + baselines over the synthetic
+//! workloads, scored against gold answers.
+
+use std::collections::BTreeMap;
+
+use unisem_core::{
+    EngineBuilder, NaiveRagPipeline, QaPipeline, TextToSqlPipeline, UnifiedEngine,
+};
+use unisem_workloads::{
+    answer_matches, EcommerceConfig, EcommerceWorkload, HealthcareConfig, HealthcareWorkload,
+    QaCategory, QaItem,
+};
+
+fn build_ecommerce_engine(w: &EcommerceWorkload) -> UnifiedEngine {
+    let mut b = EngineBuilder::new(w.lexicon.clone());
+    for name in w.db.table_names() {
+        b.add_table(name, w.db.table(name).unwrap().clone()).unwrap();
+    }
+    for coll in w.semi.collections() {
+        for doc in w.semi.docs(coll) {
+            b.add_json(coll, doc.clone());
+        }
+    }
+    for d in &w.documents {
+        b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
+    }
+    b.build().unwrap()
+}
+
+fn build_healthcare_engine(w: &HealthcareWorkload) -> UnifiedEngine {
+    let mut b = EngineBuilder::new(w.lexicon.clone());
+    for name in w.db.table_names() {
+        b.add_table(name, w.db.table(name).unwrap().clone()).unwrap();
+    }
+    for d in &w.documents {
+        b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
+    }
+    b.build().unwrap()
+}
+
+fn accuracy_by_category(
+    pipeline: &dyn QaPipeline,
+    qa: &[QaItem],
+) -> BTreeMap<QaCategory, (usize, usize)> {
+    let mut out: BTreeMap<QaCategory, (usize, usize)> = BTreeMap::new();
+    for item in qa {
+        let ans = pipeline.answer(&item.question);
+        let correct = answer_matches(&item.gold, &ans.text);
+        let entry = out.entry(item.category).or_insert((0, 0));
+        entry.1 += 1;
+        if correct {
+            entry.0 += 1;
+        }
+    }
+    out
+}
+
+fn overall(acc: &BTreeMap<QaCategory, (usize, usize)>) -> f64 {
+    let (c, t) = acc.values().fold((0, 0), |(c, t), (ci, ti)| (c + ci, t + ti));
+    c as f64 / t.max(1) as f64
+}
+
+#[test]
+fn ecommerce_engine_beats_baselines() {
+    let w = EcommerceWorkload::generate(EcommerceConfig {
+        products: 8,
+        quarters: 3,
+        reviews_per_product: 2,
+        qa_per_category: 3,
+        seed: 1234,
+            name_offset: 0,
+    });
+    let engine = build_ecommerce_engine(&w);
+    let rag = NaiveRagPipeline::new(engine.slm().clone(), std::sync::Arc::new(w.docstore()), 5);
+    let sql = TextToSqlPipeline::new(engine.slm().clone(), w.db.clone());
+
+    let acc_engine = accuracy_by_category(&engine, &w.qa);
+    let acc_rag = accuracy_by_category(&rag, &w.qa);
+    let acc_sql = accuracy_by_category(&sql, &w.qa);
+
+    let (oe, or_, os) = (overall(&acc_engine), overall(&acc_rag), overall(&acc_sql));
+    eprintln!("engine={oe:.2} rag={or_:.2} sql={os:.2}");
+    eprintln!("engine detail: {acc_engine:?}");
+    eprintln!("rag detail: {acc_rag:?}");
+    eprintln!("sql detail: {acc_sql:?}");
+
+    assert!(oe >= 0.7, "unified engine accuracy too low: {oe:.2} {acc_engine:?}");
+    assert!(oe > or_, "engine ({oe:.2}) must beat naive RAG ({or_:.2})");
+    assert!(oe > os, "engine ({oe:.2}) must beat text-to-SQL ({os:.2})");
+
+    // The paper's headline: aggregates need tables, lookups need text.
+    let agg = acc_engine[&QaCategory::Aggregate];
+    assert!(agg.0 == agg.1, "engine should ace aggregates: {agg:?}");
+}
+
+#[test]
+fn healthcare_engine_handles_cross_modal() {
+    let w = HealthcareWorkload::generate(HealthcareConfig {
+        drugs: 6,
+        patients: 9,
+        trials_per_drug: 3,
+        qa_per_category: 3,
+        seed: 77,
+    });
+    let engine = build_healthcare_engine(&w);
+    let acc = accuracy_by_category(&engine, &w.qa);
+    let o = overall(&acc);
+    eprintln!("healthcare engine: {acc:?} overall={o:.2}");
+    assert!(o >= 0.65, "healthcare accuracy too low: {o:.2} {acc:?}");
+
+    // Cross-modal (forum side effects) must work — the class of question
+    // the paper says traditional systems miss entirely.
+    let cm = acc[&QaCategory::CrossModal];
+    assert!(cm.0 >= cm.1 - 1, "cross-modal too weak: {cm:?}");
+}
+
+#[test]
+fn unanswerable_questions_mostly_abstain() {
+    let w = EcommerceWorkload::generate(EcommerceConfig {
+        products: 6,
+        quarters: 3,
+        reviews_per_product: 2,
+        qa_per_category: 4,
+        seed: 9,
+            name_offset: 0,
+    });
+    let engine = build_ecommerce_engine(&w);
+    let unanswerable: Vec<&QaItem> =
+        w.qa.iter().filter(|i| i.category == QaCategory::Unanswerable).collect();
+    let correct = unanswerable
+        .iter()
+        .filter(|i| answer_matches(&i.gold, &engine.answer(&i.question).text))
+        .count();
+    assert!(
+        correct * 2 >= unanswerable.len(),
+        "abstained on {correct}/{} unanswerable",
+        unanswerable.len()
+    );
+}

@@ -1,0 +1,126 @@
+//! Calibration metrics: does an uncertainty score predict incorrectness?
+//!
+//! Experiment E5 follows Kuhn et al.'s protocol: compute an uncertainty
+//! score per question, label each answer correct/incorrect, and measure the
+//! AUROC of "score predicts the answer is wrong". Higher AUROC = the score
+//! is a better reviewer-attention signal.
+
+/// AUROC of `score` predicting the positive class (`label = true`).
+///
+/// Ties in score contribute 0.5, the Mann-Whitney convention. Returns 0.5
+/// when either class is empty (no ranking information).
+pub fn auroc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "auroc: length mismatch");
+    let pos: Vec<f64> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&s, _)| s)
+        .collect();
+    let neg: Vec<f64> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| !l)
+        .map(|(&s, _)| s)
+        .collect();
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0;
+    for &p in &pos {
+        for &n in &neg {
+            if p > n {
+                wins += 1.0;
+            } else if (p - n).abs() < 1e-12 {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos.len() * neg.len()) as f64
+}
+
+/// Rejection-accuracy curve: sort questions by ascending uncertainty, and
+/// report accuracy over the kept fraction at each `fractions` point.
+///
+/// A well-calibrated uncertainty yields accuracy that *rises* as more
+/// uncertain answers are rejected.
+pub fn rejection_accuracy_curve(
+    scores: &[f64],
+    correct: &[bool],
+    fractions: &[f64],
+) -> Vec<(f64, f64)> {
+    assert_eq!(scores.len(), correct.len());
+    if scores.is_empty() {
+        return fractions.iter().map(|&f| (f, 0.0)).collect();
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    fractions
+        .iter()
+        .map(|&f| {
+            let keep = ((scores.len() as f64 * f).round() as usize).clamp(1, scores.len());
+            let acc = order[..keep].iter().filter(|&&i| correct[i]).count() as f64 / keep as f64;
+            (f, acc)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [true, true, false, false];
+        assert_eq!(auroc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_separation() {
+        let scores = [0.1, 0.2, 0.9, 0.8];
+        let labels = [true, true, false, false];
+        assert_eq!(auroc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn random_is_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert_eq!(auroc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn degenerate_classes() {
+        assert_eq!(auroc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(auroc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        auroc(&[1.0], &[true, false]);
+    }
+
+    #[test]
+    fn rejection_curve_rises_for_calibrated_scores() {
+        // Low uncertainty ↔ correct.
+        let scores = [0.1, 0.2, 0.3, 0.8, 0.9];
+        let correct = [true, true, true, false, false];
+        let curve = rejection_accuracy_curve(&scores, &correct, &[0.6, 1.0]);
+        assert_eq!(curve[0], (0.6, 1.0));
+        assert_eq!(curve[1].1, 0.6);
+        assert!(curve[0].1 > curve[1].1);
+    }
+
+    #[test]
+    fn rejection_curve_empty() {
+        let curve = rejection_accuracy_curve(&[], &[], &[0.5]);
+        assert_eq!(curve, vec![(0.5, 0.0)]);
+    }
+}

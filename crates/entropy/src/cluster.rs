@@ -1,0 +1,248 @@
+//! Semantic clustering of sampled answers.
+//!
+//! The equivalence oracle approximates bidirectional entailment (the check
+//! Kuhn et al. run with an NLI model) with three deterministic signals:
+//!
+//! 1. **Content-word agreement** — stopwords and answer-template filler are
+//!    stripped, remaining words stemmed; high Jaccard overlap or mutual
+//!    containment ⇒ same meaning.
+//! 2. **Number agreement** — answers asserting different numbers are never
+//!    equivalent ("rose 20%" ≠ "rose 5%"), matching the entailment
+//!    behaviour that matters for factual QA.
+//! 3. **Polarity agreement** — a negated and a non-negated answer are never
+//!    equivalent ("improves outcomes" ≠ "does not improve outcomes").
+
+use std::collections::HashSet;
+
+use unisem_text::normalize::{is_stopword, stem};
+use unisem_text::similarity::jaccard;
+use unisem_text::tokenize::{tokenize, TokenKind};
+
+/// Words added by answer templates; never semantic content.
+const TEMPLATE_FILLER: &[&str] = &[
+    "answer", "based", "data", "according", "records", "appears", "available", "evidence",
+    "from", "seems", "likely",
+];
+
+/// Negation markers for the polarity check.
+const NEGATIONS: &[&str] = &["not", "no", "never", "cannot", "n't", "without", "none"];
+
+/// Clustering thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Minimum content-word Jaccard for equivalence.
+    pub min_jaccard: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self { min_jaccard: 0.5 }
+    }
+}
+
+/// The extracted semantic signature of one answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signature {
+    /// Stemmed content words.
+    pub content: Vec<String>,
+    /// Numbers asserted by the answer (normalized text).
+    pub numbers: Vec<String>,
+    /// Whether the answer contains a negation marker.
+    pub negated: bool,
+}
+
+/// Extracts the semantic signature of an answer.
+pub fn signature(text: &str) -> Signature {
+    let mut content = Vec::new();
+    let mut numbers = Vec::new();
+    let mut negated = false;
+    for t in tokenize(text) {
+        match t.kind {
+            TokenKind::Number => numbers.push(t.text.replace(',', "")),
+            TokenKind::Word => {
+                let lower = t.lower();
+                if NEGATIONS.contains(&lower.as_str()) {
+                    negated = true;
+                    continue;
+                }
+                if is_stopword(&lower) || TEMPLATE_FILLER.contains(&lower.as_str()) {
+                    continue;
+                }
+                content.push(stem(&lower));
+            }
+            TokenKind::Punct => {}
+        }
+    }
+    content.sort();
+    content.dedup();
+    numbers.sort();
+    Signature { content, numbers, negated }
+}
+
+/// Whether two signatures are semantically equivalent.
+pub fn equivalent(a: &Signature, b: &Signature, config: &ClusterConfig) -> bool {
+    // Polarity mismatch is decisive.
+    if a.negated != b.negated {
+        return false;
+    }
+    // Asserted numbers must agree when both sides assert any.
+    if !a.numbers.is_empty() && !b.numbers.is_empty() && a.numbers != b.numbers {
+        return false;
+    }
+    if a.content.is_empty() && b.content.is_empty() {
+        // Pure-number answers: equality decided above.
+        return a.numbers == b.numbers;
+    }
+    // Containment: one answer elaborates the other.
+    let sa: HashSet<&String> = a.content.iter().collect();
+    let sb: HashSet<&String> = b.content.iter().collect();
+    if !sa.is_empty() && !sb.is_empty() && (sa.is_subset(&sb) || sb.is_subset(&sa)) {
+        return true;
+    }
+    jaccard(&a.content, &b.content) >= config.min_jaccard
+}
+
+/// One semantic cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemanticCluster {
+    /// Indices (into the input answer slice) of the members.
+    pub member_indices: Vec<usize>,
+    /// Representative signature (the first member's).
+    pub signature: Signature,
+}
+
+impl SemanticCluster {
+    /// Cluster size.
+    pub fn len(&self) -> usize {
+        self.member_indices.len()
+    }
+
+    /// True when the cluster has no members (never produced by
+    /// [`cluster_answers`]).
+    pub fn is_empty(&self) -> bool {
+        self.member_indices.is_empty()
+    }
+}
+
+/// Greedy single-pass clustering: each answer joins the first cluster whose
+/// representative it is equivalent to, else starts a new cluster. Clusters
+/// are returned largest-first (ties by first-member order).
+pub fn cluster_answers(answers: &[&str], config: &ClusterConfig) -> Vec<SemanticCluster> {
+    let sigs: Vec<Signature> = answers.iter().map(|a| signature(a)).collect();
+    let mut clusters: Vec<SemanticCluster> = Vec::new();
+    for (i, sig) in sigs.iter().enumerate() {
+        match clusters.iter_mut().find(|c| equivalent(&c.signature, sig, config)) {
+            Some(c) => c.member_indices.push(i),
+            None => clusters.push(SemanticCluster {
+                member_indices: vec![i],
+                signature: sig.clone(),
+            }),
+        }
+    }
+    clusters.sort_by(|a, b| {
+        b.len().cmp(&a.len()).then(a.member_indices[0].cmp(&b.member_indices[0]))
+    });
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::default()
+    }
+
+    #[test]
+    fn paraphrases_cluster_together() {
+        let answers = vec![
+            "sales rose 20%",
+            "The answer is sales rose 20%.",
+            "Based on the data, sales rose 20%.",
+        ];
+        let clusters = cluster_answers(&answers, &cfg());
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 3);
+    }
+
+    #[test]
+    fn different_numbers_split() {
+        let answers = vec!["sales rose 20%", "sales rose 5%"];
+        let clusters = cluster_answers(&answers, &cfg());
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn negation_splits() {
+        let answers = vec!["the drug improves outcomes", "the drug does not improve outcomes"];
+        let clusters = cluster_answers(&answers, &cfg());
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn paper_medical_example() {
+        // §III.D: "Fever, cough, fatigue" and "Symptoms include sore throat
+        // and body aches" — related but listing different symptoms; with
+        // shared frame words stripped they diverge. Equivalent paraphrase
+        // case must merge though:
+        let same = vec!["fever, cough, fatigue", "fatigue and cough and fever"];
+        assert_eq!(cluster_answers(&same, &cfg()).len(), 1);
+    }
+
+    #[test]
+    fn paper_legal_example_three_clusters() {
+        // §III.D: divergent answers form multiple clusters.
+        let answers = vec![
+            "Yes, if copyrighted",
+            "No, unless consent is violated",
+            "It depends on jurisdiction",
+        ];
+        let clusters = cluster_answers(&answers, &cfg());
+        assert!(clusters.len() >= 2, "got {}", clusters.len());
+    }
+
+    #[test]
+    fn containment_elaboration_merges() {
+        let answers = vec!["fever", "fever and severe fever symptoms"];
+        // content: {fever} ⊆ {fever, sever, symptom}
+        assert_eq!(cluster_answers(&answers, &cfg()).len(), 1);
+    }
+
+    #[test]
+    fn largest_cluster_first() {
+        let answers = vec!["alpha result", "beta outcome", "alpha result", "alpha result"];
+        let clusters = cluster_answers(&answers, &cfg());
+        assert_eq!(clusters[0].len(), 3);
+        assert_eq!(clusters[0].member_indices, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn pure_number_answers() {
+        let answers = vec!["42", "42", "17"];
+        let clusters = cluster_answers(&answers, &cfg());
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let clusters = cluster_answers(&[], &cfg());
+        assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn signature_extraction() {
+        let s = signature("The answer is: sales did not rise 20%.");
+        assert!(s.negated);
+        assert_eq!(s.numbers, vec!["20"]);
+        assert!(s.content.contains(&stem("sales")));
+        assert!(!s.content.contains(&"answer".to_string()));
+    }
+
+    #[test]
+    fn template_filler_ignored() {
+        let a = signature("From the available evidence: 42 units.");
+        let b = signature("42 units");
+        assert!(equivalent(&a, &b, &cfg()));
+    }
+}

@@ -1,0 +1,196 @@
+//! Entropy measures over clustered answers.
+
+use crate::cluster::SemanticCluster;
+use unisem_text::similarity::jaccard;
+use unisem_text::tokenize::tokenize_words;
+
+/// The full uncertainty report for one question.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntropyReport {
+    /// Number of sampled answers.
+    pub n_samples: usize,
+    /// Number of semantic clusters.
+    pub n_clusters: usize,
+    /// Rao-style semantic entropy (probability-weighted clusters).
+    pub semantic_entropy: f64,
+    /// Discrete semantic entropy (count-weighted clusters).
+    pub discrete_semantic_entropy: f64,
+    /// Predictive entropy baseline (mean negative log-probability).
+    pub predictive_entropy: f64,
+    /// Lexical-variance baseline (1 − mean pairwise token Jaccard).
+    pub lexical_variance: f64,
+    /// Core answer of the largest cluster (the system's reply).
+    pub top_answer: Option<String>,
+}
+
+/// Discrete semantic entropy: `−Σ (|c|/n) ln(|c|/n)` over clusters.
+///
+/// 0 when all samples agree; `ln(n)` when all disagree.
+pub fn discrete_semantic_entropy(clusters: &[SemanticCluster], n_samples: usize) -> f64 {
+    if n_samples == 0 {
+        return 0.0;
+    }
+    let n = n_samples as f64;
+    -clusters
+        .iter()
+        .map(|c| {
+            let p = c.len() as f64 / n;
+            if p > 0.0 {
+                p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum::<f64>()
+}
+
+/// Rao semantic entropy: cluster probability is the normalized sum of
+/// member sequence probabilities (`exp(log_prob)`), following Kuhn et al.'s
+/// length-normalized estimator.
+pub fn semantic_entropy_rao(clusters: &[SemanticCluster], log_probs: &[f64]) -> f64 {
+    if clusters.is_empty() {
+        return 0.0;
+    }
+    let cluster_mass: Vec<f64> = clusters
+        .iter()
+        .map(|c| c.member_indices.iter().map(|&i| log_probs[i].exp()).sum::<f64>())
+        .collect();
+    let z: f64 = cluster_mass.iter().sum();
+    if z <= 0.0 {
+        return discrete_semantic_entropy(
+            clusters,
+            clusters.iter().map(SemanticCluster::len).sum(),
+        );
+    }
+    -cluster_mass
+        .iter()
+        .map(|&m| {
+            let p = m / z;
+            if p > 0.0 {
+                p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum::<f64>()
+}
+
+/// Predictive entropy baseline: mean negative log-probability of the
+/// samples. Ignores meaning entirely — which is exactly why semantic
+/// entropy beats it when paraphrases inflate surface diversity.
+pub fn predictive_entropy(log_probs: &[f64]) -> f64 {
+    if log_probs.is_empty() {
+        return 0.0;
+    }
+    -log_probs.iter().sum::<f64>() / log_probs.len() as f64
+}
+
+/// Lexical-variance baseline: `1 − mean pairwise Jaccard` over answer
+/// token sets. High when answers share few words — even when they mean the
+/// same thing.
+pub fn lexical_variance(answers: &[&str]) -> f64 {
+    if answers.len() < 2 {
+        return 0.0;
+    }
+    let token_sets: Vec<Vec<String>> = answers.iter().map(|a| tokenize_words(a)).collect();
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..token_sets.len() {
+        for j in i + 1..token_sets.len() {
+            total += jaccard(&token_sets[i], &token_sets[j]);
+            pairs += 1;
+        }
+    }
+    1.0 - total / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{cluster_answers, ClusterConfig};
+
+    fn clusters_of(answers: &[&str]) -> Vec<SemanticCluster> {
+        cluster_answers(answers, &ClusterConfig::default())
+    }
+
+    #[test]
+    fn unanimous_is_zero() {
+        let c = clusters_of(&["same", "same", "same"]);
+        assert_eq!(discrete_semantic_entropy(&c, 3), 0.0);
+    }
+
+    #[test]
+    fn maximal_disagreement_is_ln_n() {
+        let c = clusters_of(&["alpha", "beta", "gamma"]);
+        let e = discrete_semantic_entropy(&c, 3);
+        assert!((e - 3f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_monotone_in_disagreement() {
+        let low = discrete_semantic_entropy(&clusters_of(&["x", "x", "x", "y"]), 4);
+        let high = discrete_semantic_entropy(&clusters_of(&["x", "x", "y", "y"]), 4);
+        assert!(low < high);
+    }
+
+    #[test]
+    fn rao_weights_by_probability() {
+        let c = clusters_of(&["alpha", "beta"]);
+        // Equal probabilities → ln 2.
+        let e = semantic_entropy_rao(&c, &[(0.5f64).ln(), (0.5f64).ln()]);
+        assert!((e - 2f64.ln()).abs() < 1e-9);
+        // Skewed probabilities → lower entropy.
+        let skew = semantic_entropy_rao(&c, &[(0.99f64).ln(), (0.01f64).ln()]);
+        assert!(skew < e);
+    }
+
+    #[test]
+    fn rao_merges_same_cluster_mass() {
+        // Two samples in one cluster + one alone, all equal prob: p = (2/3, 1/3).
+        let c = clusters_of(&["x", "x", "y"]);
+        let lp = (1.0f64 / 3.0).ln();
+        let e = semantic_entropy_rao(&c, &[lp, lp, lp]);
+        let expected = -(2.0 / 3.0f64 * (2.0 / 3.0f64).ln() + 1.0 / 3.0 * (1.0f64 / 3.0).ln());
+        assert!((e - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predictive_entropy_basics() {
+        assert_eq!(predictive_entropy(&[]), 0.0);
+        let e = predictive_entropy(&[(0.5f64).ln(), (0.25f64).ln()]);
+        assert!(e > 0.0);
+        // More confident samples → lower predictive entropy.
+        let conf = predictive_entropy(&[(0.9f64).ln(), (0.9f64).ln()]);
+        assert!(conf < e);
+    }
+
+    #[test]
+    fn lexical_variance_bounds() {
+        assert_eq!(lexical_variance(&["only one"]), 0.0);
+        let same = lexical_variance(&["a b c", "a b c"]);
+        assert!(same.abs() < 1e-9);
+        let diff = lexical_variance(&["a b c", "x y z"]);
+        assert!((diff - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lexical_variance_fooled_by_paraphrase_semantic_not() {
+        // The distinction the paper draws: paraphrases inflate lexical
+        // variance but not semantic entropy.
+        let paraphrases = vec![
+            "sales rose 20%",
+            "Based on the data, sales rose 20%.",
+            "It appears that sales rose 20%.",
+        ];
+        let lv = lexical_variance(&paraphrases);
+        let se = discrete_semantic_entropy(&clusters_of(&paraphrases), 3);
+        assert!(lv > 0.3, "lexical variance inflated: {lv}");
+        assert_eq!(se, 0.0, "semantic entropy sees one meaning");
+    }
+
+    #[test]
+    fn empty_everything() {
+        assert_eq!(discrete_semantic_entropy(&[], 0), 0.0);
+        assert_eq!(semantic_entropy_rao(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # unisem-extract
+//!
+//! SLM-driven **Relational Table Generation** (§III.C task 1 of the paper):
+//! "transforming the unstructured nature of free-text data into a more
+//! organized and analyzable format … The table might have columns such as
+//! 'Quarter', 'Sales Metrics', and 'Change Percentage'".
+//!
+//! Pipeline per sentence:
+//!
+//! 1. SLM entity tagging ([`unisem_slm::NerTagger`]) finds the subject
+//!    entity, metric word, period (quarter/date), and measures (percent,
+//!    money, quantity).
+//! 2. POS tagging finds the governing verb, whose polarity signs the change
+//!    percentage ("decreased 5%" → −5).
+//! 3. [`normalize`] converts surface forms into typed
+//!    [`unisem_relstore::Value`]s.
+//! 4. Records accumulate into a canonical wide schema and emit as a
+//!    [`unisem_relstore::Table`] ready for TableQA.
+
+pub mod normalize;
+pub mod record;
+pub mod tablegen;
+
+pub use normalize::{direction_from_verb, parse_money, parse_percent, normalize_period};
+pub use record::{ExtractedRecord, Field};
+pub use tablegen::{ExtractionStats, TableGenerator};

@@ -1,0 +1,182 @@
+//! Surface-form normalization for extracted values.
+
+use unisem_relstore::{Date, Value};
+
+/// Parses a percent mention ("20%", "12.5 percent") into its numeric value.
+pub fn parse_percent(text: &str) -> Option<f64> {
+    let t = text.trim();
+    let num_part = t
+        .trim_end_matches('%')
+        .trim_end_matches("percent")
+        .trim_end_matches("pct")
+        .trim();
+    parse_number(num_part)
+}
+
+/// Parses a money mention ("$1,500.75", "1500 dollars") into its amount.
+pub fn parse_money(text: &str) -> Option<f64> {
+    let t = text
+        .trim()
+        .trim_start_matches('$')
+        .trim_end_matches("dollars")
+        .trim_end_matches("usd")
+        .trim_end_matches("eur")
+        .trim();
+    parse_number(t)
+}
+
+/// Parses a number with optional thousands separators.
+pub fn parse_number(text: &str) -> Option<f64> {
+    let cleaned: String = text.trim().replace(',', "");
+    if cleaned.is_empty() {
+        return None;
+    }
+    cleaned.parse::<f64>().ok().filter(|f| f.is_finite())
+}
+
+/// Normalizes a period mention: quarters to `Qn YYYY` / `Qn`, month-name
+/// dates and ISO dates to [`Value::Date`], bare years to the year string.
+pub fn normalize_period(text: &str) -> Value {
+    let t = text.trim();
+    // Quarter: "Q2", "q2 2024".
+    let lower = t.to_lowercase();
+    if lower.starts_with('q') && lower.len() >= 2 {
+        let rest = &lower[1..];
+        let mut parts = rest.split_whitespace();
+        if let Some(qn) = parts.next() {
+            if let Ok(q) = qn.parse::<u8>() {
+                if (1..=4).contains(&q) {
+                    return match parts.next().and_then(|y| y.parse::<i32>().ok()) {
+                        Some(year) => Value::str(format!("Q{q} {year}")),
+                        None => Value::str(format!("Q{q}")),
+                    };
+                }
+            }
+        }
+    }
+    // ISO date.
+    if let Some(d) = Date::parse(t) {
+        return Value::Date(d);
+    }
+    // Month-name date: "March 5, 2024" / "March 2024".
+    if let Some(d) = parse_month_date(t) {
+        return Value::Date(d);
+    }
+    Value::str(t.to_string())
+}
+
+/// Parses "March 5, 2024", "March 2024", or "March 5" (year 0 marker not
+/// used; missing pieces default to day 1 / year 2000-less forms are
+/// rejected).
+fn parse_month_date(t: &str) -> Option<Date> {
+    const MONTHS: &[&str] = &[
+        "january", "february", "march", "april", "may", "june", "july", "august",
+        "september", "october", "november", "december",
+    ];
+    let mut tokens = t.split(|c: char| c.is_whitespace() || c == ',').filter(|s| !s.is_empty());
+    let month_word = tokens.next()?.to_lowercase();
+    let month = MONTHS.iter().position(|m| *m == month_word)? as u8 + 1;
+    let second = tokens.next();
+    let third = tokens.next();
+    match (second, third) {
+        (Some(a), Some(b)) => {
+            let day: u8 = a.parse().ok()?;
+            let year: i32 = b.parse().ok()?;
+            Date::new(year, month, day)
+        }
+        (Some(a), None) => {
+            let n: i64 = a.parse().ok()?;
+            if (1000..=9999).contains(&n) {
+                Date::new(n as i32, month, 1)
+            } else {
+                None // "March 5" without a year is too ambiguous to type.
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Change direction implied by a verb: `+1` for growth verbs, `-1` for
+/// decline verbs, `0` for neutral/unknown.
+pub fn direction_from_verb(verb: &str) -> i8 {
+    const UP: &[&str] = &[
+        "increase", "increased", "rose", "rise", "grew", "grow", "gained", "gain", "climbed",
+        "climb", "surged", "surge", "jumped", "jump", "improved", "improve", "exceeded",
+        "expanded", "up",
+    ];
+    const DOWN: &[&str] = &[
+        "decrease", "decreased", "fell", "fall", "dropped", "drop", "declined", "decline",
+        "lost", "lose", "slipped", "slip", "shrank", "shrink", "worsened", "down", "plunged",
+        "contracted",
+    ];
+    let v = verb.to_lowercase();
+    if UP.contains(&v.as_str()) {
+        1
+    } else if DOWN.contains(&v.as_str()) {
+        -1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percents() {
+        assert_eq!(parse_percent("20%"), Some(20.0));
+        assert_eq!(parse_percent("12.5 percent"), Some(12.5));
+        assert_eq!(parse_percent("1,250%"), Some(1250.0));
+        assert_eq!(parse_percent("garbage"), None);
+    }
+
+    #[test]
+    fn money() {
+        assert_eq!(parse_money("$1,500.75"), Some(1500.75));
+        assert_eq!(parse_money("1500 dollars"), Some(1500.0));
+        assert_eq!(parse_money("$"), None);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(parse_number("1,234"), Some(1234.0));
+        assert_eq!(parse_number("-3.5"), Some(-3.5));
+        assert_eq!(parse_number(""), None);
+        assert_eq!(parse_number("abc"), None);
+    }
+
+    #[test]
+    fn quarters() {
+        assert_eq!(normalize_period("Q2"), Value::str("Q2"));
+        assert_eq!(normalize_period("q3 2024"), Value::str("Q3 2024"));
+        assert_eq!(normalize_period("Q9"), Value::str("Q9")); // not a quarter
+    }
+
+    #[test]
+    fn dates() {
+        assert_eq!(
+            normalize_period("2024-03-05"),
+            Value::Date(Date::new(2024, 3, 5).unwrap())
+        );
+        assert_eq!(
+            normalize_period("March 5, 2024"),
+            Value::Date(Date::new(2024, 3, 5).unwrap())
+        );
+        assert_eq!(
+            normalize_period("March 2024"),
+            Value::Date(Date::new(2024, 3, 1).unwrap())
+        );
+        // Ambiguous "March 5" stays a string.
+        assert_eq!(normalize_period("March 5"), Value::str("March 5"));
+    }
+
+    #[test]
+    fn directions() {
+        assert_eq!(direction_from_verb("increased"), 1);
+        assert_eq!(direction_from_verb("FELL"), -1);
+        assert_eq!(direction_from_verb("reported"), 0);
+        assert_eq!(direction_from_verb("surged"), 1);
+        assert_eq!(direction_from_verb("plunged"), -1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Extracted records and the canonical wide schema.
+
+use std::collections::BTreeMap;
+
+use unisem_relstore::{Column, DataType, Schema, Value};
+
+/// Canonical fields an extracted record may populate.
+///
+/// The order here is the column order of generated tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Field {
+    /// The subject entity ("Product Alpha", "Drug A").
+    Subject,
+    /// Subject entity kind label ("product", "drug").
+    SubjectKind,
+    /// The measured metric ("sales", "efficacy").
+    Metric,
+    /// Reporting period ("Q2 2024" or a date).
+    Period,
+    /// Signed percentage change.
+    ChangePct,
+    /// Monetary amount.
+    Amount,
+    /// Bare quantity.
+    Quantity,
+    /// Secondary entity in the sentence (object of the relation).
+    Object,
+    /// The relation verb (stemmed).
+    Relation,
+}
+
+impl Field {
+    /// All fields in canonical order.
+    pub const ALL: [Field; 9] = [
+        Field::Subject,
+        Field::SubjectKind,
+        Field::Metric,
+        Field::Period,
+        Field::ChangePct,
+        Field::Amount,
+        Field::Quantity,
+        Field::Object,
+        Field::Relation,
+    ];
+
+    /// Column name in generated tables.
+    pub fn column_name(self) -> &'static str {
+        match self {
+            Field::Subject => "subject",
+            Field::SubjectKind => "subject_kind",
+            Field::Metric => "metric",
+            Field::Period => "period",
+            Field::ChangePct => "change_pct",
+            Field::Amount => "amount",
+            Field::Quantity => "quantity",
+            Field::Object => "object",
+            Field::Relation => "relation",
+        }
+    }
+
+    /// Declared column type.
+    pub fn data_type(self) -> DataType {
+        match self {
+            Field::ChangePct | Field::Amount | Field::Quantity => DataType::Float,
+            Field::Period => DataType::Str, // quarters are strings; dates stringify
+            _ => DataType::Str,
+        }
+    }
+}
+
+/// One record extracted from one sentence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExtractedRecord {
+    fields: BTreeMap<Field, Value>,
+    /// The source sentence (provenance).
+    pub sentence: String,
+}
+
+impl ExtractedRecord {
+    /// Creates an empty record for a sentence.
+    pub fn new(sentence: impl Into<String>) -> Self {
+        Self { fields: BTreeMap::new(), sentence: sentence.into() }
+    }
+
+    /// Sets a field (overwrites).
+    pub fn set(&mut self, field: Field, value: Value) {
+        if !value.is_null() {
+            self.fields.insert(field, value);
+        }
+    }
+
+    /// Reads a field.
+    pub fn get(&self, field: Field) -> Option<&Value> {
+        self.fields.get(&field)
+    }
+
+    /// Number of populated fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when no fields are populated.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Populated fields in canonical order.
+    pub fn fields(&self) -> impl Iterator<Item = (Field, &Value)> + '_ {
+        self.fields.iter().map(|(f, v)| (*f, v))
+    }
+
+    /// True when the record carries enough signal to be worth emitting:
+    /// a subject plus at least one measurement or relation.
+    pub fn is_informative(&self) -> bool {
+        self.fields.contains_key(&Field::Subject)
+            && [
+                Field::ChangePct,
+                Field::Amount,
+                Field::Quantity,
+                Field::Metric,
+                Field::Object,
+            ]
+            .iter()
+            .any(|f| self.fields.contains_key(f))
+    }
+}
+
+/// Builds the schema covering the union of populated fields across records
+/// (always in canonical field order).
+pub fn union_schema(records: &[ExtractedRecord]) -> Schema {
+    let mut present: Vec<Field> = Field::ALL
+        .into_iter()
+        .filter(|f| records.iter().any(|r| r.get(*f).is_some()))
+        .collect();
+    if present.is_empty() {
+        present.push(Field::Subject);
+    }
+    Schema::new(
+        present
+            .into_iter()
+            .map(|f| Column::new(f.column_name(), f.data_type()))
+            .collect(),
+    )
+    .expect("canonical fields are unique")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_informative() {
+        let mut r = ExtractedRecord::new("s");
+        assert!(!r.is_informative());
+        r.set(Field::Subject, Value::str("alpha"));
+        assert!(!r.is_informative(), "subject alone is not informative");
+        r.set(Field::ChangePct, Value::Float(20.0));
+        assert!(r.is_informative());
+        assert_eq!(r.get(Field::Subject), Some(&Value::str("alpha")));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn null_values_ignored() {
+        let mut r = ExtractedRecord::new("s");
+        r.set(Field::Amount, Value::Null);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn union_schema_orders_canonically() {
+        let mut a = ExtractedRecord::new("s1");
+        a.set(Field::Amount, Value::Float(5.0));
+        let mut b = ExtractedRecord::new("s2");
+        b.set(Field::Subject, Value::str("x"));
+        b.set(Field::Period, Value::str("Q1"));
+        let s = union_schema(&[a, b]);
+        let names: Vec<&str> = s.columns().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["subject", "period", "amount"]);
+    }
+
+    #[test]
+    fn empty_union_schema_nonempty() {
+        let s = union_schema(&[]);
+        assert_eq!(s.arity(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # unisem-hetgraph
+//!
+//! Semantic-aware heterogeneous graph indexing (§III.A of the paper).
+//!
+//! The graph unifies the three data modalities in one topological structure:
+//!
+//! - **Chunk nodes** — text segments from the document store,
+//! - **Entity nodes** — named entities extracted by the SLM tagger,
+//!   deduplicated by canonical name,
+//! - **Record / table nodes** — rows of relational tables and flattened
+//!   JSON collections,
+//! - **labeled edges** — mentions, inferred relational cues ("Customer X
+//!   *purchased* Product Y"), temporal links, and record-attribute links.
+//!
+//! [`algo`] supplies the topology machinery §III.B's retrieval builds on:
+//! BFS/k-hop traversal, degree/closeness/PageRank/personalized-PageRank
+//! centrality, connected components, and shortest paths.
+//!
+//! [`build`] constructs the graph from the substrate stores using the SLM
+//! for tagging and relation cue inference.
+
+pub mod algo;
+pub mod build;
+pub mod graph;
+
+pub use build::{GraphBuilder, GraphBuildStats};
+pub use graph::{EdgeId, EdgeKind, HetGraph, Node, NodeId, NodeKind};

@@ -1,0 +1,646 @@
+//! The physical executor.
+//!
+//! Straightforward materializing execution: each operator consumes its
+//! child's output [`Table`] and produces a new one. Joins are hash joins on
+//! the equi-key; aggregation is hash aggregation; sorting is stable.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::catalog::Database;
+use crate::error::{RelError, RelResult};
+use crate::expr::Expr;
+use crate::plan::{AggExpr, AggFunc, JoinType, LogicalPlan, SortKey};
+use crate::schema::{Column, DataType, Schema};
+use crate::table::Table;
+use crate::value::{GroupKey, Value};
+
+/// Executes a logical plan against a database catalog.
+pub fn execute(plan: &LogicalPlan, db: &Database) -> RelResult<Table> {
+    match plan {
+        LogicalPlan::Scan { table } => db.table(table).cloned(),
+        LogicalPlan::Filter { input, predicate } => {
+            let t = execute(input, db)?;
+            exec_filter(&t, predicate)
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let t = execute(input, db)?;
+            exec_project(&t, exprs)
+        }
+        LogicalPlan::Join { left, right, join_type, on } => {
+            let l = execute(left, db)?;
+            let r = execute(right, db)?;
+            exec_join(&l, &r, *join_type, on)
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            let t = execute(input, db)?;
+            exec_aggregate(&t, group_by, aggs)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let t = execute(input, db)?;
+            exec_sort(&t, keys)
+        }
+        LogicalPlan::Limit { input, n } => {
+            let t = execute(input, db)?;
+            let indices: Vec<usize> = (0..t.num_rows().min(*n)).collect();
+            Ok(t.take(&indices))
+        }
+        LogicalPlan::Distinct { input } => {
+            let t = execute(input, db)?;
+            exec_distinct(&t)
+        }
+    }
+}
+
+fn exec_filter(t: &Table, predicate: &Expr) -> RelResult<Table> {
+    let schema = t.schema().clone();
+    let mut keep = Vec::new();
+    for i in 0..t.num_rows() {
+        let row = t.row(i);
+        // SQL WHERE: NULL predicate result drops the row.
+        if predicate.eval(&row, &schema)? == Value::Bool(true) {
+            keep.push(i);
+        }
+    }
+    Ok(t.take(&keep))
+}
+
+fn exec_project(t: &Table, exprs: &[(Expr, String)]) -> RelResult<Table> {
+    let in_schema = t.schema().clone();
+    // Infer output column types from the first non-null result, defaulting
+    // to Str for empty/all-null columns.
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(t.num_rows());
+    for i in 0..t.num_rows() {
+        let in_row = t.row(i);
+        let out_row: RelResult<Vec<Value>> =
+            exprs.iter().map(|(e, _)| e.eval(&in_row, &in_schema)).collect();
+        rows.push(out_row?);
+    }
+    let out_schema = infer_schema(
+        exprs.iter().map(|(_, n)| n.clone()).collect(),
+        &rows,
+        Some((&in_schema, exprs)),
+    )?;
+    Table::from_rows(out_schema, rows)
+}
+
+/// Infers a schema from output names and produced rows; when projecting
+/// plain columns, the input schema's declared type is reused.
+fn infer_schema(
+    names: Vec<String>,
+    rows: &[Vec<Value>],
+    passthrough: Option<(&Schema, &[(Expr, String)])>,
+) -> RelResult<Schema> {
+    let arity = names.len();
+    let mut dtypes: Vec<Option<DataType>> = vec![None; arity];
+    if let Some((in_schema, exprs)) = passthrough {
+        for (j, (e, _)) in exprs.iter().enumerate() {
+            if let Expr::Column(name) = e {
+                if let Some(idx) = in_schema.index_of(name) {
+                    dtypes[j] = Some(in_schema.column(idx).dtype);
+                }
+            }
+        }
+    }
+    for row in rows {
+        for (j, v) in row.iter().enumerate() {
+            if dtypes[j].is_none() {
+                dtypes[j] = DataType::of(v);
+            } else if let Some(d) = DataType::of(v) {
+                dtypes[j] = DataType::unify(dtypes[j].unwrap(), d).or(Some(DataType::Str));
+            }
+        }
+    }
+    let cols: Vec<Column> = names
+        .into_iter()
+        .zip(dtypes)
+        .map(|(n, d)| Column::new(n, d.unwrap_or(DataType::Str)))
+        .collect();
+    Schema::new(cols)
+}
+
+fn exec_join(
+    l: &Table,
+    r: &Table,
+    join_type: JoinType,
+    on: &[(String, String)],
+) -> RelResult<Table> {
+    if on.is_empty() {
+        return Err(RelError::Plan("join requires at least one equality condition".into()));
+    }
+    let l_keys: Vec<usize> =
+        on.iter().map(|(lc, _)| l.schema().require(lc)).collect::<RelResult<_>>()?;
+    let r_keys: Vec<usize> =
+        on.iter().map(|(_, rc)| r.schema().require(rc)).collect::<RelResult<_>>()?;
+
+    // Build hash table on the smaller side? For determinism and simplicity,
+    // always build on the right.
+    let mut index: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+    for j in 0..r.num_rows() {
+        // NULL keys never join.
+        if r_keys.iter().any(|&k| r.cell(j, k).is_null()) {
+            continue;
+        }
+        let key: Vec<GroupKey> = r_keys.iter().map(|&k| r.cell(j, k).group_key()).collect();
+        index.entry(key).or_default().push(j);
+    }
+
+    let out_schema = l.schema().join(r.schema());
+    let mut out = Table::empty(out_schema);
+    let r_arity = r.schema().arity();
+    for i in 0..l.num_rows() {
+        let has_null_key = l_keys.iter().any(|&k| l.cell(i, k).is_null());
+        let matches: Option<&Vec<usize>> = if has_null_key {
+            None
+        } else {
+            let key: Vec<GroupKey> = l_keys.iter().map(|&k| l.cell(i, k).group_key()).collect();
+            index.get(&key)
+        };
+        match matches {
+            Some(js) => {
+                for &j in js {
+                    let mut row = l.row(i);
+                    row.extend(r.row(j));
+                    out.push_row(row)?;
+                }
+            }
+            None => {
+                if join_type == JoinType::Left {
+                    let mut row = l.row(i);
+                    row.extend(std::iter::repeat(Value::Null).take(r_arity));
+                    out.push_row(row)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Running state for one aggregate over one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(usize),
+    CountDistinct(HashSet<GroupKey>),
+    Sum { total: f64, seen: bool, all_int: bool, int_total: i64 },
+    Avg { total: f64, n: usize },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::CountDistinct => AggState::CountDistinct(HashSet::new()),
+            AggFunc::Sum => AggState::Sum { total: 0.0, seen: false, all_int: true, int_total: 0 },
+            AggFunc::Avg => AggState::Avg { total: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: &Value) -> RelResult<()> {
+        match self {
+            AggState::Count(n) => {
+                // COUNT(expr) skips NULLs; COUNT(*) passes a literal.
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            AggState::CountDistinct(set) => {
+                if !v.is_null() {
+                    set.insert(v.group_key());
+                }
+            }
+            AggState::Sum { total, seen, all_int, int_total } => {
+                if !v.is_null() {
+                    let x = v.as_f64().ok_or(RelError::TypeMismatch {
+                        expected: "numeric",
+                        found: v.type_name().to_string(),
+                    })?;
+                    *total += x;
+                    *seen = true;
+                    match v.as_i64() {
+                        Some(i) => *int_total = int_total.wrapping_add(i),
+                        None => *all_int = false,
+                    }
+                }
+            }
+            AggState::Avg { total, n } => {
+                if !v.is_null() {
+                    let x = v.as_f64().ok_or(RelError::TypeMismatch {
+                        expected: "numeric",
+                        found: v.type_name().to_string(),
+                    })?;
+                    *total += x;
+                    *n += 1;
+                }
+            }
+            AggState::Min(cur) => {
+                if !v.is_null() {
+                    let replace = match cur {
+                        None => true,
+                        Some(c) => v.compare(c) == Some(std::cmp::Ordering::Less),
+                    };
+                    if replace {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if !v.is_null() {
+                    let replace = match cur {
+                        None => true,
+                        Some(c) => v.compare(c) == Some(std::cmp::Ordering::Greater),
+                    };
+                    if replace {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n as i64),
+            AggState::CountDistinct(set) => Value::Int(set.len() as i64),
+            AggState::Sum { total, seen, all_int, int_total } => {
+                if !seen {
+                    Value::Null
+                } else if all_int {
+                    Value::Int(int_total)
+                } else {
+                    Value::float(total)
+                }
+            }
+            AggState::Avg { total, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::float(total / n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn exec_aggregate(
+    t: &Table,
+    group_by: &[(Expr, String)],
+    aggs: &[AggExpr],
+) -> RelResult<Table> {
+    let in_schema = t.schema().clone();
+    // Group key -> (representative group values, agg states), insertion
+    // order preserved for determinism.
+    let mut order: Vec<Vec<GroupKey>> = Vec::new();
+    let mut groups: HashMap<Vec<GroupKey>, (Vec<Value>, Vec<AggState>)> = HashMap::new();
+
+    for i in 0..t.num_rows() {
+        let row = t.row(i);
+        let group_vals: RelResult<Vec<Value>> =
+            group_by.iter().map(|(e, _)| e.eval(&row, &in_schema)).collect();
+        let group_vals = group_vals?;
+        let key: Vec<GroupKey> = group_vals.iter().map(Value::group_key).collect();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (group_vals, aggs.iter().map(|a| AggState::new(a.func)).collect())
+        });
+        for (a, st) in aggs.iter().zip(entry.1.iter_mut()) {
+            let v = a.input.eval(&row, &in_schema)?;
+            st.update(&v)?;
+        }
+    }
+
+    // Global aggregate over an empty input still yields one row.
+    if group_by.is_empty() && groups.is_empty() {
+        let states: Vec<AggState> = aggs.iter().map(|a| AggState::new(a.func)).collect();
+        let key: Vec<GroupKey> = Vec::new();
+        order.push(key.clone());
+        groups.insert(key, (Vec::new(), states));
+    }
+
+    let names: Vec<String> = group_by
+        .iter()
+        .map(|(_, n)| n.clone())
+        .chain(aggs.iter().map(|a| a.output_name.clone()))
+        .collect();
+    let mut rows = Vec::with_capacity(order.len());
+    for key in order {
+        let (vals, states) = groups.remove(&key).expect("group present");
+        let mut row = vals;
+        row.extend(states.into_iter().map(AggState::finish));
+        rows.push(row);
+    }
+    let schema = infer_schema(names, &rows, None)?;
+    Table::from_rows(schema, rows)
+}
+
+fn exec_sort(t: &Table, keys: &[SortKey]) -> RelResult<Table> {
+    let schema = t.schema().clone();
+    // Precompute key values per row (decorate-sort-undecorate).
+    let mut decorated: Vec<(Vec<Value>, usize)> = Vec::with_capacity(t.num_rows());
+    for i in 0..t.num_rows() {
+        let row = t.row(i);
+        let kv: RelResult<Vec<Value>> = keys.iter().map(|k| k.expr.eval(&row, &schema)).collect();
+        decorated.push((kv?, i));
+    }
+    decorated.sort_by(|(ka, ia), (kb, ib)| {
+        for (k, (va, vb)) in keys.iter().zip(ka.iter().zip(kb.iter())) {
+            let ord = va.sort_cmp(vb);
+            let ord = if k.ascending { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        ia.cmp(ib) // stable
+    });
+    let indices: Vec<usize> = decorated.into_iter().map(|(_, i)| i).collect();
+    Ok(t.take(&indices))
+}
+
+fn exec_distinct(t: &Table) -> RelResult<Table> {
+    let mut seen: HashSet<Vec<GroupKey>> = HashSet::new();
+    let mut keep = Vec::new();
+    for i in 0..t.num_rows() {
+        let key: Vec<GroupKey> = t.row(i).iter().map(Value::group_key).collect();
+        if seen.insert(key) {
+            keep.push(i);
+        }
+    }
+    Ok(t.take(&keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let sales = Table::from_rows(
+            Schema::of(&[
+                ("product", DataType::Str),
+                ("quarter", DataType::Str),
+                ("amount", DataType::Float),
+                ("units", DataType::Int),
+            ]),
+            vec![
+                vec![Value::str("alpha"), Value::str("Q1"), Value::Float(100.0), Value::Int(10)],
+                vec![Value::str("alpha"), Value::str("Q2"), Value::Float(150.0), Value::Int(15)],
+                vec![Value::str("beta"), Value::str("Q1"), Value::Float(80.0), Value::Int(8)],
+                vec![Value::str("beta"), Value::str("Q2"), Value::Float(60.0), Value::Int(6)],
+                vec![Value::str("gamma"), Value::str("Q2"), Value::Null, Value::Int(3)],
+            ],
+        )
+        .unwrap();
+        db.create_table("sales", sales).unwrap();
+        let products = Table::from_rows(
+            Schema::of(&[("name", DataType::Str), ("maker", DataType::Str)]),
+            vec![
+                vec![Value::str("alpha"), Value::str("Acme")],
+                vec![Value::str("beta"), Value::str("Initech")],
+            ],
+        )
+        .unwrap();
+        db.create_table("products", products).unwrap();
+        db
+    }
+
+    #[test]
+    fn scan_returns_table() {
+        let d = db();
+        let t = execute(&LogicalPlan::scan("sales"), &d).unwrap();
+        assert_eq!(t.num_rows(), 5);
+        assert!(execute(&LogicalPlan::scan("nope"), &d).is_err());
+    }
+
+    #[test]
+    fn filter_drops_nonmatching_and_null() {
+        let d = db();
+        let plan = LogicalPlan::scan("sales").filter(Expr::col("amount").gt(Expr::lit(90.0)));
+        let t = execute(&plan, &d).unwrap();
+        // gamma's NULL amount must not pass.
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn project_computes_and_renames() {
+        let d = db();
+        let plan = LogicalPlan::scan("sales").project(vec![
+            (Expr::col("product"), "p".to_string()),
+            (
+                Expr::col("amount").binary_div_test(Expr::col("units")),
+                "unit_price".to_string(),
+            ),
+        ]);
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.schema().index_of("unit_price"), Some(1));
+        assert_eq!(t.cell(0, 1), &Value::Float(10.0));
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let d = db();
+        let plan = LogicalPlan::scan("sales").join(
+            LogicalPlan::scan("products"),
+            vec![("product".to_string(), "name".to_string())],
+        );
+        let t = execute(&plan, &d).unwrap();
+        // gamma has no product row → dropped. 2+2 remain.
+        assert_eq!(t.num_rows(), 4);
+        assert!(t.schema().index_of("maker").is_some());
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let d = db();
+        let plan = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::scan("sales")),
+            right: Box::new(LogicalPlan::scan("products")),
+            join_type: JoinType::Left,
+            on: vec![("product".to_string(), "name".to_string())],
+        };
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.num_rows(), 5);
+        let maker_idx = t.schema().index_of("maker").unwrap();
+        let gamma_row = (0..t.num_rows())
+            .find(|&i| t.cell(i, 0) == &Value::str("gamma"))
+            .unwrap();
+        assert!(t.cell(gamma_row, maker_idx).is_null());
+    }
+
+    #[test]
+    fn join_null_keys_never_match() {
+        let mut d = Database::new();
+        let a = Table::from_rows(
+            Schema::of(&[("k", DataType::Str)]),
+            vec![vec![Value::Null], vec![Value::str("x")]],
+        )
+        .unwrap();
+        let b = Table::from_rows(
+            Schema::of(&[("k2", DataType::Str)]),
+            vec![vec![Value::Null], vec![Value::str("x")]],
+        )
+        .unwrap();
+        d.create_table("a", a).unwrap();
+        d.create_table("b", b).unwrap();
+        let plan = LogicalPlan::scan("a")
+            .join(LogicalPlan::scan("b"), vec![("k".to_string(), "k2".to_string())]);
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let d = db();
+        let plan = LogicalPlan::scan("sales").aggregate(
+            vec![(Expr::col("product"), "product".to_string())],
+            vec![
+                AggExpr {
+                    func: AggFunc::Sum,
+                    input: Expr::col("amount"),
+                    output_name: "total".to_string(),
+                },
+                AggExpr {
+                    func: AggFunc::Count,
+                    input: Expr::lit(1i64),
+                    output_name: "n".to_string(),
+                },
+            ],
+        );
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        let alpha = (0..3).find(|&i| t.cell(i, 0) == &Value::str("alpha")).unwrap();
+        assert_eq!(t.cell(alpha, 1), &Value::Float(250.0));
+        assert_eq!(t.cell(alpha, 2), &Value::Int(2));
+        // gamma: SUM of only-NULL amounts is NULL.
+        let gamma = (0..3).find(|&i| t.cell(i, 0) == &Value::str("gamma")).unwrap();
+        assert!(t.cell(gamma, 1).is_null());
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let mut d = Database::new();
+        d.create_table("e", Table::empty(Schema::of(&[("x", DataType::Int)]))).unwrap();
+        let plan = LogicalPlan::scan("e").aggregate(
+            vec![],
+            vec![AggExpr {
+                func: AggFunc::Count,
+                input: Expr::lit(1i64),
+                output_name: "n".to_string(),
+            }],
+        );
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.cell(0, 0), &Value::Int(0));
+    }
+
+    #[test]
+    fn avg_min_max_count_distinct() {
+        let d = db();
+        let plan = LogicalPlan::scan("sales").aggregate(
+            vec![],
+            vec![
+                AggExpr { func: AggFunc::Avg, input: Expr::col("units"), output_name: "a".into() },
+                AggExpr { func: AggFunc::Min, input: Expr::col("units"), output_name: "mn".into() },
+                AggExpr { func: AggFunc::Max, input: Expr::col("units"), output_name: "mx".into() },
+                AggExpr {
+                    func: AggFunc::CountDistinct,
+                    input: Expr::col("quarter"),
+                    output_name: "q".into(),
+                },
+            ],
+        );
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.cell(0, 0), &Value::Float(8.4));
+        assert_eq!(t.cell(0, 1), &Value::Int(3));
+        assert_eq!(t.cell(0, 2), &Value::Int(15));
+        assert_eq!(t.cell(0, 3), &Value::Int(2));
+    }
+
+    #[test]
+    fn sum_of_ints_stays_int() {
+        let d = db();
+        let plan = LogicalPlan::scan("sales").aggregate(
+            vec![],
+            vec![AggExpr {
+                func: AggFunc::Sum,
+                input: Expr::col("units"),
+                output_name: "s".into(),
+            }],
+        );
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.cell(0, 0), &Value::Int(42));
+    }
+
+    #[test]
+    fn sort_orders_and_is_stable() {
+        let d = db();
+        let plan = LogicalPlan::scan("sales").sort(vec![SortKey {
+            expr: Expr::col("quarter"),
+            ascending: true,
+        }]);
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.cell(0, 1), &Value::str("Q1"));
+        // Stability: alpha Q1 (row 0 originally) before beta Q1.
+        assert_eq!(t.cell(0, 0), &Value::str("alpha"));
+        assert_eq!(t.cell(1, 0), &Value::str("beta"));
+    }
+
+    #[test]
+    fn sort_descending_nulls() {
+        let d = db();
+        let plan = LogicalPlan::scan("sales").sort(vec![SortKey {
+            expr: Expr::col("amount"),
+            ascending: false,
+        }]);
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.cell(0, 2), &Value::Float(150.0));
+        // NULL sorts first ascending → last descending.
+        assert!(t.cell(4, 2).is_null());
+    }
+
+    #[test]
+    fn limit_caps() {
+        let d = db();
+        let t = execute(&LogicalPlan::scan("sales").limit(2), &d).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        let t = execute(&LogicalPlan::scan("sales").limit(100), &d).unwrap();
+        assert_eq!(t.num_rows(), 5);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let d = db();
+        let plan = LogicalPlan::scan("sales")
+            .project(vec![(Expr::col("quarter"), "q".to_string())])
+            .distinct();
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn join_requires_condition() {
+        let d = db();
+        let plan = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::scan("sales")),
+            right: Box::new(LogicalPlan::scan("products")),
+            join_type: JoinType::Inner,
+            on: vec![],
+        };
+        assert!(execute(&plan, &d).is_err());
+    }
+}
+
+#[cfg(test)]
+impl Expr {
+    /// Test-only shorthand for division.
+    fn binary_div_test(self, other: Expr) -> Expr {
+        Expr::Binary {
+            op: crate::expr::BinOp::Div,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! Scalar expressions: AST and row-at-a-time evaluator.
+//!
+//! Comparison and logic follow SQL three-valued semantics: any comparison
+//! with NULL yields NULL, `AND`/`OR` propagate unknowns, and `WHERE` treats
+//! NULL as false (enforced by the executor, not here).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::{RelError, RelResult};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition (numeric) or string concatenation.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (float result; division by zero is an error).
+    Div,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Logical AND (three-valued).
+    And,
+    /// Logical OR (three-valued).
+    Or,
+}
+
+impl BinOp {
+    /// True for comparison operators producing booleans.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference by name (resolved against the schema at eval).
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation (three-valued).
+    Not(Box<Expr>),
+    /// `expr IS NULL` (or `IS NOT NULL` when `negated`).
+    IsNull {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// SQL LIKE with `%` and `_` wildcards (case-insensitive).
+    Like {
+        /// The tested expression (must evaluate to a string or NULL).
+        expr: Box<Expr>,
+        /// The pattern.
+        pattern: String,
+    },
+    /// `expr IN (v1, v2, …)`.
+    InList {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Value>,
+    },
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.binary(BinOp::Eq, other)
+    }
+
+    /// `self <> other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        self.binary(BinOp::Ne, other)
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        self.binary(BinOp::Gt, other)
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        self.binary(BinOp::Ge, other)
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        self.binary(BinOp::Lt, other)
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        self.binary(BinOp::Le, other)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        self.binary(BinOp::And, other)
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        self.binary(BinOp::Or, other)
+    }
+
+    fn binary(self, op: BinOp, other: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Evaluates against one row.
+    pub fn eval(&self, row: &[Value], schema: &Schema) -> RelResult<Value> {
+        match self {
+            Expr::Column(name) => {
+                let idx = schema.require(name)?;
+                Ok(row[idx].clone())
+            }
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Binary { op, left, right } => {
+                let l = left.eval(row, schema)?;
+                // Short-circuit three-valued AND/OR.
+                match op {
+                    BinOp::And => {
+                        if l == Value::Bool(false) {
+                            return Ok(Value::Bool(false));
+                        }
+                        let r = right.eval(row, schema)?;
+                        return three_valued_and(&l, &r);
+                    }
+                    BinOp::Or => {
+                        if l == Value::Bool(true) {
+                            return Ok(Value::Bool(true));
+                        }
+                        let r = right.eval(row, schema)?;
+                        return three_valued_or(&l, &r);
+                    }
+                    _ => {}
+                }
+                let r = right.eval(row, schema)?;
+                eval_binary(*op, &l, &r)
+            }
+            Expr::Not(inner) => match inner.eval(row, schema)? {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(RelError::TypeMismatch {
+                    expected: "bool",
+                    found: other.type_name().to_string(),
+                }),
+            },
+            Expr::IsNull { expr, negated } => {
+                let v = expr.eval(row, schema)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::Like { expr, pattern } => match expr.eval(row, schema)? {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Bool(like_match(&s, pattern))),
+                other => Err(RelError::TypeMismatch {
+                    expected: "str",
+                    found: other.type_name().to_string(),
+                }),
+            },
+            Expr::InList { expr, list } => {
+                let v = expr.eval(row, schema)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for cand in list {
+                    match v.sql_eq(cand) {
+                        Some(true) => return Ok(Value::Bool(true)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                Ok(if saw_null { Value::Null } else { Value::Bool(false) })
+            }
+        }
+    }
+
+    /// All column names referenced by this expression.
+    pub fn columns_referenced(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Column(n) => {
+                out.insert(n.to_lowercase());
+            }
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Not(e) => e.collect_columns(out),
+            Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => expr.collect_columns(out),
+            Expr::InList { expr, .. } => expr.collect_columns(out),
+        }
+    }
+
+    /// True when the expression references no columns (a constant).
+    pub fn is_constant(&self) -> bool {
+        self.columns_referenced().is_empty()
+    }
+}
+
+fn bool_or_null(v: &Value) -> RelResult<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        other => Err(RelError::TypeMismatch {
+            expected: "bool",
+            found: other.type_name().to_string(),
+        }),
+    }
+}
+
+fn three_valued_and(l: &Value, r: &Value) -> RelResult<Value> {
+    Ok(match (bool_or_null(l)?, bool_or_null(r)?) {
+        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+        (Some(true), Some(true)) => Value::Bool(true),
+        _ => Value::Null,
+    })
+}
+
+fn three_valued_or(l: &Value, r: &Value) -> RelResult<Value> {
+    Ok(match (bool_or_null(l)?, bool_or_null(r)?) {
+        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+        (Some(false), Some(false)) => Value::Bool(false),
+        _ => Value::Null,
+    })
+}
+
+/// Evaluates a non-logical binary operator on two values.
+pub fn eval_binary(op: BinOp, l: &Value, r: &Value) -> RelResult<Value> {
+    if op.is_comparison() {
+        return Ok(match l.compare(r) {
+            None => Value::Null,
+            Some(ord) => Value::Bool(match op {
+                BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                BinOp::Ne => ord != std::cmp::Ordering::Equal,
+                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                BinOp::Le => ord != std::cmp::Ordering::Greater,
+                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                BinOp::Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            }),
+        });
+    }
+    if matches!(op, BinOp::And | BinOp::Or) {
+        return three_valued_logic(op, l, r);
+    }
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        BinOp::Add => match (l, r) {
+            (Value::Str(a), Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+            _ => numeric_op(l, r, |a, b| a + b),
+        },
+        BinOp::Sub => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+            _ => numeric_op(l, r, |a, b| a - b),
+        },
+        BinOp::Mul => match (l, r) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+            _ => numeric_op(l, r, |a, b| a * b),
+        },
+        BinOp::Div => {
+            let b = r.as_f64().ok_or_else(|| type_err(r))?;
+            if b == 0.0 {
+                return Err(RelError::DivisionByZero);
+            }
+            let a = l.as_f64().ok_or_else(|| type_err(l))?;
+            Ok(Value::float(a / b))
+        }
+        // Comparisons and logical ops were handled above.
+        _ => unreachable!("comparison/logical ops handled earlier"),
+    }
+}
+
+/// Stand-alone three-valued AND/OR used when `eval_binary` is called outside
+/// the short-circuiting evaluator (e.g. constant folding).
+fn three_valued_logic(op: BinOp, l: &Value, r: &Value) -> RelResult<Value> {
+    match op {
+        BinOp::And => three_valued_and(l, r),
+        BinOp::Or => three_valued_or(l, r),
+        _ => unreachable!(),
+    }
+}
+
+fn numeric_op(l: &Value, r: &Value, f: impl Fn(f64, f64) -> f64) -> RelResult<Value> {
+    let a = l.as_f64().ok_or_else(|| type_err(l))?;
+    let b = r.as_f64().ok_or_else(|| type_err(r))?;
+    Ok(Value::float(f(a, b)))
+}
+
+fn type_err(v: &Value) -> RelError {
+    RelError::TypeMismatch { expected: "numeric", found: v.type_name().to_string() }
+}
+
+/// SQL LIKE matching: `%` = any run, `_` = any single char; case-insensitive.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Try matching % against every suffix.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.to_lowercase().chars().collect();
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    rec(&s, &p)
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(n) => write!(f, "{n}"),
+            Expr::Literal(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Binary { op, left, right } => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Eq => "=",
+                    BinOp::Ne => "<>",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::And => "AND",
+                    BinOp::Or => "OR",
+                };
+                write!(f, "({left} {sym} {right})")
+            }
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::Like { expr, pattern } => write!(f, "({expr} LIKE '{pattern}')"),
+            Expr::InList { expr, list } => {
+                let items: Vec<String> = list.iter().map(|v| v.to_string()).collect();
+                write!(f, "({expr} IN ({}))", items.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+
+    fn schema() -> Schema {
+        Schema::of(&[("a", DataType::Int), ("b", DataType::Float), ("s", DataType::Str)])
+    }
+
+    fn row() -> Vec<Value> {
+        vec![Value::Int(10), Value::Float(2.5), Value::str("Widget")]
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let s = schema();
+        assert_eq!(Expr::col("a").eval(&row(), &s).unwrap(), Value::Int(10));
+        assert_eq!(Expr::lit(5i64).eval(&row(), &s).unwrap(), Value::Int(5));
+        assert!(Expr::col("zz").eval(&row(), &s).is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let s = schema();
+        let e = Expr::col("a").binary(BinOp::Add, Expr::lit(5i64));
+        assert_eq!(e.eval(&row(), &s).unwrap(), Value::Int(15));
+        let e = Expr::col("a").binary(BinOp::Mul, Expr::col("b"));
+        assert_eq!(e.eval(&row(), &s).unwrap(), Value::Float(25.0));
+        let e = Expr::col("a").binary(BinOp::Div, Expr::lit(4i64));
+        assert_eq!(e.eval(&row(), &s).unwrap(), Value::Float(2.5));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        let s = schema();
+        let e = Expr::col("a").binary(BinOp::Div, Expr::lit(0i64));
+        assert_eq!(e.eval(&row(), &s), Err(RelError::DivisionByZero));
+    }
+
+    #[test]
+    fn string_concat() {
+        let s = schema();
+        let e = Expr::col("s").binary(BinOp::Add, Expr::lit("!"));
+        assert_eq!(e.eval(&row(), &s).unwrap(), Value::str("Widget!"));
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        assert_eq!(Expr::col("a").gt(Expr::lit(5i64)).eval(&row(), &s).unwrap(), Value::Bool(true));
+        assert_eq!(Expr::col("a").le(Expr::lit(5i64)).eval(&row(), &s).unwrap(), Value::Bool(false));
+        assert_eq!(
+            Expr::col("a").eq(Expr::lit(10.0)).eval(&row(), &s).unwrap(),
+            Value::Bool(true),
+            "numeric coercion in comparison"
+        );
+    }
+
+    #[test]
+    fn null_propagation() {
+        let s = schema();
+        let e = Expr::lit(Value::Null).eq(Expr::lit(1i64));
+        assert_eq!(e.eval(&row(), &s).unwrap(), Value::Null);
+        let e = Expr::lit(Value::Null).binary(BinOp::Add, Expr::lit(1i64));
+        assert_eq!(e.eval(&row(), &s).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let s = schema();
+        let null = || Expr::lit(Value::Null);
+        let t = || Expr::lit(true);
+        let f = || Expr::lit(false);
+        assert_eq!(f().and(null()).eval(&row(), &s).unwrap(), Value::Bool(false));
+        assert_eq!(t().and(null()).eval(&row(), &s).unwrap(), Value::Null);
+        assert_eq!(t().or(null()).eval(&row(), &s).unwrap(), Value::Bool(true));
+        assert_eq!(f().or(null()).eval(&row(), &s).unwrap(), Value::Null);
+        assert_eq!(Expr::Not(Box::new(null())).eval(&row(), &s).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn short_circuit_skips_errors() {
+        let s = schema();
+        // false AND (1/0) must not error.
+        let div0 = Expr::lit(1i64).binary(BinOp::Div, Expr::lit(0i64));
+        let e = Expr::lit(false).and(div0.clone().eq(Expr::lit(1i64)));
+        assert_eq!(e.eval(&row(), &s).unwrap(), Value::Bool(false));
+        let e = Expr::lit(true).or(div0.eq(Expr::lit(1i64)));
+        assert_eq!(e.eval(&row(), &s).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn is_null() {
+        let s = schema();
+        let e = Expr::IsNull { expr: Box::new(Expr::lit(Value::Null)), negated: false };
+        assert_eq!(e.eval(&row(), &s).unwrap(), Value::Bool(true));
+        let e = Expr::IsNull { expr: Box::new(Expr::col("a")), negated: true };
+        assert_eq!(e.eval(&row(), &s).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("widget", "wid%"));
+        assert!(like_match("widget", "%get"));
+        assert!(like_match("widget", "w_dget"));
+        assert!(like_match("Widget", "widget"));
+        assert!(!like_match("widget", "gadget%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "%b%"));
+    }
+
+    #[test]
+    fn like_expr() {
+        let s = schema();
+        let e = Expr::Like { expr: Box::new(Expr::col("s")), pattern: "wid%".into() };
+        assert_eq!(e.eval(&row(), &s).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        let s = schema();
+        let e = Expr::InList {
+            expr: Box::new(Expr::col("a")),
+            list: vec![Value::Int(1), Value::Int(10)],
+        };
+        assert_eq!(e.eval(&row(), &s).unwrap(), Value::Bool(true));
+        let e = Expr::InList {
+            expr: Box::new(Expr::col("a")),
+            list: vec![Value::Int(1), Value::Null],
+        };
+        // 10 ∉ {1, NULL} is NULL, not false (SQL semantics).
+        assert_eq!(e.eval(&row(), &s).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn columns_referenced_and_constant() {
+        let e = Expr::col("A").and(Expr::col("b").gt(Expr::lit(1i64)));
+        let cols = e.columns_referenced();
+        assert!(cols.contains("a") && cols.contains("b"));
+        assert!(!e.is_constant());
+        assert!(Expr::lit(1i64).eq(Expr::lit(2i64)).is_constant());
+    }
+
+    #[test]
+    fn display_roundtrip_reads() {
+        let e = Expr::col("a").gt(Expr::lit(5i64)).and(Expr::col("s").eq(Expr::lit("x")));
+        let shown = e.to_string();
+        assert!(shown.contains("a > 5"));
+        assert!(shown.contains("'x'"));
+    }
+}

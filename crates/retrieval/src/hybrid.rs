@@ -1,0 +1,112 @@
+//! Dense + lexical score fusion baseline.
+//!
+//! The strongest non-graph baseline: normalizes and mixes dense-cosine and
+//! BM25 scores. Included so experiment E1/E7 can show the topology
+//! retriever's wins are not just "hybrid beats single-signal".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use unisem_docstore::DocStore;
+
+use crate::dense::DenseRetriever;
+use crate::{ChunkRetriever, RetrievalResult};
+
+/// Weighted fusion of a dense retriever and BM25.
+#[derive(Debug, Clone)]
+pub struct HybridRetriever {
+    dense: DenseRetriever,
+    docs: Arc<DocStore>,
+    /// Dense weight (lexical weight = 1 − dense_weight).
+    pub dense_weight: f64,
+}
+
+impl HybridRetriever {
+    /// Creates the fusion retriever.
+    pub fn new(dense: DenseRetriever, docs: Arc<DocStore>, dense_weight: f64) -> Self {
+        assert!((0.0..=1.0).contains(&dense_weight));
+        Self { dense, docs, dense_weight }
+    }
+}
+
+impl ChunkRetriever for HybridRetriever {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn retrieve(&self, query: &str, k: usize) -> Vec<RetrievalResult> {
+        let pool = (k * 4).max(20);
+        let dense_hits = self.dense.retrieve(query, pool);
+        let lex_hits = self.docs.search(query, pool);
+
+        let dmax = dense_hits.iter().map(|h| h.score).fold(0.0f64, f64::max).max(1e-12);
+        let lmax = lex_hits.iter().map(|h| h.score).fold(0.0f64, f64::max).max(1e-12);
+
+        let mut fused: HashMap<usize, f64> = HashMap::new();
+        for h in &dense_hits {
+            *fused.entry(h.chunk_id).or_insert(0.0) += self.dense_weight * h.score / dmax;
+        }
+        for h in &lex_hits {
+            *fused.entry(h.chunk_id).or_insert(0.0) += (1.0 - self.dense_weight) * h.score / lmax;
+        }
+        let mut out: Vec<RetrievalResult> = fused
+            .into_iter()
+            .map(|(chunk_id, score)| RetrievalResult { chunk_id, score })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.chunk_id.cmp(&b.chunk_id))
+        });
+        out.truncate(k);
+        out
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.dense.index_bytes() + self.docs.index_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unisem_slm::Slm;
+
+    fn docs() -> Arc<DocStore> {
+        let mut d = DocStore::default();
+        d.add_document("a", "solar panels convert sunlight into power.", "x");
+        d.add_document("b", "the cafeteria menu changed last week.", "x");
+        Arc::new(d)
+    }
+
+    #[test]
+    fn fuses_and_ranks() {
+        let d = docs();
+        let dense = DenseRetriever::build(Slm::default(), &d);
+        let h = HybridRetriever::new(dense, d, 0.5);
+        let hits = h.retrieve("solar power", 2);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].chunk_id, 0);
+        assert_eq!(h.name(), "hybrid");
+        assert!(h.index_bytes() > 0);
+    }
+
+    #[test]
+    fn pure_dense_and_pure_lexical_extremes() {
+        let d = docs();
+        let dense = DenseRetriever::build(Slm::default(), &d);
+        let all_dense = HybridRetriever::new(dense.clone(), d.clone(), 1.0);
+        let all_lex = HybridRetriever::new(dense, d, 0.0);
+        assert_eq!(all_dense.retrieve("sunlight", 1)[0].chunk_id, 0);
+        assert_eq!(all_lex.retrieve("sunlight", 1)[0].chunk_id, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_weight_panics() {
+        let d = docs();
+        let dense = DenseRetriever::build(Slm::default(), &d);
+        HybridRetriever::new(dense, d, 1.5);
+    }
+}

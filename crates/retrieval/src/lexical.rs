@@ -1,0 +1,56 @@
+//! BM25 lexical retrieval baseline.
+
+use std::sync::Arc;
+
+use unisem_docstore::DocStore;
+
+use crate::{ChunkRetriever, RetrievalResult};
+
+/// Wraps the document store's BM25 chunk index as a retriever.
+#[derive(Debug, Clone)]
+pub struct LexicalRetriever {
+    docs: Arc<DocStore>,
+}
+
+impl LexicalRetriever {
+    /// Creates the retriever over a shared document store.
+    pub fn new(docs: Arc<DocStore>) -> Self {
+        Self { docs }
+    }
+}
+
+impl ChunkRetriever for LexicalRetriever {
+    fn name(&self) -> &'static str {
+        "bm25"
+    }
+
+    fn retrieve(&self, query: &str, k: usize) -> Vec<RetrievalResult> {
+        self.docs
+            .search(query, k)
+            .into_iter()
+            .map(|h| RetrievalResult { chunk_id: h.chunk_id, score: h.score })
+            .collect()
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.docs.index_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retrieves_by_terms() {
+        let mut d = DocStore::default();
+        d.add_document("a", "solar panels generate electricity from sunlight.", "x");
+        d.add_document("b", "wind turbines capture kinetic energy.", "x");
+        let r = LexicalRetriever::new(Arc::new(d));
+        let hits = r.retrieve("solar electricity", 5);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].chunk_id, 0);
+        assert_eq!(r.name(), "bm25");
+        assert!(r.index_bytes() > 0);
+    }
+}

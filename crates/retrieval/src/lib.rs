@@ -1,0 +1,53 @@
+//! # unisem-retrieval
+//!
+//! Retrieval over the heterogeneous index — the paper's §III.B
+//! ("Topology-Enhanced Retrieval") plus the baselines its efficiency claims
+//! are measured against:
+//!
+//! - [`topology`]: anchor-entity extraction → personalized-PageRank
+//!   traversal bounded to `max_hops` → hybrid topological/lexical chunk
+//!   scoring. This is the sparse, "reduced computational overhead" path the
+//!   paper contrasts with dense retrieval.
+//! - [`dense`]: the conventional-RAG baseline — embed every chunk, embed
+//!   the query, scan cosine similarities (what EVAPORATE-style pipelines
+//!   do, §I gap 1).
+//! - [`lexical`]: BM25 over chunks.
+//! - [`hybrid`]: weighted dense + lexical fusion.
+//! - [`metrics`]: recall@k / hit@k / MRR used by experiments E3 and E6.
+//!
+//! All retrievers implement [`ChunkRetriever`], so experiment harnesses can
+//! sweep them uniformly.
+
+pub mod dense;
+pub mod hybrid;
+pub mod lexical;
+pub mod metrics;
+pub mod topology;
+
+pub use dense::DenseRetriever;
+pub use hybrid::HybridRetriever;
+pub use lexical::LexicalRetriever;
+pub use metrics::{hit_at_k, mrr, recall_at_k};
+pub use topology::{TopologyConfig, TopologyRetriever, TraversalStats};
+
+/// One retrieved chunk with its score (higher = more relevant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrievalResult {
+    /// Chunk id in the document store.
+    pub chunk_id: usize,
+    /// Retriever-specific relevance score.
+    pub score: f64,
+}
+
+/// Common retriever interface.
+pub trait ChunkRetriever {
+    /// Short name for reports ("topology", "dense", "bm25", "hybrid").
+    fn name(&self) -> &'static str;
+
+    /// Retrieves the top `k` chunks for a query, best first.
+    fn retrieve(&self, query: &str, k: usize) -> Vec<RetrievalResult>;
+
+    /// Approximate resident bytes of this retriever's index structures
+    /// (experiment E2).
+    fn index_bytes(&self) -> usize;
+}

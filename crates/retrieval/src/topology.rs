@@ -1,0 +1,511 @@
+//! Topology-enhanced retrieval (§III.B of the paper).
+//!
+//! Pipeline per query:
+//!
+//! 1. **Anchor extraction** — the SLM tags entities in the query; each
+//!    mention is linked to a graph entity node (exact canonical match,
+//!    falling back to fuzzy Jaro-Winkler linking, falling back to token
+//!    containment).
+//! 2. **Bounded traversal** — cost-bounded Dijkstra from the anchors
+//!    limits scoring to a sparse frontier (this is the efficiency claim:
+//!    far-away chunks are *never touched*, unlike a dense scan that must
+//!    visit every vector).
+//! 3. **Topological scoring** — proximity decay along the traversal,
+//!    modulated by a **static PageRank prior** precomputed at index-build
+//!    time ("centrality measures help identify influential nodes");
+//!    query-time work stays proportional to the frontier.
+//! 4. **Hybrid scoring** — the topological score fuses with a BM25 lexical
+//!    score so purely-verbal queries still work.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use unisem_docstore::DocStore;
+use unisem_hetgraph::algo::pagerank;
+use unisem_hetgraph::{HetGraph, NodeId};
+use unisem_slm::ner::EntityKind;
+use unisem_slm::Slm;
+use unisem_text::normalize::is_stopword;
+use unisem_text::similarity::jaro_winkler;
+use unisem_text::tokenize::tokenize_words;
+
+use crate::{ChunkRetriever, RetrievalResult};
+
+/// Tuning parameters for the topology retriever.
+#[derive(Debug, Clone, Copy)]
+pub struct TopologyConfig {
+    /// Candidate set radius in hops from the anchors (edge costs make this
+    /// a weighted radius: `max_hops × 2.0` traversal cost).
+    pub max_hops: usize,
+    /// Damping for the *static* PageRank prior (computed once at build).
+    pub damping: f64,
+    /// Iterations for the static PageRank prior.
+    pub iterations: usize,
+    /// Per-unit-cost decay of traversal proximity.
+    pub decay: f64,
+    /// Hub cap: traversal never expands *through* a non-anchor node with
+    /// degree above this. Hubs (quarter/date entities touching every
+    /// document) carry little routing information and would otherwise pull
+    /// the whole graph into every frontier.
+    pub hub_cap: usize,
+    /// Weight of the topological score in the fusion.
+    pub alpha: f64,
+    /// Weight of the lexical (BM25) score in the fusion.
+    pub beta: f64,
+    /// Minimum Jaro-Winkler similarity for fuzzy anchor linking.
+    pub fuzzy_threshold: f64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self {
+            max_hops: 2,
+            damping: 0.85,
+            iterations: 20,
+            decay: 0.6,
+            hub_cap: 16,
+            alpha: 0.65,
+            beta: 0.35,
+            fuzzy_threshold: 0.88,
+        }
+    }
+}
+
+/// Per-query traversal statistics (experiment E3's efficiency evidence).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraversalStats {
+    /// Anchor entity nodes the query linked to.
+    pub anchors: usize,
+    /// Nodes within the hop bound (the candidate frontier).
+    pub nodes_touched: usize,
+    /// Chunk candidates actually scored.
+    pub chunks_scored: usize,
+    /// Whether the query fell back to pure lexical retrieval.
+    pub lexical_fallback: bool,
+}
+
+/// The topology-enhanced retriever.
+#[derive(Debug, Clone)]
+pub struct TopologyRetriever {
+    slm: Slm,
+    graph: Arc<HetGraph>,
+    docs: Arc<DocStore>,
+    config: TopologyConfig,
+    /// Static centrality prior, max-normalized; computed once at build.
+    static_prior: Vec<f64>,
+}
+
+impl TopologyRetriever {
+    /// Creates a retriever over a pre-built graph and document store.
+    ///
+    /// Computes the static PageRank prior here (index-build cost), so
+    /// query-time work is proportional to the traversal frontier only.
+    pub fn new(slm: Slm, graph: Arc<HetGraph>, docs: Arc<DocStore>, config: TopologyConfig) -> Self {
+        let mut static_prior = pagerank(&graph, config.damping, config.iterations);
+        let max = static_prior.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+        for p in static_prior.iter_mut() {
+            *p /= max;
+        }
+        Self { slm, graph, docs, config, static_prior }
+    }
+
+    /// The config in effect.
+    pub fn config(&self) -> TopologyConfig {
+        self.config
+    }
+
+    /// Links query entity mentions to graph anchor nodes (primary ∪
+    /// constraint — see [`Self::anchor_sets`]).
+    pub fn anchors(&self, query: &str) -> Vec<NodeId> {
+        let (mut primary, constraints) = self.anchor_sets(query);
+        primary.extend(constraints);
+        primary.sort();
+        primary.dedup();
+        primary
+    }
+
+    /// Links query mentions to graph nodes, split by role:
+    ///
+    /// - **primary** anchors are referential entities (products, drugs,
+    ///   people, organizations) — traversal *expands* from these;
+    /// - **constraint** anchors are value entities (quarters, dates) — they
+    ///   boost directly-adjacent nodes but never seed expansion, because a
+    ///   temporal hub touches every contemporaneous document in the lake
+    ///   and would drag the whole corpus into the frontier.
+    pub fn anchor_sets(&self, query: &str) -> (Vec<NodeId>, Vec<NodeId>) {
+        let mentions = self.slm.tag_entities(query);
+        let mut primary: Vec<NodeId> = Vec::new();
+        let mut constraints: Vec<NodeId> = Vec::new();
+        let mut unmatched: Vec<String> = Vec::new();
+        for m in &mentions {
+            // Quantities/percents are filter values; metrics ("sales",
+            // "rating") are predicates over whatever entity the query names
+            // — neither identifies a location in the graph, and metric
+            // entities are the highest-degree hubs of all.
+            if matches!(
+                m.kind,
+                EntityKind::Quantity | EntityKind::Percent | EntityKind::Metric
+            ) {
+                continue;
+            }
+            match self.graph.entity_by_name(&m.canonical()) {
+                Some(id) => {
+                    if m.kind.is_value() {
+                        constraints.push(id);
+                    } else {
+                        primary.push(id);
+                    }
+                }
+                None => {
+                    if !m.kind.is_value() {
+                        unmatched.push(m.canonical());
+                    }
+                }
+            }
+        }
+        // Fuzzy fallback for unmatched referential mentions.
+        for name in unmatched {
+            let best = self
+                .graph
+                .entities()
+                .map(|n| (n.id, jaro_winkler(&n.label, &name)))
+                .filter(|(_, s)| *s >= self.config.fuzzy_threshold)
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            if let Some((id, _)) = best {
+                primary.push(id);
+            }
+        }
+        // Last resort: content-word containment against entity labels.
+        if primary.is_empty() {
+            let words: Vec<String> = tokenize_words(query)
+                .into_iter()
+                .filter(|w| !is_stopword(w) && w.len() > 2)
+                .collect();
+            for w in &words {
+                if let Some(n) = self
+                    .graph
+                    .entities()
+                    .filter(|n| {
+                        // Only referential entities make useful anchors;
+                        // matching a metric/value hub ("sales") would pull
+                        // the entire corpus into the frontier.
+                        matches!(
+                            &n.kind,
+                            unisem_hetgraph::NodeKind::Entity { kind, .. }
+                                if !kind.is_value() && *kind != EntityKind::Metric
+                        ) && n.label.split_whitespace().any(|part| part == w)
+                    })
+                    .max_by_key(|n| self.graph.degree(n.id))
+                {
+                    primary.push(n.id);
+                }
+            }
+        }
+        primary.sort();
+        primary.dedup();
+        constraints.sort();
+        constraints.dedup();
+        (primary, constraints)
+    }
+
+    /// Hub-damped, cost-bounded Dijkstra: like
+    /// [`unisem_hetgraph::algo::dijkstra_within`], but a non-start node
+    /// whose degree exceeds `hub_cap` is *reached* (it can score) without
+    /// being *expanded* (it never fans the frontier out).
+    fn bounded_traversal(&self, start: NodeId, max_cost: f64) -> HashMap<NodeId, f64> {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Item {
+            cost: f64,
+            node: NodeId,
+        }
+        impl Eq for Item {}
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other
+                    .cost
+                    .partial_cmp(&self.cost)
+                    .unwrap_or(Ordering::Equal)
+                    .then(other.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut dist: HashMap<NodeId, f64> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(start, 0.0);
+        heap.push(Item { cost: 0.0, node: start });
+        while let Some(Item { cost, node }) = heap.pop() {
+            if cost > *dist.get(&node).unwrap_or(&f64::INFINITY) {
+                continue;
+            }
+            // Hub damping: only the anchor itself may expand past the cap.
+            if node != start && self.graph.degree(node) > self.config.hub_cap {
+                continue;
+            }
+            for &(next, edge) in self.graph.neighbors(node) {
+                let c = cost + self.graph.edge(edge).kind.traversal_cost();
+                if c <= max_cost && c < *dist.get(&next).unwrap_or(&f64::INFINITY) {
+                    dist.insert(next, c);
+                    heap.push(Item { cost: c, node: next });
+                }
+            }
+        }
+        dist
+    }
+
+    /// Retrieval with traversal statistics.
+    pub fn retrieve_with_stats(&self, query: &str, k: usize) -> (Vec<RetrievalResult>, TraversalStats) {
+        let (primary, constraints) = self.anchor_sets(query);
+        // Traverse from referential anchors; fall back to constraint
+        // anchors when the query names only values ("what happened in Q3?").
+        let anchors: &[NodeId] = if primary.is_empty() { &constraints } else { &primary };
+        let mut stats = TraversalStats {
+            anchors: primary.len() + constraints.len(),
+            ..TraversalStats::default()
+        };
+
+        if anchors.is_empty() {
+            stats.lexical_fallback = true;
+            let hits = self
+                .docs
+                .search(query, k)
+                .into_iter()
+                .map(|h| RetrievalResult { chunk_id: h.chunk_id, score: h.score })
+                .collect();
+            return (hits, stats);
+        }
+
+        // Sparse frontier: cost-bounded Dijkstra from each anchor; the
+        // proximity of a node is the sum of per-anchor decays, so nodes
+        // reachable from *several* anchors (the "connects Products A and B"
+        // case of §III.B) rank highest.
+        // Value-only queries ("which products grew in Q2?") scope to the
+        // documents directly carrying the period — depth 1 — because a
+        // temporal anchor's multi-hop neighborhood is the entire
+        // contemporaneous corpus.
+        let max_cost = if primary.is_empty() {
+            1.0
+        } else {
+            self.config.max_hops as f64 * 2.0
+        };
+        let mut proximity: HashMap<NodeId, f64> = HashMap::new();
+        for &a in anchors {
+            for (node, cost) in self.bounded_traversal(a, max_cost) {
+                *proximity.entry(node).or_insert(0.0) += self.config.decay.powf(cost);
+            }
+        }
+        // Constraint anchors boost their direct neighbors *within the
+        // frontier* — a chunk matching both the entity and the period
+        // outranks the entity-only chunks — without expanding the frontier.
+        if !primary.is_empty() {
+            for &c in &constraints {
+                for &(nb, _) in self.graph.neighbors(c) {
+                    if let Some(p) = proximity.get_mut(&nb) {
+                        *p += self.config.decay;
+                    }
+                }
+            }
+        }
+        stats.nodes_touched = proximity.len();
+
+        // Candidate chunks: traversal proximity × static centrality prior.
+        let mut topo: HashMap<usize, f64> = HashMap::new();
+        for (&node, &prox) in &proximity {
+            if let unisem_hetgraph::NodeKind::Chunk { chunk_id, .. } = &self.graph.node(node).kind
+            {
+                let prior = self.static_prior[node.0 as usize];
+                topo.insert(*chunk_id, prox * (0.5 + 0.5 * prior));
+            }
+        }
+        stats.chunks_scored = topo.len();
+
+        // Lexical scores over the same corpus (normalized below).
+        let lex: HashMap<usize, f64> = self
+            .docs
+            .search(query, (k * 4).max(20))
+            .into_iter()
+            .map(|h| (h.chunk_id, h.score))
+            .collect();
+
+        let topo_max = topo.values().cloned().fold(0.0f64, f64::max).max(1e-12);
+        let lex_max = lex.values().cloned().fold(0.0f64, f64::max).max(1e-12);
+
+        // Fuse: candidates get both components; lexical-only hits keep the
+        // beta component so verbal queries aren't starved.
+        let mut fused: HashMap<usize, f64> = HashMap::new();
+        for (&c, &t) in &topo {
+            let l = lex.get(&c).copied().unwrap_or(0.0);
+            fused.insert(c, self.config.alpha * t / topo_max + self.config.beta * l / lex_max);
+        }
+        for (&c, &l) in &lex {
+            fused.entry(c).or_insert(self.config.beta * l / lex_max);
+        }
+
+        let mut results: Vec<RetrievalResult> = fused
+            .into_iter()
+            .map(|(chunk_id, score)| RetrievalResult { chunk_id, score })
+            .collect();
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.chunk_id.cmp(&b.chunk_id))
+        });
+        results.truncate(k);
+        (results, stats)
+    }
+}
+
+impl ChunkRetriever for TopologyRetriever {
+    fn name(&self) -> &'static str {
+        "topology"
+    }
+
+    fn retrieve(&self, query: &str, k: usize) -> Vec<RetrievalResult> {
+        self.retrieve_with_stats(query, k).0
+    }
+
+    fn index_bytes(&self) -> usize {
+        // The graph IS the index; BM25 postings are shared with the lexical
+        // baseline and charged here too since fusion uses them.
+        self.graph.approx_bytes() + self.docs.index_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unisem_hetgraph::GraphBuilder;
+    use unisem_slm::{Lexicon, SlmConfig};
+
+    fn setup() -> (Slm, Arc<HetGraph>, Arc<DocStore>) {
+        let lexicon = Lexicon::new().with_entries([
+            ("Drug A", EntityKind::Drug),
+            ("Drug B", EntityKind::Drug),
+            ("Product Alpha", EntityKind::Product),
+            ("Patient X", EntityKind::Person),
+            ("headache", EntityKind::Condition),
+        ]);
+        let slm = Slm::new(SlmConfig { lexicon, ..SlmConfig::default() });
+        let mut docs = DocStore::default();
+        docs.add_document(
+            "trial",
+            "Patient X received Drug A during the trial. The headache resolved quickly.",
+            "clinical",
+        );
+        docs.add_document(
+            "forum",
+            "Drug B made my symptoms worse. I stopped taking Drug B after a week.",
+            "forum",
+        );
+        docs.add_document(
+            "review",
+            "Product Alpha is reliable. The battery of Product Alpha lasts days.",
+            "review",
+        );
+        let docs = Arc::new(docs);
+        let mut b = GraphBuilder::new(slm.clone());
+        b.add_docstore(&docs);
+        let (g, _) = b.finish();
+        (slm, Arc::new(g), docs)
+    }
+
+    fn retriever() -> TopologyRetriever {
+        let (slm, g, d) = setup();
+        TopologyRetriever::new(slm, g, d, TopologyConfig::default())
+    }
+
+    #[test]
+    fn anchors_link_exact() {
+        let r = retriever();
+        let a = r.anchors("What happened to Patient X after Drug A?");
+        assert!(a.len() >= 2);
+    }
+
+    #[test]
+    fn anchors_fuzzy_fallback() {
+        let r = retriever();
+        // "Drg A" is a typo; fuzzy linking should still find drug a.
+        let a = r.anchors("side effects of Druga");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn anchors_token_containment_fallback() {
+        let r = retriever();
+        let a = r.anchors("tell me about the headache cases");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn retrieves_entity_relevant_chunks() {
+        let r = retriever();
+        let (hits, stats) = r.retrieve_with_stats("How did Drug A affect Patient X?", 2);
+        assert!(!hits.is_empty());
+        assert!(!stats.lexical_fallback);
+        assert!(stats.nodes_touched > 0);
+        // Top hit should be from the trial document (chunk of doc 0).
+        let (_, _, docs) = setup();
+        let top_doc = docs.chunk(hits[0].chunk_id).unwrap().doc_id;
+        assert_eq!(top_doc, 0);
+    }
+
+    #[test]
+    fn distinguishes_drugs() {
+        let r = retriever();
+        let (_, _, docs) = setup();
+        let hits = r.retrieve("experiences with Drug B", 1);
+        assert_eq!(docs.chunk(hits[0].chunk_id).unwrap().doc_id, 1);
+    }
+
+    #[test]
+    fn no_anchor_falls_back_to_lexical() {
+        let r = retriever();
+        let (hits, stats) = r.retrieve_with_stats("reliable battery lasts", 2);
+        assert!(stats.lexical_fallback || !hits.is_empty());
+    }
+
+    #[test]
+    fn hop_bound_limits_frontier() {
+        let (slm, g, d) = setup();
+        let narrow = TopologyRetriever::new(
+            slm.clone(),
+            g.clone(),
+            d.clone(),
+            TopologyConfig { max_hops: 1, ..TopologyConfig::default() },
+        );
+        let wide = TopologyRetriever::new(
+            slm,
+            g,
+            d,
+            TopologyConfig { max_hops: 4, ..TopologyConfig::default() },
+        );
+        let (_, s1) = narrow.retrieve_with_stats("Drug A results", 3);
+        let (_, s4) = wide.retrieve_with_stats("Drug A results", 3);
+        assert!(s1.nodes_touched <= s4.nodes_touched);
+        assert!(s1.nodes_touched > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let r = retriever();
+        assert_eq!(
+            r.retrieve("Drug A for Patient X", 3),
+            r.retrieve("Drug A for Patient X", 3)
+        );
+    }
+
+    #[test]
+    fn index_bytes_positive_and_name() {
+        let r = retriever();
+        assert!(r.index_bytes() > 0);
+        assert_eq!(r.name(), "topology");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests: JSON round-trips and flattening invariants.
+
+use proptest::prelude::*;
+use unisem_semistore::{discover_schema, flatten_collection, parse_json, JsonValue};
+
+/// Strategy for arbitrary JSON values of bounded depth.
+fn arb_json() -> impl Strategy<Value = JsonValue> {
+    let leaf = prop_oneof![
+        Just(JsonValue::Null),
+        any::<bool>().prop_map(JsonValue::Bool),
+        (-1e9f64..1e9).prop_map(|n| JsonValue::Number((n * 100.0).round() / 100.0)),
+        "[a-zA-Z0-9 _.-]{0,12}".prop_map(JsonValue::String),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|pairs| {
+                // Deduplicate keys (objects keep first occurrence).
+                let mut seen = std::collections::HashSet::new();
+                JsonValue::Object(
+                    pairs
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+/// Strategy for flat-ish JSON objects (flattening input).
+fn arb_object() -> impl Strategy<Value = JsonValue> {
+    proptest::collection::vec(
+        (
+            "[a-z]{1,5}",
+            prop_oneof![
+                (-1000i64..1000).prop_map(|n| JsonValue::Number(n as f64)),
+                any::<bool>().prop_map(JsonValue::Bool),
+                "[a-z]{0,6}".prop_map(JsonValue::String),
+            ],
+        ),
+        0..6,
+    )
+    .prop_map(|pairs| {
+        let mut seen = std::collections::HashSet::new();
+        JsonValue::Object(pairs.into_iter().filter(|(k, _)| seen.insert(k.clone())).collect())
+    })
+}
+
+proptest! {
+    /// serialize → parse is the identity.
+    #[test]
+    fn json_roundtrip(v in arb_json()) {
+        let text = v.to_json();
+        let back = parse_json(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Flattening: one output row per input document, and the schema covers
+    /// exactly the union of observed keys.
+    #[test]
+    fn flatten_row_per_doc(docs in proptest::collection::vec(arb_object(), 0..8)) {
+        let t = flatten_collection(&docs).unwrap();
+        prop_assert_eq!(t.num_rows(), docs.len());
+        let schema = discover_schema(&docs).unwrap();
+        prop_assert_eq!(schema.arity(), t.num_columns());
+        // Every document key appears as a column.
+        for d in &docs {
+            if let JsonValue::Object(fields) = d {
+                for (k, _) in fields {
+                    prop_assert!(schema.index_of(k).is_some(), "missing column {}", k);
+                }
+            }
+        }
+    }
+
+    /// Flattened cells type-check against the discovered schema (push_row
+    /// inside flatten_collection would fail otherwise, so this asserts no
+    /// panic and a clean construction).
+    #[test]
+    fn flatten_type_consistent(docs in proptest::collection::vec(arb_object(), 0..8)) {
+        let t = flatten_collection(&docs).unwrap();
+        for i in 0..t.num_rows() {
+            for j in 0..t.num_columns() {
+                let cell = t.cell(i, j);
+                let dtype = t.schema().column(j).dtype;
+                prop_assert!(dtype.admits(cell), "{cell:?} in {dtype:?}");
+            }
+        }
+    }
+}

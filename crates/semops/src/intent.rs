@@ -1,0 +1,125 @@
+//! Structured query intents.
+
+use unisem_relstore::plan::AggFunc;
+use unisem_relstore::Value;
+
+/// Comparison operators in filter intents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+}
+
+/// One filter the question implies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterIntent {
+    /// Restrict to a reporting period ("in Q2 2024", "during March 2024").
+    Period(String),
+    /// Restrict the subject to specific entities ("for Product Alpha",
+    /// "compare A and B").
+    SubjectIn(Vec<String>),
+    /// Numeric comparison against a metric ("more than 15%", "over $100").
+    Numeric {
+        /// What metric the number refers to (column *hint*, resolved later).
+        metric_hint: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Threshold value.
+        value: Value,
+    },
+}
+
+/// Requested ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortIntent {
+    /// Metric hint to sort by.
+    pub metric_hint: String,
+    /// Descending ("top", "highest") vs ascending ("lowest").
+    pub descending: bool,
+}
+
+/// The structured meaning of a natural-language analytical question.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryIntent {
+    /// Aggregate to compute, with the metric hint it applies to
+    /// (`None` metric = count rows).
+    pub aggregate: Option<(AggFunc, Option<String>)>,
+    /// Grouping dimension hint ("per product", "by manufacturer").
+    pub group_hint: Option<String>,
+    /// Filters.
+    pub filters: Vec<FilterIntent>,
+    /// Ordering.
+    pub sort: Option<SortIntent>,
+    /// Row limit ("top 3").
+    pub limit: Option<usize>,
+    /// Entities the question names (canonical forms) — used for anchor
+    /// selection and comparison framing.
+    pub entities: Vec<String>,
+    /// True when the question compares multiple entities ("compare A
+    /// with B") — forces grouping by subject.
+    pub comparative: bool,
+    /// First metric word the question mentions, independent of whether an
+    /// aggregate keyword captured it ("efficacy" in "which drug is more
+    /// effective" has no aggregate but still names the metric).
+    pub metric_mention: Option<String>,
+    /// The raw question.
+    pub raw: String,
+}
+
+impl QueryIntent {
+    /// True when no analytical structure was recognized (the question is
+    /// lookup-style and should go to retrieval instead of TableQA).
+    pub fn is_plain_lookup(&self) -> bool {
+        self.aggregate.is_none()
+            && self.group_hint.is_none()
+            && self.sort.is_none()
+            && !self.comparative
+            && self
+                .filters
+                .iter()
+                .all(|f| !matches!(f, FilterIntent::Numeric { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_plain_lookup() {
+        assert!(QueryIntent::default().is_plain_lookup());
+    }
+
+    #[test]
+    fn aggregate_makes_analytical() {
+        let mut i = QueryIntent::default();
+        i.aggregate = Some((AggFunc::Sum, Some("sales".into())));
+        assert!(!i.is_plain_lookup());
+    }
+
+    #[test]
+    fn numeric_filter_makes_analytical() {
+        let mut i = QueryIntent::default();
+        i.filters.push(FilterIntent::Numeric {
+            metric_hint: "sales".into(),
+            op: CmpOp::Gt,
+            value: Value::Float(15.0),
+        });
+        assert!(!i.is_plain_lookup());
+    }
+
+    #[test]
+    fn period_filter_alone_still_lookup() {
+        let mut i = QueryIntent::default();
+        i.filters.push(FilterIntent::Period("Q2".into()));
+        assert!(i.is_plain_lookup());
+    }
+}

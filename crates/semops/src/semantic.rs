@@ -1,0 +1,215 @@
+//! LOTUS-style semantic operators over tables (paper §II.B: "semantic
+//! operators extend the relational model to perform semantic queries over
+//! datasets … sorting or aggregating records using natural language
+//! criteria").
+//!
+//! Each operator scores string cells with the SLM's embedding space instead
+//! of exact predicates:
+//!
+//! - [`sem_filter`] keeps rows whose text column is semantically similar to
+//!   a natural-language criterion,
+//! - [`sem_join`] matches rows across tables by embedding similarity of key
+//!   columns (a fuzzy join for entity names that don't match exactly),
+//! - [`sem_topk`] ranks rows by similarity and keeps the best `k`.
+
+use unisem_relstore::{RelResult, Table, Value};
+use unisem_slm::Slm;
+use unisem_text::similarity::cosine_dense;
+
+/// Keeps rows whose `column` text is semantically similar to `criterion`
+/// (cosine ≥ `threshold`). NULL and non-string cells never match.
+pub fn sem_filter(
+    slm: &Slm,
+    table: &Table,
+    column: &str,
+    criterion: &str,
+    threshold: f64,
+) -> RelResult<Table> {
+    let col = table.schema().require(column)?;
+    let target = slm.embed(criterion);
+    let mut keep = Vec::new();
+    for i in 0..table.num_rows() {
+        if let Value::Str(s) = table.cell(i, col) {
+            let v = slm.embed(s);
+            if cosine_dense(&v, &target) >= threshold {
+                keep.push(i);
+            }
+        }
+    }
+    Ok(table.take(&keep))
+}
+
+/// Ranks rows by semantic similarity of `column` to `criterion` and keeps
+/// the top `k`. Ties break by row order (stable).
+pub fn sem_topk(
+    slm: &Slm,
+    table: &Table,
+    column: &str,
+    criterion: &str,
+    k: usize,
+) -> RelResult<Table> {
+    let col = table.schema().require(column)?;
+    let target = slm.embed(criterion);
+    let mut scored: Vec<(usize, f64)> = (0..table.num_rows())
+        .filter_map(|i| match table.cell(i, col) {
+            Value::Str(s) => Some((i, cosine_dense(&slm.embed(s), &target))),
+            _ => None,
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    let idx: Vec<usize> = scored.into_iter().map(|(i, _)| i).collect();
+    Ok(table.take(&idx))
+}
+
+/// Fuzzy equi-join: pairs `(l, r)` where the embedding similarity of
+/// `left_col` and `right_col` values is ≥ `threshold`. Each left row joins
+/// its best-scoring right row only (to avoid quadratic blowup on near-
+/// duplicate keys).
+pub fn sem_join(
+    slm: &Slm,
+    left: &Table,
+    right: &Table,
+    left_col: &str,
+    right_col: &str,
+    threshold: f64,
+) -> RelResult<Table> {
+    let lc = left.schema().require(left_col)?;
+    let rc = right.schema().require(right_col)?;
+    // Pre-embed the right side.
+    let right_vecs: Vec<Option<Vec<f32>>> = (0..right.num_rows())
+        .map(|j| match right.cell(j, rc) {
+            Value::Str(s) => Some(slm.embed(s)),
+            _ => None,
+        })
+        .collect();
+    let out_schema = left.schema().join(right.schema());
+    let mut out = Table::empty(out_schema);
+    for i in 0..left.num_rows() {
+        let Value::Str(s) = left.cell(i, lc) else { continue };
+        let lv = slm.embed(s);
+        let best = right_vecs
+            .iter()
+            .enumerate()
+            .filter_map(|(j, rv)| rv.as_ref().map(|rv| (j, cosine_dense(&lv, rv))))
+            .filter(|(_, score)| *score >= threshold)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        if let Some((j, _)) = best {
+            let mut row = left.row(i);
+            row.extend(right.row(j));
+            out.push_row(row)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unisem_relstore::{DataType, Schema};
+
+    fn reviews() -> Table {
+        Table::from_rows(
+            Schema::of(&[("id", DataType::Int), ("text", DataType::Str)]),
+            vec![
+                vec![Value::Int(1), Value::str("battery life is excellent and charging is fast")],
+                vec![Value::Int(2), Value::str("the screen cracked after one week")],
+                vec![Value::Int(3), Value::str("battery drains quickly, very poor battery")],
+                vec![Value::Int(4), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sem_filter_matches_related_rows() {
+        let slm = Slm::default();
+        let out = sem_filter(&slm, &reviews(), "text", "battery performance", 0.15).unwrap();
+        let ids: Vec<&Value> = (0..out.num_rows()).map(|i| out.cell(i, 0)).collect();
+        assert!(ids.contains(&&Value::Int(1)));
+        assert!(ids.contains(&&Value::Int(3)));
+        assert!(!ids.contains(&&Value::Int(4)), "NULL never matches");
+    }
+
+    #[test]
+    fn sem_filter_threshold_one_keeps_nothing_unrelated() {
+        let slm = Slm::default();
+        let out = sem_filter(&slm, &reviews(), "text", "totally unrelated topic zebra", 0.9)
+            .unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn sem_topk_ranks_by_similarity() {
+        let slm = Slm::default();
+        let out = sem_topk(&slm, &reviews(), "text", "battery", 2).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        let ids: Vec<&Value> = (0..2).map(|i| out.cell(i, 0)).collect();
+        assert!(ids.contains(&&Value::Int(1)));
+        assert!(ids.contains(&&Value::Int(3)));
+    }
+
+    #[test]
+    fn sem_topk_k_larger_than_rows() {
+        let slm = Slm::default();
+        let out = sem_topk(&slm, &reviews(), "text", "screen", 10).unwrap();
+        assert_eq!(out.num_rows(), 3, "NULL row excluded");
+        assert_eq!(out.cell(0, 0), &Value::Int(2));
+    }
+
+    #[test]
+    fn sem_join_fuzzy_names() {
+        let slm = Slm::default();
+        let left = Table::from_rows(
+            Schema::of(&[("product_name", DataType::Str)]),
+            vec![
+                vec![Value::str("Alpha Widget Pro")],
+                vec![Value::str("Gamma Gadget")],
+            ],
+        )
+        .unwrap();
+        let right = Table::from_rows(
+            Schema::of(&[("name", DataType::Str), ("price", DataType::Float)]),
+            vec![
+                vec![Value::str("alpha widget pro max"), Value::Float(99.0)],
+                vec![Value::str("entirely different thing"), Value::Float(5.0)],
+            ],
+        )
+        .unwrap();
+        let out = sem_join(&slm, &left, &right, "product_name", "name", 0.5).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        let price = out.schema().index_of("price").unwrap();
+        assert_eq!(out.cell(0, price), &Value::Float(99.0));
+    }
+
+    #[test]
+    fn sem_join_best_match_only() {
+        let slm = Slm::default();
+        let left = Table::from_rows(
+            Schema::of(&[("a", DataType::Str)]),
+            vec![vec![Value::str("alpha widget")]],
+        )
+        .unwrap();
+        let right = Table::from_rows(
+            Schema::of(&[("b", DataType::Str)]),
+            vec![
+                vec![Value::str("alpha widget")],
+                vec![Value::str("alpha widgets")],
+            ],
+        )
+        .unwrap();
+        let out = sem_join(&slm, &left, &right, "a", "b", 0.3).unwrap();
+        assert_eq!(out.num_rows(), 1, "one best match per left row");
+        let b = out.schema().index_of("b").unwrap();
+        assert_eq!(out.cell(0, b), &Value::str("alpha widget"));
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let slm = Slm::default();
+        assert!(sem_filter(&slm, &reviews(), "missing", "x", 0.5).is_err());
+        assert!(sem_topk(&slm, &reviews(), "missing", "x", 1).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Inference cost model and usage metering.
+//!
+//! §I of the paper motivates SLMs with resource constraints: "LLM-based
+//! methods … demand substantial computational resources … impractical for
+//! applications requiring low-latency responses or deployment on devices
+//! with limited memory". To *measure* that trade-off (experiment E8) rather
+//! than assert it, every simulated model call is charged to a [`CostMeter`],
+//! and a [`CostModel`] converts token counts into simulated latency, memory,
+//! and energy figures.
+//!
+//! The constants are calibrated to public inference numbers circa 2024-2025:
+//! a ~1.8B-parameter SLM served on a laptop/edge CPU-GPU versus a
+//! ~70B-parameter LLM served on a datacenter A100-class GPU. Absolute values
+//! matter less than the ~20–40× throughput gap, which is what the
+//! efficiency experiments exercise.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Which model scale a cost model describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelClass {
+    /// Small language model (~1–3B parameters, edge-deployable).
+    SlmClass,
+    /// Large language model (~70B parameters, datacenter-served).
+    LlmClass,
+}
+
+/// Token-level cost constants for one model class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Parameter count in billions (drives memory footprint).
+    pub params_b: f64,
+    /// Prefill (prompt ingestion) throughput, tokens/second.
+    pub prefill_tps: f64,
+    /// Decode (generation) throughput, tokens/second.
+    pub decode_tps: f64,
+    /// Resident memory for weights + KV cache, gigabytes.
+    pub memory_gb: f64,
+    /// Energy per processed token, joules.
+    pub energy_j_per_token: f64,
+}
+
+impl CostModel {
+    /// The calibrated constants for a model class.
+    pub fn for_class(class: ModelClass) -> Self {
+        match class {
+            // ~1.8B model, int8, on an edge device (MobileLLM-class, [5] in
+            // the paper's references).
+            ModelClass::SlmClass => Self {
+                params_b: 1.8,
+                prefill_tps: 2400.0,
+                decode_tps: 140.0,
+                memory_gb: 2.2,
+                energy_j_per_token: 0.04,
+            },
+            // ~70B model, fp16, on an A100-class accelerator.
+            ModelClass::LlmClass => Self {
+                params_b: 70.0,
+                prefill_tps: 6000.0,
+                decode_tps: 35.0,
+                memory_gb: 145.0,
+                energy_j_per_token: 1.1,
+            },
+        }
+    }
+
+    /// Simulated wall-clock seconds for a call with the given token counts.
+    ///
+    /// Embedding/tagging passes are prefill-only; generation adds decode.
+    pub fn latency_secs(&self, prefill_tokens: usize, decode_tokens: usize) -> f64 {
+        prefill_tokens as f64 / self.prefill_tps + decode_tokens as f64 / self.decode_tps
+    }
+
+    /// Simulated energy in joules for the given token counts.
+    pub fn energy_joules(&self, total_tokens: usize) -> f64 {
+        total_tokens as f64 * self.energy_j_per_token
+    }
+}
+
+/// An immutable snapshot of accumulated usage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UsageSnapshot {
+    /// Tokens processed by embedding passes.
+    pub embed_tokens: usize,
+    /// Tokens processed by entity-tagging passes.
+    pub tag_tokens: usize,
+    /// Prompt (prefill) tokens across generation calls.
+    pub prompt_tokens: usize,
+    /// Generated (decode) tokens across generation calls.
+    pub decode_tokens: usize,
+    /// Number of embedding calls.
+    pub embed_calls: usize,
+    /// Number of tagging calls.
+    pub tag_calls: usize,
+    /// Number of generation calls.
+    pub generate_calls: usize,
+}
+
+impl UsageSnapshot {
+    /// All tokens that passed through the model.
+    pub fn total_tokens(&self) -> usize {
+        self.embed_tokens + self.tag_tokens + self.prompt_tokens + self.decode_tokens
+    }
+
+    /// Total number of model invocations.
+    pub fn total_calls(&self) -> usize {
+        self.embed_calls + self.tag_calls + self.generate_calls
+    }
+}
+
+#[derive(Debug, Default)]
+struct MeterInner {
+    usage: UsageSnapshot,
+}
+
+/// Thread-safe usage ledger shared by all components of one pipeline.
+#[derive(Debug, Clone)]
+pub struct CostMeter {
+    inner: Arc<Mutex<MeterInner>>,
+    model: CostModel,
+}
+
+impl CostMeter {
+    /// Creates a meter charging against `model`.
+    pub fn new(model: CostModel) -> Self {
+        Self { inner: Arc::new(Mutex::new(MeterInner::default())), model }
+    }
+
+    /// The cost model in effect.
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// Records an embedding pass over `tokens`.
+    pub fn record_embed(&self, tokens: usize) {
+        let mut g = self.inner.lock();
+        g.usage.embed_tokens += tokens;
+        g.usage.embed_calls += 1;
+    }
+
+    /// Records a tagging pass over `tokens`.
+    pub fn record_tag(&self, tokens: usize) {
+        let mut g = self.inner.lock();
+        g.usage.tag_tokens += tokens;
+        g.usage.tag_calls += 1;
+    }
+
+    /// Records a generation call.
+    pub fn record_generate(&self, prompt_tokens: usize, decode_tokens: usize) {
+        let mut g = self.inner.lock();
+        g.usage.prompt_tokens += prompt_tokens;
+        g.usage.decode_tokens += decode_tokens;
+        g.usage.generate_calls += 1;
+    }
+
+    /// Current accumulated usage.
+    pub fn snapshot(&self) -> UsageSnapshot {
+        self.inner.lock().usage
+    }
+
+    /// Resets the ledger to zero and returns the final snapshot.
+    pub fn reset(&self) -> UsageSnapshot {
+        let mut g = self.inner.lock();
+        std::mem::take(&mut g.usage)
+    }
+
+    /// Simulated total latency implied by the accumulated usage.
+    pub fn simulated_latency_secs(&self) -> f64 {
+        let u = self.snapshot();
+        self.model
+            .latency_secs(u.embed_tokens + u.tag_tokens + u.prompt_tokens, u.decode_tokens)
+    }
+
+    /// Simulated total energy implied by the accumulated usage.
+    pub fn simulated_energy_joules(&self) -> f64 {
+        self.model.energy_joules(self.snapshot().total_tokens())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_constants_ordered() {
+        let slm = CostModel::for_class(ModelClass::SlmClass);
+        let llm = CostModel::for_class(ModelClass::LlmClass);
+        assert!(slm.memory_gb < llm.memory_gb);
+        assert!(slm.decode_tps > llm.decode_tps);
+        assert!(slm.energy_j_per_token < llm.energy_j_per_token);
+    }
+
+    #[test]
+    fn latency_composition() {
+        let m = CostModel::for_class(ModelClass::SlmClass);
+        let prefill_only = m.latency_secs(1000, 0);
+        let with_decode = m.latency_secs(1000, 100);
+        assert!(with_decode > prefill_only);
+        // Decode dominates: 100 decode tokens cost more than 1000 prefill.
+        assert!(m.latency_secs(0, 100) > m.latency_secs(1000, 0));
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let m = CostMeter::new(CostModel::for_class(ModelClass::SlmClass));
+        m.record_embed(10);
+        m.record_tag(20);
+        m.record_generate(30, 5);
+        let s = m.snapshot();
+        assert_eq!(s.embed_tokens, 10);
+        assert_eq!(s.tag_tokens, 20);
+        assert_eq!(s.prompt_tokens, 30);
+        assert_eq!(s.decode_tokens, 5);
+        assert_eq!(s.total_tokens(), 65);
+        assert_eq!(s.total_calls(), 3);
+    }
+
+    #[test]
+    fn reset_returns_and_clears() {
+        let m = CostMeter::new(CostModel::for_class(ModelClass::SlmClass));
+        m.record_embed(10);
+        let s = m.reset();
+        assert_eq!(s.embed_tokens, 10);
+        assert_eq!(m.snapshot(), UsageSnapshot::default());
+    }
+
+    #[test]
+    fn clones_share_ledger() {
+        let m = CostMeter::new(CostModel::for_class(ModelClass::SlmClass));
+        let c = m.clone();
+        c.record_tag(7);
+        assert_eq!(m.snapshot().tag_tokens, 7);
+    }
+
+    #[test]
+    fn simulated_latency_positive() {
+        let m = CostMeter::new(CostModel::for_class(ModelClass::LlmClass));
+        m.record_generate(500, 50);
+        assert!(m.simulated_latency_secs() > 0.0);
+        assert!(m.simulated_energy_joules() > 0.0);
+    }
+
+    #[test]
+    fn slm_cheaper_than_llm_for_same_usage() {
+        let slm = CostMeter::new(CostModel::for_class(ModelClass::SlmClass));
+        let llm = CostMeter::new(CostModel::for_class(ModelClass::LlmClass));
+        for m in [&slm, &llm] {
+            m.record_generate(400, 80);
+        }
+        assert!(slm.simulated_latency_secs() < llm.simulated_latency_secs());
+        assert!(slm.simulated_energy_joules() < llm.simulated_energy_joules());
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let m = CostMeter::new(CostModel::for_class(ModelClass::SlmClass));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        m.record_embed(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().embed_tokens, 800);
+        assert_eq!(m.snapshot().embed_calls, 800);
+    }
+}

@@ -1,0 +1,217 @@
+//! Feature-hashed character-n-gram embeddings.
+//!
+//! Stand-in for learned dense vectors: each word is embedded as the signed
+//! sum of hashed character n-grams (fastText-style), and a text embedding is
+//! the stopword-filtered mean of its word vectors. The result has the two
+//! properties the system relies on:
+//!
+//! 1. **Morphological robustness** — `purchase`/`purchases` land close,
+//! 2. **Lexical-overlap sensitivity** — sentences sharing content words are
+//!    more similar than unrelated ones.
+//!
+//! It is *not* a semantic model (no distributional training), which is
+//! exactly why the heterogeneous graph index carries the semantic burden in
+//! this reproduction — mirroring the paper's argument that SLM-class
+//! embeddings are weak and must be compensated by structure (§I, §III.A).
+
+use unisem_text::normalize::is_stopword;
+use unisem_text::ngram::char_ngrams_range;
+use unisem_text::tokenize::tokenize_words;
+
+/// FNV-1a 64-bit hash: stable across platforms and runs.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Configuration for [`Embedder`].
+#[derive(Debug, Clone)]
+pub struct EmbedderConfig {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Smallest character n-gram size.
+    pub min_ngram: usize,
+    /// Largest character n-gram size.
+    pub max_ngram: usize,
+    /// Whether to drop stopwords when embedding multi-word text.
+    pub drop_stopwords: bool,
+}
+
+impl Default for EmbedderConfig {
+    fn default() -> Self {
+        Self { dim: 256, min_ngram: 3, max_ngram: 5, drop_stopwords: true }
+    }
+}
+
+/// Deterministic feature-hashing embedder.
+#[derive(Debug, Clone)]
+pub struct Embedder {
+    config: EmbedderConfig,
+}
+
+impl Default for Embedder {
+    fn default() -> Self {
+        Self::new(EmbedderConfig::default())
+    }
+}
+
+impl Embedder {
+    /// Creates an embedder; `config.dim` must be non-zero.
+    pub fn new(config: EmbedderConfig) -> Self {
+        assert!(config.dim > 0, "embedding dimension must be non-zero");
+        assert!(config.min_ngram > 0 && config.min_ngram <= config.max_ngram);
+        Self { config }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Embeds a single word (L2-normalized).
+    pub fn embed_word(&self, word: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.config.dim];
+        let lower = word.to_lowercase();
+        // Whole-word feature gets double weight so exact matches dominate.
+        self.add_feature(&mut v, &format!("w:{lower}"), 2.0);
+        for g in char_ngrams_range(&lower, self.config.min_ngram, self.config.max_ngram) {
+            self.add_feature(&mut v, &g, 1.0);
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Embeds arbitrary text as the mean of its word embeddings
+    /// (stopword-filtered when configured), L2-normalized.
+    ///
+    /// Returns the zero vector for text with no content words.
+    pub fn embed_text(&self, text: &str) -> Vec<f32> {
+        let words = tokenize_words(text);
+        let content: Vec<&String> = if self.config.drop_stopwords {
+            let kept: Vec<&String> = words.iter().filter(|w| !is_stopword(w)).collect();
+            if kept.is_empty() {
+                words.iter().collect()
+            } else {
+                kept
+            }
+        } else {
+            words.iter().collect()
+        };
+        let mut v = vec![0.0f32; self.config.dim];
+        if content.is_empty() {
+            return v;
+        }
+        for w in &content {
+            let wv = self.embed_word(w);
+            for (a, b) in v.iter_mut().zip(wv.iter()) {
+                *a += b;
+            }
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    fn add_feature(&self, v: &mut [f32], feature: &str, weight: f32) {
+        let h = fnv1a(feature.as_bytes());
+        let idx = (h % self.config.dim as u64) as usize;
+        // A second hash bit decides the sign, which keeps hashed features
+        // approximately zero-mean (hashing-trick variance reduction).
+        let sign = if (h >> 63) & 1 == 1 { -1.0 } else { 1.0 };
+        v[idx] += sign * weight;
+    }
+}
+
+/// Normalizes `v` to unit L2 norm in place (no-op for the zero vector).
+pub fn l2_normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unisem_text::similarity::cosine_dense;
+
+    #[test]
+    fn deterministic() {
+        let e = Embedder::default();
+        assert_eq!(e.embed_text("hello world"), e.embed_text("hello world"));
+    }
+
+    #[test]
+    fn unit_norm() {
+        let e = Embedder::default();
+        let v = e.embed_text("quarterly sales report");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_for_empty() {
+        let e = Embedder::default();
+        let v = e.embed_text("");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn morphological_neighbors_close() {
+        let e = Embedder::default();
+        let a = e.embed_word("purchase");
+        let b = e.embed_word("purchases");
+        let c = e.embed_word("zebra");
+        assert!(cosine_dense(&a, &b) > cosine_dense(&a, &c));
+        assert!(cosine_dense(&a, &b) > 0.5);
+    }
+
+    #[test]
+    fn overlapping_sentences_closer() {
+        let e = Embedder::default();
+        let a = e.embed_text("the sales of product alpha increased");
+        let b = e.embed_text("product alpha sales grew");
+        let c = e.embed_text("patient reported severe headaches");
+        assert!(cosine_dense(&a, &b) > cosine_dense(&a, &c));
+    }
+
+    #[test]
+    fn stopwords_do_not_dominate() {
+        let e = Embedder::default();
+        let a = e.embed_text("the of and sales");
+        let b = e.embed_text("sales");
+        assert!(cosine_dense(&a, &b) > 0.95);
+    }
+
+    #[test]
+    fn stopword_only_text_still_embeds() {
+        let e = Embedder::default();
+        let v = e.embed_text("the of and");
+        assert!(v.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn respects_custom_dim() {
+        let e = Embedder::new(EmbedderConfig { dim: 64, ..EmbedderConfig::default() });
+        assert_eq!(e.embed_text("abc").len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_panics() {
+        Embedder::new(EmbedderConfig { dim: 0, ..EmbedderConfig::default() });
+    }
+
+    #[test]
+    fn fnv_known_values_stable() {
+        // Lock the hash so index layouts never drift between runs/platforms.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), fnv1a(b"a"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

@@ -1,0 +1,209 @@
+//! # unisem-slm
+//!
+//! A **simulated Small Language Model** — the substitution documented in
+//! DESIGN.md §2. No open-weight model can be downloaded in this offline
+//! environment, so this crate provides a deterministic stand-in exposing the
+//! same capability surface the paper requires from its SLM:
+//!
+//! - [`tokenizer`]: subword tokenization with stable token counting (the
+//!   unit of the cost model),
+//! - [`embedding`]: feature-hashed character-n-gram embeddings (the stand-in
+//!   for learned dense vectors),
+//! - [`ner`]: lexicon- and rule-based named entity recognition (§III.A's
+//!   "lightweight SLM-based tagging"),
+//! - [`pos`]: part-of-speech-lite tagging used by relational table
+//!   generation (§III.C),
+//! - [`generate`]: evidence-constrained answer generation with
+//!   temperature-controlled sampling — the code path semantic entropy
+//!   (§III.D) measures,
+//! - [`cost`]: a calibrated token/latency/memory cost model distinguishing
+//!   SLM-class from LLM-class inference, so the paper's efficiency claims
+//!   (§I) can be *measured* rather than asserted.
+//!
+//! Determinism: every stochastic path takes an explicit seed; two runs with
+//! the same seed produce identical outputs.
+
+pub mod cost;
+pub mod embedding;
+pub mod generate;
+pub mod ner;
+pub mod pos;
+pub mod tokenizer;
+
+pub use cost::{CostMeter, CostModel, ModelClass, UsageSnapshot};
+pub use embedding::{Embedder, EmbedderConfig};
+pub use generate::{GenConfig, Generation, Generator, SupportedAnswer};
+pub use ner::{EntityKind, EntityMention, Lexicon, NerTagger};
+pub use pos::{pos_tag, PosTag};
+pub use tokenizer::{count_tokens, subword_tokenize};
+
+use std::sync::Arc;
+
+/// Configuration for constructing an [`Slm`].
+#[derive(Debug, Clone)]
+pub struct SlmConfig {
+    /// Embedding dimensionality.
+    pub embed_dim: usize,
+    /// Model class used for cost accounting.
+    pub class: ModelClass,
+    /// Domain lexicon for entity tagging (the SLM's "world knowledge").
+    pub lexicon: Lexicon,
+    /// Base seed for all stochastic generation paths.
+    pub seed: u64,
+}
+
+impl Default for SlmConfig {
+    fn default() -> Self {
+        Self {
+            embed_dim: 256,
+            class: ModelClass::SlmClass,
+            lexicon: Lexicon::default(),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// The simulated Small Language Model: a bundle of capabilities plus a
+/// shared cost meter.
+///
+/// Cloning an `Slm` is cheap; clones share the same cost meter, so usage
+/// accumulated by pipeline components all lands in one ledger.
+#[derive(Debug, Clone)]
+pub struct Slm {
+    embedder: Arc<Embedder>,
+    ner: Arc<NerTagger>,
+    generator: Arc<Generator>,
+    meter: CostMeter,
+    class: ModelClass,
+    seed: u64,
+}
+
+impl Default for Slm {
+    fn default() -> Self {
+        Self::new(SlmConfig::default())
+    }
+}
+
+impl Slm {
+    /// Builds an SLM from configuration.
+    pub fn new(config: SlmConfig) -> Self {
+        let meter = CostMeter::new(CostModel::for_class(config.class));
+        Self {
+            embedder: Arc::new(Embedder::new(EmbedderConfig {
+                dim: config.embed_dim,
+                ..EmbedderConfig::default()
+            })),
+            ner: Arc::new(NerTagger::new(config.lexicon)),
+            generator: Arc::new(Generator::new(config.seed)),
+            meter,
+            class: config.class,
+            seed: config.seed,
+        }
+    }
+
+    /// The model class (SLM vs LLM) this instance simulates.
+    pub fn class(&self) -> ModelClass {
+        self.class
+    }
+
+    /// Base seed for stochastic paths.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Embeds text into a dense vector, charging the cost meter one
+    /// embedding pass over the text's tokens.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        self.meter.record_embed(count_tokens(text));
+        self.embedder.embed_text(text)
+    }
+
+    /// Embedding dimensionality.
+    pub fn embed_dim(&self) -> usize {
+        self.embedder.dim()
+    }
+
+    /// Direct access to the embedder (no cost accounting) for bulk offline
+    /// indexing paths that account for cost at a coarser granularity.
+    pub fn embedder(&self) -> &Embedder {
+        &self.embedder
+    }
+
+    /// Tags named entities in `text`, charging one tagging pass.
+    pub fn tag_entities(&self, text: &str) -> Vec<EntityMention> {
+        self.meter.record_tag(count_tokens(text));
+        self.ner.tag(text)
+    }
+
+    /// Access to the NER tagger (no cost accounting).
+    pub fn ner(&self) -> &NerTagger {
+        &self.ner
+    }
+
+    /// Generates sampled answers for a query given weighted evidence,
+    /// charging one prefill over the prompt and decode per answer.
+    pub fn sample_answers(
+        &self,
+        query: &str,
+        evidence: &[SupportedAnswer],
+        config: &GenConfig,
+    ) -> Vec<Generation> {
+        let prompt_tokens =
+            count_tokens(query) + evidence.iter().map(|e| count_tokens(&e.text)).sum::<usize>();
+        let gens = self.generator.sample(query, evidence, config);
+        let decode_tokens: usize = gens.iter().map(|g| count_tokens(&g.text)).sum();
+        self.meter.record_generate(prompt_tokens, decode_tokens);
+        gens
+    }
+
+    /// The shared cost meter.
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_constructs() {
+        let slm = Slm::default();
+        assert_eq!(slm.class(), ModelClass::SlmClass);
+        assert_eq!(slm.embed_dim(), 256);
+    }
+
+    #[test]
+    fn embed_charges_meter() {
+        let slm = Slm::default();
+        let before = slm.meter().snapshot().embed_tokens;
+        slm.embed("some text to embed");
+        assert!(slm.meter().snapshot().embed_tokens > before);
+    }
+
+    #[test]
+    fn clones_share_meter() {
+        let slm = Slm::default();
+        let clone = slm.clone();
+        clone.embed("shared ledger");
+        assert!(slm.meter().snapshot().embed_tokens > 0);
+    }
+
+    #[test]
+    fn deterministic_embeddings() {
+        let a = Slm::default();
+        let b = Slm::default();
+        assert_eq!(a.embed("Q2 sales increased"), b.embed("Q2 sales increased"));
+    }
+
+    #[test]
+    fn sample_answers_charges_generation() {
+        let slm = Slm::default();
+        let evidence = vec![SupportedAnswer::new("42 units", 1.0)];
+        let gens = slm.sample_answers("How many units?", &evidence, &GenConfig::default());
+        assert!(!gens.is_empty());
+        let snap = slm.meter().snapshot();
+        assert!(snap.prompt_tokens > 0);
+        assert!(snap.decode_tokens > 0);
+    }
+}

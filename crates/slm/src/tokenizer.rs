@@ -1,0 +1,115 @@
+//! Deterministic subword tokenization.
+//!
+//! Real SLMs count costs in subword tokens. This module provides a stable
+//! approximation: words are split greedily into pieces of at most
+//! [`MAX_PIECE_CHARS`] characters, preferring splits at common English
+//! morpheme boundaries. The resulting counts track BPE token counts closely
+//! enough for relative cost comparisons (the only use the experiments make
+//! of them).
+
+use unisem_text::tokenize::{tokenize, TokenKind};
+
+/// Maximum characters per subword piece.
+pub const MAX_PIECE_CHARS: usize = 6;
+
+/// Common suffixes that get their own piece, mimicking BPE merges.
+const SUFFIXES: &[&str] = &[
+    "ation", "ments", "ingly", "ness", "ment", "tion", "able", "ible", "ized", "izes",
+    "ing", "ed", "er", "es", "ly", "s",
+];
+
+/// Splits a single word into subword pieces.
+///
+/// ```
+/// use unisem_slm::subword_tokenize;
+/// let pieces = subword_tokenize("internationalization");
+/// assert!(pieces.len() > 2);
+/// assert_eq!(pieces.concat(), "internationalization");
+/// ```
+pub fn subword_tokenize(word: &str) -> Vec<String> {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() <= MAX_PIECE_CHARS {
+        return vec![word.to_string()];
+    }
+    // Peel one known suffix if present and the stem stays non-trivial.
+    for suf in SUFFIXES {
+        if word.len() > suf.len() + 2 {
+            if let Some(stem) = word.strip_suffix(suf) {
+                let mut pieces = subword_tokenize(stem);
+                pieces.push((*suf).to_string());
+                return pieces;
+            }
+        }
+    }
+    // Otherwise split into fixed-width pieces.
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let end = (i + MAX_PIECE_CHARS).min(chars.len());
+        pieces.push(chars[i..end].iter().collect());
+        i = end;
+    }
+    pieces
+}
+
+/// Counts subword tokens in arbitrary text.
+///
+/// Words are subword-split; numbers and punctuation count one token each.
+/// This is the unit every [`crate::cost::CostMeter`] charge uses.
+pub fn count_tokens(text: &str) -> usize {
+    tokenize(text)
+        .iter()
+        .map(|t| match t.kind {
+            TokenKind::Word => subword_tokenize(&t.text).len(),
+            TokenKind::Number | TokenKind::Punct => 1,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_words_single_piece() {
+        assert_eq!(subword_tokenize("cat"), vec!["cat"]);
+        assert_eq!(subword_tokenize("saless"), vec!["saless"]);
+    }
+
+    #[test]
+    fn long_words_split() {
+        let pieces = subword_tokenize("heterogeneous");
+        assert!(pieces.len() >= 2);
+        assert_eq!(pieces.concat(), "heterogeneous");
+    }
+
+    #[test]
+    fn suffix_peeled() {
+        let pieces = subword_tokenize("integrating");
+        assert_eq!(pieces.last().map(String::as_str), Some("ing"));
+    }
+
+    #[test]
+    fn concat_always_roundtrips() {
+        for w in ["a", "extraordinary", "antidisestablishmentarianism", "databases"] {
+            assert_eq!(subword_tokenize(w).concat(), w);
+        }
+    }
+
+    #[test]
+    fn count_tokens_empty() {
+        assert_eq!(count_tokens(""), 0);
+    }
+
+    #[test]
+    fn count_tokens_scales_with_length() {
+        let short = count_tokens("sales rose");
+        let long = count_tokens("sales rose dramatically across heterogeneous marketplaces");
+        assert!(long > short);
+    }
+
+    #[test]
+    fn numbers_and_punct_count_one() {
+        assert_eq!(count_tokens("12,345.67 %"), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Okapi BM25 scoring over a tokenized corpus.
+//!
+//! This powers the lexical-retrieval baseline and the lexical component of
+//! the hybrid retriever. Documents are identified by dense `usize` ids
+//! assigned at insertion order.
+
+use std::collections::HashMap;
+
+use crate::normalize::normalize_token;
+use crate::tokenize::tokenize_words;
+
+/// BM25 hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (typical 1.2–2.0).
+    pub k1: f64,
+    /// Length normalization strength (0 = none, 1 = full).
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.5, b: 0.75 }
+    }
+}
+
+/// An inverted-index-backed BM25 scorer.
+#[derive(Debug, Clone)]
+pub struct Bm25Index {
+    params: Bm25Params,
+    /// term -> postings of (doc_id, term_frequency).
+    postings: HashMap<String, Vec<(usize, u32)>>,
+    /// Document lengths in tokens.
+    doc_len: Vec<usize>,
+    total_tokens: usize,
+}
+
+impl Default for Bm25Index {
+    fn default() -> Self {
+        Self::new(Bm25Params::default())
+    }
+}
+
+impl Bm25Index {
+    /// Creates an empty index with the given parameters.
+    pub fn new(params: Bm25Params) -> Self {
+        Self { params, postings: HashMap::new(), doc_len: Vec::new(), total_tokens: 0 }
+    }
+
+    /// Adds a document, returning its id (insertion order).
+    pub fn add_document(&mut self, text: &str) -> usize {
+        let terms: Vec<String> =
+            tokenize_words(text).iter().map(|t| normalize_token(t)).collect();
+        self.add_terms(&terms)
+    }
+
+    /// Adds a pre-normalized term list as a document, returning its id.
+    pub fn add_terms(&mut self, terms: &[String]) -> usize {
+        let doc_id = self.doc_len.len();
+        self.doc_len.push(terms.len());
+        self.total_tokens += terms.len();
+        let mut tf: HashMap<&String, u32> = HashMap::new();
+        for t in terms {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        for (t, c) in tf {
+            self.postings.entry(t.clone()).or_default().push((doc_id, c));
+        }
+        doc_id
+    }
+
+    /// Number of documents in the index.
+    pub fn len(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// True when no documents have been added.
+    pub fn is_empty(&self) -> bool {
+        self.doc_len.is_empty()
+    }
+
+    /// Approximate resident size of the index in bytes (for the E2 storage
+    /// experiment): postings entries plus term keys plus doc-length array.
+    pub fn approx_bytes(&self) -> usize {
+        let postings: usize = self
+            .postings
+            .iter()
+            .map(|(k, v)| k.len() + v.len() * std::mem::size_of::<(usize, u32)>())
+            .sum();
+        postings + self.doc_len.len() * std::mem::size_of::<usize>()
+    }
+
+    fn avg_doc_len(&self) -> f64 {
+        if self.doc_len.is_empty() {
+            0.0
+        } else {
+            self.total_tokens as f64 / self.doc_len.len() as f64
+        }
+    }
+
+    fn idf(&self, term: &str) -> f64 {
+        let n = self.doc_len.len() as f64;
+        let df = self.postings.get(term).map_or(0, Vec::len) as f64;
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+
+    /// Scores all matching documents for a raw-text query.
+    ///
+    /// Returns `(doc_id, score)` pairs sorted by descending score (ties by
+    /// ascending id for determinism). Documents with no query term overlap
+    /// are omitted.
+    pub fn search(&self, query: &str, top_k: usize) -> Vec<(usize, f64)> {
+        let terms: Vec<String> =
+            tokenize_words(query).iter().map(|t| normalize_token(t)).collect();
+        self.search_terms(&terms, top_k)
+    }
+
+    /// Like [`Self::search`] but with pre-normalized query terms.
+    pub fn search_terms(&self, terms: &[String], top_k: usize) -> Vec<(usize, f64)> {
+        let avg = self.avg_doc_len();
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        for term in terms {
+            let Some(posts) = self.postings.get(term) else { continue };
+            let idf = self.idf(term);
+            for &(doc, tf) in posts {
+                let dl = self.doc_len[doc] as f64;
+                let tf = f64::from(tf);
+                let denom =
+                    tf + self.params.k1 * (1.0 - self.params.b + self.params.b * dl / avg.max(1e-9));
+                let s = idf * tf * (self.params.k1 + 1.0) / denom;
+                *scores.entry(doc).or_insert(0.0) += s;
+            }
+        }
+        let mut out: Vec<(usize, f64)> = scores.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        out.truncate(top_k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Bm25Index {
+        let mut ix = Bm25Index::default();
+        ix.add_document("the quick brown fox jumps over the lazy dog");
+        ix.add_document("a fast auburn fox leaps above a sleepy hound");
+        ix.add_document("quarterly sales report for product alpha");
+        ix.add_document("alpha product sales grew twenty percent in the second quarter");
+        ix
+    }
+
+    #[test]
+    fn finds_relevant_doc_first() {
+        let ix = sample();
+        let hits = ix.search("alpha sales", 10);
+        assert!(!hits.is_empty());
+        assert!(hits[0].0 == 2 || hits[0].0 == 3);
+    }
+
+    #[test]
+    fn irrelevant_query_returns_empty() {
+        let ix = sample();
+        assert!(ix.search("zebra xylophone", 10).is_empty());
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let ix = sample();
+        let hits = ix.search("fox sales", 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn scores_descend() {
+        let ix = sample();
+        let hits = ix.search("alpha product sales quarter", 10);
+        for w in hits.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut ix = Bm25Index::default();
+        ix.add_document("same text here");
+        ix.add_document("same text here");
+        let hits = ix.search("same text", 10);
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[1].0, 1);
+    }
+
+    #[test]
+    fn stemming_matches_variants() {
+        let ix = sample();
+        // "jumps" indexed; query "jumping" should still hit doc 0.
+        let hits = ix.search("jumping fox", 10);
+        assert!(hits.iter().any(|&(d, _)| d == 0));
+    }
+
+    #[test]
+    fn empty_index() {
+        let ix = Bm25Index::default();
+        assert!(ix.is_empty());
+        assert!(ix.search("anything", 5).is_empty());
+    }
+
+    #[test]
+    fn length_normalization_prefers_concise_doc() {
+        let mut ix = Bm25Index::default();
+        ix.add_document("fox");
+        ix.add_document("fox and many many many many other completely unrelated words here");
+        let hits = ix.search("fox", 2);
+        assert_eq!(hits[0].0, 0);
+    }
+
+    #[test]
+    fn approx_bytes_grows() {
+        let mut ix = Bm25Index::default();
+        let b0 = ix.approx_bytes();
+        ix.add_document("some document text with several words");
+        assert!(ix.approx_bytes() > b0);
+    }
+}

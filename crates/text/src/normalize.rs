@@ -1,0 +1,319 @@
+//! Token normalization: case folding, stopwords, and a Porter-style stemmer.
+//!
+//! The stemmer implements the high-value subset of the Porter algorithm
+//! (steps 1a/1b/1c plus the common derivational suffixes) — enough to conflate
+//! `purchases`/`purchased`/`purchasing` → `purchas`, which is what retrieval
+//! needs, without the long tail of rare rules.
+
+/// English stopwords used across indexing and query analysis.
+///
+/// The list is intentionally small: over-aggressive stopword removal hurts
+/// entity-bearing queries ("IT department", "The Who").
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "been", "but", "by", "for", "from", "had", "has",
+    "have", "he", "her", "his", "i", "in", "into", "is", "it", "its", "of", "on", "or", "our",
+    "she", "such", "that", "the", "their", "them", "then", "there", "these", "they", "this",
+    "to", "was", "we", "were", "which", "will", "with", "you", "your", "do", "does", "did",
+    "what", "when", "where", "who", "how", "why", "than", "so", "if", "not", "no", "any", "all",
+    "each", "per", "about", "over", "under", "between", "during", "after", "before",
+];
+
+/// Returns true when `word` (lower-cased) is an English stopword.
+pub fn is_stopword(word: &str) -> bool {
+    let lower = word.to_lowercase();
+    STOPWORDS.binary_search(&lower.as_str()).is_ok() || STOPWORDS.contains(&lower.as_str())
+}
+
+/// A reusable stopword filter.
+///
+/// Holds the default list plus optional extra (domain) stopwords.
+#[derive(Debug, Clone, Default)]
+pub struct StopwordFilter {
+    extra: Vec<String>,
+}
+
+impl StopwordFilter {
+    /// Creates a filter with only the default stopword list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds domain-specific stopwords (lower-cased internally).
+    pub fn with_extra<I: IntoIterator<Item = S>, S: Into<String>>(mut self, extra: I) -> Self {
+        self.extra.extend(extra.into_iter().map(|s| s.into().to_lowercase()));
+        self
+    }
+
+    /// Returns true when `word` should be filtered out.
+    pub fn is_stop(&self, word: &str) -> bool {
+        let lower = word.to_lowercase();
+        is_stopword(&lower) || self.extra.iter().any(|e| e == &lower)
+    }
+
+    /// Removes stopwords from a token stream, preserving order.
+    pub fn filter<'a>(&'a self, tokens: &'a [String]) -> impl Iterator<Item = &'a String> + 'a {
+        tokens.iter().filter(move |t| !self.is_stop(t))
+    }
+}
+
+/// Lowercases and stems a token: the canonical index-term form.
+pub fn normalize_token(token: &str) -> String {
+    stem(&token.to_lowercase())
+}
+
+/// Porter-style stemmer (steps 1a, 1b, 1c and common step-2/3/4 suffixes).
+///
+/// Operates on lower-case ASCII words; non-ASCII input is returned unchanged.
+///
+/// ```
+/// use unisem_text::stem;
+/// assert_eq!(stem("purchases"), stem("purchased"));
+/// assert_eq!(stem("running"), "run");
+/// ```
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.is_ascii() {
+        return word.to_string();
+    }
+    let mut w = word.to_string();
+
+    // Step 1a: plurals.
+    if let Some(base) = w.strip_suffix("sses") {
+        w = format!("{base}ss");
+    } else if let Some(base) = w.strip_suffix("ies") {
+        w = format!("{base}i");
+    } else if w.ends_with("ss") {
+        // keep
+    } else if let Some(base) = w.strip_suffix('s') {
+        if base.len() > 2 {
+            w = base.to_string();
+        }
+    }
+
+    // Step 1b: -eed, -ed, -ing.
+    if let Some(base) = w.strip_suffix("eed") {
+        if measure(base) > 0 {
+            w = format!("{base}ee");
+        }
+    } else if let Some(base) = w.strip_suffix("ed") {
+        if contains_vowel(base) {
+            w = post_1b(base);
+        }
+    } else if let Some(base) = w.strip_suffix("ing") {
+        if contains_vowel(base) {
+            w = post_1b(base);
+        }
+    }
+
+    // Step 1c: terminal y -> i when stem has a vowel.
+    if w.ends_with('y') {
+        let base = &w[..w.len() - 1];
+        if contains_vowel(base) && base.len() > 1 {
+            w = format!("{base}i");
+        }
+    }
+
+    // A selection of step 2–4 derivational suffixes (longest first).
+    const SUFFIX_MAP: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("ization", "ize"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("iveness", "ive"),
+        ("tional", "tion"),
+        ("biliti", "ble"),
+        ("entli", "ent"),
+        ("ousli", "ous"),
+        ("alism", "al"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("ement", ""),
+        ("ment", ""),
+        ("ance", ""),
+        ("ence", ""),
+        ("able", ""),
+        ("ible", ""),
+        ("ant", ""),
+        ("ent", ""),
+        ("ion", ""),
+        ("ful", ""),
+        ("er", ""),
+        ("ness", ""),
+        ("aliti", "al"),
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+    ];
+    for (suf, rep) in SUFFIX_MAP {
+        if let Some(base) = w.strip_suffix(suf) {
+            // Porter: step-2/3 rewrites need m > 0; step-4 deletions m > 1.
+            let min_measure = if rep.is_empty() { 1 } else { 0 };
+            if measure(base) > min_measure {
+                w = format!("{base}{rep}");
+                break;
+            }
+        }
+    }
+
+    // Step 5a: drop a final 'e' when the stem is long enough.
+    if let Some(base) = w.strip_suffix('e') {
+        let m = measure(base);
+        if m > 1 || (m == 1 && !ends_cvc(base)) {
+            w = base.to_string();
+        }
+    }
+    w
+}
+
+/// After removing -ed/-ing: restore 'e' (hop->hope cases), undouble
+/// consonants (hopp->hop), per Porter 1b cleanup.
+fn post_1b(base: &str) -> String {
+    if base.ends_with("at") || base.ends_with("bl") || base.ends_with("iz") {
+        return format!("{base}e");
+    }
+    let bytes = base.as_bytes();
+    let n = bytes.len();
+    if n >= 2 && bytes[n - 1] == bytes[n - 2] && is_consonant_byte(bytes, n - 1) {
+        let last = bytes[n - 1] as char;
+        if !matches!(last, 'l' | 's' | 'z') {
+            return base[..n - 1].to_string();
+        }
+    }
+    if measure(base) == 1 && ends_cvc(base) {
+        return format!("{base}e");
+    }
+    base.to_string()
+}
+
+fn is_vowel_byte(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] as char {
+        'a' | 'e' | 'i' | 'o' | 'u' => true,
+        'y' => i > 0 && !is_vowel_byte(bytes, i - 1),
+        _ => false,
+    }
+}
+
+fn is_consonant_byte(bytes: &[u8], i: usize) -> bool {
+    !is_vowel_byte(bytes, i)
+}
+
+fn contains_vowel(word: &str) -> bool {
+    let bytes = word.as_bytes();
+    (0..bytes.len()).any(|i| is_vowel_byte(bytes, i))
+}
+
+/// Porter "measure": the number of VC sequences in the word.
+fn measure(word: &str) -> usize {
+    let bytes = word.as_bytes();
+    let mut m = 0;
+    let mut prev_vowel = false;
+    for i in 0..bytes.len() {
+        let v = is_vowel_byte(bytes, i);
+        if prev_vowel && !v {
+            m += 1;
+        }
+        prev_vowel = v;
+    }
+    m
+}
+
+/// True for consonant-vowel-consonant ending where the final consonant is
+/// not w, x, or y.
+fn ends_cvc(word: &str) -> bool {
+    let bytes = word.as_bytes();
+    let n = bytes.len();
+    if n < 3 {
+        return false;
+    }
+    is_consonant_byte(bytes, n - 3)
+        && is_vowel_byte(bytes, n - 2)
+        && is_consonant_byte(bytes, n - 1)
+        && !matches!(bytes[n - 1] as char, 'w' | 'x' | 'y')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stem_plurals() {
+        assert_eq!(stem("caresses"), "caress");
+        assert_eq!(stem("ponies"), "poni");
+        assert_eq!(stem("cats"), "cat");
+        assert_eq!(stem("pass"), "pass");
+    }
+
+    #[test]
+    fn stem_ed_ing() {
+        assert_eq!(stem("plastered"), "plaster");
+        assert_eq!(stem("motoring"), "motor");
+        assert_eq!(stem("hopping"), "hop");
+        assert_eq!(stem("running"), "run");
+        assert_eq!(stem("filing"), "file");
+    }
+
+    #[test]
+    fn conflation_classes() {
+        assert_eq!(stem("purchases"), stem("purchased"));
+        assert_eq!(stem("purchasing"), stem("purchase"));
+        assert_eq!(stem("connected"), stem("connecting"));
+        assert_eq!(stem("relational"), stem("relate"));
+    }
+
+    #[test]
+    fn y_to_i() {
+        assert_eq!(stem("happy"), "happi");
+        assert_eq!(stem("sky"), "sky"); // no vowel before y
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("be"), "be");
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("go"), "go");
+    }
+
+    #[test]
+    fn non_ascii_untouched() {
+        assert_eq!(stem("naïve"), "naïve");
+    }
+
+    #[test]
+    fn stopwords_basic() {
+        assert!(is_stopword("the"));
+        assert!(is_stopword("The"));
+        assert!(!is_stopword("sales"));
+        assert!(!is_stopword("drug"));
+    }
+
+    #[test]
+    fn stopword_filter_extra() {
+        let f = StopwordFilter::new().with_extra(["product"]);
+        assert!(f.is_stop("the"));
+        assert!(f.is_stop("Product"));
+        assert!(!f.is_stop("sales"));
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let f = StopwordFilter::new();
+        let toks: Vec<String> =
+            ["the", "total", "of", "sales"].iter().map(|s| s.to_string()).collect();
+        let kept: Vec<&String> = f.filter(&toks).collect();
+        assert_eq!(kept, vec!["total", "sales"]);
+    }
+
+    #[test]
+    fn normalize_combines() {
+        assert_eq!(normalize_token("Purchases"), normalize_token("purchased"));
+    }
+
+    #[test]
+    fn measure_examples() {
+        assert_eq!(measure("tr"), 0);
+        assert_eq!(measure("tree"), 0);
+        assert_eq!(measure("trouble"), 1);
+        assert_eq!(measure("troubles"), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! String and set similarity measures.
+//!
+//! Used for entity linking (matching query mentions to graph entity nodes),
+//! answer clustering in semantic entropy, and fuzzy schema alignment.
+
+use std::collections::HashMap;
+
+/// Levenshtein edit distance between two strings (unit costs).
+///
+/// Runs in `O(|a| * |b|)` time and `O(min(|a|, |b|))` space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr = vec![0usize; short.len() + 1];
+    for (i, lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein similarity normalized to `[0, 1]` (1 = identical).
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity in `[0, 1]`.
+fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                matches_a.push((i, j));
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters out of order.
+    let mut b_matches: Vec<usize> = matches_a.iter().map(|&(_, j)| j).collect();
+    let sorted = {
+        let mut s = b_matches.clone();
+        s.sort_unstable();
+        s
+    };
+    let t = b_matches
+        .iter()
+        .zip(sorted.iter())
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    b_matches.clear();
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity in `[0, 1]`, boosting shared prefixes.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Jaccard similarity of two token sets in `[0, 1]`.
+pub fn jaccard<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<&T> = a.iter().collect();
+    let sb: HashSet<&T> = b.iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Cosine similarity between two term-frequency maps.
+pub fn cosine_terms(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let dot: f64 = small
+        .iter()
+        .filter_map(|(k, v)| large.get(k).map(|w| v * w))
+        .sum();
+    let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Cosine similarity between two dense vectors of equal length.
+///
+/// Returns 0.0 when either vector is all-zero. Panics if lengths differ.
+pub fn cosine_dense(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "cosine_dense: dimension mismatch");
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        dot += f64::from(x) * f64::from(y);
+        na += f64::from(x) * f64::from(x);
+        nb += f64::from(y) * f64::from(y);
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn levenshtein_symmetric() {
+        assert_eq!(levenshtein("abcdef", "azced"), levenshtein("azced", "abcdef"));
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 1.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 0.0);
+        let v = normalized_levenshtein("drug-a", "druga");
+        assert!(v > 0.8);
+    }
+
+    #[test]
+    fn jaro_winkler_basics() {
+        assert!((jaro_winkler("martha", "marhta") - 0.9611).abs() < 0.001);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+        assert_eq!(jaro_winkler("abc", ""), 0.0);
+        assert!(jaro_winkler("prefix", "prefixed") > jaro_winkler("prefix", "xiferp"));
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a = vec!["a", "b", "c"];
+        let b = vec!["b", "c", "d"];
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-9);
+        let empty: Vec<&str> = vec![];
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        assert_eq!(jaccard(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn jaccard_duplicates_are_set_semantics() {
+        let a = vec!["a", "a", "b"];
+        let b = vec!["a", "b", "b"];
+        assert_eq!(jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn cosine_terms_basics() {
+        let mut a = HashMap::new();
+        a.insert("x".to_string(), 1.0);
+        a.insert("y".to_string(), 1.0);
+        let mut b = HashMap::new();
+        b.insert("x".to_string(), 1.0);
+        b.insert("y".to_string(), 1.0);
+        assert!((cosine_terms(&a, &b) - 1.0).abs() < 1e-9);
+        let mut c = HashMap::new();
+        c.insert("z".to_string(), 2.0);
+        assert_eq!(cosine_terms(&a, &c), 0.0);
+    }
+
+    #[test]
+    fn cosine_dense_basics() {
+        assert!((cosine_dense(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-9);
+        assert!((cosine_dense(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-9);
+        assert_eq!(cosine_dense(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn cosine_dense_mismatch_panics() {
+        cosine_dense(&[1.0], &[1.0, 2.0]);
+    }
+}

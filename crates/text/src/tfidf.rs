@@ -1,0 +1,193 @@
+//! Corpus statistics and TF-IDF weighting.
+
+use std::collections::HashMap;
+
+use crate::normalize::normalize_token;
+use crate::tokenize::tokenize_words;
+
+/// Document-frequency statistics over a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    /// Number of documents containing each term.
+    doc_freq: HashMap<String, usize>,
+    /// Total number of documents.
+    num_docs: usize,
+    /// Sum of document lengths in tokens (for average length).
+    total_tokens: usize,
+}
+
+impl CorpusStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one document's normalized terms to the statistics.
+    pub fn add_document(&mut self, terms: &[String]) {
+        self.num_docs += 1;
+        self.total_tokens += terms.len();
+        let mut seen = std::collections::HashSet::new();
+        for t in terms {
+            if seen.insert(t) {
+                *self.doc_freq.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Number of documents observed.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Average document length in tokens (0.0 for an empty corpus).
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.num_docs == 0 {
+            0.0
+        } else {
+            self.total_tokens as f64 / self.num_docs as f64
+        }
+    }
+
+    /// Document frequency of `term` (how many documents contain it).
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.doc_freq.get(term).copied().unwrap_or(0)
+    }
+
+    /// Smoothed inverse document frequency: `ln(1 + (N - df + 0.5)/(df + 0.5))`.
+    ///
+    /// This is the BM25 IDF form, always non-negative.
+    pub fn idf(&self, term: &str) -> f64 {
+        let n = self.num_docs as f64;
+        let df = self.doc_freq(term) as f64;
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+
+    /// Number of distinct terms seen.
+    pub fn vocab_size(&self) -> usize {
+        self.doc_freq.len()
+    }
+}
+
+/// Turns raw text into TF-IDF weighted term maps against fitted corpus stats.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfVectorizer {
+    stats: CorpusStats,
+}
+
+impl TfIdfVectorizer {
+    /// Creates an unfitted vectorizer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Normalizes raw text into index terms (tokenize → lowercase → stem).
+    pub fn terms(text: &str) -> Vec<String> {
+        tokenize_words(text).iter().map(|t| normalize_token(t)).collect()
+    }
+
+    /// Fits the vectorizer on an iterator of documents.
+    pub fn fit<'a, I: IntoIterator<Item = &'a str>>(&mut self, docs: I) {
+        for d in docs {
+            let terms = Self::terms(d);
+            self.stats.add_document(&terms);
+        }
+    }
+
+    /// Access the underlying corpus statistics.
+    pub fn stats(&self) -> &CorpusStats {
+        &self.stats
+    }
+
+    /// Computes the TF-IDF map for one document.
+    ///
+    /// TF is log-scaled (`1 + ln(tf)`); IDF uses the smoothed BM25 form.
+    pub fn transform(&self, text: &str) -> HashMap<String, f64> {
+        let terms = Self::terms(text);
+        let mut tf: HashMap<String, usize> = HashMap::new();
+        for t in terms {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        tf.into_iter()
+            .map(|(t, c)| {
+                let w = (1.0 + (c as f64).ln()) * self.stats.idf(&t);
+                (t, w)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::cosine_terms;
+
+    fn fit_sample() -> TfIdfVectorizer {
+        let mut v = TfIdfVectorizer::new();
+        v.fit([
+            "the cat sat on the mat",
+            "the dog sat on the log",
+            "cats and dogs are pets",
+        ]);
+        v
+    }
+
+    #[test]
+    fn stats_counts() {
+        let v = fit_sample();
+        assert_eq!(v.stats().num_docs(), 3);
+        assert!(v.stats().vocab_size() > 5);
+        assert_eq!(v.stats().doc_freq(&normalize_token("sat")), 2);
+    }
+
+    #[test]
+    fn idf_orders_rarity() {
+        let v = fit_sample();
+        let common = v.stats().idf(&normalize_token("the"));
+        let rare = v.stats().idf(&normalize_token("mat"));
+        assert!(rare > common);
+    }
+
+    #[test]
+    fn idf_nonnegative_even_for_ubiquitous_terms() {
+        let mut v = TfIdfVectorizer::new();
+        v.fit(["a a", "a b", "a c"]);
+        assert!(v.stats().idf("a") > 0.0);
+    }
+
+    #[test]
+    fn transform_weights_repeats_sublinearly() {
+        let v = fit_sample();
+        let m1 = v.transform("mat");
+        let m2 = v.transform("mat mat mat mat");
+        let w1 = m1[&normalize_token("mat")];
+        let w2 = m2[&normalize_token("mat")];
+        assert!(w2 > w1);
+        assert!(w2 < 4.0 * w1);
+    }
+
+    #[test]
+    fn similar_docs_have_higher_cosine() {
+        let v = fit_sample();
+        let a = v.transform("the cat sat");
+        let b = v.transform("a cat sat down");
+        let c = v.transform("dogs are pets");
+        assert!(cosine_terms(&a, &b) > cosine_terms(&a, &c));
+    }
+
+    #[test]
+    fn stemming_conflates_in_transform() {
+        let v = fit_sample();
+        // "cats" in corpus doc 3; query "cat" should share the stemmed term.
+        let q = v.transform("cat");
+        let d = v.transform("cats");
+        assert!(cosine_terms(&q, &d) > 0.9);
+    }
+
+    #[test]
+    fn empty_corpus_and_doc() {
+        let v = TfIdfVectorizer::new();
+        assert_eq!(v.stats().num_docs(), 0);
+        assert_eq!(v.stats().avg_doc_len(), 0.0);
+        assert!(v.transform("").is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Span-preserving tokenization.
+//!
+//! The tokenizer splits raw text into [`Token`]s that remember their byte
+//! offsets in the source string, so downstream consumers (NER tagging, chunk
+//! construction, provenance tracking) can always map results back to the
+//! original document.
+
+/// The lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Alphabetic word (may contain internal apostrophes or hyphens).
+    Word,
+    /// Integer or decimal number, optionally with sign, commas, `%` or
+    /// currency handled as separate tokens.
+    Number,
+    /// A single punctuation or symbol character.
+    Punct,
+}
+
+/// A token with its byte span in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text as it appears in the source.
+    pub text: String,
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl Token {
+    /// Returns the token text lower-cased.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+
+    /// True if the token starts with an uppercase letter.
+    pub fn is_capitalized(&self) -> bool {
+        self.text.chars().next().is_some_and(|c| c.is_uppercase())
+    }
+
+    /// True if every alphabetic character in the token is uppercase and the
+    /// token contains at least two characters (e.g. acronyms like `EHR`).
+    pub fn is_acronym(&self) -> bool {
+        self.text.chars().count() >= 2
+            && self.text.chars().all(|c| !c.is_alphabetic() || c.is_uppercase())
+            && self.text.chars().any(|c| c.is_alphabetic())
+    }
+}
+
+/// Tokenizes `text` into words, numbers, and punctuation with byte spans.
+///
+/// Rules:
+/// - Runs of alphabetic characters form [`TokenKind::Word`] tokens; internal
+///   `'` and `-` are kept when surrounded by letters (`don't`, `cross-modal`).
+/// - Runs of digits form [`TokenKind::Number`] tokens; internal `.` and `,`
+///   are kept when surrounded by digits (`1,234.56`).
+/// - Everything else that is not whitespace becomes a single-character
+///   [`TokenKind::Punct`] token.
+///
+/// ```
+/// use unisem_text::tokenize;
+/// let toks = tokenize("Q2 sales rose 20%.");
+/// let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+/// assert_eq!(texts, vec!["Q2", "sales", "rose", "20", "%", "."]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let bytes = text.char_indices().collect::<Vec<_>>();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let (off, c) = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphabetic() {
+            // Word: letters plus digits directly attached (Q2, B2B) and
+            // internal apostrophes/hyphens surrounded by alphanumerics.
+            let start = off;
+            let mut j = i + 1;
+            while j < bytes.len() {
+                let (_, cj) = bytes[j];
+                if cj.is_alphanumeric() {
+                    j += 1;
+                } else if (cj == '\'' || cj == '-')
+                    && j + 1 < bytes.len()
+                    && bytes[j + 1].1.is_alphanumeric()
+                {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            let end = if j < bytes.len() { bytes[j].0 } else { text.len() };
+            tokens.push(Token {
+                text: text[start..end].to_string(),
+                kind: TokenKind::Word,
+                start,
+                end,
+            });
+            i = j;
+        } else if c.is_ascii_digit()
+            || ((c == '-' || c == '+')
+                && i + 1 < bytes.len()
+                && bytes[i + 1].1.is_ascii_digit()
+                && prev_is_boundary(&tokens, off))
+        {
+            let start = off;
+            let mut j = if c == '-' || c == '+' { i + 1 } else { i };
+            while j < bytes.len() {
+                let (_, cj) = bytes[j];
+                if cj.is_ascii_digit() {
+                    j += 1;
+                } else if (cj == '.' || cj == ',')
+                    && j + 1 < bytes.len()
+                    && bytes[j + 1].1.is_ascii_digit()
+                {
+                    j += 2;
+                } else {
+                    break;
+                }
+            }
+            let end = if j < bytes.len() { bytes[j].0 } else { text.len() };
+            tokens.push(Token {
+                text: text[start..end].to_string(),
+                kind: TokenKind::Number,
+                start,
+                end,
+            });
+            i = j;
+        } else {
+            let end = off + c.len_utf8();
+            tokens.push(Token {
+                text: text[off..end].to_string(),
+                kind: TokenKind::Punct,
+                start: off,
+                end,
+            });
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// True when a leading `-`/`+` at byte `off` should start a signed number:
+/// only when the previous emitted token does not end immediately before it
+/// (i.e. there is whitespace or start-of-text before the sign).
+fn prev_is_boundary(tokens: &[Token], off: usize) -> bool {
+    tokens.last().map_or(true, |t| t.end < off)
+}
+
+/// Convenience: lowercase word and number tokens only (punctuation dropped).
+///
+/// This is the shape most indexing code wants.
+pub fn tokenize_words(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| t.kind != TokenKind::Punct)
+        .map(|t| t.lower())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_sentence() {
+        let toks = tokenize("The cat sat.");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0].text, "The");
+        assert_eq!(toks[0].kind, TokenKind::Word);
+        assert_eq!(toks[3].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn spans_roundtrip() {
+        let text = "Drug-A improved outcomes by 12.5% in Q2.";
+        for t in tokenize(text) {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+
+    #[test]
+    fn numbers_with_separators() {
+        let toks = tokenize("revenue was 1,234.56 dollars");
+        let num = toks.iter().find(|t| t.kind == TokenKind::Number).unwrap();
+        assert_eq!(num.text, "1,234.56");
+    }
+
+    #[test]
+    fn signed_number_after_space() {
+        let toks = tokenize("change: -15 points");
+        let num = toks.iter().find(|t| t.kind == TokenKind::Number).unwrap();
+        assert_eq!(num.text, "-15");
+    }
+
+    #[test]
+    fn hyphen_between_words_kept() {
+        let toks = tokenize("cross-modal context");
+        assert_eq!(toks[0].text, "cross-modal");
+    }
+
+    #[test]
+    fn trailing_hyphen_not_kept() {
+        let toks = tokenize("cross- modal");
+        assert_eq!(toks[0].text, "cross");
+        assert_eq!(toks[1].text, "-");
+    }
+
+    #[test]
+    fn alphanumeric_words() {
+        let toks = tokenize("Q2 B2B 4K");
+        assert_eq!(toks[0].text, "Q2");
+        assert_eq!(toks[1].text, "B2B");
+        // "4K" starts with a digit: number 4, then word K.
+        assert_eq!(toks[2].text, "4");
+        assert_eq!(toks[3].text, "K");
+    }
+
+    #[test]
+    fn percent_is_separate_punct() {
+        let toks = tokenize("20%");
+        assert_eq!(toks[0].text, "20");
+        assert_eq!(toks[1].text, "%");
+        assert_eq!(toks[1].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn apostrophes() {
+        let toks = tokenize("patient's symptoms don't improve");
+        assert_eq!(toks[0].text, "patient's");
+        assert_eq!(toks[2].text, "don't");
+    }
+
+    #[test]
+    fn unicode_text() {
+        let text = "naïve café 概念 42";
+        let toks = tokenize(text);
+        for t in &toks {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+        assert!(toks.iter().any(|t| t.text == "naïve"));
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn tokenize_words_drops_punct_and_lowercases() {
+        let ws = tokenize_words("The Cat, the HAT!");
+        assert_eq!(ws, vec!["the", "cat", "the", "hat"]);
+    }
+
+    #[test]
+    fn acronym_detection() {
+        let toks = tokenize("the EHR system");
+        assert!(toks[1].is_acronym());
+        assert!(!toks[0].is_acronym());
+        assert!(!toks[2].is_acronym());
+    }
+
+    #[test]
+    fn capitalized_detection() {
+        let toks = tokenize("Alice met bob");
+        assert!(toks[0].is_capitalized());
+        assert!(!toks[2].is_capitalized());
+    }
+}

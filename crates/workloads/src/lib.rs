@@ -1,0 +1,28 @@
+//! # unisem-workloads
+//!
+//! Seeded synthetic heterogeneous corpora with **gold labels** — the
+//! substitution for the proprietary datasets (EHRs, e-commerce lakes) the
+//! paper motivates with (DESIGN.md §2).
+//!
+//! Each workload produces all three modalities plus ground truth:
+//!
+//! - relational tables (for the structured substrate),
+//! - JSON collections (semi-structured),
+//! - free-text documents (unstructured) whose *content is derived from the
+//!   same gold facts*, so cross-modal questions have verifiable answers,
+//! - a domain [`unisem_slm::Lexicon`] (the SLM's world knowledge),
+//! - [`qa::QaItem`]s with typed gold answers spanning lookup, aggregate,
+//!   threshold, comparative, cross-modal, and unanswerable categories.
+//!
+//! Everything is deterministic in the seed.
+
+pub mod ecommerce;
+pub mod healthcare;
+pub mod names;
+pub mod qa;
+pub mod reports;
+
+pub use ecommerce::{EcommerceConfig, EcommerceWorkload};
+pub use healthcare::{HealthcareConfig, HealthcareWorkload};
+pub use qa::{answer_matches, GoldAnswer, QaCategory, QaItem};
+pub use reports::{GoldFact, ReportCorpus};

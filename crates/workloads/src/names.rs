@@ -1,0 +1,134 @@
+//! Deterministic name pools.
+//!
+//! All generators draw names by index (modulo pool arithmetic), so a given
+//! seed and size always yield the same inventory.
+
+/// Product name components.
+const PRODUCT_ADJ: &[&str] = &[
+    "Aero", "Nova", "Pulse", "Zen", "Flux", "Echo", "Terra", "Volt", "Luma", "Orbit", "Quanta",
+    "Vertex", "Drift", "Ember", "Frost", "Gale", "Halo", "Iris", "Jolt", "Krypt",
+];
+const PRODUCT_NOUN: &[&str] = &[
+    "Widget", "Speaker", "Lamp", "Kettle", "Router", "Drone", "Monitor", "Blender", "Charger",
+    "Camera", "Headset", "Keyboard", "Scale", "Fan", "Heater", "Purifier", "Tracker", "Sensor",
+    "Printer", "Projector",
+];
+
+/// Manufacturer name pool.
+const MAKERS: &[&str] = &[
+    "Acme Corp", "Initech Labs", "Globex Inc", "Umbra Ltd", "Vortex Group", "Zenith Co",
+    "Pinnacle Inc", "Apex Labs", "Stellar Corp", "Nimbus Ltd",
+];
+
+/// Category pool.
+const CATEGORIES: &[&str] =
+    &["electronics", "kitchen", "fitness", "office", "outdoors", "home"];
+
+/// Person given/family names.
+const GIVEN: &[&str] = &[
+    "Alice", "Bruno", "Clara", "Dmitri", "Elena", "Farid", "Grace", "Hiro", "Ingrid", "Jonas",
+    "Karim", "Lena", "Marco", "Nadia", "Omar", "Priya", "Quinn", "Rosa", "Sofia", "Tomas",
+];
+const FAMILY: &[&str] = &[
+    "Anders", "Brandt", "Chen", "Duarte", "Egede", "Fischer", "Garcia", "Hoffman", "Ivanov",
+    "Jensen", "Kovacs", "Larsen", "Meyer", "Novak", "Okafor", "Petrov", "Quist", "Rossi",
+    "Silva", "Tanaka",
+];
+
+/// Drug name syllables (suffixes chosen so NER's drug heuristics are NOT
+/// triggered — recognition must come from the lexicon, as with a real SLM).
+const DRUG_HEAD: &[&str] =
+    &["Cor", "Vel", "Zan", "Mel", "Tor", "Lex", "Nor", "Pax", "Rin", "Sol"];
+const DRUG_TAIL: &[&str] =
+    &["adrine", "oxil", "ivan", "umab", "eprine", "axin", "olol", "idone", "etine", "avir"];
+
+/// Medical condition pool.
+const CONDITIONS: &[&str] = &[
+    "migraine", "hypertension", "insomnia", "asthma", "arthritis", "eczema", "anemia",
+    "bronchitis", "dermatitis", "neuralgia",
+];
+
+/// Nth product name ("Aero Widget", "Nova Speaker", …).
+pub fn product(n: usize) -> String {
+    let adj = PRODUCT_ADJ[n % PRODUCT_ADJ.len()];
+    let noun = PRODUCT_NOUN[(n / PRODUCT_ADJ.len() + n) % PRODUCT_NOUN.len()];
+    format!("{adj} {noun}")
+}
+
+/// Nth manufacturer name.
+pub fn manufacturer(n: usize) -> String {
+    MAKERS[n % MAKERS.len()].to_string()
+}
+
+/// Nth category.
+pub fn category(n: usize) -> String {
+    CATEGORIES[n % CATEGORIES.len()].to_string()
+}
+
+/// Nth person name.
+pub fn person(n: usize) -> String {
+    let g = GIVEN[n % GIVEN.len()];
+    let f = FAMILY[(n / GIVEN.len() + n) % FAMILY.len()];
+    format!("{g} {f}")
+}
+
+/// Nth patient identifier ("Patient P-104").
+pub fn patient_id(n: usize) -> String {
+    format!("P-{}", 100 + n)
+}
+
+/// Nth drug name ("Coradrine", "Veloxil", …).
+pub fn drug(n: usize) -> String {
+    let head = DRUG_HEAD[n % DRUG_HEAD.len()];
+    let tail = DRUG_TAIL[(n / DRUG_HEAD.len() + n) % DRUG_TAIL.len()];
+    format!("{head}{tail}")
+}
+
+/// Nth condition.
+pub fn condition(n: usize) -> String {
+    CONDITIONS[n % CONDITIONS.len()].to_string()
+}
+
+/// Quarter label for index `q` (0-based) starting at Q1 2023.
+pub fn quarter(q: usize) -> String {
+    let year = 2023 + q / 4;
+    format!("Q{} {}", q % 4 + 1, year)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct_prefix() {
+        assert_eq!(product(3), product(3));
+        let names: std::collections::HashSet<String> = (0..40).map(product).collect();
+        assert!(names.len() >= 35, "mostly distinct: {}", names.len());
+    }
+
+    #[test]
+    fn drugs_distinct() {
+        let names: std::collections::HashSet<String> = (0..30).map(drug).collect();
+        assert!(names.len() >= 25);
+    }
+
+    #[test]
+    fn people_have_two_parts() {
+        assert_eq!(person(0).split_whitespace().count(), 2);
+        let names: std::collections::HashSet<String> = (0..50).map(person).collect();
+        assert!(names.len() >= 45);
+    }
+
+    #[test]
+    fn quarters_roll_over_years() {
+        assert_eq!(quarter(0), "Q1 2023");
+        assert_eq!(quarter(3), "Q4 2023");
+        assert_eq!(quarter(4), "Q1 2024");
+        assert_eq!(quarter(7), "Q4 2024");
+    }
+
+    #[test]
+    fn patient_ids_stable() {
+        assert_eq!(patient_id(4), "P-104");
+    }
+}

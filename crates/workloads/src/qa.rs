@@ -1,0 +1,212 @@
+//! QA benchmark items and answer checking.
+
+use std::fmt;
+
+/// Category of a QA item — drives per-category accuracy breakdowns (E1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QaCategory {
+    /// Fact lookup about one entity, answerable from one text passage.
+    SingleEntityLookup,
+    /// Aggregate over structured rows ("total sales of X").
+    Aggregate,
+    /// Threshold/multi-entity selection ("which products grew > 15%?").
+    MultiEntityFilter,
+    /// Comparison across entities ("which of A, B rated higher?").
+    Comparative,
+    /// Requires joining text-derived facts with structured rows.
+    CrossModal,
+    /// No supporting evidence exists in the corpus.
+    Unanswerable,
+}
+
+impl QaCategory {
+    /// Stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            QaCategory::SingleEntityLookup => "lookup",
+            QaCategory::Aggregate => "aggregate",
+            QaCategory::MultiEntityFilter => "multi_entity",
+            QaCategory::Comparative => "comparative",
+            QaCategory::CrossModal => "cross_modal",
+            QaCategory::Unanswerable => "unanswerable",
+        }
+    }
+
+    /// All categories in report order.
+    pub const ALL: [QaCategory; 6] = [
+        QaCategory::SingleEntityLookup,
+        QaCategory::Aggregate,
+        QaCategory::MultiEntityFilter,
+        QaCategory::Comparative,
+        QaCategory::CrossModal,
+        QaCategory::Unanswerable,
+    ];
+}
+
+/// The gold answer of a QA item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GoldAnswer {
+    /// A numeric answer with relative tolerance.
+    Numeric {
+        /// Expected value.
+        value: f64,
+        /// Relative tolerance (e.g. 0.02 = ±2%).
+        tolerance: f64,
+    },
+    /// Any of these strings appearing (case-insensitive) counts as correct.
+    AnyOf(Vec<String>),
+    /// All of these strings must appear (entity list answers).
+    AllOf(Vec<String>),
+    /// The system should abstain / flag uncertainty.
+    Abstain,
+}
+
+/// One benchmark question.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QaItem {
+    /// Stable id within the workload.
+    pub id: usize,
+    /// The natural-language question.
+    pub question: String,
+    /// Gold answer.
+    pub gold: GoldAnswer,
+    /// Category.
+    pub category: QaCategory,
+    /// Document ids (in the workload's docstore) containing supporting
+    /// evidence — retrieval ground truth for E6.
+    pub gold_doc_ids: Vec<usize>,
+    /// Canonical entity names the question is about.
+    pub entities: Vec<String>,
+}
+
+impl fmt::Display for QaItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.category.label(), self.question)
+    }
+}
+
+/// Extracts every standalone number from text (commas stripped). Digits
+/// glued to letters ("Q3", "P-101") are not numbers.
+fn all_numbers(text: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut prev_alpha = false;
+    for c in text.chars().chain(std::iter::once(' ')) {
+        let starts_or_continues = c.is_ascii_digit()
+            || ((c == '.' || c == ',') && !current.is_empty())
+            || (current.is_empty() && c == '-');
+        if starts_or_continues && !(current.is_empty() && prev_alpha) {
+            current.push(c);
+        } else {
+            if !current.is_empty() {
+                // A sentence-final period or comma may have been absorbed.
+                let cleaned = current.replace(',', "");
+                let cleaned = cleaned.trim_end_matches('.');
+                if let Ok(v) = cleaned.parse::<f64>() {
+                    out.push(v);
+                }
+                current.clear();
+            }
+            // The "attached to a word" block propagates through hyphens and
+            // digits ("P-101" stays blocked end to end).
+            prev_alpha = c.is_alphabetic() || (prev_alpha && (c == '-' || c.is_ascii_digit()));
+            continue;
+        }
+        prev_alpha = c.is_alphabetic();
+    }
+    out
+}
+
+/// Checks a system answer against a gold answer.
+///
+/// - `Numeric`: the first number in the answer must be within tolerance,
+/// - `AnyOf` / `AllOf`: case-insensitive substring checks,
+/// - `Abstain`: the answer must be empty or an explicit abstention marker.
+pub fn answer_matches(gold: &GoldAnswer, answer: &str) -> bool {
+    let lower = answer.to_lowercase();
+    match gold {
+        GoldAnswer::Numeric { value, tolerance } => {
+            let tol = (value.abs() * tolerance).max(1e-9);
+            all_numbers(answer).iter().any(|v| (v - value).abs() <= tol)
+        }
+        GoldAnswer::AnyOf(opts) => opts.iter().any(|o| lower.contains(&o.to_lowercase())),
+        GoldAnswer::AllOf(parts) => parts.iter().all(|p| lower.contains(&p.to_lowercase())),
+        GoldAnswer::Abstain => {
+            lower.is_empty()
+                || lower.contains("cannot")
+                || lower.contains("unknown")
+                || lower.contains("abstain")
+                || lower.contains("no answer")
+                || lower.contains("uncertain")
+                || lower.contains("inconclusive")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_tolerance() {
+        let g = GoldAnswer::Numeric { value: 100.0, tolerance: 0.02 };
+        assert!(answer_matches(&g, "the total is 101"));
+        assert!(answer_matches(&g, "The answer is 99.5."));
+        assert!(!answer_matches(&g, "the total is 110"));
+        assert!(!answer_matches(&g, "no number here"));
+    }
+
+    #[test]
+    fn numeric_with_commas_and_money() {
+        let g = GoldAnswer::Numeric { value: 15000.0, tolerance: 0.01 };
+        assert!(answer_matches(&g, "sales reached $15,000 in Q2"));
+    }
+
+    #[test]
+    fn any_of_case_insensitive() {
+        let g = GoldAnswer::AnyOf(vec!["Acme Corp".into()]);
+        assert!(answer_matches(&g, "the maker is acme corp."));
+        assert!(!answer_matches(&g, "the maker is initech"));
+    }
+
+    #[test]
+    fn all_of_requires_every_part() {
+        let g = GoldAnswer::AllOf(vec!["alpha".into(), "beta".into()]);
+        assert!(answer_matches(&g, "Both Alpha and Beta qualified"));
+        assert!(!answer_matches(&g, "only alpha qualified"));
+    }
+
+    #[test]
+    fn abstain_markers() {
+        let g = GoldAnswer::Abstain;
+        assert!(answer_matches(&g, ""));
+        assert!(answer_matches(&g, "It cannot be determined"));
+        assert!(answer_matches(&g, "results are inconclusive"));
+        assert!(!answer_matches(&g, "the answer is 42"));
+    }
+
+    #[test]
+    fn number_extraction() {
+        assert_eq!(all_numbers("rose 20% to 500"), vec![20.0, 500.0]);
+        assert_eq!(all_numbers("$1,234.50 total"), vec![1234.5]);
+        assert_eq!(all_numbers("minus -5 degrees"), vec![-5.0]);
+        assert!(all_numbers("none").is_empty());
+        // Digits glued to letters are identifiers, not numbers.
+        assert_eq!(all_numbers("In Q2 2023, sales rose 7.3%"), vec![2023.0, 7.3]);
+        assert!(all_numbers("Patient P-101 improved").is_empty());
+    }
+
+    #[test]
+    fn numeric_matches_any_number() {
+        let g = GoldAnswer::Numeric { value: 7.3, tolerance: 0.02 };
+        assert!(answer_matches(&g, "In Q2 2023, sales increased 7.3% to $6170."));
+        let g = GoldAnswer::Numeric { value: 9.9, tolerance: 0.02 };
+        assert!(!answer_matches(&g, "In Q2 2023, sales increased 7.3% to $6170."));
+    }
+
+    #[test]
+    fn category_labels_stable() {
+        assert_eq!(QaCategory::CrossModal.label(), "cross_modal");
+        assert_eq!(QaCategory::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,86 @@
+//! Quickstart: ingest three data modalities, ask questions across them.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p unisem-core --example quickstart
+//! ```
+
+use unisem_core::{EngineBuilder, EntityKind, Lexicon};
+use unisem_relstore::{DataType, Schema, Table, Value};
+use unisem_semistore::parse_json;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The SLM's domain lexicon — the entities it "knows".
+    let lexicon = Lexicon::new().with_entries([
+        ("Aero Widget", EntityKind::Product),
+        ("Nova Speaker", EntityKind::Product),
+        ("Acme Corp", EntityKind::Organization),
+    ]);
+    let mut builder = EngineBuilder::new(lexicon);
+
+    // 2. Structured: a relational sales table.
+    let sales = Table::from_rows(
+        Schema::of(&[
+            ("product", DataType::Str),
+            ("quarter", DataType::Str),
+            ("amount", DataType::Float),
+        ]),
+        vec![
+            vec![Value::str("Aero Widget"), Value::str("Q1 2024"), Value::Float(1200.0)],
+            vec![Value::str("Aero Widget"), Value::str("Q2 2024"), Value::Float(1500.0)],
+            vec![Value::str("Nova Speaker"), Value::str("Q1 2024"), Value::Float(900.0)],
+            vec![Value::str("Nova Speaker"), Value::str("Q2 2024"), Value::Float(700.0)],
+        ],
+    )?;
+    builder.add_table("sales", sales)?;
+
+    // 3. Semi-structured: JSON order logs.
+    builder.add_json(
+        "orders",
+        parse_json(r#"{"order_id": 1, "product": "Aero Widget", "units": 12}"#)?,
+    );
+    builder.add_json(
+        "orders",
+        parse_json(r#"{"order_id": 2, "product": "Nova Speaker", "units": 7}"#)?,
+    );
+
+    // 4. Unstructured: free-text documents.
+    builder.add_document(
+        "press release",
+        "Acme Corp launched the Aero Widget in January. The Aero Widget is \
+         manufactured by Acme Corp at its Hamburg plant.",
+        "news",
+    );
+    builder.add_document(
+        "q2 report",
+        "In Q2 2024, Aero Widget sales increased 25% to $1500. Customer \
+         feedback remained strongly positive.",
+        "report",
+    );
+
+    // 5. Build: extraction, graph indexing, and retrievers are wired up.
+    let engine = builder.build()?;
+    println!(
+        "engine ready: {} docs, {} graph nodes, tables: {:?}\n",
+        engine.docs().num_documents(),
+        engine.graph().num_nodes(),
+        engine.db().table_names(),
+    );
+
+    // 6. Ask questions spanning the modalities.
+    for question in [
+        // Analytical → operator synthesis over the sales table.
+        "What was the total sales amount of Aero Widget across all quarters?",
+        // Comparative → grouped aggregate, winner first.
+        "Compare the total sales of Aero Widget and Nova Speaker: which product sold more?",
+        // Lookup → topology-enhanced retrieval over text.
+        "Which manufacturer makes the Aero Widget?",
+        // Unanswerable → the engine abstains instead of hallucinating.
+        "What was the total sales of the Phantom Gizmo in Q2 2024?",
+    ] {
+        let answer = engine.answer(question);
+        println!("Q: {question}");
+        println!("A: {answer}\n");
+    }
+    Ok(())
+}

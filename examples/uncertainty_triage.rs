@@ -1,0 +1,56 @@
+//! Semantic-entropy triage (§III.D): flagging unreliable answers.
+//!
+//! Demonstrates the paper's two §III.D vignettes: a well-grounded medical
+//! question that clusters into one meaning (low entropy), and an ambiguous
+//! legal question whose samples diverge into yes/no/conditional clusters
+//! (high entropy → flag for human review).
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p unisem-core --example uncertainty_triage
+//! ```
+
+use unisem_core::Slm;
+use unisem_entropy::EntropyEstimator;
+use unisem_slm::SupportedAnswer;
+
+fn main() {
+    let estimator = EntropyEstimator::new(Slm::default());
+
+    // Vignette 1 (§III.D): "What are common influenza symptoms?" — the
+    // evidence strongly supports one answer; paraphrases land in a single
+    // semantic cluster.
+    let flu_evidence = vec![
+        SupportedAnswer::new("fever, cough and fatigue", 6.0),
+        SupportedAnswer::new("fatigue and cough and fever", 4.0),
+        SupportedAnswer::new("a sore throat", 0.4),
+    ];
+    let report = estimator.estimate("What are common influenza symptoms?", &flu_evidence);
+    println!("medical question: {report:#?}");
+    println!(
+        "→ {} clusters over {} samples, discrete entropy {:.2}: RELIABLE\n",
+        report.n_clusters, report.n_samples, report.discrete_semantic_entropy
+    );
+
+    // Vignette 2 (§III.D): "Can I be sued for sharing a photo on social
+    // media?" — conflicting evidence yields yes/no/conditional clusters.
+    let legal_evidence = vec![
+        SupportedAnswer::new("yes, if the photo is copyrighted", 1.0),
+        SupportedAnswer::new("no, unless consent is violated", 1.0),
+        SupportedAnswer::new("it depends on the jurisdiction", 1.0),
+    ];
+    let report = estimator.estimate("Can I be sued for sharing a photo?", &legal_evidence);
+    println!("legal question: {report:#?}");
+    println!(
+        "→ {} clusters over {} samples, discrete entropy {:.2}: FLAG FOR REVIEW\n",
+        report.n_clusters, report.n_samples, report.discrete_semantic_entropy
+    );
+
+    // No evidence at all: the generator hallucinates divergent answers and
+    // entropy exposes it.
+    let report = estimator.estimate("What is the revenue forecast for 2031?", &[]);
+    println!(
+        "ungrounded question → {} clusters, entropy {:.2}: ABSTAIN",
+        report.n_clusters, report.discrete_semantic_entropy
+    );
+}

@@ -1,0 +1,5 @@
+//! Support crate for cross-crate integration tests (see `tests/tests/`).
+//!
+//! The test files themselves live in this package's `tests/` directory so
+//! `cargo test --workspace` runs them; this library intentionally exports
+//! nothing.

@@ -1,0 +1,62 @@
+//! Whole-system determinism: identical seeds reproduce identical engines,
+//! answers, and experiment measurements — the property every experiment in
+//! EXPERIMENTS.md relies on.
+
+use unisem_core::{EngineBuilder, EngineConfig, UnifiedEngine};
+use unisem_workloads::{EcommerceConfig, EcommerceWorkload};
+
+fn engine(seed: u64) -> (EcommerceWorkload, UnifiedEngine) {
+    let w = EcommerceWorkload::generate(EcommerceConfig {
+        products: 6,
+        quarters: 3,
+        reviews_per_product: 2,
+        qa_per_category: 2,
+        seed,
+        name_offset: 0,
+    });
+    let mut b = EngineBuilder::with_config(w.lexicon.clone(), EngineConfig::default());
+    for name in w.db.table_names() {
+        b.add_table(name, w.db.table(name).unwrap().clone()).unwrap();
+    }
+    for d in &w.documents {
+        b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
+    }
+    let e = b.build().unwrap();
+    (w, e)
+}
+
+#[test]
+fn same_seed_same_everything() {
+    let (w1, e1) = engine(42);
+    let (w2, e2) = engine(42);
+    assert_eq!(w1.qa, w2.qa);
+    assert_eq!(e1.graph().num_nodes(), e2.graph().num_nodes());
+    assert_eq!(e1.graph().num_edges(), e2.graph().num_edges());
+    for item in &w1.qa {
+        assert_eq!(e1.answer(&item.question), e2.answer(&item.question), "{}", item.question);
+    }
+}
+
+#[test]
+fn different_seed_different_corpus() {
+    let (w1, _) = engine(1);
+    let (w2, _) = engine(2);
+    assert_ne!(w1.documents, w2.documents);
+}
+
+#[test]
+fn repeated_answers_are_stable() {
+    let (w, e) = engine(7);
+    let q = &w.qa[0].question;
+    let first = e.answer(q);
+    for _ in 0..3 {
+        assert_eq!(e.answer(q), first);
+    }
+}
+
+#[test]
+fn retrieval_is_deterministic() {
+    let (w, e) = engine(9);
+    let q = &w.qa[1].question;
+    assert_eq!(e.retrieve(q, 5), e.retrieve(q, 5));
+}

@@ -1,0 +1,76 @@
+//! Scale smoke test: a larger corpus still builds quickly, answers
+//! accurately, and keeps index sizes in the expected relative order.
+
+use std::sync::Arc;
+
+use unisem_core::{EngineBuilder, EngineConfig};
+use unisem_retrieval::{ChunkRetriever, DenseRetriever};
+use unisem_workloads::{answer_matches, EcommerceConfig, EcommerceWorkload};
+
+#[test]
+fn large_workload_end_to_end() {
+    let w = EcommerceWorkload::generate(EcommerceConfig {
+        products: 24,
+        quarters: 4,
+        reviews_per_product: 4,
+        qa_per_category: 4,
+        seed: 0x5CA1E,
+            name_offset: 0,
+    });
+    let mut b = EngineBuilder::with_config(w.lexicon.clone(), EngineConfig::default());
+    for name in w.db.table_names() {
+        b.add_table(name, w.db.table(name).unwrap().clone()).unwrap();
+    }
+    for coll in w.semi.collections() {
+        for doc in w.semi.docs(coll) {
+            b.add_json(coll, doc.clone());
+        }
+    }
+    for d in &w.documents {
+        b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
+    }
+    let engine = b.build().unwrap();
+
+    assert!(engine.docs().num_documents() > 200);
+    assert!(engine.graph().num_nodes() > 400);
+
+    let mut correct = 0;
+    for item in &w.qa {
+        if answer_matches(&item.gold, &engine.answer(&item.question).text) {
+            correct += 1;
+        }
+    }
+    let acc = correct as f64 / w.qa.len() as f64;
+    assert!(acc >= 0.85, "accuracy at scale: {acc:.2} ({correct}/{})", w.qa.len());
+}
+
+#[test]
+fn index_size_ordering_holds_at_scale() {
+    // §I gap 1: the graph index should not dwarf its corpus, and should
+    // stay below the dense-vector index it replaces.
+    let w = EcommerceWorkload::generate(EcommerceConfig {
+        products: 32,
+        quarters: 4,
+        reviews_per_product: 3,
+        qa_per_category: 1,
+        seed: 0x517E,
+            name_offset: 0,
+    });
+    let docs = Arc::new(w.docstore());
+    let slm = unisem_slm::Slm::new(unisem_slm::SlmConfig {
+        lexicon: w.lexicon.clone(),
+        ..unisem_slm::SlmConfig::default()
+    });
+    let mut gb = unisem_hetgraph::GraphBuilder::new(slm.clone());
+    gb.add_docstore(&docs);
+    let (graph, stats) = gb.finish();
+    assert_eq!(stats.chunks, docs.num_chunks());
+
+    let dense = DenseRetriever::build(slm, &docs);
+    assert!(
+        graph.approx_bytes() < dense.index_bytes(),
+        "graph {} bytes vs dense {} bytes",
+        graph.approx_bytes(),
+        dense.index_bytes()
+    );
+}
