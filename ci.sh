@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Hermetic CI gate for the unisem workspace.
+#
+# Verifies the zero-dependency policy (DESIGN.md §7): the whole workspace
+# must format-check, build, and test with the network hard-disabled, and no
+# Cargo.toml may declare a dependency that is not a path dependency on
+# another workspace crate.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> offline release build"
+CARGO_NET_OFFLINE=true cargo build --release
+
+echo "==> offline test suite"
+CARGO_NET_OFFLINE=true cargo test -q
+
+echo "==> manifest scan: every dependency must be a path dependency"
+# Inside [dependencies]/[dev-dependencies]/[build-dependencies] (including
+# the [workspace.dependencies] table), every entry must either declare
+# `path =` directly or inherit via `workspace = true` (the root
+# [workspace.dependencies] table is scanned by the same rule, so inherited
+# entries are transitively path-only). Version-only (`foo = "1.0"`), git,
+# and registry deps all fail.
+bad=0
+while IFS= read -r manifest; do
+    violations=$(awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies\]$/) }
+        in_deps && /^[A-Za-z0-9_-]+[[:space:]]*=/ {
+            if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/)
+                print FILENAME ": " $0
+        }
+    ' "$manifest")
+    if [ -n "$violations" ]; then
+        echo "$violations"
+        bad=1
+    fi
+done < <(find . -name Cargo.toml -not -path './target/*')
+if [ "$bad" -ne 0 ]; then
+    echo "ERROR: non-path dependencies found (hermetic build policy)"
+    exit 1
+fi
+echo "==> OK: workspace is hermetic"

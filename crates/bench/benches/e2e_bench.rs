@@ -1,44 +1,32 @@
-//! Criterion: full engine answer latency per question category.
+//! Full engine answer latency per question category (detkit harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use detkit::bench::Harness;
 use unisem_bench::harness::build_ecommerce_engine;
 use unisem_core::EngineConfig;
 use unisem_workloads::{EcommerceConfig, EcommerceWorkload};
 
-fn bench_e2e(c: &mut Criterion) {
+fn main() {
     let w = EcommerceWorkload::generate(EcommerceConfig {
         products: 12,
         quarters: 4,
         reviews_per_product: 3,
         qa_per_category: 1,
         seed: 0xE2E,
-            name_offset: 0,
+        name_offset: 0,
     });
     let engine = build_ecommerce_engine(&w, EngineConfig::default());
 
-    let mut g = c.benchmark_group("engine_answer");
-    g.bench_function("lookup", |b| {
-        b.iter(|| engine.answer("Which manufacturer makes the Nova Speaker?"))
+    let mut h = Harness::new("engine_answer");
+    h.set_iters(15);
+    h.bench("lookup", || engine.answer("Which manufacturer makes the Nova Speaker?"));
+    h.bench("aggregate", || {
+        engine.answer("What was the total sales amount of Nova Speaker across all quarters?")
     });
-    g.bench_function("aggregate", |b| {
-        b.iter(|| {
-            engine.answer("What was the total sales amount of Nova Speaker across all quarters?")
-        })
+    h.bench("multi_entity", || {
+        engine.answer("Which products had a sales increase of more than 10% in Q2 2023?")
     });
-    g.bench_function("multi_entity", |b| {
-        b.iter(|| {
-            engine.answer("Which products had a sales increase of more than 10% in Q2 2023?")
-        })
+    h.bench("engine_build", || {
+        build_ecommerce_engine(&w, EngineConfig::default()).graph().num_nodes()
     });
-    g.bench_function("engine_build", |b| {
-        b.iter(|| build_ecommerce_engine(&w, EngineConfig::default()).graph().num_nodes())
-    });
-    g.finish();
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_e2e
-}
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion: semantic clustering and entropy estimation (companion to E5).
+//! Semantic clustering and entropy estimation (companion to E5).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use detkit::bench::Harness;
 use unisem_entropy::{cluster_answers, ClusterConfig, EntropyEstimator};
 use unisem_slm::{Slm, SupportedAnswer};
 
-fn bench_entropy(c: &mut Criterion) {
+fn main() {
     let answers: Vec<String> = (0..20)
         .map(|i| match i % 4 {
             0 => "sales rose 20% in the second quarter".to_string(),
@@ -15,23 +15,15 @@ fn bench_entropy(c: &mut Criterion) {
         .collect();
     let refs: Vec<&str> = answers.iter().map(String::as_str).collect();
 
-    c.bench_function("cluster_20_answers", |b| {
-        b.iter(|| cluster_answers(&refs, &ClusterConfig::default()).len())
-    });
+    let mut h = Harness::new("entropy");
+    h.set_iters(30);
+    h.bench("cluster_20_answers", || cluster_answers(&refs, &ClusterConfig::default()).len());
 
     let est = EntropyEstimator::new(Slm::default());
     let evidence = vec![
         SupportedAnswer::new("sales rose 20%", 4.0),
         SupportedAnswer::new("sales fell 3%", 1.0),
     ];
-    c.bench_function("estimate_10_samples", |b| {
-        b.iter(|| est.estimate("How did sales change?", &evidence))
-    });
+    h.bench("estimate_10_samples", || est.estimate("How did sales change?", &evidence));
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_entropy
-}
-criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! Criterion: relational table generation throughput (companion to E4).
+//! Relational table generation throughput (companion to E4).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use detkit::bench::Harness;
 use unisem_extract::TableGenerator;
 use unisem_slm::{Lexicon, Slm, SlmConfig};
 use unisem_workloads::ReportCorpus;
 
-fn bench_extract(c: &mut Criterion) {
+fn main() {
     let corpus = ReportCorpus::generate(100, 0xE47);
     let mut lexicon = Lexicon::new();
     for (name, kind) in &corpus.lexicon_entries {
@@ -14,17 +14,11 @@ fn bench_extract(c: &mut Criterion) {
     let gen = TableGenerator::new(Slm::new(SlmConfig { lexicon, ..SlmConfig::default() }));
     let texts: Vec<&str> = corpus.texts.iter().map(String::as_str).collect();
 
-    c.bench_function("extract_100_facts", |b| {
-        b.iter(|| gen.generate_table(&texts).expect("extraction").0.num_rows())
+    let mut h = Harness::new("extract");
+    h.set_iters(20);
+    h.bench("extract_100_facts", || gen.generate_table(&texts).expect("extraction").0.num_rows());
+    h.bench("extract_single_sentence", || {
+        gen.extract_sentence("Aero Widget sales increased 12.5% in Q2 2024.")
     });
-    c.bench_function("extract_single_sentence", |b| {
-        b.iter(|| gen.extract_sentence("Aero Widget sales increased 12.5% in Q2 2024."))
-    });
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_extract
-}
-criterion_main!(benches);

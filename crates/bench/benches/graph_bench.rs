@@ -1,29 +1,29 @@
-//! Criterion: graph construction and topology algorithms (supports E2).
+//! Graph construction and topology algorithms (supports E2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use detkit::bench::Harness;
 use unisem_hetgraph::algo::{bfs_within, pagerank, personalized_pagerank};
 use unisem_hetgraph::{GraphBuilder, NodeId};
 use unisem_slm::{Slm, SlmConfig};
 use unisem_workloads::{EcommerceConfig, EcommerceWorkload};
 
-fn bench_graph(c: &mut Criterion) {
+fn main() {
     let w = EcommerceWorkload::generate(EcommerceConfig {
         products: 16,
         quarters: 4,
         reviews_per_product: 3,
         qa_per_category: 1,
         seed: 0x9A4,
-            name_offset: 0,
+        name_offset: 0,
     });
     let docs = w.docstore();
     let slm = Slm::new(SlmConfig { lexicon: w.lexicon.clone(), ..SlmConfig::default() });
 
-    c.bench_function("graph_build_128_docs", |b| {
-        b.iter(|| {
-            let mut gb = GraphBuilder::new(slm.clone());
-            gb.add_docstore(&docs);
-            gb.finish().0.num_nodes()
-        })
+    let mut h = Harness::new("graph");
+    h.set_iters(20);
+    h.bench("graph_build_128_docs", || {
+        let mut gb = GraphBuilder::new(slm.clone());
+        gb.add_docstore(&docs);
+        gb.finish().0.num_nodes()
     });
 
     let mut gb = GraphBuilder::new(slm.clone());
@@ -34,16 +34,8 @@ fn bench_graph(c: &mut Criterion) {
     let (graph, _) = gb.finish();
     let seed = graph.entity_by_name("aero widget").unwrap_or(NodeId(0));
 
-    c.bench_function("pagerank_25_iters", |b| b.iter(|| pagerank(&graph, 0.85, 25)));
-    c.bench_function("personalized_pagerank_25", |b| {
-        b.iter(|| personalized_pagerank(&graph, &[seed], 0.85, 25))
-    });
-    c.bench_function("bfs_3_hops", |b| b.iter(|| bfs_within(&graph, seed, 3)));
+    h.bench("pagerank_25_iters", || pagerank(&graph, 0.85, 25));
+    h.bench("personalized_pagerank_25", || personalized_pagerank(&graph, &[seed], 0.85, 25));
+    h.bench("bfs_3_hops", || bfs_within(&graph, seed, 3));
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_graph
-}
-criterion_main!(benches);

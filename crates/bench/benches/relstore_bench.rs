@@ -1,13 +1,12 @@
-//! Criterion: relational engine operators (scan/filter, hash join, hash
-//! aggregate) — the TableQA substrate.
+//! Relational engine operators (scan/filter, hash join, hash aggregate)
+//! — the TableQA substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use unisem_relstore::{Database, DataType, Schema, Table, Value};
+use detkit::bench::Harness;
+use detkit::Rng;
+use unisem_relstore::{DataType, Database, Schema, Table, Value};
 
 fn build_db(rows: usize) -> Database {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::new(7);
     let mut sales = Table::empty(Schema::of(&[
         ("product_id", DataType::Int),
         ("quarter", DataType::Str),
@@ -16,16 +15,13 @@ fn build_db(rows: usize) -> Database {
     for _ in 0..rows {
         sales
             .push_row(vec![
-                Value::Int(rng.gen_range(0..500)),
+                Value::Int(rng.gen_range(0..500i64)),
                 Value::str(format!("Q{}", rng.gen_range(1..5))),
                 Value::float(rng.gen_range(10.0..1000.0)),
             ])
             .expect("fixed schema");
     }
-    let mut products = Table::empty(Schema::of(&[
-        ("id", DataType::Int),
-        ("name", DataType::Str),
-    ]));
+    let mut products = Table::empty(Schema::of(&[("id", DataType::Int), ("name", DataType::Str)]));
     for i in 0..500 {
         products
             .push_row(vec![Value::Int(i), Value::str(format!("product-{i}"))])
@@ -37,35 +33,26 @@ fn build_db(rows: usize) -> Database {
     db
 }
 
-fn bench_relstore(c: &mut Criterion) {
+fn main() {
     let db = build_db(10_000);
 
-    c.bench_function("filter_scan_10k", |b| {
-        b.iter(|| db.run_sql("SELECT * FROM sales WHERE amount > 900").expect("sql"))
+    let mut h = Harness::new("relstore");
+    h.set_iters(20);
+    h.bench("filter_scan_10k", || {
+        db.run_sql("SELECT * FROM sales WHERE amount > 900").expect("sql")
     });
-    c.bench_function("group_by_10k", |b| {
-        b.iter(|| {
-            db.run_sql("SELECT quarter, SUM(amount) AS total FROM sales GROUP BY quarter")
-                .expect("sql")
-        })
+    h.bench("group_by_10k", || {
+        db.run_sql("SELECT quarter, SUM(amount) AS total FROM sales GROUP BY quarter").expect("sql")
     });
-    c.bench_function("hash_join_10k_x_500", |b| {
-        b.iter(|| {
-            db.run_sql(
-                "SELECT name, amount FROM sales JOIN products ON product_id = id \
-                 WHERE amount > 990",
-            )
-            .expect("sql")
-        })
+    h.bench("hash_join_10k_x_500", || {
+        db.run_sql(
+            "SELECT name, amount FROM sales JOIN products ON product_id = id \
+             WHERE amount > 990",
+        )
+        .expect("sql")
     });
-    c.bench_function("sort_limit_10k", |b| {
-        b.iter(|| db.run_sql("SELECT * FROM sales ORDER BY amount DESC LIMIT 10").expect("sql"))
+    h.bench("sort_limit_10k", || {
+        db.run_sql("SELECT * FROM sales ORDER BY amount DESC LIMIT 10").expect("sql")
     });
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_relstore
-}
-criterion_main!(benches);

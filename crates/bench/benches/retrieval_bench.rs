@@ -1,9 +1,9 @@
-//! Criterion: per-query retrieval latency, topology vs dense vs BM25
+//! Per-query retrieval latency, topology vs dense vs BM25
 //! (micro-benchmark companion to experiment E3).
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use detkit::bench::Harness;
 use unisem_bench::harness::build_ecommerce_engine;
 use unisem_core::EngineConfig;
 use unisem_hetgraph::GraphBuilder;
@@ -20,11 +20,11 @@ fn workload() -> EcommerceWorkload {
         reviews_per_product: 3,
         qa_per_category: 2,
         seed: 0xBE7C4,
-            name_offset: 0,
+        name_offset: 0,
     })
 }
 
-fn bench_retrievers(c: &mut Criterion) {
+fn main() {
     let w = workload();
     let docs = Arc::new(w.docstore());
     let slm = Slm::new(SlmConfig { lexicon: w.lexicon.clone(), ..SlmConfig::default() });
@@ -41,26 +41,14 @@ fn bench_retrievers(c: &mut Criterion) {
     let bm25 = LexicalRetriever::new(docs.clone());
     let query = "Which products had a sales increase of more than 10% in Q2 2023?";
 
-    let mut g = c.benchmark_group("retrieve_top5");
-    g.bench_function("topology", |b| b.iter(|| topo.retrieve(query, 5)));
-    g.bench_function("dense", |b| b.iter(|| dense.retrieve(query, 5)));
-    g.bench_function("bm25", |b| b.iter(|| bm25.retrieve(query, 5)));
-    g.finish();
+    let mut h = Harness::new("retrieve_top5");
+    h.set_iters(30);
+    h.bench("topology", || topo.retrieve(query, 5));
+    h.bench("dense", || dense.retrieve(query, 5));
+    h.bench("bm25", || bm25.retrieve(query, 5));
 
     // Engine-level retrieval including evidence extraction.
     let engine = build_ecommerce_engine(&w, EngineConfig::default());
-    c.bench_function("engine_retrieve_top5", |b| {
-        b.iter_batched(
-            || query,
-            |q| engine.retrieve(q, 5),
-            BatchSize::SmallInput,
-        )
-    });
+    h.bench("engine_retrieve_top5", || engine.retrieve(query, 5));
+    h.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_retrievers
-}
-criterion_main!(benches);

@@ -14,7 +14,7 @@ fn main() {
         reviews_per_product: 3,
         qa_per_category: 5,
         seed: 101,
-            name_offset: 0,
+        name_offset: 0,
     });
     let engine = build_ecommerce_engine(&w, EngineConfig::default());
     println!("--- ecommerce failures ---");

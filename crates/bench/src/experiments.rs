@@ -8,9 +8,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use unisem_core::{
-    DirectSlmPipeline, EngineConfig, NaiveRagPipeline, TextToSqlPipeline,
-};
+use unisem_core::{DirectSlmPipeline, EngineConfig, NaiveRagPipeline, TextToSqlPipeline};
 use unisem_docstore::DocStore;
 use unisem_entropy::{auroc, rejection_accuracy_curve};
 use unisem_extract::TableGenerator;
@@ -83,8 +81,14 @@ pub fn e1() {
         ];
 
         let mut t = TextTable::new([
-            "system", "lookup", "aggregate", "multi_entity", "comparative", "cross_modal",
-            "unanswerable", "overall",
+            "system",
+            "lookup",
+            "aggregate",
+            "multi_entity",
+            "comparative",
+            "cross_modal",
+            "unanswerable",
+            "overall",
         ]);
         for (name, r) in &pipelines {
             t.row([
@@ -110,7 +114,14 @@ pub fn e1() {
 pub fn e2() {
     println!("== E2 (Table 2): index build time and storage vs corpus size ==\n");
     let mut t = TextTable::new([
-        "docs", "chunks", "graph_ms", "graph_KiB", "nodes", "edges", "dense_ms", "dense_KiB",
+        "docs",
+        "chunks",
+        "graph_ms",
+        "graph_KiB",
+        "nodes",
+        "edges",
+        "dense_ms",
+        "dense_KiB",
         "bm25_KiB",
     ]);
     for products in [8usize, 16, 32, 64] {
@@ -161,7 +172,12 @@ pub fn e2() {
 pub fn e3() {
     println!("== E3 (Figure 2): retrieval latency vs corpus size ==\n");
     let mut t = TextTable::new([
-        "docs", "chunks", "topo_us_p50", "dense_us_p50", "bm25_us_p50", "frontier_nodes",
+        "docs",
+        "chunks",
+        "topo_us_p50",
+        "dense_us_p50",
+        "bm25_us_p50",
+        "frontier_nodes",
         "total_nodes",
     ]);
     for products in [8usize, 16, 32, 64] {
@@ -179,8 +195,12 @@ pub fn e3() {
         gb.add_docstore(&docs);
         let (graph, _) = gb.finish();
         let graph = Arc::new(graph);
-        let topo =
-            TopologyRetriever::new(slm.clone(), graph.clone(), docs.clone(), TopologyConfig::default());
+        let topo = TopologyRetriever::new(
+            slm.clone(),
+            graph.clone(),
+            docs.clone(),
+            TopologyConfig::default(),
+        );
         let dense = DenseRetriever::build(slm.clone(), &docs);
         let bm25 = LexicalRetriever::new(docs.clone());
 
@@ -222,7 +242,12 @@ pub fn e3() {
     // crossover behind §III.B's efficiency claim.
     println!("--- multi-domain lake (8 products/domain, queries target domain 0) ---");
     let mut t = TextTable::new([
-        "domains", "chunks", "topo_us_p50", "dense_us_p50", "frontier", "total_nodes",
+        "domains",
+        "chunks",
+        "topo_us_p50",
+        "dense_us_p50",
+        "frontier",
+        "total_nodes",
     ]);
     for domains in [1usize, 2, 4, 8, 16] {
         let mut docs = DocStore::default();
@@ -320,7 +345,13 @@ fn mean(xs: &[f64]) -> f64 {
 pub fn e4() {
     println!("== E4 (Table 3): extraction quality on the sales-report corpus ==\n");
     let mut t = TextTable::new([
-        "facts", "extracted", "row_precision", "row_recall", "row_f1", "pct_acc", "amount_acc",
+        "facts",
+        "extracted",
+        "row_precision",
+        "row_recall",
+        "row_f1",
+        "pct_acc",
+        "amount_acc",
         "docs_per_sec",
     ]);
     for n_facts in [60usize, 200] {
@@ -367,15 +398,18 @@ pub struct ExtractionScore {
 }
 
 /// Scores an extracted table against a gold report corpus.
-pub fn score_extraction(
-    table: &unisem_relstore::Table,
-    corpus: &ReportCorpus,
-) -> ExtractionScore {
+pub fn score_extraction(table: &unisem_relstore::Table, corpus: &ReportCorpus) -> ExtractionScore {
     let idx = |name: &str| table.schema().index_of(name);
     let (si, pi) = match (idx("subject"), idx("period")) {
         (Some(s), Some(p)) => (s, p),
         _ => {
-            return ExtractionScore { precision: 0.0, recall: 0.0, f1: 0.0, pct_acc: 0.0, amount_acc: 0.0 }
+            return ExtractionScore {
+                precision: 0.0,
+                recall: 0.0,
+                f1: 0.0,
+                pct_acc: 0.0,
+                amount_acc: 0.0,
+            }
         }
     };
     let ci = idx("change_pct");
@@ -560,10 +594,8 @@ fn doc_level_metrics(
     let mut mrr = 0.0;
     for item in items {
         let hits = retriever.retrieve(&item.question, 10);
-        let hit_docs: Vec<usize> = hits
-            .iter()
-            .filter_map(|h| docs.chunk(h.chunk_id).ok().map(|c| c.doc_id))
-            .collect();
+        let hit_docs: Vec<usize> =
+            hits.iter().filter_map(|h| docs.chunk(h.chunk_id).ok().map(|c| c.doc_id)).collect();
         // Dedup consecutive repeats while preserving rank order.
         let mut ranked: Vec<usize> = Vec::new();
         for d in hit_docs {
@@ -582,10 +614,7 @@ fn doc_level_metrics(
         r1 += hit_at(1);
         r5 += hit_at(5);
         r10 += hit_at(10);
-        mrr += ranked
-            .iter()
-            .position(|d| gold.contains(d))
-            .map_or(0.0, |p| 1.0 / (p + 1) as f64);
+        mrr += ranked.iter().position(|d| gold.contains(d)).map_or(0.0, |p| 1.0 / (p + 1) as f64);
     }
     let n = items.len().max(1) as f64;
     (r1 / n, r5 / n, r10 / n, mrr / n)
@@ -612,8 +641,14 @@ pub fn e7() {
         ]);
     };
     let header = [
-        "variant", "lookup", "aggregate", "multi_entity", "comparative", "cross_modal",
-        "unanswerable", "overall",
+        "variant",
+        "lookup",
+        "aggregate",
+        "multi_entity",
+        "comparative",
+        "cross_modal",
+        "unanswerable",
+        "overall",
     ];
 
     // Scenario A: all modalities ingested (native tables present).
@@ -628,10 +663,7 @@ pub fn e7() {
             "- operator synthesis",
             EngineConfig { enable_synthesis: false, ..EngineConfig::default() },
         ),
-        (
-            "- entity nodes",
-            EngineConfig { enable_entity_nodes: false, ..EngineConfig::default() },
-        ),
+        ("- entity nodes", EngineConfig { enable_entity_nodes: false, ..EngineConfig::default() }),
     ];
     let mut t = TextTable::new(header);
     for (name, config) in variants {
@@ -735,7 +767,12 @@ pub fn e8() {
     }
 
     let mut t = TextTable::new([
-        "system", "class", "accuracy", "tokens/q", "sim_latency_ms/q", "sim_energy_J/q",
+        "system",
+        "class",
+        "accuracy",
+        "tokens/q",
+        "sim_latency_ms/q",
+        "sim_energy_J/q",
         "memory_GB",
     ]);
     for p in &points {

@@ -78,18 +78,13 @@ pub struct QuestionRecord {
 impl EvalResult {
     /// Overall accuracy.
     pub fn overall(&self) -> f64 {
-        let (c, t) = self
-            .by_category
-            .values()
-            .fold((0, 0), |(c, t), (ci, ti)| (c + ci, t + ti));
+        let (c, t) = self.by_category.values().fold((0, 0), |(c, t), (ci, ti)| (c + ci, t + ti));
         c as f64 / t.max(1) as f64
     }
 
     /// Accuracy for one category (1.0 when the category is absent).
     pub fn accuracy(&self, cat: QaCategory) -> f64 {
-        self.by_category
-            .get(&cat)
-            .map_or(1.0, |(c, t)| *c as f64 / (*t).max(1) as f64)
+        self.by_category.get(&cat).map_or(1.0, |(c, t)| *c as f64 / (*t).max(1) as f64)
     }
 
     /// Mean seconds per question.

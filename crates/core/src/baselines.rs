@@ -157,12 +157,13 @@ impl QaPipeline for TextToSqlPipeline {
                 let Ok(plan) = self.synthesizer.synthesize(&intent, &self.db, &name) else {
                     continue;
                 };
-                let Ok(result) = self.db.run_plan(&plan) else { continue };
+                let Ok(result) = self.db.run_plan(&plan) else {
+                    continue;
+                };
                 let text =
                     crate::engine::render_structured_public(&intent, &self.db, &name, &result);
                 if !text.is_empty() {
-                    let evidence =
-                        vec![unisem_slm::SupportedAnswer::new(text.clone(), 6.0)];
+                    let evidence = vec![unisem_slm::SupportedAnswer::new(text.clone(), 6.0)];
                     let report = self.estimator.estimate(question, &evidence);
                     return Answer {
                         text,

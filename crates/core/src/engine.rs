@@ -194,8 +194,7 @@ impl EngineBuilder {
 
         // Unstructured → extracted table (§III.C task 1).
         if config.enable_extraction && !docs.is_empty() {
-            let texts: Vec<&str> =
-                docs.documents().iter().map(|d| d.text.as_str()).collect();
+            let texts: Vec<&str> = docs.documents().iter().map(|d| d.text.as_str()).collect();
             let (extracted, _) = TableGenerator::new(slm.clone())
                 .generate_table(&texts)
                 .map_err(EngineError::Rel)?;
@@ -221,7 +220,8 @@ impl EngineBuilder {
 
         let docs = Arc::new(docs);
         let graph = Arc::new(graph);
-        let topo = TopologyRetriever::new(slm.clone(), graph.clone(), docs.clone(), config.topology);
+        let topo =
+            TopologyRetriever::new(slm.clone(), graph.clone(), docs.clone(), config.topology);
         let dense = DenseRetriever::build(slm.clone(), &docs);
         let estimator = {
             let mut e = EntropyEstimator::new(slm.clone());
@@ -336,10 +336,7 @@ impl UnifiedEngine {
                         confidence,
                         entropy: report,
                         route: Route::Structured { table: table.clone() },
-                        provenance: vec![Provenance::TableRows {
-                            table,
-                            rows: result.num_rows(),
-                        }],
+                        provenance: vec![Provenance::TableRows { table, rows: result.num_rows() }],
                         result_table: Some(result),
                     };
                 }
@@ -351,18 +348,14 @@ impl UnifiedEngine {
         let chunk_triples: Vec<(usize, String, f64)> = hits
             .iter()
             .filter_map(|h| {
-                self.docs
-                    .chunk(h.chunk_id)
-                    .ok()
-                    .map(|c| (c.id, c.text.clone(), h.score))
+                self.docs.chunk(h.chunk_id).ok().map(|c| (c.id, c.text.clone(), h.score))
             })
             .collect();
         // Grounding: when the question names entities, only sentences
         // mentioning them are admissible evidence — ungrounded context is
         // exactly the hallucination source §I warns about. Filtering before
         // IDF weighting also sharpens discriminative terms.
-        let evidence =
-            extract_evidence_grounded(question, &chunk_triples, 6, &intent.entities);
+        let evidence = extract_evidence_grounded(question, &chunk_triples, 6, &intent.entities);
         let supported = to_supported_answers(&evidence);
         let report = self.estimator.estimate(question, &supported);
         let confidence = confidence_from(&report);
@@ -389,10 +382,7 @@ impl UnifiedEngine {
             };
         }
 
-        let text = report
-            .top_answer
-            .clone()
-            .unwrap_or_else(|| evidence[0].text.clone());
+        let text = report.top_answer.clone().unwrap_or_else(|| evidence[0].text.clone());
         let route = if attempted_structured {
             Route::Hybrid { table: None, chunks }
         } else {
@@ -404,15 +394,16 @@ impl UnifiedEngine {
     /// Tries the structured route over candidate tables; returns the first
     /// table whose synthesized plan yields a signal-bearing result.
     fn try_structured(&self, intent: &QueryIntent) -> Option<(String, Table)> {
-        let mut names: Vec<String> =
-            self.db.table_names().into_iter().map(String::from).collect();
+        let mut names: Vec<String> = self.db.table_names().into_iter().map(String::from).collect();
         // Native tables first; the extracted table is the fallback source.
         names.sort_by_key(|n| (n == "extracted", n.clone()));
         for name in names {
             let Ok(plan) = self.synthesizer.synthesize(intent, &self.db, &name) else {
                 continue;
             };
-            let Ok(result) = self.db.run_plan(&plan) else { continue };
+            let Ok(result) = self.db.run_plan(&plan) else {
+                continue;
+            };
             if has_signal(&result) {
                 return Some((name, result));
             }
@@ -438,12 +429,7 @@ fn has_signal(result: &Table) -> bool {
 }
 
 /// Renders a structured result into answer text appropriate for the intent.
-fn render_structured(
-    intent: &QueryIntent,
-    db: &Database,
-    table: &str,
-    result: &Table,
-) -> String {
+fn render_structured(intent: &QueryIntent, db: &Database, table: &str, result: &Table) -> String {
     if result.is_empty() {
         return String::new();
     }
@@ -586,7 +572,9 @@ mod tests {
     #[test]
     fn comparative_names_only_winner() {
         let e = sample_engine();
-        let a = e.answer("Compare the total sales of Aero Widget and Nova Speaker: which product sold more?");
+        let a = e.answer(
+            "Compare the total sales of Aero Widget and Nova Speaker: which product sold more?",
+        );
         assert!(a.text.contains("Aero Widget"), "{}", a.text);
         assert!(!a.text.contains("Nova Speaker"), "must not name the loser: {}", a.text);
     }
@@ -643,17 +631,12 @@ mod tests {
 
     #[test]
     fn has_signal_rules() {
-        let t = Table::from_rows(
-            Schema::of(&[("x", DataType::Float)]),
-            vec![vec![Value::Null]],
-        )
-        .unwrap();
+        let t = Table::from_rows(Schema::of(&[("x", DataType::Float)]), vec![vec![Value::Null]])
+            .unwrap();
         assert!(!has_signal(&t));
-        let t2 = Table::from_rows(
-            Schema::of(&[("x", DataType::Float)]),
-            vec![vec![Value::Float(1.0)]],
-        )
-        .unwrap();
+        let t2 =
+            Table::from_rows(Schema::of(&[("x", DataType::Float)]), vec![vec![Value::Float(1.0)]])
+                .unwrap();
         assert!(has_signal(&t2));
         assert!(!has_signal(&Table::empty(Schema::of(&[("x", DataType::Int)]))));
     }
@@ -661,11 +644,8 @@ mod tests {
     #[test]
     fn json_name_clash_prefixed() {
         let mut b = EngineBuilder::new(Lexicon::new());
-        let t = Table::from_rows(
-            Schema::of(&[("x", DataType::Int)]),
-            vec![vec![Value::Int(1)]],
-        )
-        .unwrap();
+        let t = Table::from_rows(Schema::of(&[("x", DataType::Int)]), vec![vec![Value::Int(1)]])
+            .unwrap();
         b.add_table("orders", t).unwrap();
         b.add_json("orders", unisem_semistore::parse_json(r#"{"y": 2}"#).unwrap());
         let e = b.build().unwrap();

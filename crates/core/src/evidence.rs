@@ -89,11 +89,14 @@ pub fn extract_evidence_grounded(
                     continue;
                 }
             }
-            let sent_terms: HashSet<String> = tokenize_words(&sentence)
-                .into_iter()
-                .map(|w| normalize_token(&w))
-                .collect();
-            cands.push(Cand { text: sentence, chunk_id: *chunk_id, chunk_score, terms: sent_terms });
+            let sent_terms: HashSet<String> =
+                tokenize_words(&sentence).into_iter().map(|w| normalize_token(&w)).collect();
+            cands.push(Cand {
+                text: sentence,
+                chunk_id: *chunk_id,
+                chunk_score,
+                terms: sent_terms,
+            });
         }
     }
     let n_cands = cands.len().max(1) as f64;
@@ -112,11 +115,8 @@ pub fn extract_evidence_grounded(
 
     let mut out: Vec<EvidenceSentence> = Vec::new();
     for c in cands {
-        let covered_weight: f64 = idf
-            .iter()
-            .filter(|(t, _)| c.terms.contains(t.as_str()))
-            .map(|(_, w)| w)
-            .sum();
+        let covered_weight: f64 =
+            idf.iter().filter(|(t, _)| c.terms.contains(t.as_str())).map(|(_, w)| w).sum();
         if covered_weight <= 0.0 {
             continue;
         }
@@ -168,11 +168,7 @@ mod tests {
                     .to_string(),
                 1.0,
             ),
-            (
-                1,
-                "The cafeteria menu changed. Nothing relevant here.".to_string(),
-                0.8,
-            ),
+            (1, "The cafeteria menu changed. Nothing relevant here.".to_string(), 0.8),
         ]
     }
 

@@ -30,9 +30,7 @@ pub mod engine;
 pub mod evidence;
 
 pub use answer::{Answer, Provenance, Route};
-pub use baselines::{
-    DirectSlmPipeline, NaiveRagPipeline, QaPipeline, TextToSqlPipeline,
-};
+pub use baselines::{DirectSlmPipeline, NaiveRagPipeline, QaPipeline, TextToSqlPipeline};
 pub use engine::{EngineBuilder, EngineConfig, UnifiedEngine};
 
 // Re-export the pieces examples and benches need most.

@@ -3,9 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use unisem_core::{
-    EngineBuilder, NaiveRagPipeline, QaPipeline, TextToSqlPipeline, UnifiedEngine,
-};
+use unisem_core::{EngineBuilder, NaiveRagPipeline, QaPipeline, TextToSqlPipeline, UnifiedEngine};
 use unisem_workloads::{
     answer_matches, EcommerceConfig, EcommerceWorkload, HealthcareConfig, HealthcareWorkload,
     QaCategory, QaItem,
@@ -68,7 +66,7 @@ fn ecommerce_engine_beats_baselines() {
         reviews_per_product: 2,
         qa_per_category: 3,
         seed: 1234,
-            name_offset: 0,
+        name_offset: 0,
     });
     let engine = build_ecommerce_engine(&w);
     let rag = NaiveRagPipeline::new(engine.slm().clone(), std::sync::Arc::new(w.docstore()), 5);
@@ -122,7 +120,7 @@ fn unanswerable_questions_mostly_abstain() {
         reviews_per_product: 2,
         qa_per_category: 4,
         seed: 9,
-            name_offset: 0,
+        name_offset: 0,
     });
     let engine = build_ecommerce_engine(&w);
     let unanswerable: Vec<&QaItem> =

@@ -1,0 +1,305 @@
+//! Wall-clock micro-benchmark harness.
+//!
+//! Replaces `criterion` for this workspace's `[[bench]]` targets (all
+//! declared with `harness = false`). Each benchmark is a closure timed
+//! over a warmup phase plus `iters` measured iterations; the harness
+//! reports min/median/mean/p95/max and emits one machine-readable JSON
+//! line per benchmark, suitable for appending to the repo's `BENCH_*.json`
+//! tracking files.
+//!
+//! Modes:
+//! - `cargo bench` passes `--bench` to the binary → full measurement.
+//! - any other invocation (notably `cargo test`, which runs bench
+//!   targets to keep them honest) → *quick mode*: one iteration per
+//!   benchmark, no warmup, so test runs stay fast while still executing
+//!   every benchmark body end to end.
+//!
+//! Environment:
+//! - `DETKIT_BENCH_ITERS` / `DETKIT_BENCH_WARMUP` override iteration
+//!   counts globally.
+//! - `DETKIT_BENCH_JSON=<path>` additionally appends the JSON lines to
+//!   the given file.
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Iteration policy for a [`Harness`].
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Untimed warmup iterations before measurement.
+    pub warmup_iters: u32,
+    /// Timed iterations per benchmark.
+    pub iters: u32,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        let iters = env_u32("DETKIT_BENCH_ITERS").unwrap_or(25);
+        let warmup_iters = env_u32("DETKIT_BENCH_WARMUP").unwrap_or(3);
+        Self { warmup_iters, iters }
+    }
+}
+
+fn env_u32(name: &str) -> Option<u32> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Summary statistics for one benchmark, in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Suite name (one per bench binary).
+    pub suite: String,
+    /// Benchmark name within the suite.
+    pub name: String,
+    /// Timed iterations measured.
+    pub iters: u32,
+    /// Arithmetic mean.
+    pub mean_ns: u64,
+    /// Median (lower-middle element).
+    pub median_ns: u64,
+    /// 95th percentile (ceil index).
+    pub p95_ns: u64,
+    /// Fastest iteration.
+    pub min_ns: u64,
+    /// Slowest iteration.
+    pub max_ns: u64,
+}
+
+impl Stats {
+    fn from_durations(suite: &str, name: &str, mut ns: Vec<u64>) -> Self {
+        assert!(!ns.is_empty());
+        ns.sort_unstable();
+        let n = ns.len();
+        let mean = ns.iter().sum::<u64>() / n as u64;
+        let median = ns[(n - 1) / 2];
+        let p95_idx = ((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1;
+        Self {
+            suite: suite.to_string(),
+            name: name.to_string(),
+            iters: n as u32,
+            mean_ns: mean,
+            median_ns: median,
+            p95_ns: ns[p95_idx],
+            min_ns: ns[0],
+            max_ns: ns[n - 1],
+        }
+    }
+
+    /// One JSON object on one line. The key set and order are stable —
+    /// `BENCH_*.json` consumers and the schema test depend on it.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"suite\":\"{}\",\"name\":\"{}\",\"iters\":{},\"mean_ns\":{},\
+             \"median_ns\":{},\"p95_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+            escape(&self.suite),
+            escape(&self.name),
+            self.iters,
+            self.mean_ns,
+            self.median_ns,
+            self.p95_ns,
+            self.min_ns,
+            self.max_ns,
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn human_time(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Collects and reports a suite of benchmarks; construct one per bench
+/// binary, call [`bench`](Harness::bench) per case, then
+/// [`finish`](Harness::finish).
+pub struct Harness {
+    suite: String,
+    config: BenchConfig,
+    quick: bool,
+    results: Vec<Stats>,
+}
+
+impl Harness {
+    /// A harness named after the bench binary. Reads process arguments:
+    /// full measurement only when invoked with `--bench` (as `cargo
+    /// bench` does); quick single-iteration mode otherwise.
+    pub fn new(suite: &str) -> Self {
+        let quick = !std::env::args().any(|a| a == "--bench");
+        Self::with_mode(suite, quick)
+    }
+
+    /// Explicit mode selection (used by tests).
+    pub fn with_mode(suite: &str, quick: bool) -> Self {
+        Self {
+            suite: suite.to_string(),
+            config: BenchConfig::default(),
+            quick,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the iteration policy for subsequent benchmarks.
+    pub fn set_config(&mut self, config: BenchConfig) -> &mut Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides only the timed iteration count.
+    pub fn set_iters(&mut self, iters: u32) -> &mut Self {
+        self.config.iters = iters;
+        self
+    }
+
+    /// True when running in quick (single-iteration) mode.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Times `f`, records the statistics, and prints a human line.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &Stats {
+        let (warmup, iters) =
+            if self.quick { (0, 1) } else { (self.config.warmup_iters, self.config.iters.max(1)) };
+        for _ in 0..warmup {
+            black_box(f());
+        }
+        let mut ns = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            black_box(f());
+            ns.push(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+        let stats = Stats::from_durations(&self.suite, name, ns);
+        println!(
+            "{}/{}: median {} p95 {} mean {} [{} .. {}] ({} iters{})",
+            self.suite,
+            name,
+            human_time(stats.median_ns),
+            human_time(stats.p95_ns),
+            human_time(stats.mean_ns),
+            human_time(stats.min_ns),
+            human_time(stats.max_ns),
+            stats.iters,
+            if self.quick { ", quick mode" } else { "" },
+        );
+        self.results.push(stats);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Prints every result as a JSON line (and appends to the file named
+    /// by `DETKIT_BENCH_JSON`, when set), then returns the statistics.
+    pub fn finish(self) -> Vec<Stats> {
+        let mut lines = String::new();
+        for s in &self.results {
+            lines.push_str(&s.to_json_line());
+            lines.push('\n');
+        }
+        print!("{lines}");
+        if let Ok(path) = std::env::var("DETKIT_BENCH_JSON") {
+            if !path.is_empty() {
+                match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+                    Ok(mut f) => {
+                        let _ = f.write_all(lines.as_bytes());
+                    }
+                    Err(e) => eprintln!("detkit: cannot append bench JSON to {path}: {e}"),
+                }
+            }
+        }
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_schema_is_stable() {
+        // BENCH_*.json tracking depends on this exact shape; change it
+        // only together with every consumer.
+        let s = Stats {
+            suite: "relstore".into(),
+            name: "filter_scan_10k".into(),
+            iters: 25,
+            mean_ns: 1_500,
+            median_ns: 1_400,
+            p95_ns: 2_000,
+            min_ns: 1_000,
+            max_ns: 2_500,
+        };
+        assert_eq!(
+            s.to_json_line(),
+            "{\"suite\":\"relstore\",\"name\":\"filter_scan_10k\",\"iters\":25,\
+             \"mean_ns\":1500,\"median_ns\":1400,\"p95_ns\":2000,\
+             \"min_ns\":1000,\"max_ns\":2500}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let s = Stats {
+            suite: "a\"b".into(),
+            name: "c\\d".into(),
+            iters: 1,
+            mean_ns: 0,
+            median_ns: 0,
+            p95_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+        };
+        let line = s.to_json_line();
+        assert!(line.contains("a\\\"b"), "{line}");
+        assert!(line.contains("c\\\\d"), "{line}");
+    }
+
+    #[test]
+    fn stats_are_order_invariant_and_sane() {
+        let a = Stats::from_durations("s", "n", vec![5, 1, 3, 2, 4]);
+        let b = Stats::from_durations("s", "n", vec![1, 2, 3, 4, 5]);
+        assert_eq!(a, b);
+        assert_eq!(a.min_ns, 1);
+        assert_eq!(a.max_ns, 5);
+        assert_eq!(a.median_ns, 3);
+        assert_eq!(a.mean_ns, 3);
+        assert_eq!(a.p95_ns, 5);
+        assert!(a.min_ns <= a.median_ns && a.median_ns <= a.p95_ns && a.p95_ns <= a.max_ns);
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut h = Harness::with_mode("t", true);
+        let mut calls = 0;
+        h.bench("once", || calls += 1);
+        assert_eq!(calls, 1);
+        let results = h.finish();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].iters, 1);
+    }
+
+    #[test]
+    fn full_mode_runs_warmup_plus_iters() {
+        let mut h = Harness::with_mode("t", false);
+        h.set_config(BenchConfig { warmup_iters: 2, iters: 5 });
+        let mut calls = 0;
+        let s = h.bench("counted", || calls += 1).clone();
+        assert_eq!(calls, 7);
+        assert_eq!(s.iters, 5);
+    }
+}

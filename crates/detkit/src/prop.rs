@@ -1,0 +1,855 @@
+//! Minimal property-based testing harness.
+//!
+//! Replaces `proptest` for this workspace. The design is a small
+//! hedgehog-style integrated-shrinking system:
+//!
+//! - a [`Gen<T>`] produces a [`Sample<T>`]: a value plus a lazy tree of
+//!   smaller candidate values;
+//! - combinators ([`Gen::map`], [`zip`], [`vec_of`], [`one_of`], …)
+//!   compose both the value and its shrink tree, so shrinking works
+//!   through mapped and tupled generators without extra plumbing;
+//! - [`check`] derives a deterministic seed from the test *name* (mixed
+//!   with a global seed overridable via `DETKIT_SEED`), runs
+//!   `DETKIT_CASES` cases (default 64), and on failure performs greedy
+//!   linear shrinking: repeatedly take the first shrink candidate that
+//!   still fails, until none does or the step budget runs out;
+//! - stored regression seeds replay before any fresh cases — see
+//!   [`parse_regressions`] and the [`file_regressions!`](crate::file_regressions)
+//!   macro.
+//!
+//! Properties are closures `Fn(&T) -> Result<(), String>`; the
+//! [`prop_assert!`](crate::prop_assert), [`prop_assert_eq!`](crate::prop_assert_eq)
+//! and [`prop_assert_ne!`](crate::prop_assert_ne) macros early-return an
+//! `Err` with a rendered message. Panics inside a property are caught and
+//! treated as failures (and shrunk like any other).
+
+use std::any::Any;
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+use std::sync::Mutex;
+
+use crate::rng::{splitmix64, Rng};
+
+// ---------------------------------------------------------------------------
+// Samples: a value plus its lazy shrink tree.
+// ---------------------------------------------------------------------------
+
+struct SampleInner<T> {
+    value: T,
+    shrinks: Box<dyn Fn() -> Vec<Sample<T>>>,
+}
+
+/// A generated value together with a lazily-computed list of smaller
+/// candidate samples (each itself shrinkable).
+pub struct Sample<T>(Rc<SampleInner<T>>);
+
+impl<T> Clone for Sample<T> {
+    fn clone(&self) -> Self {
+        Sample(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Sample<T> {
+    /// A sample with no shrink candidates.
+    pub fn leaf(value: T) -> Self {
+        Self::with_shrinks(value, Vec::new)
+    }
+
+    /// A sample whose shrink candidates are produced by `shrinks`.
+    pub fn with_shrinks(value: T, shrinks: impl Fn() -> Vec<Sample<T>> + 'static) -> Self {
+        Sample(Rc::new(SampleInner { value, shrinks: Box::new(shrinks) }))
+    }
+
+    /// The generated value.
+    pub fn value(&self) -> &T {
+        &self.0.value
+    }
+
+    /// Smaller candidates, ordered most-aggressive first.
+    pub fn shrinks(&self) -> Vec<Sample<T>> {
+        (self.0.shrinks)()
+    }
+
+    fn map_rc<U: 'static>(&self, f: Rc<dyn Fn(&T) -> U>) -> Sample<U> {
+        let value = f(self.value());
+        let this = self.clone();
+        Sample::with_shrinks(value, move || {
+            this.shrinks().into_iter().map(|s| s.map_rc(Rc::clone(&f))).collect()
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generators.
+// ---------------------------------------------------------------------------
+
+/// A reusable generator of shrinkable values.
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut Rng) -> Sample<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { f: Rc::clone(&self.f) }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// A generator from a sample-producing function.
+    pub fn from_fn(f: impl Fn(&mut Rng) -> Sample<T> + 'static) -> Self {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// A generator from a plain value function; such values do not shrink.
+    /// Useful for hand-rolled recursive structures (e.g. JSON trees).
+    pub fn raw(f: impl Fn(&mut Rng) -> T + 'static) -> Self {
+        Gen::from_fn(move |rng| Sample::leaf(f(rng)))
+    }
+
+    /// Draws one sample.
+    pub fn generate(&self, rng: &mut Rng) -> Sample<T> {
+        (self.f)(rng)
+    }
+
+    /// Maps generated values; shrinking passes through the mapping.
+    pub fn map<U: 'static>(&self, f: impl Fn(&T) -> U + 'static) -> Gen<U> {
+        let g = Rc::clone(&self.f);
+        let f: Rc<dyn Fn(&T) -> U> = Rc::new(f);
+        Gen::from_fn(move |rng| g(rng).map_rc(Rc::clone(&f)))
+    }
+
+    /// Dependent generation: the drawn value selects the next generator.
+    /// Only the inner generator's shrinks are kept (the outer choice is
+    /// frozen), matching the harness's linear-shrinking contract.
+    pub fn flat_map<U: 'static>(&self, f: impl Fn(&T) -> Gen<U> + 'static) -> Gen<U> {
+        let g = Rc::clone(&self.f);
+        Gen::from_fn(move |rng| {
+            let outer = g(rng);
+            f(outer.value()).generate(rng)
+        })
+    }
+}
+
+/// Always produces `value` (no shrinking).
+pub fn just<T: Clone + 'static>(value: T) -> Gen<T> {
+    Gen::raw(move |_| value.clone())
+}
+
+/// Uniform booleans; `true` shrinks to `false`.
+pub fn bools() -> Gen<bool> {
+    Gen::from_fn(|rng| {
+        if rng.gen_bool(0.5) {
+            Sample::with_shrinks(true, || vec![Sample::leaf(false)])
+        } else {
+            Sample::leaf(false)
+        }
+    })
+}
+
+fn int_origin(lo: i128, hi: i128) -> i128 {
+    0i128.clamp(lo, hi)
+}
+
+/// Halving-delta candidates toward the origin: for value `v` the
+/// candidates are `origin, v - d/2, v - d/4, …, v - 1` (binary-search-like
+/// descent), each itself shrinkable the same way.
+fn shrinkable_int(origin: i128, v: i128) -> Sample<i128> {
+    Sample::with_shrinks(v, move || {
+        let mut out = Vec::new();
+        let mut delta = v - origin;
+        while delta != 0 {
+            out.push(shrinkable_int(origin, v - delta));
+            delta /= 2;
+        }
+        out
+    })
+}
+
+macro_rules! int_gens {
+    ($($fn_name:ident: $t:ty),* $(,)?) => {$(
+        /// Uniform integers in `[lo, hi]` (inclusive), shrinking toward
+        /// zero (clamped into the range).
+        pub fn $fn_name(lo: $t, hi: $t) -> Gen<$t> {
+            assert!(lo <= hi, "empty range");
+            Gen::from_fn(move |rng| {
+                let v = rng.gen_range(lo..=hi);
+                let origin = int_origin(lo as i128, hi as i128);
+                shrinkable_int(origin, v as i128).map_rc(Rc::new(|v: &i128| *v as $t))
+            })
+        }
+    )*};
+}
+
+int_gens! {
+    i8s: i8, i16s: i16, i32s: i32, i64s: i64, isizes: isize,
+    u8s: u8, u16s: u16, u32s: u32, u64s: u64, usizes: usize,
+}
+
+/// Uniform `f64` in `[lo, hi)`, shrinking toward zero (clamped into the
+/// range) then toward the midpoint.
+pub fn f64s(lo: f64, hi: f64) -> Gen<f64> {
+    assert!(lo < hi, "empty range");
+    Gen::from_fn(move |rng| {
+        let v = rng.gen_range(lo..hi);
+        let origin = 0f64.clamp(lo, hi - (hi - lo) * 1e-9);
+        f64_sample(origin, v)
+    })
+}
+
+fn f64_sample(origin: f64, v: f64) -> Sample<f64> {
+    Sample::with_shrinks(v, move || {
+        let mut out = Vec::new();
+        if v != origin {
+            out.push(f64_sample(origin, origin));
+            let mid = origin + (v - origin) / 2.0;
+            if mid != v && mid != origin {
+                out.push(f64_sample(origin, mid));
+            }
+        }
+        out
+    })
+}
+
+/// Pairs of independently-generated values; each side shrinks while the
+/// other is held fixed.
+pub fn zip<A, B>(a: &Gen<A>, b: &Gen<B>) -> Gen<(A, B)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+{
+    let (a, b) = (a.clone(), b.clone());
+    Gen::from_fn(move |rng| {
+        let sa = a.generate(rng);
+        let sb = b.generate(rng);
+        zip_sample(sa, sb)
+    })
+}
+
+fn zip_sample<A: Clone + 'static, B: Clone + 'static>(
+    a: Sample<A>,
+    b: Sample<B>,
+) -> Sample<(A, B)> {
+    let value = (a.value().clone(), b.value().clone());
+    Sample::with_shrinks(value, move || {
+        let mut out = Vec::new();
+        for sa in a.shrinks() {
+            out.push(zip_sample(sa, b.clone()));
+        }
+        for sb in b.shrinks() {
+            out.push(zip_sample(a.clone(), sb));
+        }
+        out
+    })
+}
+
+/// Triples; see [`zip`].
+pub fn zip3<A, B, C>(a: &Gen<A>, b: &Gen<B>, c: &Gen<C>) -> Gen<(A, B, C)>
+where
+    A: Clone + 'static,
+    B: Clone + 'static,
+    C: Clone + 'static,
+{
+    zip(&zip(a, b), c).map(|((a, b), c)| (a.clone(), b.clone(), c.clone()))
+}
+
+/// Vectors of `min..=max` elements. Shrinks by halving the length,
+/// dropping single elements (never below `min`), and shrinking elements
+/// in place.
+pub fn vec_of<T: Clone + 'static>(elem: &Gen<T>, min: usize, max: usize) -> Gen<Vec<T>> {
+    assert!(min <= max, "empty size range");
+    let elem = elem.clone();
+    Gen::from_fn(move |rng| {
+        let n = rng.gen_range(min..=max);
+        let elems: Vec<Sample<T>> = (0..n).map(|_| elem.generate(rng)).collect();
+        vec_sample(elems, min)
+    })
+}
+
+fn vec_sample<T: Clone + 'static>(elems: Vec<Sample<T>>, min: usize) -> Sample<Vec<T>> {
+    let value: Vec<T> = elems.iter().map(|s| s.value().clone()).collect();
+    Sample::with_shrinks(value, move || {
+        let mut out = Vec::new();
+        let n = elems.len();
+        // 1. Halve the length (aggressive).
+        if n / 2 >= min && n / 2 < n {
+            out.push(vec_sample(elems[..n / 2].to_vec(), min));
+        }
+        // 2. Drop one element at a time.
+        if n > min {
+            for i in 0..n {
+                let mut fewer = elems.clone();
+                fewer.remove(i);
+                out.push(vec_sample(fewer, min));
+            }
+        }
+        // 3. Shrink each element in place.
+        for i in 0..n {
+            for s in elems[i].shrinks() {
+                let mut e2 = elems.clone();
+                e2[i] = s;
+                out.push(vec_sample(e2, min));
+            }
+        }
+        out
+    })
+}
+
+/// Picks uniformly among alternative generators of the same type.
+pub fn one_of<T: 'static>(gens: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!gens.is_empty(), "one_of: no alternatives");
+    Gen::from_fn(move |rng| {
+        let i = rng.gen_range(0..gens.len());
+        gens[i].generate(rng)
+    })
+}
+
+/// Single characters drawn from an explicit pool; shrink toward the
+/// first pool character.
+pub fn chars_in(pool: &str) -> Gen<char> {
+    let pool: Vec<char> = pool.chars().collect();
+    assert!(!pool.is_empty(), "chars_in: empty pool");
+    let first = pool[0];
+    Gen::from_fn(move |rng| {
+        let c = *rng.choose(&pool).expect("non-empty pool");
+        if c == first {
+            Sample::leaf(c)
+        } else {
+            Sample::with_shrinks(c, move || vec![Sample::leaf(first)])
+        }
+    })
+}
+
+/// Strings of `min..=max` characters from `pool` (the analogue of a
+/// proptest `[pool]{min,max}` regex strategy).
+pub fn string_of(pool: &str, min: usize, max: usize) -> Gen<String> {
+    vec_of(&chars_in(pool), min, max).map(|cs| cs.iter().collect())
+}
+
+/// Printable-ish strings mixing ASCII with multi-byte code points —
+/// the workhorse replacement for proptest's `\PC` (any printable char)
+/// strategies. Lengths are in characters, not bytes.
+pub fn unicode_strings(min: usize, max: usize) -> Gen<String> {
+    string_of(
+        "abc XYZ 019 .,!?-_%$#@/\\\"'()[]~\u{e9}\u{df}\u{f1}\u{3bb}\u{4e2d}\u{6587}\u{1f980}\u{2603}",
+        min,
+        max,
+    )
+}
+
+/// Space-separated words, each `wlen_min..=wlen_max` chars from `pool`,
+/// `n_min..=n_max` words total (the analogue of proptest's
+/// `[pool]{a,b}( [pool]{a,b}){c,d}` patterns).
+pub fn words_of(
+    pool: &str,
+    wlen_min: usize,
+    wlen_max: usize,
+    n_min: usize,
+    n_max: usize,
+) -> Gen<String> {
+    vec_of(&string_of(pool, wlen_min, wlen_max), n_min, n_max).map(|ws| ws.join(" "))
+}
+
+// ---------------------------------------------------------------------------
+// Runner.
+// ---------------------------------------------------------------------------
+
+/// Harness configuration. `DETKIT_CASES` and `DETKIT_SEED` environment
+/// variables override the defaults for a whole run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Fresh random cases per property.
+    pub cases: u32,
+    /// Global seed mixed with the test name to derive per-case seeds.
+    pub seed: u64,
+    /// Max property evaluations spent shrinking a failure.
+    pub max_shrink_steps: u32,
+    /// Stored seeds replayed (in order) before any fresh cases.
+    pub regression_seeds: Vec<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("DETKIT_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        let seed = std::env::var("DETKIT_SEED")
+            .ok()
+            .and_then(|v| parse_seed(&v))
+            .unwrap_or(0x00DE_7417_0000_0001);
+        Self { cases, seed, max_shrink_steps: 512, regression_seeds: Vec::new() }
+    }
+}
+
+impl Config {
+    /// Overrides the number of fresh cases.
+    pub fn with_cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Appends stored regression seeds to replay first.
+    pub fn with_regressions(mut self, seeds: Vec<u64>) -> Self {
+        self.regression_seeds.extend(seeds);
+        self
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Parses a regression file: lines of `<test_name> <seed>` (decimal or
+/// `0x` hex), `#` comments and blank lines ignored. Returns the seeds
+/// recorded for `test`.
+pub fn parse_regressions(contents: &str, test: &str) -> Vec<u64> {
+    contents
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            let name = it.next()?;
+            let seed = parse_seed(it.next()?)?;
+            (name == test).then_some(seed)
+        })
+        .collect()
+}
+
+/// Loads the regression seeds for `$name` from a file next to the test
+/// source (path is relative to the including file, as in `include_str!`).
+#[macro_export]
+macro_rules! file_regressions {
+    ($path:expr, $name:expr) => {
+        $crate::prop::parse_regressions(include_str!($path), $name)
+    };
+}
+
+/// Outcome of [`run_check`].
+#[derive(Debug)]
+pub enum CheckResult<T> {
+    /// Every case passed.
+    Passed {
+        /// Total cases evaluated (regressions + fresh).
+        cases: u32,
+    },
+    /// A case failed; the counterexample has been shrunk.
+    Falsified {
+        /// Seed of the failing case (store in a regression file to replay).
+        seed: u64,
+        /// The shrunk counterexample.
+        minimal: T,
+        /// Failure message for the minimal counterexample.
+        message: String,
+        /// Accepted shrink steps between original and minimal.
+        shrink_steps: u32,
+    },
+}
+
+/// FNV-1a, used to give every test name its own seed stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Checks `prop` against `cfg.cases` generated values, panicking with a
+/// shrunk counterexample on failure. Case seeds derive deterministically
+/// from `(cfg.seed, name)`, so a failure reproduces by name alone.
+pub fn check_with<T, F>(cfg: &Config, name: &str, gen: &Gen<T>, prop: F)
+where
+    T: Clone + Debug + 'static,
+    F: Fn(&T) -> Result<(), String>,
+{
+    match run_check(cfg, name, gen, prop) {
+        CheckResult::Passed { .. } => {}
+        CheckResult::Falsified { seed, minimal, message, shrink_steps } => panic!(
+            "property '{name}' falsified\n  \
+             case seed: {seed:#018x}  (add `{name} {seed:#x}` to a regression \
+             file to replay first)\n  \
+             minimal counterexample (after {shrink_steps} shrink steps): {minimal:?}\n  \
+             failure: {message}"
+        ),
+    }
+}
+
+/// [`check_with`] under the default [`Config`].
+pub fn check<T, F>(name: &str, gen: &Gen<T>, prop: F)
+where
+    T: Clone + Debug + 'static,
+    F: Fn(&T) -> Result<(), String>,
+{
+    check_with(&Config::default(), name, gen, prop);
+}
+
+/// Non-panicking core of [`check_with`]; exposed so the harness itself
+/// can be tested (a deliberately failing property must shrink to a
+/// minimal counterexample).
+pub fn run_check<T, F>(cfg: &Config, name: &str, gen: &Gen<T>, prop: F) -> CheckResult<T>
+where
+    T: Clone + 'static,
+    F: Fn(&T) -> Result<(), String>,
+{
+    let mut stream = fnv1a(name.as_bytes()) ^ cfg.seed;
+    let fresh = (0..cfg.cases).map(move |_| splitmix64(&mut stream));
+    let all_seeds = cfg.regression_seeds.iter().copied().chain(fresh);
+
+    let _quiet = QuietPanics::install();
+    let mut evaluated = 0;
+    for case_seed in all_seeds {
+        evaluated += 1;
+        let mut rng = Rng::new(case_seed);
+        let sample = gen.generate(&mut rng);
+        if let Err(msg) = eval(&prop, sample.value()) {
+            let (minimal, message, shrink_steps) =
+                shrink_to_minimal(sample, &prop, cfg.max_shrink_steps, msg);
+            return CheckResult::Falsified {
+                seed: case_seed,
+                minimal: minimal.value().clone(),
+                message,
+                shrink_steps,
+            };
+        }
+    }
+    CheckResult::Passed { cases: evaluated }
+}
+
+fn eval<T>(prop: &impl Fn(&T) -> Result<(), String>, value: &T) -> Result<(), String> {
+    match panic::catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(payload) => Err(panic_message(&payload)),
+    }
+}
+
+fn panic_message(payload: &Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// Greedy linear shrinking: descend into the first shrink candidate that
+/// still fails, until no candidate fails or the evaluation budget is
+/// exhausted.
+fn shrink_to_minimal<T: 'static>(
+    failing: Sample<T>,
+    prop: &impl Fn(&T) -> Result<(), String>,
+    mut budget: u32,
+    mut message: String,
+) -> (Sample<T>, String, u32) {
+    let mut current = failing;
+    let mut steps = 0;
+    'descend: loop {
+        for candidate in current.shrinks() {
+            if budget == 0 {
+                break 'descend;
+            }
+            budget -= 1;
+            if let Err(msg) = eval(prop, candidate.value()) {
+                current = candidate;
+                message = msg;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break; // no candidate fails: minimal
+    }
+    (current, message, steps)
+}
+
+// ---------------------------------------------------------------------------
+// Panic-hook silencing while properties run (shrinking evaluates failing
+// cases dozens of times; without this every one prints a backtrace line).
+// ---------------------------------------------------------------------------
+
+type Hook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Sync + Send>;
+
+static HOOK_STATE: Mutex<(usize, Option<Hook>)> = Mutex::new((0, None));
+
+struct QuietPanics;
+
+impl QuietPanics {
+    fn install() -> Self {
+        let mut state = HOOK_STATE.lock().unwrap_or_else(|e| e.into_inner());
+        if state.0 == 0 {
+            state.1 = Some(panic::take_hook());
+            panic::set_hook(Box::new(|_| {}));
+        }
+        state.0 += 1;
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        let mut state = HOOK_STATE.lock().unwrap_or_else(|e| e.into_inner());
+        state.0 -= 1;
+        if state.0 == 0 {
+            if let Some(old) = state.1.take() {
+                panic::set_hook(old);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Assertion macros for use inside properties.
+// ---------------------------------------------------------------------------
+
+/// Asserts a condition inside a property, early-returning `Err` with the
+/// stringified condition (or a custom formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($fmt)+), a, b
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            ));
+        }
+    }};
+}
+
+/// Declares a `#[test]` that checks a property over a generator:
+///
+/// ```ignore
+/// prop_check!(my_property, detkit::prop::i64s(0, 100), |&v| {
+///     prop_assert!(v >= 0);
+///     Ok(())
+/// });
+/// ```
+///
+/// An optional first argument supplies a [`Config`] expression.
+#[macro_export]
+macro_rules! prop_check {
+    ($name:ident, $gen:expr, $prop:expr) => {
+        #[test]
+        fn $name() {
+            $crate::prop::check(stringify!($name), &$gen, $prop);
+        }
+    };
+    ($name:ident, $cfg:expr, $gen:expr, $prop:expr) => {
+        #[test]
+        fn $name() {
+            $crate::prop::check_with(&$cfg, stringify!($name), &$gen, $prop);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        let g = i64s(0, 100);
+        match run_check(&Config::default(), "passes", &g, |&v| {
+            prop_assert!((0..=100).contains(&v));
+            Ok(())
+        }) {
+            CheckResult::Passed { cases } => assert_eq!(cases, Config::default().cases),
+            CheckResult::Falsified { .. } => panic!("should pass"),
+        }
+    }
+
+    #[test]
+    fn failing_int_property_shrinks_to_boundary() {
+        // `v < 100` over [0, 10_000]: the minimal counterexample is
+        // exactly 100.
+        let g = i64s(0, 10_000);
+        let cfg = Config { cases: 200, seed: 1, max_shrink_steps: 2_000, regression_seeds: vec![] };
+        match run_check(&cfg, "shrinks_to_boundary", &g, |&v| {
+            prop_assert!(v < 100, "saw {v}");
+            Ok(())
+        }) {
+            CheckResult::Falsified { minimal, shrink_steps, .. } => {
+                assert_eq!(minimal, 100, "linear shrinking must reach the boundary");
+                assert!(shrink_steps > 0);
+            }
+            CheckResult::Passed { .. } => panic!("property must fail"),
+        }
+    }
+
+    #[test]
+    fn failing_vec_property_shrinks_to_singleton() {
+        // "no element ≥ 50" fails minimally on the one-element vector [50].
+        let g = vec_of(&i64s(0, 1_000), 0, 20);
+        let cfg = Config { cases: 300, seed: 2, max_shrink_steps: 5_000, regression_seeds: vec![] };
+        match run_check(&cfg, "vec_shrinks", &g, |v| {
+            prop_assert!(v.iter().all(|&x| x < 50), "{v:?}");
+            Ok(())
+        }) {
+            CheckResult::Falsified { minimal, .. } => {
+                assert_eq!(minimal, vec![50]);
+            }
+            CheckResult::Passed { .. } => panic!("property must fail"),
+        }
+    }
+
+    #[test]
+    fn shrinking_works_through_map_and_zip() {
+        // Sum ≥ 120 over pairs: minimal total is 120 with one side 0.
+        let g = zip(&i64s(0, 1_000), &i64s(0, 1_000)).map(|&(a, b)| (a, b, a + b));
+        let cfg = Config { cases: 300, seed: 3, max_shrink_steps: 5_000, regression_seeds: vec![] };
+        match run_check(&cfg, "map_zip_shrinks", &g, |&(_, _, sum)| {
+            prop_assert!(sum < 120, "sum {sum}");
+            Ok(())
+        }) {
+            CheckResult::Falsified { minimal, .. } => {
+                assert_eq!(minimal.2, 120, "minimal sum must sit on the boundary: {minimal:?}");
+            }
+            CheckResult::Passed { .. } => panic!("property must fail"),
+        }
+    }
+
+    #[test]
+    fn panics_are_caught_and_shrunk() {
+        let g = i64s(0, 1_000);
+        let cfg = Config { cases: 200, seed: 4, max_shrink_steps: 2_000, regression_seeds: vec![] };
+        match run_check(&cfg, "panic_shrinks", &g, |&v| {
+            assert!(v < 200, "kaboom at {v}");
+            Ok(())
+        }) {
+            CheckResult::Falsified { minimal, message, .. } => {
+                assert_eq!(minimal, 200);
+                assert!(message.contains("kaboom"), "{message}");
+            }
+            CheckResult::Passed { .. } => panic!("property must fail"),
+        }
+    }
+
+    #[test]
+    fn same_name_same_cases() {
+        // Seed derivation is a pure function of (config seed, name).
+        let g = u64s(0, u64::MAX);
+        let collect = |name: &str| {
+            let mut seen = Vec::new();
+            let cfg = Config { cases: 10, seed: 7, max_shrink_steps: 0, regression_seeds: vec![] };
+            // Record by failing on everything with the value in the message.
+            match run_check(&cfg, name, &g, |&v| Err(format!("{v}"))) {
+                CheckResult::Falsified { message, .. } => seen.push(message),
+                CheckResult::Passed { .. } => {}
+            }
+            seen
+        };
+        assert_eq!(collect("alpha"), collect("alpha"));
+        assert_ne!(collect("alpha"), collect("beta"));
+    }
+
+    #[test]
+    fn regression_seeds_replay_first() {
+        let g = i64s(0, 1_000_000);
+        // Find the value seed 99 generates, then require that a config
+        // carrying seed 99 as a regression fails on it immediately.
+        let mut rng = Rng::new(99);
+        let planted = *g.generate(&mut rng).value();
+        let cfg = Config { cases: 0, seed: 0, max_shrink_steps: 0, regression_seeds: vec![99] };
+        match run_check(&cfg, "regressions", &g, |&v| {
+            prop_assert!(v != planted, "replayed the stored case");
+            Ok(())
+        }) {
+            CheckResult::Falsified { seed, .. } => assert_eq!(seed, 99),
+            CheckResult::Passed { .. } => panic!("stored seed must replay"),
+        }
+    }
+
+    #[test]
+    fn parse_regressions_filters_by_name() {
+        let file = "# comment\n\nfoo 12\nbar 0x1F\nfoo 0xff\nmalformed\n";
+        assert_eq!(parse_regressions(file, "foo"), vec![12, 255]);
+        assert_eq!(parse_regressions(file, "bar"), vec![31]);
+        assert!(parse_regressions(file, "baz").is_empty());
+    }
+
+    #[test]
+    fn string_generators_respect_pool_and_length() {
+        let g = string_of("abc", 2, 5);
+        let mut rng = Rng::new(42);
+        for _ in 0..200 {
+            let s = g.generate(&mut rng);
+            let s = s.value();
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "abc".contains(c)), "{s:?}");
+        }
+        let w = words_of("xy", 1, 3, 2, 4);
+        let s = w.generate(&mut rng);
+        let words: Vec<&str> = s.value().split(' ').collect();
+        assert!((2..=4).contains(&words.len()));
+    }
+
+    #[test]
+    fn one_of_hits_every_alternative() {
+        let g = one_of(vec![just(1u8), just(2), just(3)]);
+        let mut rng = Rng::new(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*g.generate(&mut rng).value() as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn bools_shrink_to_false() {
+        let mut rng = Rng::new(1);
+        let g = bools();
+        loop {
+            let s = g.generate(&mut rng);
+            if *s.value() {
+                let shrinks = s.shrinks();
+                assert_eq!(shrinks.len(), 1);
+                assert!(!*shrinks[0].value());
+                break;
+            }
+        }
+    }
+}

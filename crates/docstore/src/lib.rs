@@ -217,9 +217,11 @@ mod tests {
         let s = store();
         for c in s.chunks() {
             assert!(c.doc_id < s.num_documents());
-            assert!(s.document(c.doc_id).unwrap().text.contains(
-                c.text.split('.').next().unwrap().trim()
-            ));
+            assert!(s
+                .document(c.doc_id)
+                .unwrap()
+                .text
+                .contains(c.text.split('.').next().unwrap().trim()));
         }
     }
 

@@ -11,18 +11,8 @@
 /// when either class is empty (no ranking information).
 pub fn auroc(scores: &[f64], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "auroc: length mismatch");
-    let pos: Vec<f64> = scores
-        .iter()
-        .zip(labels)
-        .filter(|(_, &l)| l)
-        .map(|(&s, _)| s)
-        .collect();
-    let neg: Vec<f64> = scores
-        .iter()
-        .zip(labels)
-        .filter(|(_, &l)| !l)
-        .map(|(&s, _)| s)
-        .collect();
+    let pos: Vec<f64> = scores.iter().zip(labels).filter(|(_, &l)| l).map(|(&s, _)| s).collect();
+    let neg: Vec<f64> = scores.iter().zip(labels).filter(|(_, &l)| !l).map(|(&s, _)| s).collect();
     if pos.is_empty() || neg.is_empty() {
         return 0.5;
     }
@@ -55,10 +45,7 @@ pub fn rejection_accuracy_curve(
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
+        scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });
     fractions
         .iter()

@@ -20,8 +20,17 @@ use unisem_text::tokenize::{tokenize, TokenKind};
 
 /// Words added by answer templates; never semantic content.
 const TEMPLATE_FILLER: &[&str] = &[
-    "answer", "based", "data", "according", "records", "appears", "available", "evidence",
-    "from", "seems", "likely",
+    "answer",
+    "based",
+    "data",
+    "according",
+    "records",
+    "appears",
+    "available",
+    "evidence",
+    "from",
+    "seems",
+    "likely",
 ];
 
 /// Negation markers for the polarity check.
@@ -133,15 +142,13 @@ pub fn cluster_answers(answers: &[&str], config: &ClusterConfig) -> Vec<Semantic
     for (i, sig) in sigs.iter().enumerate() {
         match clusters.iter_mut().find(|c| equivalent(&c.signature, sig, config)) {
             Some(c) => c.member_indices.push(i),
-            None => clusters.push(SemanticCluster {
-                member_indices: vec![i],
-                signature: sig.clone(),
-            }),
+            None => {
+                clusters.push(SemanticCluster { member_indices: vec![i], signature: sig.clone() })
+            }
         }
     }
-    clusters.sort_by(|a, b| {
-        b.len().cmp(&a.len()).then(a.member_indices[0].cmp(&b.member_indices[0]))
-    });
+    clusters
+        .sort_by(|a, b| b.len().cmp(&a.len()).then(a.member_indices[0].cmp(&b.member_indices[0])));
     clusters
 }
 

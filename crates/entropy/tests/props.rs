@@ -1,91 +1,95 @@
-//! Property-based tests: entropy bounds and clustering laws.
+//! Property-based tests: entropy bounds and clustering laws (detkit
+//! harness).
 
-use proptest::prelude::*;
+use detkit::prop::{bools, f64s, just, one_of, usizes, vec_of, words_of, zip, Gen};
+use detkit::{prop_assert, prop_assert_eq, prop_check};
 use unisem_entropy::{
     auroc, cluster_answers, discrete_semantic_entropy, lexical_variance, semantic_entropy_rao,
     ClusterConfig,
 };
 
-fn arb_answers() -> impl Strategy<Value = Vec<String>> {
-    proptest::collection::vec(
-        prop_oneof![
-            Just("sales rose twenty percent".to_string()),
-            Just("The answer is sales rose twenty percent.".to_string()),
-            Just("revenue declined slightly".to_string()),
-            Just("it cannot be determined".to_string()),
-            "[a-z]{2,6}( [a-z]{2,6}){0,3}",
-        ],
-        1..12,
+fn arb_answers() -> Gen<Vec<String>> {
+    vec_of(
+        &one_of(vec![
+            just("sales rose twenty percent".to_string()),
+            just("The answer is sales rose twenty percent.".to_string()),
+            just("revenue declined slightly".to_string()),
+            just("it cannot be determined".to_string()),
+            words_of("abcdefghijklmnopqrstuvwxyz", 2, 6, 1, 4),
+        ]),
+        1,
+        11,
     )
 }
 
-proptest! {
-    /// Clusters partition the answers: every index appears exactly once.
-    #[test]
-    fn clusters_partition(answers in arb_answers()) {
-        let refs: Vec<&str> = answers.iter().map(String::as_str).collect();
-        let clusters = cluster_answers(&refs, &ClusterConfig::default());
-        let mut seen = vec![false; answers.len()];
-        for c in &clusters {
-            for &i in &c.member_indices {
-                prop_assert!(!seen[i], "index {} in two clusters", i);
-                seen[i] = true;
-            }
+// Clusters partition the answers: every index appears exactly once.
+prop_check!(clusters_partition, arb_answers(), |answers| {
+    let refs: Vec<&str> = answers.iter().map(String::as_str).collect();
+    let clusters = cluster_answers(&refs, &ClusterConfig::default());
+    let mut seen = vec![false; answers.len()];
+    for c in &clusters {
+        for &i in &c.member_indices {
+            prop_assert!(!seen[i], "index {} in two clusters", i);
+            seen[i] = true;
         }
-        prop_assert!(seen.iter().all(|&x| x));
     }
+    prop_assert!(seen.iter().all(|&x| x));
+    Ok(())
+});
 
-    /// Identical answers always form a single cluster.
-    #[test]
-    fn identical_answers_one_cluster(s in "[a-z]{2,8}( [a-z]{2,8}){0,3}", n in 1usize..8) {
-        let answers: Vec<String> = std::iter::repeat(s).take(n).collect();
+// Identical answers always form a single cluster.
+prop_check!(
+    identical_answers_one_cluster,
+    zip(&words_of("abcdefgh", 2, 8, 1, 4), &usizes(1, 7)),
+    |t| {
+        let (s, n) = t;
+        let answers: Vec<String> = std::iter::repeat(s.clone()).take(*n).collect();
         let refs: Vec<&str> = answers.iter().map(String::as_str).collect();
         let clusters = cluster_answers(&refs, &ClusterConfig::default());
         prop_assert_eq!(clusters.len(), 1);
+        Ok(())
     }
+);
 
-    /// Discrete semantic entropy lies in [0, ln n].
-    #[test]
-    fn entropy_bounds(answers in arb_answers()) {
-        let refs: Vec<&str> = answers.iter().map(String::as_str).collect();
-        let clusters = cluster_answers(&refs, &ClusterConfig::default());
-        let e = discrete_semantic_entropy(&clusters, answers.len());
-        prop_assert!(e >= -1e-12);
-        prop_assert!(e <= (answers.len() as f64).ln() + 1e-9);
-    }
+// Discrete semantic entropy lies in [0, ln n].
+prop_check!(entropy_bounds, arb_answers(), |answers| {
+    let refs: Vec<&str> = answers.iter().map(String::as_str).collect();
+    let clusters = cluster_answers(&refs, &ClusterConfig::default());
+    let e = discrete_semantic_entropy(&clusters, answers.len());
+    prop_assert!(e >= -1e-12);
+    prop_assert!(e <= (answers.len() as f64).ln() + 1e-9);
+    Ok(())
+});
 
-    /// Rao entropy with uniform log-probs equals discrete entropy.
-    #[test]
-    fn rao_equals_discrete_under_uniform(answers in arb_answers()) {
-        let refs: Vec<&str> = answers.iter().map(String::as_str).collect();
-        let clusters = cluster_answers(&refs, &ClusterConfig::default());
-        let lp = (1.0 / answers.len() as f64).ln();
-        let log_probs = vec![lp; answers.len()];
-        let rao = semantic_entropy_rao(&clusters, &log_probs);
-        let disc = discrete_semantic_entropy(&clusters, answers.len());
-        prop_assert!((rao - disc).abs() < 1e-9, "{rao} vs {disc}");
-    }
+// Rao entropy with uniform log-probs equals discrete entropy.
+prop_check!(rao_equals_discrete_under_uniform, arb_answers(), |answers| {
+    let refs: Vec<&str> = answers.iter().map(String::as_str).collect();
+    let clusters = cluster_answers(&refs, &ClusterConfig::default());
+    let lp = (1.0 / answers.len() as f64).ln();
+    let log_probs = vec![lp; answers.len()];
+    let rao = semantic_entropy_rao(&clusters, &log_probs);
+    let disc = discrete_semantic_entropy(&clusters, answers.len());
+    prop_assert!((rao - disc).abs() < 1e-9, "{rao} vs {disc}");
+    Ok(())
+});
 
-    /// Lexical variance lies in [0, 1].
-    #[test]
-    fn lexical_variance_bounds(answers in arb_answers()) {
-        let refs: Vec<&str> = answers.iter().map(String::as_str).collect();
-        let v = lexical_variance(&refs);
-        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v));
-    }
+// Lexical variance lies in [0, 1].
+prop_check!(lexical_variance_bounds, arb_answers(), |answers| {
+    let refs: Vec<&str> = answers.iter().map(String::as_str).collect();
+    let v = lexical_variance(&refs);
+    prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v));
+    Ok(())
+});
 
-    /// AUROC is flip-symmetric: negating the scores mirrors it around 0.5.
-    #[test]
-    fn auroc_symmetry(
-        scores in proptest::collection::vec(0.0f64..1.0, 2..20),
-        flips in proptest::collection::vec(any::<bool>(), 2..20),
-    ) {
-        let n = scores.len().min(flips.len());
-        let scores = &scores[..n];
-        let labels = &flips[..n];
-        let a = auroc(scores, labels);
-        let negated: Vec<f64> = scores.iter().map(|s| -s).collect();
-        let b = auroc(&negated, labels);
-        prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
-    }
-}
+// AUROC is flip-symmetric: negating the scores mirrors it around 0.5.
+prop_check!(auroc_symmetry, zip(&vec_of(&f64s(0.0, 1.0), 2, 19), &vec_of(&bools(), 2, 19)), |t| {
+    let (scores, flips) = t;
+    let n = scores.len().min(flips.len());
+    let scores = &scores[..n];
+    let labels = &flips[..n];
+    let a = auroc(scores, labels);
+    let negated: Vec<f64> = scores.iter().map(|s| -s).collect();
+    let b = auroc(&negated, labels);
+    prop_assert!((a + b - 1.0).abs() < 1e-9, "{a} + {b} != 1");
+    Ok(())
+});

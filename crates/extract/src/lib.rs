@@ -21,6 +21,6 @@ pub mod normalize;
 pub mod record;
 pub mod tablegen;
 
-pub use normalize::{direction_from_verb, parse_money, parse_percent, normalize_period};
+pub use normalize::{direction_from_verb, normalize_period, parse_money, parse_percent};
 pub use record::{ExtractedRecord, Field};
 pub use tablegen::{ExtractionStats, TableGenerator};

@@ -5,11 +5,8 @@ use unisem_relstore::{Date, Value};
 /// Parses a percent mention ("20%", "12.5 percent") into its numeric value.
 pub fn parse_percent(text: &str) -> Option<f64> {
     let t = text.trim();
-    let num_part = t
-        .trim_end_matches('%')
-        .trim_end_matches("percent")
-        .trim_end_matches("pct")
-        .trim();
+    let num_part =
+        t.trim_end_matches('%').trim_end_matches("percent").trim_end_matches("pct").trim();
     parse_number(num_part)
 }
 
@@ -70,8 +67,18 @@ pub fn normalize_period(text: &str) -> Value {
 /// rejected).
 fn parse_month_date(t: &str) -> Option<Date> {
     const MONTHS: &[&str] = &[
-        "january", "february", "march", "april", "may", "june", "july", "august",
-        "september", "october", "november", "december",
+        "january",
+        "february",
+        "march",
+        "april",
+        "may",
+        "june",
+        "july",
+        "august",
+        "september",
+        "october",
+        "november",
+        "december",
     ];
     let mut tokens = t.split(|c: char| c.is_whitespace() || c == ',').filter(|s| !s.is_empty());
     let month_word = tokens.next()?.to_lowercase();
@@ -100,13 +107,44 @@ fn parse_month_date(t: &str) -> Option<Date> {
 /// decline verbs, `0` for neutral/unknown.
 pub fn direction_from_verb(verb: &str) -> i8 {
     const UP: &[&str] = &[
-        "increase", "increased", "rose", "rise", "grew", "grow", "gained", "gain", "climbed",
-        "climb", "surged", "surge", "jumped", "jump", "improved", "improve", "exceeded",
-        "expanded", "up",
+        "increase",
+        "increased",
+        "rose",
+        "rise",
+        "grew",
+        "grow",
+        "gained",
+        "gain",
+        "climbed",
+        "climb",
+        "surged",
+        "surge",
+        "jumped",
+        "jump",
+        "improved",
+        "improve",
+        "exceeded",
+        "expanded",
+        "up",
     ];
     const DOWN: &[&str] = &[
-        "decrease", "decreased", "fell", "fall", "dropped", "drop", "declined", "decline",
-        "lost", "lose", "slipped", "slip", "shrank", "shrink", "worsened", "down", "plunged",
+        "decrease",
+        "decreased",
+        "fell",
+        "fall",
+        "dropped",
+        "drop",
+        "declined",
+        "decline",
+        "lost",
+        "lose",
+        "slipped",
+        "slip",
+        "shrank",
+        "shrink",
+        "worsened",
+        "down",
+        "plunged",
         "contracted",
     ];
     let v = verb.to_lowercase();
@@ -155,18 +193,9 @@ mod tests {
 
     #[test]
     fn dates() {
-        assert_eq!(
-            normalize_period("2024-03-05"),
-            Value::Date(Date::new(2024, 3, 5).unwrap())
-        );
-        assert_eq!(
-            normalize_period("March 5, 2024"),
-            Value::Date(Date::new(2024, 3, 5).unwrap())
-        );
-        assert_eq!(
-            normalize_period("March 2024"),
-            Value::Date(Date::new(2024, 3, 1).unwrap())
-        );
+        assert_eq!(normalize_period("2024-03-05"), Value::Date(Date::new(2024, 3, 5).unwrap()));
+        assert_eq!(normalize_period("March 5, 2024"), Value::Date(Date::new(2024, 3, 5).unwrap()));
+        assert_eq!(normalize_period("March 2024"), Value::Date(Date::new(2024, 3, 1).unwrap()));
         // Ambiguous "March 5" stays a string.
         assert_eq!(normalize_period("March 5"), Value::str("March 5"));
     }

@@ -113,35 +113,22 @@ impl ExtractedRecord {
     /// a subject plus at least one measurement or relation.
     pub fn is_informative(&self) -> bool {
         self.fields.contains_key(&Field::Subject)
-            && [
-                Field::ChangePct,
-                Field::Amount,
-                Field::Quantity,
-                Field::Metric,
-                Field::Object,
-            ]
-            .iter()
-            .any(|f| self.fields.contains_key(f))
+            && [Field::ChangePct, Field::Amount, Field::Quantity, Field::Metric, Field::Object]
+                .iter()
+                .any(|f| self.fields.contains_key(f))
     }
 }
 
 /// Builds the schema covering the union of populated fields across records
 /// (always in canonical field order).
 pub fn union_schema(records: &[ExtractedRecord]) -> Schema {
-    let mut present: Vec<Field> = Field::ALL
-        .into_iter()
-        .filter(|f| records.iter().any(|r| r.get(*f).is_some()))
-        .collect();
+    let mut present: Vec<Field> =
+        Field::ALL.into_iter().filter(|f| records.iter().any(|r| r.get(*f).is_some())).collect();
     if present.is_empty() {
         present.push(Field::Subject);
     }
-    Schema::new(
-        present
-            .into_iter()
-            .map(|f| Column::new(f.column_name(), f.data_type()))
-            .collect(),
-    )
-    .expect("canonical fields are unique")
+    Schema::new(present.into_iter().map(|f| Column::new(f.column_name(), f.data_type())).collect())
+        .expect("canonical fields are unique")
 }
 
 #[cfg(test)]

@@ -7,7 +7,9 @@ use unisem_slm::Slm;
 use unisem_text::normalize::stem;
 use unisem_text::sentence::split_sentences;
 
-use crate::normalize::{direction_from_verb, normalize_period, parse_money, parse_number, parse_percent};
+use crate::normalize::{
+    direction_from_verb, normalize_period, parse_money, parse_number, parse_percent,
+};
 use crate::record::{union_schema, ExtractedRecord, Field};
 
 /// Aggregate statistics from a generation run (feeds experiment E4).
@@ -116,7 +118,10 @@ impl TableGenerator {
             .filter(|m| {
                 matches!(
                     m.kind,
-                    EntityKind::Percent | EntityKind::Money | EntityKind::Date | EntityKind::Quarter
+                    EntityKind::Percent
+                        | EntityKind::Money
+                        | EntityKind::Date
+                        | EntityKind::Quarter
                 )
             })
             .map(|m| (m.start, m.end))
@@ -193,8 +198,7 @@ mod tests {
     #[test]
     fn subject_and_signed_change() {
         let g = gen();
-        let rec =
-            g.extract_sentence("Product Alpha sales decreased 15% in Q3 2024.");
+        let rec = g.extract_sentence("Product Alpha sales decreased 15% in Q3 2024.");
         assert_eq!(rec.get(Field::Subject), Some(&Value::str("product alpha")));
         assert_eq!(rec.get(Field::SubjectKind), Some(&Value::str("product")));
         assert_eq!(rec.get(Field::ChangePct), Some(&Value::Float(-15.0)));

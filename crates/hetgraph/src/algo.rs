@@ -7,8 +7,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use detkit::Rng;
 
 use crate::graph::{HetGraph, NodeId};
 
@@ -84,11 +83,7 @@ impl PartialOrd for HeapItem {
 
 /// Weighted single-source shortest distances using edge traversal costs
 /// (see [`crate::graph::EdgeKind::traversal_cost`]), cut off at `max_cost`.
-pub fn dijkstra_within(
-    graph: &HetGraph,
-    start: NodeId,
-    max_cost: f64,
-) -> HashMap<NodeId, f64> {
+pub fn dijkstra_within(graph: &HetGraph, start: NodeId, max_cost: f64) -> HashMap<NodeId, f64> {
     let mut dist: HashMap<NodeId, f64> = HashMap::new();
     let mut heap = BinaryHeap::new();
     dist.insert(start, 0.0);
@@ -171,9 +166,7 @@ pub fn degree_centrality(graph: &HetGraph) -> Vec<f64> {
     if n <= 1 {
         return vec![0.0; n];
     }
-    (0..n)
-        .map(|i| graph.degree(NodeId(i as u32)) as f64 / (n - 1) as f64)
-        .collect()
+    (0..n).map(|i| graph.degree(NodeId(i as u32)) as f64 / (n - 1) as f64).collect()
 }
 
 /// PageRank with uniform teleport. Returns one score per node, summing
@@ -229,8 +222,7 @@ pub fn personalized_pagerank(
         }
         for i in 0..n {
             // Dangling mass redistributes along the teleport vector.
-            next[i] = (1.0 - damping) * teleport[i]
-                + damping * (next[i] + dangling * teleport[i]);
+            next[i] = (1.0 - damping) * teleport[i] + damping * (next[i] + dangling * teleport[i]);
         }
         std::mem::swap(&mut rank, &mut next);
     }
@@ -261,7 +253,7 @@ pub fn approx_betweenness(graph: &HetGraph, samples: usize, seed: u64) -> Vec<f6
     if n < 3 || samples == 0 {
         return centrality;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let pivots: Vec<usize> = (0..samples.min(n)).map(|_| rng.gen_range(0..n)).collect();
     for &s in &pivots {
         // Brandes single-source accumulation.
@@ -319,9 +311,8 @@ mod tests {
     /// Path graph: e0 - e1 - e2 - e3, plus isolated e4.
     fn path_graph() -> (HetGraph, Vec<NodeId>) {
         let mut g = HetGraph::new();
-        let ids: Vec<NodeId> = (0..5)
-            .map(|i| g.add_entity(&format!("n{i}"), EntityKind::Other))
-            .collect();
+        let ids: Vec<NodeId> =
+            (0..5).map(|i| g.add_entity(&format!("n{i}"), EntityKind::Other)).collect();
         for w in ids[..4].windows(2) {
             g.add_edge(w[0], w[1], EdgeKind::Mentions);
         }

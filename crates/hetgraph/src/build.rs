@@ -50,7 +50,12 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder using `slm` for tagging.
     pub fn new(slm: Slm) -> Self {
-        Self { graph: HetGraph::new(), slm, stats: GraphBuildStats::default(), index_entities: true }
+        Self {
+            graph: HetGraph::new(),
+            slm,
+            stats: GraphBuildStats::default(),
+            index_entities: true,
+        }
     }
 
     /// Ablation switch (DESIGN.md §5 item 2): when disabled, no entity
@@ -191,8 +196,7 @@ impl GraphBuilder {
                     }
                     (DataType::Date, Value::Date(d)) => {
                         let before = self.graph.num_nodes();
-                        let enode =
-                            self.graph.add_entity(&d.to_string(), EntityKind::Date);
+                        let enode = self.graph.add_entity(&d.to_string(), EntityKind::Date);
                         if self.graph.num_nodes() > before {
                             self.stats.entities += 1;
                         }
@@ -264,9 +268,9 @@ mod tests {
         b.add_docstore(&docs());
         let g = b.graph();
         let patient = g.entity_by_name("patient x").unwrap();
-        let related = g.neighbors(patient).iter().any(|&(_, e)| {
-            matches!(&g.edge(e).kind, EdgeKind::RelatesTo(v) if v.starts_with("receiv"))
-        });
+        let related = g.neighbors(patient).iter().any(
+            |&(_, e)| matches!(&g.edge(e).kind, EdgeKind::RelatesTo(v) if v.starts_with("receiv")),
+        );
         assert!(related, "expected relates_to:receive edge from Patient X");
     }
 

@@ -320,17 +320,11 @@ impl HetGraph {
 
     /// Approximate resident bytes (nodes + edges + adjacency + indexes).
     pub fn approx_bytes(&self) -> usize {
-        let node_bytes: usize = self
-            .nodes
-            .iter()
-            .map(|n| std::mem::size_of::<Node>() + n.label.len())
-            .sum();
+        let node_bytes: usize =
+            self.nodes.iter().map(|n| std::mem::size_of::<Node>() + n.label.len()).sum();
         let edge_bytes = self.edges.len() * std::mem::size_of::<Edge>();
-        let adj_bytes: usize = self
-            .adjacency
-            .iter()
-            .map(|a| a.len() * std::mem::size_of::<(NodeId, EdgeId)>())
-            .sum();
+        let adj_bytes: usize =
+            self.adjacency.iter().map(|a| a.len() * std::mem::size_of::<(NodeId, EdgeId)>()).sum();
         let index_bytes = self.entity_index.len() * 48
             + self.chunk_index.len() * 24
             + self.record_index.len() * 48;

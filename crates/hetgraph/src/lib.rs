@@ -23,5 +23,5 @@ pub mod algo;
 pub mod build;
 pub mod graph;
 
-pub use build::{GraphBuilder, GraphBuildStats};
+pub use build::{GraphBuildStats, GraphBuilder};
 pub use graph::{EdgeId, EdgeKind, HetGraph, Node, NodeId, NodeKind};

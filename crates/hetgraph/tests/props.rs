@@ -1,6 +1,8 @@
-//! Property-based tests: graph invariants and algorithm laws.
+//! Property-based tests: graph invariants and algorithm laws (detkit
+//! harness).
 
-use proptest::prelude::*;
+use detkit::prop::{usizes, vec_of, zip, Gen};
+use detkit::{prop_assert, prop_assert_eq, prop_check};
 use unisem_hetgraph::algo::{
     bfs_within, connected_components, pagerank, personalized_pagerank, shortest_path,
 };
@@ -21,76 +23,74 @@ fn graph_from(n: usize, edges: &[(usize, usize)]) -> HetGraph {
     g
 }
 
-fn arb_graph() -> impl Strategy<Value = HetGraph> {
-    (2usize..20).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..40)
-            .prop_map(move |edges| graph_from(n, &edges))
+fn arb_graph() -> Gen<HetGraph> {
+    usizes(2, 19).flat_map(|&n| {
+        vec_of(&zip(&usizes(0, n - 1), &usizes(0, n - 1)), 0, 40)
+            .map(move |edges| graph_from(n, edges))
     })
 }
 
-proptest! {
-    /// Handshake lemma: Σ degree = 2 · |E|.
-    #[test]
-    fn handshake(g in arb_graph()) {
-        let total: usize = (0..g.num_nodes()).map(|i| g.degree(NodeId(i as u32))).sum();
-        prop_assert_eq!(total, 2 * g.num_edges());
-    }
+// Handshake lemma: Σ degree = 2 · |E|.
+prop_check!(handshake, arb_graph(), |g| {
+    let total: usize = (0..g.num_nodes()).map(|i| g.degree(NodeId(i as u32))).sum();
+    prop_assert_eq!(total, 2 * g.num_edges());
+    Ok(())
+});
 
-    /// PageRank is a probability distribution and non-negative.
-    #[test]
-    fn pagerank_distribution(g in arb_graph()) {
-        let pr = pagerank(&g, 0.85, 40);
-        prop_assert_eq!(pr.len(), g.num_nodes());
-        prop_assert!(pr.iter().all(|&p| p >= 0.0));
-        let sum: f64 = pr.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {}", sum);
-    }
+// PageRank is a probability distribution and non-negative.
+prop_check!(pagerank_distribution, arb_graph(), |g| {
+    let pr = pagerank(g, 0.85, 40);
+    prop_assert_eq!(pr.len(), g.num_nodes());
+    prop_assert!(pr.iter().all(|&p| p >= 0.0));
+    let sum: f64 = pr.iter().sum();
+    prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {}", sum);
+    Ok(())
+});
 
-    /// Personalized PageRank gives zero mass to nodes unreachable from the
-    /// seed's component.
-    #[test]
-    fn ppr_confined_to_component(g in arb_graph()) {
-        let seed = NodeId(0);
-        let ppr = personalized_pagerank(&g, &[seed], 0.85, 40);
-        let (comp, _) = connected_components(&g);
-        for i in 0..g.num_nodes() {
-            if comp[i] != comp[0] {
-                prop_assert_eq!(ppr[i], 0.0, "node {} outside seed component", i);
-            }
+// Personalized PageRank gives zero mass to nodes unreachable from the
+// seed's component.
+prop_check!(ppr_confined_to_component, arb_graph(), |g| {
+    let seed = NodeId(0);
+    let ppr = personalized_pagerank(g, &[seed], 0.85, 40);
+    let (comp, _) = connected_components(g);
+    for i in 0..g.num_nodes() {
+        if comp[i] != comp[0] {
+            prop_assert_eq!(ppr[i], 0.0, "node {} outside seed component", i);
         }
     }
+    Ok(())
+});
 
-    /// BFS distance agrees with shortest-path length.
-    #[test]
-    fn bfs_matches_shortest_path(g in arb_graph()) {
-        let reached = bfs_within(&g, NodeId(0), usize::MAX);
-        for &(node, d) in reached.iter().take(10) {
-            let p = shortest_path(&g, NodeId(0), node).expect("reached implies path");
-            prop_assert_eq!(p.len() - 1, d);
+// BFS distance agrees with shortest-path length.
+prop_check!(bfs_matches_shortest_path, arb_graph(), |g| {
+    let reached = bfs_within(g, NodeId(0), usize::MAX);
+    for &(node, d) in reached.iter().take(10) {
+        let p = shortest_path(g, NodeId(0), node).expect("reached implies path");
+        prop_assert_eq!(p.len() - 1, d);
+    }
+    Ok(())
+});
+
+// Components partition the nodes: same component ⇔ path exists
+// (checked on a sample of pairs).
+prop_check!(components_consistent_with_paths, arb_graph(), |g| {
+    let (comp, count) = connected_components(g);
+    prop_assert!(count >= 1);
+    let n = g.num_nodes().min(6);
+    for a in 0..n {
+        for b in 0..n {
+            let connected = shortest_path(g, NodeId(a as u32), NodeId(b as u32)).is_some();
+            prop_assert_eq!(connected, comp[a] == comp[b]);
         }
     }
+    Ok(())
+});
 
-    /// Components partition the nodes: same component ⇔ path exists
-    /// (checked on a sample of pairs).
-    #[test]
-    fn components_consistent_with_paths(g in arb_graph()) {
-        let (comp, count) = connected_components(&g);
-        prop_assert!(count >= 1);
-        let n = g.num_nodes().min(6);
-        for a in 0..n {
-            for b in 0..n {
-                let connected =
-                    shortest_path(&g, NodeId(a as u32), NodeId(b as u32)).is_some();
-                prop_assert_eq!(connected, comp[a] == comp[b]);
-            }
-        }
-    }
-
-    /// Hop-bounded BFS frontiers are monotone in the bound.
-    #[test]
-    fn bfs_monotone_in_hops(g in arb_graph(), h in 0usize..5) {
-        let small = bfs_within(&g, NodeId(0), h).len();
-        let large = bfs_within(&g, NodeId(0), h + 1).len();
-        prop_assert!(small <= large);
-    }
-}
+// Hop-bounded BFS frontiers are monotone in the bound.
+prop_check!(bfs_monotone_in_hops, zip(&arb_graph(), &usizes(0, 4)), |t| {
+    let (g, h) = t;
+    let small = bfs_within(g, NodeId(0), *h).len();
+    let large = bfs_within(g, NodeId(0), h + 1).len();
+    prop_assert!(small <= large);
+    Ok(())
+});

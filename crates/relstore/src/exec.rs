@@ -286,11 +286,7 @@ impl AggState {
     }
 }
 
-fn exec_aggregate(
-    t: &Table,
-    group_by: &[(Expr, String)],
-    aggs: &[AggExpr],
-) -> RelResult<Table> {
+fn exec_aggregate(t: &Table, group_by: &[(Expr, String)], aggs: &[AggExpr]) -> RelResult<Table> {
     let in_schema = t.schema().clone();
     // Group key -> (representative group values, agg states), insertion
     // order preserved for determinism.
@@ -429,10 +425,7 @@ mod tests {
         let d = db();
         let plan = LogicalPlan::scan("sales").project(vec![
             (Expr::col("product"), "p".to_string()),
-            (
-                Expr::col("amount").binary_div_test(Expr::col("units")),
-                "unit_price".to_string(),
-            ),
+            (Expr::col("amount").binary_div_test(Expr::col("units")), "unit_price".to_string()),
         ]);
         let t = execute(&plan, &d).unwrap();
         assert_eq!(t.schema().index_of("unit_price"), Some(1));
@@ -442,10 +435,8 @@ mod tests {
     #[test]
     fn inner_join_matches() {
         let d = db();
-        let plan = LogicalPlan::scan("sales").join(
-            LogicalPlan::scan("products"),
-            vec![("product".to_string(), "name".to_string())],
-        );
+        let plan = LogicalPlan::scan("sales")
+            .join(LogicalPlan::scan("products"), vec![("product".to_string(), "name".to_string())]);
         let t = execute(&plan, &d).unwrap();
         // gamma has no product row → dropped. 2+2 remain.
         assert_eq!(t.num_rows(), 4);
@@ -464,9 +455,7 @@ mod tests {
         let t = execute(&plan, &d).unwrap();
         assert_eq!(t.num_rows(), 5);
         let maker_idx = t.schema().index_of("maker").unwrap();
-        let gamma_row = (0..t.num_rows())
-            .find(|&i| t.cell(i, 0) == &Value::str("gamma"))
-            .unwrap();
+        let gamma_row = (0..t.num_rows()).find(|&i| t.cell(i, 0) == &Value::str("gamma")).unwrap();
         assert!(t.cell(gamma_row, maker_idx).is_null());
     }
 
@@ -577,10 +566,8 @@ mod tests {
     #[test]
     fn sort_orders_and_is_stable() {
         let d = db();
-        let plan = LogicalPlan::scan("sales").sort(vec![SortKey {
-            expr: Expr::col("quarter"),
-            ascending: true,
-        }]);
+        let plan = LogicalPlan::scan("sales")
+            .sort(vec![SortKey { expr: Expr::col("quarter"), ascending: true }]);
         let t = execute(&plan, &d).unwrap();
         assert_eq!(t.cell(0, 1), &Value::str("Q1"));
         // Stability: alpha Q1 (row 0 originally) before beta Q1.
@@ -591,10 +578,8 @@ mod tests {
     #[test]
     fn sort_descending_nulls() {
         let d = db();
-        let plan = LogicalPlan::scan("sales").sort(vec![SortKey {
-            expr: Expr::col("amount"),
-            ascending: false,
-        }]);
+        let plan = LogicalPlan::scan("sales")
+            .sort(vec![SortKey { expr: Expr::col("amount"), ascending: false }]);
         let t = execute(&plan, &d).unwrap();
         assert_eq!(t.cell(0, 2), &Value::Float(150.0));
         // NULL sorts first ascending → last descending.
@@ -637,10 +622,6 @@ mod tests {
 impl Expr {
     /// Test-only shorthand for division.
     fn binary_div_test(self, other: Expr) -> Expr {
-        Expr::Binary {
-            op: crate::expr::BinOp::Div,
-            left: Box::new(self),
-            right: Box::new(other),
-        }
+        Expr::Binary { op: crate::expr::BinOp::Div, left: Box::new(self), right: Box::new(other) }
     }
 }

@@ -245,10 +245,9 @@ fn bool_or_null(v: &Value) -> RelResult<Option<bool>> {
     match v {
         Value::Null => Ok(None),
         Value::Bool(b) => Ok(Some(*b)),
-        other => Err(RelError::TypeMismatch {
-            expected: "bool",
-            found: other.type_name().to_string(),
-        }),
+        other => {
+            Err(RelError::TypeMismatch { expected: "bool", found: other.type_name().to_string() })
+        }
     }
 }
 
@@ -443,7 +442,10 @@ mod tests {
     fn comparisons() {
         let s = schema();
         assert_eq!(Expr::col("a").gt(Expr::lit(5i64)).eval(&row(), &s).unwrap(), Value::Bool(true));
-        assert_eq!(Expr::col("a").le(Expr::lit(5i64)).eval(&row(), &s).unwrap(), Value::Bool(false));
+        assert_eq!(
+            Expr::col("a").le(Expr::lit(5i64)).eval(&row(), &s).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(
             Expr::col("a").eq(Expr::lit(10.0)).eval(&row(), &s).unwrap(),
             Value::Bool(true),
@@ -520,10 +522,8 @@ mod tests {
             list: vec![Value::Int(1), Value::Int(10)],
         };
         assert_eq!(e.eval(&row(), &s).unwrap(), Value::Bool(true));
-        let e = Expr::InList {
-            expr: Box::new(Expr::col("a")),
-            list: vec![Value::Int(1), Value::Null],
-        };
+        let e =
+            Expr::InList { expr: Box::new(Expr::col("a")), list: vec![Value::Int(1), Value::Null] };
         // 10 ∉ {1, NULL} is NULL, not false (SQL semantics).
         assert_eq!(e.eval(&row(), &s).unwrap(), Value::Null);
     }

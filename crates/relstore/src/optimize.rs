@@ -81,7 +81,9 @@ pub fn fold_constants(expr: Expr) -> Expr {
             }
             Expr::IsNull { expr: Box::new(e), negated }
         }
-        Expr::Like { expr, pattern } => Expr::Like { expr: Box::new(fold_constants(*expr)), pattern },
+        Expr::Like { expr, pattern } => {
+            Expr::Like { expr: Box::new(fold_constants(*expr)), pattern }
+        }
         Expr::InList { expr, list } => Expr::InList { expr: Box::new(fold_constants(*expr)), list },
         other => other,
     }
@@ -99,10 +101,9 @@ fn fold_constants_plan(plan: LogicalPlan) -> LogicalPlan {
 fn merge_filters(plan: LogicalPlan) -> LogicalPlan {
     map_plan(plan, &|node| match node {
         LogicalPlan::Filter { input, predicate } => match *input {
-            LogicalPlan::Filter { input: inner, predicate: inner_pred } => LogicalPlan::Filter {
-                input: inner,
-                predicate: inner_pred.and(predicate),
-            },
+            LogicalPlan::Filter { input: inner, predicate: inner_pred } => {
+                LogicalPlan::Filter { input: inner, predicate: inner_pred.and(predicate) }
+            }
             other => LogicalPlan::Filter { input: Box::new(other), predicate },
         },
         other => other,
@@ -125,10 +126,7 @@ fn push_one_filter(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
             let mapped = remap_through_project(&predicate, &exprs);
             match mapped {
                 Some(inner_pred) => LogicalPlan::Project {
-                    input: Box::new(LogicalPlan::Filter {
-                        input: proj_in,
-                        predicate: inner_pred,
-                    }),
+                    input: Box::new(LogicalPlan::Filter { input: proj_in, predicate: inner_pred }),
                     exprs,
                 },
                 None => LogicalPlan::Filter {
@@ -205,11 +203,9 @@ fn map_plan(plan: LogicalPlan, f: &dyn Fn(LogicalPlan) -> LogicalPlan) -> Logica
             join_type,
             on,
         },
-        LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
-            input: Box::new(map_plan(*input, f)),
-            group_by,
-            aggs,
-        },
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            LogicalPlan::Aggregate { input: Box::new(map_plan(*input, f)), group_by, aggs }
+        }
         LogicalPlan::Sort { input, keys } => {
             LogicalPlan::Sort { input: Box::new(map_plan(*input, f)), keys }
         }
@@ -279,10 +275,7 @@ mod tests {
     #[test]
     fn pushes_filter_below_passthrough_project() {
         let plan = LogicalPlan::scan("t")
-            .project(vec![
-                (Expr::col("a"), "x".to_string()),
-                (Expr::col("b"), "y".to_string()),
-            ])
+            .project(vec![(Expr::col("a"), "x".to_string()), (Expr::col("b"), "y".to_string())])
             .filter(Expr::col("x").gt(Expr::lit(1i64)));
         let opt = optimize(plan);
         match opt {

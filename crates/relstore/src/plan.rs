@@ -209,14 +209,12 @@ impl LogicalPlan {
                 input.explain_into(depth + 1, out);
             }
             LogicalPlan::Project { input, exprs } => {
-                let cols: Vec<String> =
-                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 out.push_str(&format!("{pad}Project: {}\n", cols.join(", ")));
                 input.explain_into(depth + 1, out);
             }
             LogicalPlan::Join { left, right, join_type, on } => {
-                let conds: Vec<String> =
-                    on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
                 out.push_str(&format!("{pad}{join_type:?}Join: {}\n", conds.join(" AND ")));
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
@@ -289,10 +287,8 @@ mod tests {
 
     #[test]
     fn explain_join() {
-        let plan = LogicalPlan::scan("a").join(
-            LogicalPlan::scan("b"),
-            vec![("id".to_string(), "a_id".to_string())],
-        );
+        let plan = LogicalPlan::scan("a")
+            .join(LogicalPlan::scan("b"), vec![("id".to_string(), "a_id".to_string())]);
         assert!(plan.explain().contains("InnerJoin: id = a_id"));
     }
 }

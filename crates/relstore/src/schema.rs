@@ -195,10 +195,7 @@ mod tests {
 
     #[test]
     fn duplicate_columns_rejected() {
-        let r = Schema::new(vec![
-            Column::new("a", DataType::Int),
-            Column::new("A", DataType::Str),
-        ]);
+        let r = Schema::new(vec![Column::new("a", DataType::Int), Column::new("A", DataType::Str)]);
         assert!(matches!(r, Err(RelError::Conflict(_))));
     }
 

@@ -261,8 +261,7 @@ impl Parser {
             }
             joins.push(JoinClause { table, on });
         }
-        let where_clause =
-            if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
         let mut group_by = Vec::new();
         if self.eat_keyword("GROUP") {
             self.expect_keyword("BY")?;
@@ -326,10 +325,8 @@ impl Parser {
         // Optional alias: next ident that is not a clause keyword.
         if let Some(Tok::Ident(s)) = self.peek() {
             let kw = s.to_uppercase();
-            if ![
-                "JOIN", "ON", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "AND",
-            ]
-            .contains(&kw.as_str())
+            if !["JOIN", "ON", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "AND"]
+                .contains(&kw.as_str())
             {
                 self.pos += 1; // consume alias
             }
@@ -349,11 +346,7 @@ impl Parser {
             return Ok(SelectItem::Star);
         }
         let expr = self.parse_expr()?;
-        let alias = if self.eat_keyword("AS") {
-            Some(self.expect_ident()?)
-        } else {
-            None
-        };
+        let alias = if self.eat_keyword("AS") { Some(self.expect_ident()?) } else { None };
         Ok(SelectItem::Expr { expr, alias })
     }
 
@@ -799,9 +792,7 @@ mod tests {
 
     #[test]
     fn select_columns_where() {
-        let t = db()
-            .run_sql("SELECT product, amount FROM sales WHERE amount >= 100")
-            .unwrap();
+        let t = db().run_sql("SELECT product, amount FROM sales WHERE amount >= 100").unwrap();
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.num_columns(), 2);
     }
@@ -823,9 +814,7 @@ mod tests {
 
     #[test]
     fn in_list() {
-        let t = db()
-            .run_sql("SELECT * FROM sales WHERE quarter IN ('Q1')")
-            .unwrap();
+        let t = db().run_sql("SELECT * FROM sales WHERE quarter IN ('Q1')").unwrap();
         assert_eq!(t.num_rows(), 2);
     }
 
@@ -908,9 +897,7 @@ mod tests {
 
     #[test]
     fn qualified_columns_accepted() {
-        let t = db()
-            .run_sql("SELECT s.product FROM sales s WHERE s.amount > 90")
-            .unwrap();
+        let t = db().run_sql("SELECT s.product FROM sales s WHERE s.amount > 90").unwrap();
         assert_eq!(t.num_rows(), 2);
     }
 
@@ -933,11 +920,9 @@ mod tests {
     #[test]
     fn escaped_quotes() {
         let mut d = Database::new();
-        let t = Table::from_rows(
-            Schema::of(&[("s", DataType::Str)]),
-            vec![vec![Value::str("it's")]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows(Schema::of(&[("s", DataType::Str)]), vec![vec![Value::str("it's")]])
+                .unwrap();
         d.create_table("t", t).unwrap();
         let out = d.run_sql("SELECT * FROM t WHERE s = 'it''s'").unwrap();
         assert_eq!(out.num_rows(), 1);
@@ -949,8 +934,14 @@ mod tests {
         assert!(matches!(d.run_sql("SELECT FROM sales"), Err(RelError::Parse(_))));
         assert!(matches!(d.run_sql("SELECT * sales"), Err(RelError::Parse(_))));
         assert!(matches!(d.run_sql("SELECT * FROM sales LIMIT x"), Err(RelError::Parse(_))));
-        assert!(matches!(d.run_sql("SELECT * FROM sales WHERE 'unterminated"), Err(RelError::Parse(_))));
-        assert!(matches!(d.run_sql("SELECT * FROM sales trailing garbage ("), Err(RelError::Parse(_))));
+        assert!(matches!(
+            d.run_sql("SELECT * FROM sales WHERE 'unterminated"),
+            Err(RelError::Parse(_))
+        ));
+        assert!(matches!(
+            d.run_sql("SELECT * FROM sales trailing garbage ("),
+            Err(RelError::Parse(_))
+        ));
     }
 
     #[test]
@@ -970,17 +961,16 @@ mod tests {
     fn unknown_table_or_column() {
         let d = db();
         assert!(matches!(d.run_sql("SELECT * FROM missing"), Err(RelError::UnknownTable(_))));
-        assert!(matches!(
-            d.run_sql("SELECT missing FROM sales"),
-            Err(RelError::UnknownColumn(_))
-        ));
+        assert!(matches!(d.run_sql("SELECT missing FROM sales"), Err(RelError::UnknownColumn(_))));
     }
 
     #[test]
     fn parenthesized_precedence() {
         let d = db();
         let a = d
-            .run_sql("SELECT * FROM sales WHERE product = 'alpha' OR product = 'beta' AND units > 10")
+            .run_sql(
+                "SELECT * FROM sales WHERE product = 'alpha' OR product = 'beta' AND units > 10",
+            )
             .unwrap();
         // AND binds tighter: alpha rows (2) + beta&units>10 (0) = 2.
         assert_eq!(a.num_rows(), 2);

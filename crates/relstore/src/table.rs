@@ -114,11 +114,8 @@ impl Table {
 
     /// Builds a new table containing only the rows at `indices` (in order).
     pub fn take(&self, indices: &[usize]) -> Table {
-        let columns = self
-            .columns
-            .iter()
-            .map(|c| indices.iter().map(|&i| c[i].clone()).collect())
-            .collect();
+        let columns =
+            self.columns.iter().map(|c| indices.iter().map(|&i| c[i].clone()).collect()).collect();
         Table { schema: self.schema.clone(), columns, rows: indices.len() }
     }
 
@@ -133,15 +130,13 @@ impl Table {
 
     /// Renders the table in a fixed-width ASCII grid, capped at `max_rows`.
     pub fn render(&self, max_rows: usize) -> String {
-        let headers: Vec<String> =
-            self.schema.columns().iter().map(|c| c.name.clone()).collect();
+        let headers: Vec<String> = self.schema.columns().iter().map(|c| c.name.clone()).collect();
         let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
         let shown = self.num_rows().min(max_rows);
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
         for i in 0..shown {
-            let row: Vec<String> = (0..self.num_columns())
-                .map(|j| self.cell(i, j).to_string())
-                .collect();
+            let row: Vec<String> =
+                (0..self.num_columns()).map(|j| self.cell(i, j).to_string()).collect();
             for (j, c) in row.iter().enumerate() {
                 widths[j] = widths[j].max(c.len());
             }

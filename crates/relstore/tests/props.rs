@@ -1,34 +1,30 @@
-//! Property-based tests: relational algebra invariants.
+//! Property-based tests: relational algebra invariants (detkit harness).
 
-use proptest::prelude::*;
-use unisem_relstore::{Database, DataType, Expr, LogicalPlan, Schema, Table, Value};
+use detkit::prop::{i32s, i8s, string_of, usizes, vec_of, zip, zip3, Gen};
+use detkit::{prop_assert, prop_assert_eq, prop_check};
+use unisem_relstore::{DataType, Database, Expr, LogicalPlan, Schema, Table, Value};
 
-/// Strategy: a small typed table with (int, float, str) columns.
-fn small_table() -> impl Strategy<Value = Table> {
-    proptest::collection::vec(
-        (any::<i8>(), -1000i32..1000, "[a-d]{1,3}"),
-        0..30,
+/// Generator: a small typed table with (int, float, str) columns.
+fn small_table() -> Gen<Table> {
+    vec_of(&zip3(&i8s(i8::MIN, i8::MAX), &i32s(-1000, 999), &string_of("abcd", 1, 3)), 0, 29).map(
+        |rows| {
+            let schema =
+                Schema::of(&[("k", DataType::Int), ("v", DataType::Float), ("s", DataType::Str)]);
+            Table::from_rows(
+                schema,
+                rows.iter()
+                    .map(|(k, v, s)| {
+                        vec![
+                            Value::Int(i64::from(*k)),
+                            Value::Float(f64::from(*v) / 10.0),
+                            Value::str(s.clone()),
+                        ]
+                    })
+                    .collect(),
+            )
+            .expect("typed rows")
+        },
     )
-    .prop_map(|rows| {
-        let schema = Schema::of(&[
-            ("k", DataType::Int),
-            ("v", DataType::Float),
-            ("s", DataType::Str),
-        ]);
-        Table::from_rows(
-            schema,
-            rows.into_iter()
-                .map(|(k, v, s)| {
-                    vec![
-                        Value::Int(i64::from(k)),
-                        Value::Float(f64::from(v) / 10.0),
-                        Value::str(s),
-                    ]
-                })
-                .collect(),
-        )
-        .expect("typed rows")
-    })
 }
 
 fn db_with(t: Table) -> Database {
@@ -37,109 +33,103 @@ fn db_with(t: Table) -> Database {
     db
 }
 
-proptest! {
-    /// Filtering never increases row count, and double-filtering with the
-    /// same predicate is idempotent.
-    #[test]
-    fn filter_monotone_and_idempotent(t in small_table()) {
-        let db = db_with(t.clone());
-        let pred = Expr::col("k").gt(Expr::lit(0i64));
-        let once = db.run_plan(&LogicalPlan::scan("t").filter(pred.clone())).unwrap();
-        prop_assert!(once.num_rows() <= t.num_rows());
-        let mut db2 = Database::new();
-        db2.create_table("t", once.clone()).unwrap();
-        let twice = db2.run_plan(&LogicalPlan::scan("t").filter(pred)).unwrap();
-        prop_assert_eq!(once.num_rows(), twice.num_rows());
-    }
+// Filtering never increases row count, and double-filtering with the
+// same predicate is idempotent.
+prop_check!(filter_monotone_and_idempotent, small_table(), |t| {
+    let db = db_with(t.clone());
+    let pred = Expr::col("k").gt(Expr::lit(0i64));
+    let once = db.run_plan(&LogicalPlan::scan("t").filter(pred.clone())).unwrap();
+    prop_assert!(once.num_rows() <= t.num_rows());
+    let mut db2 = Database::new();
+    db2.create_table("t", once.clone()).unwrap();
+    let twice = db2.run_plan(&LogicalPlan::scan("t").filter(pred)).unwrap();
+    prop_assert_eq!(once.num_rows(), twice.num_rows());
+    Ok(())
+});
 
-    /// p AND NOT p selects nothing; p OR NOT p selects every non-NULL row.
-    #[test]
-    fn excluded_middle(t in small_table()) {
-        let db = db_with(t.clone());
-        let p = Expr::col("v").gt(Expr::lit(0.0));
-        let contradiction = p.clone().and(Expr::Not(Box::new(p.clone())));
-        let none = db.run_plan(&LogicalPlan::scan("t").filter(contradiction)).unwrap();
-        prop_assert_eq!(none.num_rows(), 0);
-        let tautology = p.clone().or(Expr::Not(Box::new(p)));
-        let all = db.run_plan(&LogicalPlan::scan("t").filter(tautology)).unwrap();
-        prop_assert_eq!(all.num_rows(), t.num_rows());
-    }
+// p AND NOT p selects nothing; p OR NOT p selects every non-NULL row.
+prop_check!(excluded_middle, small_table(), |t| {
+    let db = db_with(t.clone());
+    let p = Expr::col("v").gt(Expr::lit(0.0));
+    let contradiction = p.clone().and(Expr::Not(Box::new(p.clone())));
+    let none = db.run_plan(&LogicalPlan::scan("t").filter(contradiction)).unwrap();
+    prop_assert_eq!(none.num_rows(), 0);
+    let tautology = p.clone().or(Expr::Not(Box::new(p)));
+    let all = db.run_plan(&LogicalPlan::scan("t").filter(tautology)).unwrap();
+    prop_assert_eq!(all.num_rows(), t.num_rows());
+    Ok(())
+});
 
-    /// SUM over GROUP BY groups equals the global SUM.
-    #[test]
-    fn group_sums_partition_global_sum(t in small_table()) {
-        let db = db_with(t);
-        let global = db.run_sql("SELECT SUM(v) AS s FROM t").unwrap();
-        let grouped = db.run_sql("SELECT s, SUM(v) AS part FROM t GROUP BY s").unwrap();
-        let total = global.cell(0, 0).as_f64();
-        let parts: f64 = (0..grouped.num_rows())
-            .filter_map(|i| grouped.cell(i, 1).as_f64())
-            .sum();
-        match total {
-            None => prop_assert_eq!(grouped.num_rows(), 0),
-            Some(total) => prop_assert!((total - parts).abs() < 1e-6, "{total} vs {parts}"),
+// SUM over GROUP BY groups equals the global SUM.
+prop_check!(group_sums_partition_global_sum, small_table(), |t| {
+    let db = db_with(t.clone());
+    let global = db.run_sql("SELECT SUM(v) AS s FROM t").unwrap();
+    let grouped = db.run_sql("SELECT s, SUM(v) AS part FROM t GROUP BY s").unwrap();
+    let total = global.cell(0, 0).as_f64();
+    let parts: f64 = (0..grouped.num_rows()).filter_map(|i| grouped.cell(i, 1).as_f64()).sum();
+    match total {
+        None => prop_assert_eq!(grouped.num_rows(), 0),
+        Some(total) => prop_assert!((total - parts).abs() < 1e-6, "{total} vs {parts}"),
+    }
+    Ok(())
+});
+
+// ORDER BY produces a sorted permutation of the input.
+prop_check!(sort_is_permutation_and_ordered, small_table(), |t| {
+    let db = db_with(t.clone());
+    let out = db.run_sql("SELECT * FROM t ORDER BY v ASC").unwrap();
+    prop_assert_eq!(out.num_rows(), t.num_rows());
+    let vals: Vec<Option<f64>> = (0..out.num_rows()).map(|i| out.cell(i, 1).as_f64()).collect();
+    for w in vals.windows(2) {
+        if let (Some(a), Some(b)) = (w[0], w[1]) {
+            prop_assert!(a <= b);
         }
     }
+    // Multiset of keys preserved.
+    let mut before: Vec<i64> = t.column(0).iter().filter_map(Value::as_i64).collect();
+    let mut after: Vec<i64> = out.column(0).iter().filter_map(Value::as_i64).collect();
+    before.sort_unstable();
+    after.sort_unstable();
+    prop_assert_eq!(before, after);
+    Ok(())
+});
 
-    /// ORDER BY produces a sorted permutation of the input.
-    #[test]
-    fn sort_is_permutation_and_ordered(t in small_table()) {
-        let db = db_with(t.clone());
-        let out = db.run_sql("SELECT * FROM t ORDER BY v ASC").unwrap();
-        prop_assert_eq!(out.num_rows(), t.num_rows());
-        let vals: Vec<Option<f64>> =
-            (0..out.num_rows()).map(|i| out.cell(i, 1).as_f64()).collect();
-        for w in vals.windows(2) {
-            if let (Some(a), Some(b)) = (w[0], w[1]) {
-                prop_assert!(a <= b);
-            }
-        }
-        // Multiset of keys preserved.
-        let mut before: Vec<i64> = t.column(0).iter().filter_map(Value::as_i64).collect();
-        let mut after: Vec<i64> = out.column(0).iter().filter_map(Value::as_i64).collect();
-        before.sort_unstable();
-        after.sort_unstable();
-        prop_assert_eq!(before, after);
+// LIMIT n yields min(n, rows) and is a prefix of the unlimited result.
+prop_check!(limit_prefix, zip(&small_table(), &usizes(0, 39)), |p| {
+    let (t, n) = p;
+    let db = db_with(t.clone());
+    let full = db.run_sql("SELECT * FROM t ORDER BY k").unwrap();
+    let limited = db.run_sql(&format!("SELECT * FROM t ORDER BY k LIMIT {n}")).unwrap();
+    prop_assert_eq!(limited.num_rows(), full.num_rows().min(*n));
+    for i in 0..limited.num_rows() {
+        prop_assert_eq!(limited.row(i), full.row(i));
     }
+    Ok(())
+});
 
-    /// LIMIT n yields min(n, rows) and is a prefix of the unlimited result.
-    #[test]
-    fn limit_prefix(t in small_table(), n in 0usize..40) {
-        let db = db_with(t);
-        let full = db.run_sql("SELECT * FROM t ORDER BY k").unwrap();
-        let limited = db.run_sql(&format!("SELECT * FROM t ORDER BY k LIMIT {n}")).unwrap();
-        prop_assert_eq!(limited.num_rows(), full.num_rows().min(n));
-        for i in 0..limited.num_rows() {
-            prop_assert_eq!(limited.row(i), full.row(i));
-        }
-    }
+// DISTINCT is idempotent and never increases cardinality.
+prop_check!(distinct_idempotent, small_table(), |t| {
+    let db = db_with(t.clone());
+    let once = db.run_sql("SELECT DISTINCT s FROM t").unwrap();
+    prop_assert!(once.num_rows() <= t.num_rows());
+    let mut db2 = Database::new();
+    db2.create_table("t", once.clone()).unwrap();
+    let twice = db2.run_sql("SELECT DISTINCT s FROM t").unwrap();
+    prop_assert_eq!(once.num_rows(), twice.num_rows());
+    Ok(())
+});
 
-    /// DISTINCT is idempotent and never increases cardinality.
-    #[test]
-    fn distinct_idempotent(t in small_table()) {
-        let db = db_with(t.clone());
-        let once = db.run_sql("SELECT DISTINCT s FROM t").unwrap();
-        prop_assert!(once.num_rows() <= t.num_rows());
-        let mut db2 = Database::new();
-        db2.create_table("t", once.clone()).unwrap();
-        let twice = db2.run_sql("SELECT DISTINCT s FROM t").unwrap();
-        prop_assert_eq!(once.num_rows(), twice.num_rows());
-    }
-
-    /// The optimizer never changes results (tested over the plan shapes the
-    /// engine emits: filter over projection over scan).
-    #[test]
-    fn optimizer_preserves_semantics(t in small_table(), threshold in -10i64..10) {
-        let db = db_with(t);
-        let plan = LogicalPlan::scan("t")
-            .project(vec![
-                (Expr::col("k"), "a".to_string()),
-                (Expr::col("v"), "b".to_string()),
-            ])
-            .filter(Expr::col("a").gt(Expr::lit(threshold)));
-        // run_plan optimizes; exec::execute on the raw plan does not.
-        let optimized = db.run_plan(&plan).unwrap();
-        let raw = unisem_relstore::exec::execute(&plan, &db).unwrap();
-        prop_assert_eq!(optimized, raw);
-    }
-}
+// The optimizer never changes results (tested over the plan shapes the
+// engine emits: filter over projection over scan).
+prop_check!(optimizer_preserves_semantics, zip(&small_table(), &i32s(-10, 9)), |p| {
+    let (t, threshold) = p;
+    let db = db_with(t.clone());
+    let plan = LogicalPlan::scan("t")
+        .project(vec![(Expr::col("k"), "a".to_string()), (Expr::col("v"), "b".to_string())])
+        .filter(Expr::col("a").gt(Expr::lit(i64::from(*threshold))));
+    // run_plan optimizes; exec::execute on the raw plan does not.
+    let optimized = db.run_plan(&plan).unwrap();
+    let raw = unisem_relstore::exec::execute(&plan, &db).unwrap();
+    prop_assert_eq!(optimized, raw);
+    Ok(())
+});

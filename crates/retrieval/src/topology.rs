@@ -100,7 +100,12 @@ impl TopologyRetriever {
     ///
     /// Computes the static PageRank prior here (index-build cost), so
     /// query-time work is proportional to the traversal frontier only.
-    pub fn new(slm: Slm, graph: Arc<HetGraph>, docs: Arc<DocStore>, config: TopologyConfig) -> Self {
+    pub fn new(
+        slm: Slm,
+        graph: Arc<HetGraph>,
+        docs: Arc<DocStore>,
+        config: TopologyConfig,
+    ) -> Self {
         let mut static_prior = pagerank(&graph, config.damping, config.iterations);
         let max = static_prior.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
         for p in static_prior.iter_mut() {
@@ -142,10 +147,7 @@ impl TopologyRetriever {
             // "rating") are predicates over whatever entity the query names
             // — neither identifies a location in the graph, and metric
             // entities are the highest-degree hubs of all.
-            if matches!(
-                m.kind,
-                EntityKind::Quantity | EntityKind::Percent | EntityKind::Metric
-            ) {
+            if matches!(m.kind, EntityKind::Quantity | EntityKind::Percent | EntityKind::Metric) {
                 continue;
             }
             match self.graph.entity_by_name(&m.canonical()) {
@@ -261,7 +263,11 @@ impl TopologyRetriever {
     }
 
     /// Retrieval with traversal statistics.
-    pub fn retrieve_with_stats(&self, query: &str, k: usize) -> (Vec<RetrievalResult>, TraversalStats) {
+    pub fn retrieve_with_stats(
+        &self,
+        query: &str,
+        k: usize,
+    ) -> (Vec<RetrievalResult>, TraversalStats) {
         let (primary, constraints) = self.anchor_sets(query);
         // Traverse from referential anchors; fall back to constraint
         // anchors when the query names only values ("what happened in Q3?").
@@ -290,11 +296,7 @@ impl TopologyRetriever {
         // documents directly carrying the period — depth 1 — because a
         // temporal anchor's multi-hop neighborhood is the entire
         // contemporaneous corpus.
-        let max_cost = if primary.is_empty() {
-            1.0
-        } else {
-            self.config.max_hops as f64 * 2.0
-        };
+        let max_cost = if primary.is_empty() { 1.0 } else { self.config.max_hops as f64 * 2.0 };
         let mut proximity: HashMap<NodeId, f64> = HashMap::new();
         for &a in anchors {
             for (node, cost) in self.bounded_traversal(a, max_cost) {
@@ -318,8 +320,7 @@ impl TopologyRetriever {
         // Candidate chunks: traversal proximity × static centrality prior.
         let mut topo: HashMap<usize, f64> = HashMap::new();
         for (&node, &prox) in &proximity {
-            if let unisem_hetgraph::NodeKind::Chunk { chunk_id, .. } = &self.graph.node(node).kind
-            {
+            if let unisem_hetgraph::NodeKind::Chunk { chunk_id, .. } = &self.graph.node(node).kind {
                 let prior = self.static_prior[node.0 as usize];
                 topo.insert(*chunk_id, prox * (0.5 + 0.5 * prior));
             }
@@ -496,10 +497,7 @@ mod tests {
     #[test]
     fn deterministic() {
         let r = retriever();
-        assert_eq!(
-            r.retrieve("Drug A for Patient X", 3),
-            r.retrieve("Drug A for Patient X", 3)
-        );
+        assert_eq!(r.retrieve("Drug A for Patient X", 3), r.retrieve("Drug A for Patient X", 3));
     }
 
     #[test]

@@ -187,10 +187,7 @@ mod tests {
 
     #[test]
     fn type_conflict_stringifies() {
-        let docs = vec![
-            parse_json(r#"{"x": 1}"#).unwrap(),
-            parse_json(r#"{"x": "one"}"#).unwrap(),
-        ];
+        let docs = vec![parse_json(r#"{"x": 1}"#).unwrap(), parse_json(r#"{"x": "one"}"#).unwrap()];
         let t = flatten_collection(&docs).unwrap();
         let x = t.schema().index_of("x").unwrap();
         assert_eq!(t.schema().column(x).dtype, DataType::Str);
@@ -208,10 +205,7 @@ mod tests {
     #[test]
     fn non_object_rejected() {
         let docs = vec![parse_json("[1,2]").unwrap()];
-        assert!(matches!(
-            flatten_collection(&docs),
-            Err(FlattenError::NonObjectDocument(0))
-        ));
+        assert!(matches!(flatten_collection(&docs), Err(FlattenError::NonObjectDocument(0))));
     }
 
     #[test]

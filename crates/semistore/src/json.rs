@@ -27,9 +27,7 @@ impl JsonValue {
     /// Object field lookup.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
-            JsonValue::Object(fields) => {
-                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -285,8 +283,8 @@ impl<'a> JsonParser<'a> {
                                 .bytes
                                 .get(self.pos..self.pos + 4)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
                             let cp = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             // Surrogate pairs are not reconstructed; replace.
@@ -382,10 +380,7 @@ mod tests {
     fn parses_nested() {
         let v = parse_json(r#"{"a": [1, {"b": "x"}], "c": null}"#).unwrap();
         assert_eq!(v.get("a").unwrap().at(0), Some(&JsonValue::Number(1.0)));
-        assert_eq!(
-            v.get("a").unwrap().at(1).unwrap().get("b").unwrap().as_str(),
-            Some("x")
-        );
+        assert_eq!(v.get("a").unwrap().at(1).unwrap().get("b").unwrap().as_str(), Some("x"));
         assert!(v.get("c").unwrap().is_null());
     }
 

@@ -97,9 +97,8 @@ impl JsonPath {
                     if chars.next() != Some(']') {
                         return Err(PathError("unterminated index".into()));
                     }
-                    let idx: usize = digits
-                        .parse()
-                        .map_err(|_| PathError(format!("bad index: {digits}")))?;
+                    let idx: usize =
+                        digits.parse().map_err(|_| PathError(format!("bad index: {digits}")))?;
                     steps.push(Step::Index(idx));
                 }
                 other => return Err(PathError(format!("unexpected character: {other}"))),

@@ -58,11 +58,7 @@ impl SemiStore {
 
     /// Evaluates a path against every document of a collection, returning
     /// `(doc id, matched value)` pairs.
-    pub fn query<'a>(
-        &'a self,
-        collection: &str,
-        path: &JsonPath,
-    ) -> Vec<(DocId, &'a JsonValue)> {
+    pub fn query<'a>(&'a self, collection: &str, path: &JsonPath) -> Vec<(DocId, &'a JsonValue)> {
         self.docs(collection)
             .iter()
             .enumerate()
@@ -78,11 +74,7 @@ impl SemiStore {
 
     /// Approximate resident bytes (serialized length of all documents).
     pub fn approx_bytes(&self) -> usize {
-        self.collections
-            .values()
-            .flat_map(|docs| docs.iter())
-            .map(|d| d.to_json().len())
-            .sum()
+        self.collections.values().flat_map(|docs| docs.iter()).map(|d| d.to_json().len()).sum()
     }
 }
 

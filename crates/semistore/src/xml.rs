@@ -65,11 +65,7 @@ impl XmlParser {
     }
 
     fn starts_with(&self, s: &str) -> bool {
-        self.chars[self.pos..]
-            .iter()
-            .map(|&(_, c)| c)
-            .take(s.chars().count())
-            .eq(s.chars())
+        self.chars[self.pos..].iter().map(|&(_, c)| c).take(s.chars().count()).eq(s.chars())
     }
 
     fn advance(&mut self, n: usize) {
@@ -333,10 +329,8 @@ mod tests {
 
     #[test]
     fn prolog_and_comments_skipped() {
-        let v = parse_xml(
-            "<?xml version=\"1.0\"?>\n<!-- top comment -->\n<r><!-- inner -->ok</r>",
-        )
-        .unwrap();
+        let v = parse_xml("<?xml version=\"1.0\"?>\n<!-- top comment -->\n<r><!-- inner -->ok</r>")
+            .unwrap();
         assert_eq!(v.get("r").unwrap().as_str(), Some("ok"));
     }
 

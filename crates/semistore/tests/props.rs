@@ -1,91 +1,137 @@
-//! Property-based tests: JSON round-trips and flattening invariants.
+//! Property-based tests: JSON round-trips and flattening invariants
+//! (detkit harness).
 
-use proptest::prelude::*;
+use detkit::prop::{bools, i64s, one_of, string_of, vec_of, zip, Config, Gen};
+use detkit::rng::Rng;
+use detkit::{file_regressions, prop_assert, prop_assert_eq, prop_check};
 use unisem_semistore::{discover_schema, flatten_collection, parse_json, JsonValue};
 
-/// Strategy for arbitrary JSON values of bounded depth.
-fn arb_json() -> impl Strategy<Value = JsonValue> {
-    let leaf = prop_oneof![
-        Just(JsonValue::Null),
-        any::<bool>().prop_map(JsonValue::Bool),
-        (-1e9f64..1e9).prop_map(|n| JsonValue::Number((n * 100.0).round() / 100.0)),
-        "[a-zA-Z0-9 _.-]{0,12}".prop_map(JsonValue::String),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
-            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|pairs| {
-                // Deduplicate keys (objects keep first occurrence).
-                let mut seen = std::collections::HashSet::new();
-                JsonValue::Object(
-                    pairs
-                        .into_iter()
-                        .filter(|(k, _)| seen.insert(k.clone()))
-                        .collect(),
-                )
-            }),
-        ]
-    })
+/// Arbitrary JSON values of bounded depth (hand-rolled recursion; these
+/// trees do not shrink, the flat-object generators below do).
+fn arb_json() -> Gen<JsonValue> {
+    Gen::raw(|rng| json_value(rng, 3))
 }
 
-/// Strategy for flat-ish JSON objects (flattening input).
-fn arb_object() -> impl Strategy<Value = JsonValue> {
-    proptest::collection::vec(
-        (
-            "[a-z]{1,5}",
-            prop_oneof![
-                (-1000i64..1000).prop_map(|n| JsonValue::Number(n as f64)),
-                any::<bool>().prop_map(JsonValue::Bool),
-                "[a-z]{0,6}".prop_map(JsonValue::String),
-            ],
-        ),
-        0..6,
-    )
-    .prop_map(|pairs| {
-        let mut seen = std::collections::HashSet::new();
-        JsonValue::Object(pairs.into_iter().filter(|(k, _)| seen.insert(k.clone())).collect())
-    })
-}
-
-proptest! {
-    /// serialize → parse is the identity.
-    #[test]
-    fn json_roundtrip(v in arb_json()) {
-        let text = v.to_json();
-        let back = parse_json(&text).unwrap();
-        prop_assert_eq!(back, v);
+fn json_value(rng: &mut Rng, depth: u32) -> JsonValue {
+    let branch = if depth == 0 { rng.gen_range(0..4) } else { rng.gen_range(0..6) };
+    match branch {
+        0 => JsonValue::Null,
+        1 => JsonValue::Bool(rng.gen_bool(0.5)),
+        2 => {
+            let n = rng.gen_range(-1e9f64..1e9);
+            JsonValue::Number((n * 100.0).round() / 100.0)
+        }
+        3 => JsonValue::String(random_string(rng, "abcXYZ019 _.-", 0, 12)),
+        4 => {
+            let n = rng.gen_range(0..4usize);
+            JsonValue::Array((0..n).map(|_| json_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0..4usize);
+            let mut seen = std::collections::HashSet::new();
+            JsonValue::Object(
+                (0..n)
+                    .map(|_| (random_string(rng, "abcdef", 1, 6), json_value(rng, depth - 1)))
+                    .filter(|(k, _)| seen.insert(k.clone()))
+                    .collect(),
+            )
+        }
     }
+}
 
-    /// Flattening: one output row per input document, and the schema covers
-    /// exactly the union of observed keys.
-    #[test]
-    fn flatten_row_per_doc(docs in proptest::collection::vec(arb_object(), 0..8)) {
-        let t = flatten_collection(&docs).unwrap();
+fn random_string(rng: &mut Rng, pool: &str, min: usize, max: usize) -> String {
+    let chars: Vec<char> = pool.chars().collect();
+    let n = rng.gen_range(min..=max);
+    (0..n).map(|_| *rng.choose(&chars).expect("non-empty pool")).collect()
+}
+
+/// Flat-ish JSON objects (flattening input); shrinks through the
+/// combinators down to `Object([])`.
+fn arb_object() -> Gen<JsonValue> {
+    let leaf = one_of(vec![
+        i64s(-1000, 999).map(|&n| JsonValue::Number(n as f64)),
+        bools().map(|&b| JsonValue::Bool(b)),
+        string_of("abcdef", 0, 6).map(|s| JsonValue::String(s.clone())),
+    ]);
+    vec_of(&zip(&string_of("abcde", 1, 5), &leaf), 0, 6).map(|pairs| {
+        let mut seen = std::collections::HashSet::new();
+        JsonValue::Object(pairs.iter().filter(|(k, _)| seen.insert(k.clone())).cloned().collect())
+    })
+}
+
+// serialize → parse is the identity.
+prop_check!(json_roundtrip, arb_json(), |v| {
+    let text = v.to_json();
+    let back = parse_json(&text).unwrap();
+    prop_assert_eq!(&back, v);
+    Ok(())
+});
+
+// Flattening: one output row per input document, and the schema covers
+// exactly the union of observed keys. Replays the seeds stored in
+// `props.regressions` before generating fresh cases.
+prop_check!(
+    flatten_row_per_doc,
+    Config::default()
+        .with_regressions(file_regressions!("props.regressions", "flatten_row_per_doc")),
+    vec_of(&arb_object(), 0, 8),
+    |docs| {
+        let t = flatten_collection(docs).unwrap();
         prop_assert_eq!(t.num_rows(), docs.len());
-        let schema = discover_schema(&docs).unwrap();
+        let schema = discover_schema(docs).unwrap();
         prop_assert_eq!(schema.arity(), t.num_columns());
         // Every document key appears as a column.
-        for d in &docs {
+        for d in docs {
             if let JsonValue::Object(fields) = d {
                 for (k, _) in fields {
                     prop_assert!(schema.index_of(k).is_some(), "missing column {}", k);
                 }
             }
         }
+        Ok(())
     }
+);
 
-    /// Flattened cells type-check against the discovered schema (push_row
-    /// inside flatten_collection would fail otherwise, so this asserts no
-    /// panic and a clean construction).
-    #[test]
-    fn flatten_type_consistent(docs in proptest::collection::vec(arb_object(), 0..8)) {
-        let t = flatten_collection(&docs).unwrap();
-        for i in 0..t.num_rows() {
-            for j in 0..t.num_columns() {
-                let cell = t.cell(i, j);
-                let dtype = t.schema().column(j).dtype;
-                prop_assert!(dtype.admits(cell), "{cell:?} in {dtype:?}");
-            }
+// Flattened cells type-check against the discovered schema (push_row
+// inside flatten_collection would fail otherwise, so this asserts no
+// panic and a clean construction).
+prop_check!(flatten_type_consistent, vec_of(&arb_object(), 0, 8), |docs| {
+    let t = flatten_collection(docs).unwrap();
+    for i in 0..t.num_rows() {
+        for j in 0..t.num_columns() {
+            let cell = t.cell(i, j);
+            let dtype = t.schema().column(j).dtype;
+            prop_assert!(dtype.admits(cell), "{cell:?} in {dtype:?}");
         }
     }
+    Ok(())
+});
+
+/// Ported from the retired `props.proptest-regressions` file: proptest
+/// once shrank a `flatten_row_per_doc` failure to `docs = [Object([])]`
+/// (a single document with no fields). Keep the exact input alive as a
+/// named unit test so the historical regression can never silently
+/// reappear.
+#[test]
+fn regression_single_empty_object_document() {
+    let docs = vec![JsonValue::Object(vec![])];
+    let t = flatten_collection(&docs).expect("empty object flattens");
+    assert_eq!(t.num_rows(), 1, "one row per document, even with no fields");
+    let schema = discover_schema(&docs).expect("schema of empty object");
+    assert_eq!(schema.arity(), t.num_columns());
+    assert_eq!(t.num_columns(), 0);
+}
+
+/// Same shape, mixed in with non-empty documents: the empty object must
+/// produce an all-NULL row, not lose the row.
+#[test]
+fn regression_empty_object_among_populated_documents() {
+    let docs = vec![
+        JsonValue::Object(vec![("a".into(), JsonValue::Number(1.0))]),
+        JsonValue::Object(vec![]),
+    ];
+    let t = flatten_collection(&docs).expect("mixed docs flatten");
+    assert_eq!(t.num_rows(), 2);
+    assert_eq!(t.num_columns(), 1);
+    assert!(t.cell(1, 0).is_null(), "missing field must flatten to NULL");
 }

@@ -82,10 +82,7 @@ impl QueryIntent {
             && self.group_hint.is_none()
             && self.sort.is_none()
             && !self.comparative
-            && self
-                .filters
-                .iter()
-                .all(|f| !matches!(f, FilterIntent::Numeric { .. }))
+            && self.filters.iter().all(|f| !matches!(f, FilterIntent::Numeric { .. }))
     }
 }
 

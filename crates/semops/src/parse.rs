@@ -40,11 +40,12 @@ impl IntentParser {
         for m in &mentions {
             match m.kind {
                 EntityKind::Quarter | EntityKind::Date => {
-                    let period =
-                        crate::synthesize::display_period(&m.text);
+                    let period = crate::synthesize::display_period(&m.text);
                     intent.filters.push(FilterIntent::Period(period));
                 }
-                EntityKind::Metric | EntityKind::Quantity | EntityKind::Percent
+                EntityKind::Metric
+                | EntityKind::Quantity
+                | EntityKind::Percent
                 | EntityKind::Money => {}
                 _ => {
                     subjects.push(m.canonical());
@@ -120,7 +121,9 @@ impl IntentParser {
                     intent.limit = Some(n);
                     if w == "top" {
                         let hint = metric_after(tokens[i].start).unwrap_or_default();
-                        intent.sort.get_or_insert(SortIntent { metric_hint: hint, descending: true });
+                        intent
+                            .sort
+                            .get_or_insert(SortIntent { metric_hint: hint, descending: true });
                     }
                 }
             }
@@ -178,17 +181,16 @@ impl IntentParser {
             };
             let Some(op) = op else { continue };
             // Find the next number token within a short window.
-            let num = tokens[i + 1..]
-                .iter()
-                .take(4)
-                .find(|t| t.kind == TokenKind::Number);
+            let num = tokens[i + 1..].iter().take(4).find(|t| t.kind == TokenKind::Number);
             let Some(num) = num else { continue };
             let value_text = num.text.replace(',', "");
-            let Ok(raw) = value_text.parse::<f64>() else { continue };
+            let Ok(raw) = value_text.parse::<f64>() else {
+                continue;
+            };
             // Is it a percent? (covered by a Percent mention)
-            let is_pct = mentions.iter().any(|m| {
-                m.kind == EntityKind::Percent && num.start >= m.start && num.end <= m.end
-            });
+            let is_pct = mentions
+                .iter()
+                .any(|m| m.kind == EntityKind::Percent && num.start >= m.start && num.end <= m.end);
             let metric_hint = if is_pct {
                 "change_pct".to_string()
             } else {
@@ -274,11 +276,13 @@ mod tests {
     #[test]
     fn numeric_threshold_plain_metric() {
         let i = parser().analyze("List products with revenue over 1,000");
-        let found = i.filters.iter().any(|f| matches!(
-            f,
-            FilterIntent::Numeric { metric_hint, op: CmpOp::Gt, value }
-                if metric_hint == "revenue" && *value == Value::Float(1000.0)
-        ));
+        let found = i.filters.iter().any(|f| {
+            matches!(
+                f,
+                FilterIntent::Numeric { metric_hint, op: CmpOp::Gt, value }
+                    if metric_hint == "revenue" && *value == Value::Float(1000.0)
+            )
+        });
         assert!(found, "filters: {:?}", i.filters);
     }
 

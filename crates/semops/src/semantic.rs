@@ -88,7 +88,9 @@ pub fn sem_join(
     let out_schema = left.schema().join(right.schema());
     let mut out = Table::empty(out_schema);
     for i in 0..left.num_rows() {
-        let Value::Str(s) = left.cell(i, lc) else { continue };
+        let Value::Str(s) = left.cell(i, lc) else {
+            continue;
+        };
         let lv = slm.embed(s);
         let best = right_vecs
             .iter()
@@ -136,8 +138,8 @@ mod tests {
     #[test]
     fn sem_filter_threshold_one_keeps_nothing_unrelated() {
         let slm = Slm::default();
-        let out = sem_filter(&slm, &reviews(), "text", "totally unrelated topic zebra", 0.9)
-            .unwrap();
+        let out =
+            sem_filter(&slm, &reviews(), "text", "totally unrelated topic zebra", 0.9).unwrap();
         assert_eq!(out.num_rows(), 0);
     }
 
@@ -164,10 +166,7 @@ mod tests {
         let slm = Slm::default();
         let left = Table::from_rows(
             Schema::of(&[("product_name", DataType::Str)]),
-            vec![
-                vec![Value::str("Alpha Widget Pro")],
-                vec![Value::str("Gamma Gadget")],
-            ],
+            vec![vec![Value::str("Alpha Widget Pro")], vec![Value::str("Gamma Gadget")]],
         )
         .unwrap();
         let right = Table::from_rows(
@@ -194,10 +193,7 @@ mod tests {
         .unwrap();
         let right = Table::from_rows(
             Schema::of(&[("b", DataType::Str)]),
-            vec![
-                vec![Value::str("alpha widget")],
-                vec![Value::str("alpha widgets")],
-            ],
+            vec![vec![Value::str("alpha widget")], vec![Value::str("alpha widgets")]],
         )
         .unwrap();
         let out = sem_join(&slm, &left, &right, "a", "b", 0.3).unwrap();

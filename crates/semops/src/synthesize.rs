@@ -115,10 +115,7 @@ pub fn resolve_metric_column(schema: &Schema, hint: &str) -> Option<String> {
 }
 
 fn resolve_from(schema: &Schema, candidates: &[&str]) -> Option<String> {
-    candidates
-        .iter()
-        .find(|c| schema.index_of(c).is_some())
-        .map(|c| (*c).to_string())
+    candidates.iter().find(|c| schema.index_of(c).is_some()).map(|c| (*c).to_string())
 }
 
 /// Resolves the subject-identifying column.
@@ -166,12 +163,10 @@ impl OperatorSynthesizer {
         // Comparative questions without an explicit aggregate keyword
         // ("which drug is more effective?") still need per-entity
         // aggregation: default to AVG over the mentioned metric.
-        let effective_aggregate: Option<(AggFunc, Option<String>)> =
-            intent.aggregate.clone().or_else(|| {
-                intent
-                    .comparative
-                    .then(|| (AggFunc::Avg, intent.metric_mention.clone()))
-            });
+        let effective_aggregate: Option<(AggFunc, Option<String>)> = intent
+            .aggregate
+            .clone()
+            .or_else(|| intent.comparative.then(|| (AggFunc::Avg, intent.metric_mention.clone())));
 
         // In extracted shape, the metric hint filters the `metric` column
         // and measurements live in a value column.
@@ -189,9 +184,7 @@ impl OperatorSynthesizer {
         let value_column: Option<String> = if extracted {
             if let Some(h) = &metric_hint {
                 if h != "change_pct" && schema.index_of(h).is_none() {
-                    predicates.push(
-                        Expr::col("metric").eq(Expr::lit(Value::str(h.clone()))),
-                    );
+                    predicates.push(Expr::col("metric").eq(Expr::lit(Value::str(h.clone()))));
                 }
             }
             // Measurement priority for extracted rows.
@@ -228,23 +221,19 @@ impl OperatorSynthesizer {
         for f in &intent.filters {
             match f {
                 FilterIntent::Period(p) => {
-                    let col = resolve_period_column(&schema)
-                        .ok_or(SynthesisError::NoPeriodColumn)?;
+                    let col =
+                        resolve_period_column(&schema).ok_or(SynthesisError::NoPeriodColumn)?;
                     // Period equality is prefix-tolerant: "Q2" matches
                     // "Q2 2024" and vice versa.
-                    let pat_exact = Expr::Like {
-                        expr: Box::new(Expr::col(col.clone())),
-                        pattern: p.clone(),
-                    };
-                    let pat_prefix = Expr::Like {
-                        expr: Box::new(Expr::col(col)),
-                        pattern: format!("{p} %"),
-                    };
+                    let pat_exact =
+                        Expr::Like { expr: Box::new(Expr::col(col.clone())), pattern: p.clone() };
+                    let pat_prefix =
+                        Expr::Like { expr: Box::new(Expr::col(col)), pattern: format!("{p} %") };
                     predicates.push(pat_exact.or(pat_prefix));
                 }
                 FilterIntent::SubjectIn(subjects) => {
-                    let col = resolve_subject_column(&schema)
-                        .ok_or(SynthesisError::NoSubjectColumn)?;
+                    let col =
+                        resolve_subject_column(&schema).ok_or(SynthesisError::NoSubjectColumn)?;
                     // Case-insensitive equality via LIKE (no wildcards).
                     let mut pred: Option<Expr> = None;
                     for s in subjects {
@@ -332,10 +321,8 @@ impl OperatorSynthesizer {
                 }
             };
             let out_name = format!("{}_value", func.name().to_lowercase());
-            let group_by: Vec<(Expr, String)> = group_col
-                .iter()
-                .map(|c| (Expr::col(c.clone()), c.clone()))
-                .collect();
+            let group_by: Vec<(Expr, String)> =
+                group_col.iter().map(|c| (Expr::col(c.clone()), c.clone())).collect();
             plan = plan.aggregate(
                 group_by,
                 vec![AggExpr { func: *func, input, output_name: out_name.clone() }],
@@ -367,10 +354,8 @@ impl OperatorSynthesizer {
                 .or_else(|| intent.comparative.then_some(true));
             if let Some(descending) = sort_descending {
                 if group_col.is_some() {
-                    plan = plan.sort(vec![SortKey {
-                        expr: Expr::col(out_name),
-                        ascending: !descending,
-                    }]);
+                    plan = plan
+                        .sort(vec![SortKey { expr: Expr::col(out_name), ascending: !descending }]);
                     if matches!(func, AggFunc::Max | AggFunc::Min) && intent.limit.is_none() {
                         plan = plan.limit(1);
                     }
@@ -418,20 +403,17 @@ impl OperatorSynthesizer {
         // Exact shared column name.
         for c in ls.columns() {
             if rs.index_of(&c.name).is_some() {
-                return Ok(Some(LogicalPlan::scan(left).join(
-                    LogicalPlan::scan(right),
-                    vec![(c.name.clone(), c.name.clone())],
-                )));
+                return Ok(Some(
+                    LogicalPlan::scan(left)
+                        .join(LogicalPlan::scan(right), vec![(c.name.clone(), c.name.clone())]),
+                ));
             }
         }
         // Subject-ish column on the left matching a name-ish column right.
         let lsub = resolve_subject_column(&ls);
         let rsub = resolve_subject_column(&rs);
         if let (Some(l), Some(r)) = (lsub, rsub) {
-            return Ok(Some(LogicalPlan::scan(left).join(
-                LogicalPlan::scan(right),
-                vec![(l, r)],
-            )));
+            return Ok(Some(LogicalPlan::scan(left).join(LogicalPlan::scan(right), vec![(l, r)])));
         }
         Ok(None)
     }
@@ -463,10 +445,30 @@ mod tests {
                 ("rating", DataType::Float),
             ]),
             vec![
-                vec![Value::str("Product Alpha"), Value::str("Q1"), Value::Float(100.0), Value::Float(4.0)],
-                vec![Value::str("Product Alpha"), Value::str("Q2"), Value::Float(150.0), Value::Float(4.5)],
-                vec![Value::str("Product Beta"), Value::str("Q1"), Value::Float(90.0), Value::Float(3.5)],
-                vec![Value::str("Product Beta"), Value::str("Q2"), Value::Float(60.0), Value::Float(3.0)],
+                vec![
+                    Value::str("Product Alpha"),
+                    Value::str("Q1"),
+                    Value::Float(100.0),
+                    Value::Float(4.0),
+                ],
+                vec![
+                    Value::str("Product Alpha"),
+                    Value::str("Q2"),
+                    Value::Float(150.0),
+                    Value::Float(4.5),
+                ],
+                vec![
+                    Value::str("Product Beta"),
+                    Value::str("Q1"),
+                    Value::Float(90.0),
+                    Value::Float(3.5),
+                ],
+                vec![
+                    Value::str("Product Beta"),
+                    Value::str("Q2"),
+                    Value::Float(60.0),
+                    Value::Float(3.0),
+                ],
             ],
         )
         .unwrap();
@@ -485,9 +487,27 @@ mod tests {
                 ("amount", DataType::Float),
             ]),
             vec![
-                vec![Value::str("product alpha"), Value::str("sales"), Value::str("Q2"), Value::Float(20.0), Value::Float(150.0)],
-                vec![Value::str("product beta"), Value::str("sales"), Value::str("Q2"), Value::Float(-5.0), Value::Float(60.0)],
-                vec![Value::str("product alpha"), Value::str("rating"), Value::str("Q2"), Value::Null, Value::Float(4.5)],
+                vec![
+                    Value::str("product alpha"),
+                    Value::str("sales"),
+                    Value::str("Q2"),
+                    Value::Float(20.0),
+                    Value::Float(150.0),
+                ],
+                vec![
+                    Value::str("product beta"),
+                    Value::str("sales"),
+                    Value::str("Q2"),
+                    Value::Float(-5.0),
+                    Value::Float(60.0),
+                ],
+                vec![
+                    Value::str("product alpha"),
+                    Value::str("rating"),
+                    Value::str("Q2"),
+                    Value::Null,
+                    Value::Float(4.5),
+                ],
             ],
         )
         .unwrap();
@@ -559,11 +579,8 @@ mod tests {
     #[test]
     fn missing_metric_errors() {
         let mut db = Database::new();
-        let t = Table::from_rows(
-            Schema::of(&[("x", DataType::Int)]),
-            vec![vec![Value::Int(1)]],
-        )
-        .unwrap();
+        let t = Table::from_rows(Schema::of(&[("x", DataType::Int)]), vec![vec![Value::Int(1)]])
+            .unwrap();
         db.create_table("t", t).unwrap();
         let intent = parser().analyze("what is the average efficacy?");
         let r = OperatorSynthesizer::new().synthesize(&intent, &db, "t");

@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Which model scale a cost model describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,21 +135,21 @@ impl CostMeter {
 
     /// Records an embedding pass over `tokens`.
     pub fn record_embed(&self, tokens: usize) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         g.usage.embed_tokens += tokens;
         g.usage.embed_calls += 1;
     }
 
     /// Records a tagging pass over `tokens`.
     pub fn record_tag(&self, tokens: usize) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         g.usage.tag_tokens += tokens;
         g.usage.tag_calls += 1;
     }
 
     /// Records a generation call.
     pub fn record_generate(&self, prompt_tokens: usize, decode_tokens: usize) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         g.usage.prompt_tokens += prompt_tokens;
         g.usage.decode_tokens += decode_tokens;
         g.usage.generate_calls += 1;
@@ -157,20 +157,19 @@ impl CostMeter {
 
     /// Current accumulated usage.
     pub fn snapshot(&self) -> UsageSnapshot {
-        self.inner.lock().usage
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).usage
     }
 
     /// Resets the ledger to zero and returns the final snapshot.
     pub fn reset(&self) -> UsageSnapshot {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         std::mem::take(&mut g.usage)
     }
 
     /// Simulated total latency implied by the accumulated usage.
     pub fn simulated_latency_secs(&self) -> f64 {
         let u = self.snapshot();
-        self.model
-            .latency_secs(u.embed_tokens + u.tag_tokens + u.prompt_tokens, u.decode_tokens)
+        self.model.latency_secs(u.embed_tokens + u.tag_tokens + u.prompt_tokens, u.decode_tokens)
     }
 
     /// Simulated total energy implied by the accumulated usage.

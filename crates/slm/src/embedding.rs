@@ -14,8 +14,8 @@
 //! this reproduction — mirroring the paper's argument that SLM-class
 //! embeddings are weak and must be compensated by structure (§I, §III.A).
 
-use unisem_text::normalize::is_stopword;
 use unisem_text::ngram::char_ngrams_range;
+use unisem_text::normalize::is_stopword;
 use unisem_text::tokenize::tokenize_words;
 
 /// FNV-1a 64-bit hash: stable across platforms and runs.

@@ -21,8 +21,7 @@
 //! All randomness is seeded: `(generator seed, query, config seed)` fully
 //! determine the output.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use detkit::Rng;
 
 use crate::embedding::fnv1a;
 
@@ -161,16 +160,12 @@ impl Generator {
             return Vec::new();
         }
 
-        let probs = softmax(
-            &candidates.iter().map(|c| c.1).collect::<Vec<_>>(),
-            config.temperature,
-        );
-        let seed = self
-            .base_seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        let probs =
+            softmax(&candidates.iter().map(|c| c.1).collect::<Vec<_>>(), config.temperature);
+        let seed = self.base_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
             ^ fnv1a(query.as_bytes())
             ^ config.seed.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
 
         (0..config.n_samples)
             .map(|s| {
@@ -181,8 +176,8 @@ impl Generator {
                 };
                 let (core, _, source) = &candidates[idx];
                 let text = if config.paraphrase {
-                    let ti = (seed.rotate_left(s as u32) as usize).wrapping_add(s)
-                        % TEMPLATES.len();
+                    let ti =
+                        (seed.rotate_left(s as u32) as usize).wrapping_add(s) % TEMPLATES.len();
                     apply_template(TEMPLATES[ti], core)
                 } else {
                     core.clone()
@@ -229,8 +224,8 @@ fn argmax_slice(xs: &[f64]) -> usize {
         .map_or(0, |(i, _)| i)
 }
 
-fn sample_categorical(rng: &mut StdRng, probs: &[f64]) -> usize {
-    let r: f64 = rng.gen();
+fn sample_categorical(rng: &mut Rng, probs: &[f64]) -> usize {
+    let r = rng.next_f64();
     let mut acc = 0.0;
     for (i, p) in probs.iter().enumerate() {
         acc += p;
@@ -280,7 +275,12 @@ mod tests {
     #[test]
     fn zero_temperature_is_greedy() {
         let g = Generator::new(7);
-        let cfg = GenConfig { n_samples: 10, temperature: 0.0, paraphrase: false, ..GenConfig::default() };
+        let cfg = GenConfig {
+            n_samples: 10,
+            temperature: 0.0,
+            paraphrase: false,
+            ..GenConfig::default()
+        };
         let gens = g.sample("q", &strong_evidence(), &cfg);
         assert!(gens.iter().all(|x| x.core == "sales rose 20%"));
     }
@@ -288,7 +288,12 @@ mod tests {
     #[test]
     fn strong_evidence_concentrates_samples() {
         let g = Generator::new(3);
-        let cfg = GenConfig { n_samples: 20, temperature: 0.5, paraphrase: false, ..GenConfig::default() };
+        let cfg = GenConfig {
+            n_samples: 20,
+            temperature: 0.5,
+            paraphrase: false,
+            ..GenConfig::default()
+        };
         let gens = g.sample("q", &strong_evidence(), &cfg);
         let majority = gens.iter().filter(|x| x.core == "sales rose 20%").count();
         assert!(majority >= 16, "got {majority}/20");
@@ -297,7 +302,12 @@ mod tests {
     #[test]
     fn no_evidence_hallucinates_diversely() {
         let g = Generator::new(3);
-        let cfg = GenConfig { n_samples: 20, temperature: 1.0, paraphrase: false, ..GenConfig::default() };
+        let cfg = GenConfig {
+            n_samples: 20,
+            temperature: 1.0,
+            paraphrase: false,
+            ..GenConfig::default()
+        };
         let gens = g.sample("unanswerable question", &[], &cfg);
         assert_eq!(gens.len(), 20);
         assert!(gens.iter().all(|x| x.source_index.is_none()));
@@ -310,7 +320,12 @@ mod tests {
     fn weak_evidence_mixes_hallucinations() {
         let g = Generator::new(11);
         let weak = vec![SupportedAnswer::new("maybe 5 units", 0.05)];
-        let cfg = GenConfig { n_samples: 30, temperature: 1.5, paraphrase: false, ..GenConfig::default() };
+        let cfg = GenConfig {
+            n_samples: 30,
+            temperature: 1.5,
+            paraphrase: false,
+            ..GenConfig::default()
+        };
         let gens = g.sample("q", &weak, &cfg);
         assert!(gens.iter().any(|x| x.source_index.is_none()));
         assert!(gens.iter().any(|x| x.source_index.is_some()));
@@ -319,7 +334,8 @@ mod tests {
     #[test]
     fn paraphrase_preserves_core() {
         let g = Generator::new(5);
-        let cfg = GenConfig { n_samples: 12, temperature: 0.0, paraphrase: true, ..GenConfig::default() };
+        let cfg =
+            GenConfig { n_samples: 12, temperature: 0.0, paraphrase: true, ..GenConfig::default() };
         let gens = g.sample("q", &strong_evidence(), &cfg);
         for x in &gens {
             assert!(x.text.contains(&x.core), "{} ⊄ {}", x.core, x.text);

@@ -176,22 +176,52 @@ impl Lexicon {
 
 /// Metric words recognized by the pattern layer.
 const METRIC_WORDS: &[&str] = &[
-    "sales", "revenue", "profit", "price", "cost", "rating", "ratings", "satisfaction",
-    "efficacy", "dosage", "dose", "units", "demand", "returns", "margin", "growth",
-    "discount", "inventory", "stock", "amount", "spend", "spending",
+    "sales",
+    "revenue",
+    "profit",
+    "price",
+    "cost",
+    "rating",
+    "ratings",
+    "satisfaction",
+    "efficacy",
+    "dosage",
+    "dose",
+    "units",
+    "demand",
+    "returns",
+    "margin",
+    "growth",
+    "discount",
+    "inventory",
+    "stock",
+    "amount",
+    "spend",
+    "spending",
 ];
 
 /// Month names for date detection.
 const MONTHS: &[&str] = &[
-    "january", "february", "march", "april", "may", "june", "july", "august", "september",
-    "october", "november", "december",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 /// Person-title cues preceding a capitalized word.
 const PERSON_TITLES: &[&str] = &["dr", "mr", "mrs", "ms", "prof", "patient", "customer", "nurse"];
 
 /// Organization suffix cues.
-const ORG_SUFFIXES: &[&str] = &["inc", "corp", "ltd", "labs", "gmbh", "llc", "co", "group", "hospital", "clinic"];
+const ORG_SUFFIXES: &[&str] =
+    &["inc", "corp", "ltd", "labs", "gmbh", "llc", "co", "group", "hospital", "clinic"];
 
 /// The tagger. Cheap to clone if the lexicon is shared upstream.
 #[derive(Debug, Clone, Default)]
@@ -383,15 +413,12 @@ impl NerTagger {
         let mut i = 0;
         while i < n {
             let t = &tokens[i];
-            let sentence_initial = i == 0
-                || matches!(tokens[i - 1].text.as_str(), "." | "!" | "?" | ":" | ";");
+            let sentence_initial =
+                i == 0 || matches!(tokens[i - 1].text.as_str(), "." | "!" | "?" | ":" | ";");
             if t.kind == TokenKind::Word && t.is_capitalized() && !t.is_acronym() {
                 // Extend over consecutive capitalized words.
                 let mut j = i + 1;
-                while j < n
-                    && tokens[j].kind == TokenKind::Word
-                    && tokens[j].is_capitalized()
-                {
+                while j < n && tokens[j].kind == TokenKind::Word && tokens[j].is_capitalized() {
                     j += 1;
                 }
                 let run_len = j - i;
@@ -406,8 +433,7 @@ impl NerTagger {
                 } else {
                     None
                 };
-                let prev_lower =
-                    prev_word_idx.map(|p| tokens[p].lower()).unwrap_or_default();
+                let prev_lower = prev_word_idx.map(|p| tokens[p].lower()).unwrap_or_default();
                 let title_cue = PERSON_TITLES.contains(&prev_lower.as_str());
                 let last_lower = tokens[j - 1].lower();
                 let org_cue = ORG_SUFFIXES.contains(&last_lower.as_str());
@@ -458,9 +484,7 @@ fn resolve_overlaps(mut candidates: Vec<Candidate>) -> Vec<EntityMention> {
     });
     let mut chosen: Vec<EntityMention> = Vec::new();
     for c in candidates {
-        let overlaps = chosen
-            .iter()
-            .any(|m| c.mention.start < m.end && m.start < c.mention.end);
+        let overlaps = chosen.iter().any(|m| c.mention.start < m.end && m.start < c.mention.end);
         if !overlaps {
             chosen.push(c.mention);
         }
@@ -501,10 +525,8 @@ mod tests {
 
     #[test]
     fn longest_lexicon_match_wins() {
-        let lex = Lexicon::new().with_entries([
-            ("Alpha", EntityKind::Product),
-            ("Product Alpha", EntityKind::Product),
-        ]);
+        let lex = Lexicon::new()
+            .with_entries([("Alpha", EntityKind::Product), ("Product Alpha", EntityKind::Product)]);
         let t = NerTagger::new(lex);
         let m = t.tag("We sell Product Alpha worldwide.");
         let prod: Vec<&EntityMention> =

@@ -34,18 +34,76 @@ pub enum PosTag {
     Punct,
 }
 
-const DETERMINERS: &[&str] = &["the", "a", "an", "this", "that", "these", "those", "each", "every", "all", "some", "any", "no"];
-const PREPOSITIONS: &[&str] = &["in", "on", "at", "by", "for", "from", "to", "of", "with", "over", "under", "between", "during", "after", "before", "above", "across", "into", "through", "per"];
-const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor", "yet", "so"];
-const PRONOUNS: &[&str] = &["i", "you", "he", "she", "it", "we", "they", "them", "him", "her", "us", "who", "which", "what"];
-const COMMON_VERBS: &[&str] = &[
-    "is", "are", "was", "were", "be", "been", "has", "have", "had", "do", "does", "did",
-    "increased", "decreased", "rose", "fell", "grew", "dropped", "reported", "received",
-    "purchased", "bought", "sold", "prescribed", "shipped", "returned", "rated", "reached",
-    "improved", "declined", "gained", "lost", "recorded", "totaled", "averaged", "exceeded",
-    "launched", "announced", "posted", "climbed", "surged", "slipped", "jumped",
+const DETERMINERS: &[&str] = &[
+    "the", "a", "an", "this", "that", "these", "those", "each", "every", "all", "some", "any", "no",
 ];
-const COMMON_ADVERBS: &[&str] = &["very", "quite", "strongly", "sharply", "slightly", "significantly", "nearly", "almost", "only", "also", "however", "moreover"];
+const PREPOSITIONS: &[&str] = &[
+    "in", "on", "at", "by", "for", "from", "to", "of", "with", "over", "under", "between",
+    "during", "after", "before", "above", "across", "into", "through", "per",
+];
+const CONJUNCTIONS: &[&str] = &["and", "or", "but", "nor", "yet", "so"];
+const PRONOUNS: &[&str] = &[
+    "i", "you", "he", "she", "it", "we", "they", "them", "him", "her", "us", "who", "which", "what",
+];
+const COMMON_VERBS: &[&str] = &[
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "has",
+    "have",
+    "had",
+    "do",
+    "does",
+    "did",
+    "increased",
+    "decreased",
+    "rose",
+    "fell",
+    "grew",
+    "dropped",
+    "reported",
+    "received",
+    "purchased",
+    "bought",
+    "sold",
+    "prescribed",
+    "shipped",
+    "returned",
+    "rated",
+    "reached",
+    "improved",
+    "declined",
+    "gained",
+    "lost",
+    "recorded",
+    "totaled",
+    "averaged",
+    "exceeded",
+    "launched",
+    "announced",
+    "posted",
+    "climbed",
+    "surged",
+    "slipped",
+    "jumped",
+];
+const COMMON_ADVERBS: &[&str] = &[
+    "very",
+    "quite",
+    "strongly",
+    "sharply",
+    "slightly",
+    "significantly",
+    "nearly",
+    "almost",
+    "only",
+    "also",
+    "however",
+    "moreover",
+];
 
 /// Tags each token of `text` with a coarse part of speech.
 ///
@@ -90,12 +148,10 @@ fn word_tag(t: &Token, i: usize, tokens: &[Token]) -> PosTag {
     }
     // Proper noun: capitalized and either not sentence-initial or part of a
     // capitalized run.
-    let sentence_initial = i == 0
-        || matches!(tokens[i - 1].text.as_str(), "." | "!" | "?");
+    let sentence_initial = i == 0 || matches!(tokens[i - 1].text.as_str(), "." | "!" | "?");
     if t.is_capitalized() {
-        let next_cap = tokens
-            .get(i + 1)
-            .is_some_and(|n| n.kind == TokenKind::Word && n.is_capitalized());
+        let next_cap =
+            tokens.get(i + 1).is_some_and(|n| n.kind == TokenKind::Word && n.is_capitalized());
         if !sentence_initial || next_cap || t.is_acronym() {
             return PosTag::ProperNoun;
         }
@@ -109,7 +165,13 @@ fn word_tag(t: &Token, i: usize, tokens: &[Token]) -> PosTag {
         let prev_verb = i > 0 && COMMON_VERBS.contains(&tokens[i - 1].lower().as_str());
         return if prev_verb { PosTag::Verb } else { PosTag::Noun };
     }
-    if l.ends_with("ous") || l.ends_with("ful") || l.ends_with("ive") || l.ends_with("ible") || l.ends_with("able") || l.ends_with("al") {
+    if l.ends_with("ous")
+        || l.ends_with("ful")
+        || l.ends_with("ive")
+        || l.ends_with("ible")
+        || l.ends_with("able")
+        || l.ends_with("al")
+    {
         return PosTag::Adjective;
     }
     PosTag::Noun

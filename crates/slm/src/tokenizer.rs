@@ -14,8 +14,8 @@ pub const MAX_PIECE_CHARS: usize = 6;
 
 /// Common suffixes that get their own piece, mimicking BPE merges.
 const SUFFIXES: &[&str] = &[
-    "ation", "ments", "ingly", "ness", "ment", "tion", "able", "ible", "ized", "izes",
-    "ing", "ed", "er", "es", "ly", "s",
+    "ation", "ments", "ingly", "ness", "ment", "tion", "able", "ible", "ized", "izes", "ing", "ed",
+    "er", "es", "ly", "s",
 ];
 
 /// Splits a single word into subword pieces.

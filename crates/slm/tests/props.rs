@@ -1,34 +1,47 @@
-//! Property-based tests: SLM substrate invariants.
+//! Property-based tests: SLM substrate invariants (detkit harness).
 
-use proptest::prelude::*;
+use detkit::prop::{f64s, string_of, u64s, usizes, zip, zip3};
+use detkit::{prop_assert, prop_assert_eq, prop_check};
 use unisem_slm::{
     count_tokens, subword_tokenize, EntityKind, GenConfig, Generator, Lexicon, NerTagger,
     SupportedAnswer,
 };
 
-proptest! {
-    /// Subword pieces concatenate back to the word.
-    #[test]
-    fn subword_roundtrip(w in "[a-zA-Z]{1,30}") {
-        prop_assert_eq!(subword_tokenize(&w).concat(), w);
-    }
+const ALPHA: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
 
-    /// Token counting is monotone under concatenation.
-    #[test]
-    fn token_count_superadditive(a in "[a-z ]{0,40}", b in "[a-z ]{0,40}") {
+// Subword pieces concatenate back to the word.
+prop_check!(subword_roundtrip, string_of(ALPHA, 1, 30), |w| {
+    prop_assert_eq!(subword_tokenize(w).concat(), *w);
+    Ok(())
+});
+
+// Token counting is monotone under concatenation.
+prop_check!(
+    token_count_superadditive,
+    zip(
+        &string_of("abcdefghijklm nopqrstuvwxyz ", 0, 40),
+        &string_of("abcdefghijklm nopqrstuvwxyz ", 0, 40),
+    ),
+    |t| {
+        let (a, b) = t;
         let joined = format!("{a} {b}");
-        prop_assert!(count_tokens(&joined) >= count_tokens(&a));
-        prop_assert!(count_tokens(&joined) >= count_tokens(&b));
+        prop_assert!(count_tokens(&joined) >= count_tokens(a));
+        prop_assert!(count_tokens(&joined) >= count_tokens(b));
+        Ok(())
     }
+);
 
-    /// NER mentions are sorted, non-overlapping, and slice the source.
-    #[test]
-    fn ner_mentions_well_formed(text in "[a-zA-Z0-9 .,%$]{0,120}") {
-        let tagger = NerTagger::new(Lexicon::new().with_entries([
-            ("Drug A", EntityKind::Drug),
-            ("Product Alpha", EntityKind::Product),
-        ]));
-        let mentions = tagger.tag(&text);
+// NER mentions are sorted, non-overlapping, and slice the source.
+prop_check!(
+    ner_mentions_well_formed,
+    string_of("abcdefgh DrugA ProductAlpha 0123456789 .,%$", 0, 120),
+    |text| {
+        let tagger =
+            NerTagger::new(Lexicon::new().with_entries([
+                ("Drug A", EntityKind::Drug),
+                ("Product Alpha", EntityKind::Product),
+            ]));
+        let mentions = tagger.tag(text);
         for m in &mentions {
             prop_assert_eq!(&text[m.start..m.end], m.text.as_str());
             prop_assert!((0.0..=1.0).contains(&m.confidence));
@@ -36,12 +49,17 @@ proptest! {
         for w in mentions.windows(2) {
             prop_assert!(w[0].end <= w[1].start);
         }
+        Ok(())
     }
+);
 
-    /// Generation is deterministic in (seed, query, config) and sample
-    /// count is honored.
-    #[test]
-    fn generation_deterministic(seed in any::<u64>(), n in 1usize..12, temp in 0.0f64..3.0) {
+// Generation is deterministic in (seed, query, config) and sample count
+// is honored.
+prop_check!(
+    generation_deterministic,
+    zip3(&u64s(0, u64::MAX), &usizes(1, 11), &f64s(0.0, 3.0)),
+    |t| {
+        let &(seed, n, temp) = t;
         let evidence = vec![
             SupportedAnswer::new("alpha outcome", 2.0),
             SupportedAnswer::new("beta outcome", 1.0),
@@ -55,19 +73,21 @@ proptest! {
             prop_assert!(g.log_prob <= 0.0);
             prop_assert!(g.text.contains(&g.core));
         }
+        Ok(())
     }
+);
 
-    /// Samples always come from the candidate set (evidence or the fixed
-    /// hallucination pool) — the generator never fabricates novel strings.
-    #[test]
-    fn samples_from_candidates(seed in any::<u64>(), support in 0.0f64..2.0) {
-        let evidence = vec![SupportedAnswer::new("grounded answer", support)];
-        let cfg = GenConfig { n_samples: 8, paraphrase: false, ..GenConfig::default() };
-        let gens = Generator::new(seed).sample("q", &evidence, &cfg);
-        for g in gens {
-            let from_evidence = g.core == "grounded answer";
-            let from_pool = g.source_index.is_none();
-            prop_assert!(from_evidence || from_pool);
-        }
+// Samples always come from the candidate set (evidence or the fixed
+// hallucination pool) — the generator never fabricates novel strings.
+prop_check!(samples_from_candidates, zip(&u64s(0, u64::MAX), &f64s(0.0, 2.0)), |t| {
+    let &(seed, support) = t;
+    let evidence = vec![SupportedAnswer::new("grounded answer", support)];
+    let cfg = GenConfig { n_samples: 8, paraphrase: false, ..GenConfig::default() };
+    let gens = Generator::new(seed).sample("q", &evidence, &cfg);
+    for g in gens {
+        let from_evidence = g.core == "grounded answer";
+        let from_pool = g.source_index.is_none();
+        prop_assert!(from_evidence || from_pool);
     }
-}
+    Ok(())
+});

@@ -49,8 +49,7 @@ impl Bm25Index {
 
     /// Adds a document, returning its id (insertion order).
     pub fn add_document(&mut self, text: &str) -> usize {
-        let terms: Vec<String> =
-            tokenize_words(text).iter().map(|t| normalize_token(t)).collect();
+        let terms: Vec<String> = tokenize_words(text).iter().map(|t| normalize_token(t)).collect();
         self.add_terms(&terms)
     }
 
@@ -110,8 +109,7 @@ impl Bm25Index {
     /// ascending id for determinism). Documents with no query term overlap
     /// are omitted.
     pub fn search(&self, query: &str, top_k: usize) -> Vec<(usize, f64)> {
-        let terms: Vec<String> =
-            tokenize_words(query).iter().map(|t| normalize_token(t)).collect();
+        let terms: Vec<String> = tokenize_words(query).iter().map(|t| normalize_token(t)).collect();
         self.search_terms(&terms, top_k)
     }
 
@@ -120,19 +118,23 @@ impl Bm25Index {
         let avg = self.avg_doc_len();
         let mut scores: HashMap<usize, f64> = HashMap::new();
         for term in terms {
-            let Some(posts) = self.postings.get(term) else { continue };
+            let Some(posts) = self.postings.get(term) else {
+                continue;
+            };
             let idf = self.idf(term);
             for &(doc, tf) in posts {
                 let dl = self.doc_len[doc] as f64;
                 let tf = f64::from(tf);
-                let denom =
-                    tf + self.params.k1 * (1.0 - self.params.b + self.params.b * dl / avg.max(1e-9));
+                let denom = tf
+                    + self.params.k1 * (1.0 - self.params.b + self.params.b * dl / avg.max(1e-9));
                 let s = idf * tf * (self.params.k1 + 1.0) / denom;
                 *scores.entry(doc).or_insert(0.0) += s;
             }
         }
         let mut out: Vec<(usize, f64)> = scores.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
         out.truncate(top_k);
         out
     }

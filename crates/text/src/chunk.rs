@@ -68,8 +68,7 @@ pub fn chunk_sentences(text: &str, config: ChunkConfig) -> Vec<Chunk> {
             j += 1;
         }
         let span = &sentences[i..j];
-        let chunk_text: String =
-            span.iter().map(|s| s.text.as_str()).collect::<Vec<_>>().join(" ");
+        let chunk_text: String = span.iter().map(|s| s.text.as_str()).collect::<Vec<_>>().join(" ");
         chunks.push(Chunk {
             text: chunk_text,
             index: chunks.len(),

@@ -12,10 +12,10 @@
 const STOPWORDS: &[&str] = &[
     "a", "an", "and", "are", "as", "at", "be", "been", "but", "by", "for", "from", "had", "has",
     "have", "he", "her", "his", "i", "in", "into", "is", "it", "its", "of", "on", "or", "our",
-    "she", "such", "that", "the", "their", "them", "then", "there", "these", "they", "this",
-    "to", "was", "we", "were", "which", "will", "with", "you", "your", "do", "does", "did",
-    "what", "when", "where", "who", "how", "why", "than", "so", "if", "not", "no", "any", "all",
-    "each", "per", "about", "over", "under", "between", "during", "after", "before",
+    "she", "such", "that", "the", "their", "them", "then", "there", "these", "they", "this", "to",
+    "was", "we", "were", "which", "will", "with", "you", "your", "do", "does", "did", "what",
+    "when", "where", "who", "how", "why", "than", "so", "if", "not", "no", "any", "all", "each",
+    "per", "about", "over", "under", "between", "during", "after", "before",
 ];
 
 /// Returns true when `word` (lower-cased) is an English stopword.

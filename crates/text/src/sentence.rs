@@ -74,8 +74,7 @@ pub fn split_sentences_spans(text: &str) -> Vec<Sentence> {
             let followed_by_space = !at_eot && chars[j].1.is_whitespace();
             if at_eot || followed_by_space {
                 let rest = if j < chars.len() { &text[chars[j].0..] } else { "" };
-                let is_abbrev =
-                    c == '.' && ends_with_abbreviation(&text[sent_start..off], rest);
+                let is_abbrev = c == '.' && ends_with_abbreviation(&text[sent_start..off], rest);
                 let is_decimal = c == '.'
                     && i + 1 < chars.len()
                     && chars[i + 1].1.is_ascii_digit()
@@ -127,19 +126,37 @@ fn push_sentence(text: &str, start: usize, end: usize, out: &mut Vec<Sentence>) 
     }
     let lead = raw.len() - raw.trim_start().len();
     let trail = raw.len() - raw.trim_end().len();
-    out.push(Sentence {
-        text: trimmed.to_string(),
-        start: start + lead,
-        end: end - trail,
-    });
+    out.push(Sentence { text: trimmed.to_string(), start: start + lead, end: end - trail });
 }
 
 /// Words that very commonly begin a sentence; used to disambiguate a
 /// sentence-final single initial ("Drug A. The patient…") from a name
 /// initial ("J. Smith").
 const SENTENCE_STARTERS: &[&str] = &[
-    "The", "This", "That", "These", "Those", "It", "He", "She", "They", "We", "You", "In", "On",
-    "At", "By", "For", "After", "Before", "However", "Meanwhile", "Then", "There", "A", "An",
+    "The",
+    "This",
+    "That",
+    "These",
+    "Those",
+    "It",
+    "He",
+    "She",
+    "They",
+    "We",
+    "You",
+    "In",
+    "On",
+    "At",
+    "By",
+    "For",
+    "After",
+    "Before",
+    "However",
+    "Meanwhile",
+    "Then",
+    "There",
+    "A",
+    "An",
 ];
 
 /// Whether the text ends with a known abbreviation (the token right before a
@@ -163,14 +180,11 @@ fn ends_with_abbreviation(before: &str, after: &str) -> bool {
     // Single uppercase initial: "J." in "J. Smith" — but if the next word is
     // a common sentence starter, treat the period as a real boundary
     // ("…Drug A. The patient improved.").
-    let is_initial = last.chars().count() == 1
-        && last.chars().next().is_some_and(|c| c.is_uppercase());
+    let is_initial =
+        last.chars().count() == 1 && last.chars().next().is_some_and(|c| c.is_uppercase());
     if is_initial {
-        let next_word: String = after
-            .trim_start()
-            .chars()
-            .take_while(|c| c.is_alphanumeric())
-            .collect();
+        let next_word: String =
+            after.trim_start().chars().take_while(|c| c.is_alphanumeric()).collect();
         return !SENTENCE_STARTERS.contains(&next_word.as_str());
     }
     false

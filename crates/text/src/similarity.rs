@@ -72,12 +72,7 @@ fn jaro(a: &str, b: &str) -> f64 {
         s.sort_unstable();
         s
     };
-    let t = b_matches
-        .iter()
-        .zip(sorted.iter())
-        .filter(|(x, y)| x != y)
-        .count() as f64
-        / 2.0;
+    let t = b_matches.iter().zip(sorted.iter()).filter(|(x, y)| x != y).count() as f64 / 2.0;
     b_matches.clear();
     let m = m as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
@@ -86,12 +81,7 @@ fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler similarity in `[0, 1]`, boosting shared prefixes.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count() as f64;
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count() as f64;
     j + prefix * 0.1 * (1.0 - j)
 }
 
@@ -114,10 +104,7 @@ pub fn cosine_terms(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
         return 0.0;
     }
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let dot: f64 = small
-        .iter()
-        .filter_map(|(k, v)| large.get(k).map(|w| v * w))
-        .sum();
+    let dot: f64 = small.iter().filter_map(|(k, v)| large.get(k).map(|w| v * w)).sum();
     let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
     let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
     if na == 0.0 || nb == 0.0 {

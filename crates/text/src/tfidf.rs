@@ -123,11 +123,7 @@ mod tests {
 
     fn fit_sample() -> TfIdfVectorizer {
         let mut v = TfIdfVectorizer::new();
-        v.fit([
-            "the cat sat on the mat",
-            "the dog sat on the log",
-            "cats and dogs are pets",
-        ]);
+        v.fit(["the cat sat on the mat", "the dog sat on the log", "cats and dogs are pets"]);
         v
     }
 

@@ -156,11 +156,7 @@ fn prev_is_boundary(tokens: &[Token], off: usize) -> bool {
 ///
 /// This is the shape most indexing code wants.
 pub fn tokenize_words(text: &str) -> Vec<String> {
-    tokenize(text)
-        .into_iter()
-        .filter(|t| t.kind != TokenKind::Punct)
-        .map(|t| t.lower())
-        .collect()
+    tokenize(text).into_iter().filter(|t| t.kind != TokenKind::Punct).map(|t| t.lower()).collect()
 }
 
 #[cfg(test)]

@@ -1,88 +1,118 @@
-//! Property-based tests for the text substrate.
+//! Property-based tests for the text substrate (detkit harness).
 
-use proptest::prelude::*;
+use detkit::prop::{string_of, unicode_strings, usizes, vec_of, zip, zip3, Gen};
+use detkit::{prop_assert, prop_assert_eq, prop_check};
 use unisem_text::{
-    chunk_sentences, jaccard, levenshtein, normalized_levenshtein, split_sentences, stem,
-    tokenize, ChunkConfig,
+    chunk_sentences, jaccard, levenshtein, normalized_levenshtein, split_sentences, stem, tokenize,
+    ChunkConfig,
 };
 
-proptest! {
-    /// Token spans always slice back to the token text.
-    #[test]
-    fn token_spans_roundtrip(s in "\\PC{0,200}") {
-        for t in tokenize(&s) {
-            prop_assert_eq!(&s[t.start..t.end], t.text.as_str());
-        }
-    }
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+const UPPER: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
 
-    /// Tokens never contain whitespace.
-    #[test]
-    fn tokens_have_no_whitespace(s in "\\PC{0,200}") {
-        for t in tokenize(&s) {
-            prop_assert!(!t.text.chars().any(char::is_whitespace));
-        }
-    }
+/// `[A-Z][a-z]{1,8}( [a-z]{1,8}){0,6}` — a capitalized sentence.
+fn sentences() -> Gen<String> {
+    zip3(&string_of(UPPER, 1, 1), &string_of(LOWER, 1, 8), &vec_of(&string_of(LOWER, 1, 8), 0, 6))
+        .map(|(cap, head, rest)| {
+            let mut s = format!("{cap}{head}");
+            for w in rest {
+                s.push(' ');
+                s.push_str(w);
+            }
+            s
+        })
+}
 
-    /// Sentence splitting loses no non-whitespace characters.
-    #[test]
-    fn sentences_preserve_content(s in "[a-zA-Z0-9 .!?]{0,300}") {
-        let joined: String = split_sentences(&s).join(" ");
+// Token spans always slice back to the token text.
+prop_check!(token_spans_roundtrip, unicode_strings(0, 200), |s| {
+    for t in tokenize(s) {
+        prop_assert_eq!(&s[t.start..t.end], t.text.as_str());
+    }
+    Ok(())
+});
+
+// Tokens never contain whitespace.
+prop_check!(tokens_have_no_whitespace, unicode_strings(0, 200), |s| {
+    for t in tokenize(s) {
+        prop_assert!(!t.text.chars().any(char::is_whitespace));
+    }
+    Ok(())
+});
+
+// Sentence splitting loses no non-whitespace characters.
+prop_check!(
+    sentences_preserve_content,
+    string_of("abcdefghij ABCXYZ 0123456789 .!?", 0, 300),
+    |s| {
+        let joined: String = split_sentences(s).join(" ");
         let strip = |x: &str| x.chars().filter(|c| !c.is_whitespace()).collect::<String>();
-        prop_assert_eq!(strip(&joined), strip(&s));
+        prop_assert_eq!(strip(&joined), strip(s));
+        Ok(())
     }
+);
 
-    /// Levenshtein satisfies the triangle inequality on small strings.
-    #[test]
-    fn levenshtein_triangle(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
-        let ab = levenshtein(&a, &b);
-        let bc = levenshtein(&b, &c);
-        let ac = levenshtein(&a, &c);
+// Levenshtein satisfies the triangle inequality on small strings.
+prop_check!(
+    levenshtein_triangle,
+    zip3(&string_of("abc", 0, 8), &string_of("abc", 0, 8), &string_of("abc", 0, 8)),
+    |t| {
+        let (a, b, c) = t;
+        let ab = levenshtein(a, b);
+        let bc = levenshtein(b, c);
+        let ac = levenshtein(a, c);
         prop_assert!(ac <= ab + bc);
+        Ok(())
     }
+);
 
-    /// Levenshtein is symmetric and zero iff equal.
-    #[test]
-    fn levenshtein_metric(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
-        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
-        prop_assert_eq!(levenshtein(&a, &b) == 0, a == b);
-    }
+// Levenshtein is symmetric and zero iff equal.
+prop_check!(levenshtein_metric, zip(&string_of("abcd", 0, 10), &string_of("abcd", 0, 10)), |t| {
+    let (a, b) = t;
+    prop_assert_eq!(levenshtein(a, b), levenshtein(b, a));
+    prop_assert_eq!(levenshtein(a, b) == 0, a == b);
+    Ok(())
+});
 
-    /// Normalized Levenshtein stays in [0, 1].
-    #[test]
-    fn normalized_levenshtein_bounds(a in "\\PC{0,30}", b in "\\PC{0,30}") {
-        let v = normalized_levenshtein(&a, &b);
+// Normalized Levenshtein stays in [0, 1].
+prop_check!(
+    normalized_levenshtein_bounds,
+    zip(&unicode_strings(0, 30), &unicode_strings(0, 30)),
+    |t| {
+        let (a, b) = t;
+        let v = normalized_levenshtein(a, b);
         prop_assert!((0.0..=1.0).contains(&v));
+        Ok(())
     }
+);
 
-    /// Jaccard stays in [0, 1] and is 1 for identical inputs.
-    #[test]
-    fn jaccard_bounds(xs in proptest::collection::vec("[a-e]{1,3}", 0..20)) {
-        let v = jaccard(&xs, &xs);
-        prop_assert!(xs.is_empty() || (v - 1.0).abs() < 1e-12);
-        let ys: Vec<String> = xs.iter().rev().cloned().collect();
-        let w = jaccard(&xs, &ys);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&w));
-    }
+// Jaccard stays in [0, 1] and is 1 for identical inputs.
+prop_check!(jaccard_bounds, vec_of(&string_of("abcde", 1, 3), 0, 20), |xs| {
+    let v = jaccard(xs, xs);
+    prop_assert!(xs.is_empty() || (v - 1.0).abs() < 1e-12);
+    let ys: Vec<String> = xs.iter().rev().cloned().collect();
+    let w = jaccard(xs, &ys);
+    prop_assert!((0.0..=1.0 + 1e-12).contains(&w));
+    Ok(())
+});
 
-    /// Stemming is idempotent-ish: stable after two applications for plain
-    /// lowercase words.
-    #[test]
-    fn stem_never_grows_much(w in "[a-z]{1,15}") {
-        let s = stem(&w);
-        prop_assert!(s.len() <= w.len() + 2);
-        prop_assert!(!s.is_empty());
-    }
+// Stemming is idempotent-ish: stable after two applications for plain
+// lowercase words.
+prop_check!(stem_never_grows_much, string_of(LOWER, 1, 15), |w| {
+    let s = stem(w);
+    prop_assert!(s.len() <= w.len() + 2);
+    prop_assert!(!s.is_empty());
+    Ok(())
+});
 
-    /// Chunking covers the document: every chunk maps into the source and
-    /// chunk indices are sequential.
-    #[test]
-    fn chunks_well_formed(
-        sents in proptest::collection::vec("[A-Z][a-z]{1,8}( [a-z]{1,8}){0,6}", 1..12),
-        max_tokens in 2usize..20,
-        overlap in 0usize..3,
-    ) {
+// Chunking covers the document: every chunk maps into the source and
+// chunk indices are sequential.
+prop_check!(
+    chunks_well_formed,
+    zip3(&vec_of(&sentences(), 1, 11), &usizes(2, 19), &usizes(0, 2)),
+    |t| {
+        let (sents, max_tokens, overlap) = t;
         let doc = sents.join(". ") + ".";
-        let cfg = ChunkConfig { max_tokens, overlap_sentences: overlap };
+        let cfg = ChunkConfig { max_tokens: *max_tokens, overlap_sentences: *overlap };
         let chunks = chunk_sentences(&doc, cfg);
         prop_assert!(!chunks.is_empty());
         for (i, c) in chunks.iter().enumerate() {
@@ -94,5 +124,6 @@ proptest! {
         for w in chunks.windows(2) {
             prop_assert!(w[0].start < w[1].start || w[0].end < w[1].end);
         }
+        Ok(())
     }
-}
+);

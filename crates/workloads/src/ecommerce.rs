@@ -10,11 +10,10 @@
 //!   review documents (unstructured),
 //! - a QA benchmark spanning all six [`QaCategory`]s.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use detkit::Rng;
 
 use unisem_docstore::DocStore;
-use unisem_relstore::{Database, DataType, Schema, Table, Value};
+use unisem_relstore::{DataType, Database, Schema, Table, Value};
 use unisem_semistore::{JsonValue, SemiStore};
 use unisem_slm::ner::EntityKind;
 use unisem_slm::Lexicon;
@@ -93,7 +92,7 @@ impl EcommerceWorkload {
     pub fn generate(config: EcommerceConfig) -> Self {
         assert!(config.products >= 4, "need at least 4 products for comparative QA");
         assert!(config.quarters >= 2, "need at least 2 quarters for change_pct");
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Rng::new(config.seed);
         let pname = |n: usize| names::product(n + config.name_offset);
         let p = config.products;
         let q = config.quarters;
@@ -201,8 +200,7 @@ impl EcommerceWorkload {
                     Some(pct) => format!(
                         "In {quarter}, {product} sales decreased {}% to ${amount}. \
                          Customers purchased {} units of {product}.",
-                        -pct,
-                        units[i][j]
+                        -pct, units[i][j]
                     ),
                     None => format!(
                         "{product} sales reached ${amount} in {quarter}. \
@@ -250,11 +248,7 @@ impl EcommerceWorkload {
                 let jitter = rng.gen_range(-10..=10) as f64 / 10.0;
                 let rating = (gold_rating[i] + jitter).clamp(1.0, 5.0);
                 let rating = (rating * 2.0).round() / 2.0;
-                let body = if rating >= 3.5 {
-                    GOOD[r % GOOD.len()]
-                } else {
-                    BAD[r % BAD.len()]
-                };
+                let body = if rating >= 3.5 { GOOD[r % GOOD.len()] } else { BAD[r % BAD.len()] };
                 documents.push(DocSpec {
                     title: format!("{product} review {r}"),
                     text: format!("{product} review: {body} Rating: {rating} out of 5."),
@@ -285,21 +279,25 @@ impl EcommerceWorkload {
         // ---- QA ----
         let mut qa = Vec::new();
         let mut next_id = 0usize;
-        let mut push =
-            |qa: &mut Vec<QaItem>, question: String, gold, category, docs: Vec<usize>, ents: Vec<String>| {
-                qa.push(QaItem {
-                    id: {
-                        let id = next_id;
-                        next_id += 1;
-                        id
-                    },
-                    question,
-                    gold,
-                    category,
-                    gold_doc_ids: docs,
-                    entities: ents,
-                });
-            };
+        let mut push = |qa: &mut Vec<QaItem>,
+                        question: String,
+                        gold,
+                        category,
+                        docs: Vec<usize>,
+                        ents: Vec<String>| {
+            qa.push(QaItem {
+                id: {
+                    let id = next_id;
+                    next_id += 1;
+                    id
+                },
+                question,
+                gold,
+                category,
+                gold_doc_ids: docs,
+                entities: ents,
+            });
+        };
 
         for k in 0..config.qa_per_category {
             let i = (k * 3 + 1) % p;
@@ -329,9 +327,8 @@ impl EcommerceWorkload {
             // Multi-entity filter: growth above threshold in a quarter.
             let j = 1 + k % (q - 1);
             let quarter = names::quarter(j);
-            let mut changes: Vec<(usize, f64)> = (0..p)
-                .filter_map(|x| gold_sales[x][j].1.map(|c| (x, c)))
-                .collect();
+            let mut changes: Vec<(usize, f64)> =
+                (0..p).filter_map(|x| gold_sales[x][j].1.map(|c| (x, c))).collect();
             changes.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             let take = 1 + k % 3.min(p - 1);
             // Threshold halfway between the take-th and (take+1)-th change.
@@ -340,11 +337,8 @@ impl EcommerceWorkload {
             } else {
                 0.0
             };
-            let qualifying: Vec<String> = changes
-                .iter()
-                .filter(|(_, c)| *c > threshold)
-                .map(|(x, _)| pname(*x))
-                .collect();
+            let qualifying: Vec<String> =
+                changes.iter().filter(|(_, c)| *c > threshold).map(|(x, _)| pname(*x)).collect();
             if !qualifying.is_empty() && qualifying.len() < p {
                 push(
                     &mut qa,
@@ -407,17 +401,7 @@ impl EcommerceWorkload {
             );
         }
 
-        Self {
-            config,
-            db,
-            semi,
-            documents,
-            lexicon,
-            qa,
-            gold_sales,
-            gold_maker,
-            gold_rating,
-        }
+        Self { config, db, semi, documents, lexicon, qa, gold_sales, gold_maker, gold_rating }
     }
 
     /// Builds a [`DocStore`] containing the workload documents in order.
@@ -462,12 +446,9 @@ mod tests {
         assert_eq!(sales.num_rows(), 6 * 3);
         // Cross-check one gold total against SQL.
         let p0 = names::product(0);
-        let out = w
-            .db
-            .run_sql(&format!(
-                "SELECT SUM(amount) AS t FROM sales WHERE product = '{p0}'"
-            ))
-            .unwrap();
+        let out =
+            w.db.run_sql(&format!("SELECT SUM(amount) AS t FROM sales WHERE product = '{p0}'"))
+                .unwrap();
         let expected: f64 = w.gold_sales[0].iter().map(|(a, _)| a).sum();
         assert_eq!(out.cell(0, 0), &Value::Float(expected));
     }
@@ -532,11 +513,7 @@ mod tests {
     fn qa_categories_all_present() {
         let w = small();
         for cat in QaCategory::ALL {
-            assert!(
-                w.qa.iter().any(|i| i.category == cat),
-                "missing category {:?}",
-                cat
-            );
+            assert!(w.qa.iter().any(|i| i.category == cat), "missing category {:?}", cat);
         }
     }
 
@@ -547,9 +524,8 @@ mod tests {
             let GoldAnswer::Numeric { value, .. } = &item.gold else { panic!() };
             // The entity is a product; SQL total must match the gold value.
             let product = &item.entities[0];
-            let out = w
-                .db
-                .run_sql(&format!(
+            let out =
+                w.db.run_sql(&format!(
                     "SELECT SUM(amount) AS t FROM sales WHERE product LIKE '{product}'"
                 ))
                 .unwrap();
@@ -584,9 +560,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 4 products")]
     fn too_small_config_panics() {
-        EcommerceWorkload::generate(EcommerceConfig {
-            products: 2,
-            ..EcommerceConfig::default()
-        });
+        EcommerceWorkload::generate(EcommerceConfig { products: 2, ..EcommerceConfig::default() });
     }
 }

@@ -13,11 +13,10 @@
 //!   Multi-Entity example: comparing trial efficacy (structured) with
 //!   patient-reported side effects (unstructured).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use detkit::Rng;
 
 use unisem_docstore::DocStore;
-use unisem_relstore::{Database, DataType, Date, Schema, Table, Value};
+use unisem_relstore::{DataType, Database, Date, Schema, Table, Value};
 use unisem_semistore::{JsonValue, SemiStore};
 use unisem_slm::ner::EntityKind;
 use unisem_slm::Lexicon;
@@ -80,7 +79,7 @@ impl HealthcareWorkload {
     pub fn generate(config: HealthcareConfig) -> Self {
         assert!(config.drugs >= 4, "need at least 4 drugs");
         assert!(config.patients >= 4, "need at least 4 patients");
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Rng::new(config.seed);
         let nd = config.drugs;
         let np = config.patients;
 
@@ -129,7 +128,7 @@ impl HealthcareWorkload {
             patients
                 .push_row(vec![
                     Value::str(names::patient_id(k)),
-                    Value::Int(rng.gen_range(18..90)),
+                    Value::Int(rng.gen_range(18..90i64)),
                     Value::str(gold_condition[gold_patient_drug[k]].clone()),
                 ])
                 .expect("schema fixed");
@@ -206,21 +205,25 @@ impl HealthcareWorkload {
         // ---- QA ----
         let mut qa = Vec::new();
         let mut next_id = 0usize;
-        let mut push =
-            |qa: &mut Vec<QaItem>, question: String, gold, category, docs: Vec<usize>, ents: Vec<String>| {
-                qa.push(QaItem {
-                    id: {
-                        let id = next_id;
-                        next_id += 1;
-                        id
-                    },
-                    question,
-                    gold,
-                    category,
-                    gold_doc_ids: docs,
-                    entities: ents,
-                });
-            };
+        let mut push = |qa: &mut Vec<QaItem>,
+                        question: String,
+                        gold,
+                        category,
+                        docs: Vec<usize>,
+                        ents: Vec<String>| {
+            qa.push(QaItem {
+                id: {
+                    let id = next_id;
+                    next_id += 1;
+                    id
+                },
+                question,
+                gold,
+                category,
+                gold_doc_ids: docs,
+                entities: ents,
+            });
+        };
 
         for k in 0..config.qa_per_category {
             let pk = (k * 5 + 1) % np;
@@ -250,16 +253,12 @@ impl HealthcareWorkload {
             );
 
             // Multi-entity filter: drugs above an efficacy threshold.
-            let mut effs: Vec<(usize, f64)> =
-                gold_efficacy.iter().cloned().enumerate().collect();
+            let mut effs: Vec<(usize, f64)> = gold_efficacy.iter().cloned().enumerate().collect();
             effs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             let take = 1 + k % 3.min(nd - 1);
             let threshold = ((effs[take - 1].1 + effs[take].1) / 2.0).round();
-            let qualifying: Vec<String> = effs
-                .iter()
-                .filter(|(_, e)| *e > threshold)
-                .map(|(i, _)| names::drug(*i))
-                .collect();
+            let qualifying: Vec<String> =
+                effs.iter().filter(|(_, e)| *e > threshold).map(|(i, _)| names::drug(*i)).collect();
             if !qualifying.is_empty() && qualifying.len() < nd {
                 push(
                     &mut qa,
@@ -276,10 +275,13 @@ impl HealthcareWorkload {
             let b = (k * 7 + 3) % nd;
             if a != b {
                 let (da, db_) = (names::drug(a), names::drug(b));
-                let winner = if gold_efficacy[a] >= gold_efficacy[b] { da.clone() } else { db_.clone() };
+                let winner =
+                    if gold_efficacy[a] >= gold_efficacy[b] { da.clone() } else { db_.clone() };
                 push(
                     &mut qa,
-                    format!("Compare the efficacy of {da} and {db_}: which drug is more effective?"),
+                    format!(
+                        "Compare the efficacy of {da} and {db_}: which drug is more effective?"
+                    ),
                     GoldAnswer::AnyOf(vec![winner]),
                     QaCategory::Comparative,
                     vec![],
@@ -292,10 +294,7 @@ impl HealthcareWorkload {
             let ds = (k * 2 + 1) % nd;
             push(
                 &mut qa,
-                format!(
-                    "What side effect did forum users report for {}?",
-                    names::drug(ds)
-                ),
+                format!("What side effect did forum users report for {}?", names::drug(ds)),
                 GoldAnswer::AnyOf(vec![gold_side_effect[ds].clone()]),
                 QaCategory::CrossModal,
                 vec![forum_doc(ds)],
@@ -361,9 +360,8 @@ mod tests {
     fn trials_match_gold_efficacy() {
         let w = small();
         for i in 0..5 {
-            let out = w
-                .db
-                .run_sql(&format!(
+            let out =
+                w.db.run_sql(&format!(
                     "SELECT AVG(efficacy) AS e FROM trials WHERE drug = '{}'",
                     names::drug(i)
                 ))

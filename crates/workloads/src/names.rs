@@ -9,20 +9,44 @@ const PRODUCT_ADJ: &[&str] = &[
     "Vertex", "Drift", "Ember", "Frost", "Gale", "Halo", "Iris", "Jolt", "Krypt",
 ];
 const PRODUCT_NOUN: &[&str] = &[
-    "Widget", "Speaker", "Lamp", "Kettle", "Router", "Drone", "Monitor", "Blender", "Charger",
-    "Camera", "Headset", "Keyboard", "Scale", "Fan", "Heater", "Purifier", "Tracker", "Sensor",
-    "Printer", "Projector",
+    "Widget",
+    "Speaker",
+    "Lamp",
+    "Kettle",
+    "Router",
+    "Drone",
+    "Monitor",
+    "Blender",
+    "Charger",
+    "Camera",
+    "Headset",
+    "Keyboard",
+    "Scale",
+    "Fan",
+    "Heater",
+    "Purifier",
+    "Tracker",
+    "Sensor",
+    "Printer",
+    "Projector",
 ];
 
 /// Manufacturer name pool.
 const MAKERS: &[&str] = &[
-    "Acme Corp", "Initech Labs", "Globex Inc", "Umbra Ltd", "Vortex Group", "Zenith Co",
-    "Pinnacle Inc", "Apex Labs", "Stellar Corp", "Nimbus Ltd",
+    "Acme Corp",
+    "Initech Labs",
+    "Globex Inc",
+    "Umbra Ltd",
+    "Vortex Group",
+    "Zenith Co",
+    "Pinnacle Inc",
+    "Apex Labs",
+    "Stellar Corp",
+    "Nimbus Ltd",
 ];
 
 /// Category pool.
-const CATEGORIES: &[&str] =
-    &["electronics", "kitchen", "fitness", "office", "outdoors", "home"];
+const CATEGORIES: &[&str] = &["electronics", "kitchen", "fitness", "office", "outdoors", "home"];
 
 /// Person given/family names.
 const GIVEN: &[&str] = &[
@@ -31,21 +55,28 @@ const GIVEN: &[&str] = &[
 ];
 const FAMILY: &[&str] = &[
     "Anders", "Brandt", "Chen", "Duarte", "Egede", "Fischer", "Garcia", "Hoffman", "Ivanov",
-    "Jensen", "Kovacs", "Larsen", "Meyer", "Novak", "Okafor", "Petrov", "Quist", "Rossi",
-    "Silva", "Tanaka",
+    "Jensen", "Kovacs", "Larsen", "Meyer", "Novak", "Okafor", "Petrov", "Quist", "Rossi", "Silva",
+    "Tanaka",
 ];
 
 /// Drug name syllables (suffixes chosen so NER's drug heuristics are NOT
 /// triggered — recognition must come from the lexicon, as with a real SLM).
-const DRUG_HEAD: &[&str] =
-    &["Cor", "Vel", "Zan", "Mel", "Tor", "Lex", "Nor", "Pax", "Rin", "Sol"];
+const DRUG_HEAD: &[&str] = &["Cor", "Vel", "Zan", "Mel", "Tor", "Lex", "Nor", "Pax", "Rin", "Sol"];
 const DRUG_TAIL: &[&str] =
     &["adrine", "oxil", "ivan", "umab", "eprine", "axin", "olol", "idone", "etine", "avir"];
 
 /// Medical condition pool.
 const CONDITIONS: &[&str] = &[
-    "migraine", "hypertension", "insomnia", "asthma", "arthritis", "eczema", "anemia",
-    "bronchitis", "dermatitis", "neuralgia",
+    "migraine",
+    "hypertension",
+    "insomnia",
+    "asthma",
+    "arthritis",
+    "eczema",
+    "anemia",
+    "bronchitis",
+    "dermatitis",
+    "neuralgia",
 ];
 
 /// Nth product name ("Aero Widget", "Nova Speaker", …).

@@ -5,8 +5,7 @@
 //! several templates, interleaved with distractor sentences, so extraction
 //! output can be scored cell-by-cell against ground truth.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use detkit::Rng;
 use unisem_slm::ner::EntityKind;
 
 use crate::names;
@@ -50,7 +49,7 @@ impl ReportCorpus {
     /// Generates `n_facts` fact sentences grouped into reports of ~5
     /// sentences, with one distractor per report.
     pub fn generate(n_facts: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::new(seed);
         let mut facts = Vec::with_capacity(n_facts);
         let mut sentences: Vec<String> = Vec::new();
         let mut lexicon_entries = Vec::new();
@@ -62,7 +61,7 @@ impl ReportCorpus {
         for i in 0..n_facts {
             let product = names::product(i % n_products);
             let metric = if rng.gen_bool(0.7) { "sales" } else { "revenue" };
-            let period = names::quarter(rng.gen_range(0..8));
+            let period = names::quarter(rng.gen_range(0..8usize));
             let template = rng.gen_range(0..6u8);
             let (sentence, fact) = match template {
                 0 => {
@@ -86,9 +85,7 @@ impl ReportCorpus {
                     let up = rng.gen_bool(0.6);
                     let verb = if up { "rose" } else { "fell" };
                     (
-                        format!(
-                            "In {period}, {product} {metric} {verb} {pct}% to ${amount}.",
-                        ),
+                        format!("In {period}, {product} {metric} {verb} {pct}% to ${amount}.",),
                         GoldFact {
                             subject: product.to_lowercase(),
                             metric: metric.to_string(),
@@ -169,8 +166,7 @@ impl ReportCorpus {
         }
 
         // Group into report documents of 5 sentences.
-        let texts: Vec<String> =
-            sentences.chunks(5).map(|chunk| chunk.join(" ")).collect();
+        let texts: Vec<String> = sentences.chunks(5).map(|chunk| chunk.join(" ")).collect();
         Self { texts, facts, lexicon_entries }
     }
 }
@@ -209,8 +205,7 @@ mod tests {
     #[test]
     fn lexicon_covers_subjects() {
         let c = ReportCorpus::generate(24, 9);
-        let lex: Vec<String> =
-            c.lexicon_entries.iter().map(|(n, _)| n.to_lowercase()).collect();
+        let lex: Vec<String> = c.lexicon_entries.iter().map(|(n, _)| n.to_lowercase()).collect();
         for f in &c.facts {
             assert!(lex.contains(&f.subject), "missing {}", f.subject);
         }
@@ -218,9 +213,6 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        assert_ne!(
-            ReportCorpus::generate(20, 1).texts,
-            ReportCorpus::generate(20, 2).texts
-        );
+        assert_ne!(ReportCorpus::generate(20, 1).texts, ReportCorpus::generate(20, 2).texts);
     }
 }

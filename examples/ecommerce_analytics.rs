@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reviews_per_product: 3,
         qa_per_category: 2,
         seed: 0xCAFE,
-            name_offset: 0,
+        name_offset: 0,
     });
 
     let mut builder = EngineBuilder::with_config(workload.lexicon.clone(), EngineConfig::default());
@@ -38,10 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let engine = builder.build()?;
 
-    println!("ingested: {} documents, {} tables, {} graph nodes\n",
+    println!(
+        "ingested: {} documents, {} tables, {} graph nodes\n",
         engine.docs().num_documents(),
         engine.db().len(),
-        engine.graph().num_nodes());
+        engine.graph().num_nodes()
+    );
 
     // The workload's own benchmark questions, with gold answers shown.
     println!("--- benchmark questions ---");

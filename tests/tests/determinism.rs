@@ -37,6 +37,49 @@ fn same_seed_same_everything() {
     }
 }
 
+/// Two engines built independently from the same `EngineConfig::seed` must
+/// agree byte-for-byte: identical answer text, identical routing decisions,
+/// and bit-identical confidence scores. This is the hermetic-build guarantee
+/// the detkit PRNG makes checkable — no platform- or run-dependent entropy
+/// anywhere in the pipeline.
+#[test]
+fn same_engine_seed_byte_identical_answers_routes_confidence() {
+    let w = EcommerceWorkload::generate(EcommerceConfig {
+        products: 6,
+        quarters: 3,
+        reviews_per_product: 2,
+        qa_per_category: 2,
+        seed: 0xD5EED,
+        name_offset: 0,
+    });
+    let build = || {
+        let config = EngineConfig { seed: 0xABCD_1234, ..EngineConfig::default() };
+        let mut b = EngineBuilder::with_config(w.lexicon.clone(), config);
+        for name in w.db.table_names() {
+            b.add_table(name, w.db.table(name).unwrap().clone()).unwrap();
+        }
+        for d in &w.documents {
+            b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
+        }
+        b.build().unwrap()
+    };
+    let e1 = build();
+    let e2 = build();
+    for item in &w.qa {
+        let a1 = e1.answer(&item.question);
+        let a2 = e2.answer(&item.question);
+        assert_eq!(a1.text.as_bytes(), a2.text.as_bytes(), "text: {}", item.question);
+        assert_eq!(a1.route, a2.route, "route: {}", item.question);
+        assert_eq!(
+            a1.confidence.to_bits(),
+            a2.confidence.to_bits(),
+            "confidence: {}",
+            item.question
+        );
+        assert_eq!(a1, a2, "full answer: {}", item.question);
+    }
+}
+
 #[test]
 fn different_seed_different_corpus() {
     let (w1, _) = engine(1);

@@ -32,7 +32,9 @@ fn json_to_sql_roundtrip() {
     let mut db = Database::new();
     db.create_table("orders", table).unwrap();
     let out = db
-        .run_sql("SELECT product, SUM(units) AS total FROM orders GROUP BY product ORDER BY product")
+        .run_sql(
+            "SELECT product, SUM(units) AS total FROM orders GROUP BY product ORDER BY product",
+        )
         .unwrap();
     assert_eq!(out.num_rows(), 2);
     assert_eq!(out.cell(0, 1), &Value::Int(8));
@@ -52,9 +54,7 @@ fn text_to_extraction_to_sql() {
     assert_eq!(stats.records, 2);
     let mut db = Database::new();
     db.create_table("extracted", table).unwrap();
-    let out = db
-        .run_sql("SELECT AVG(change_pct) AS avg_change FROM extracted")
-        .unwrap();
+    let out = db.run_sql("SELECT AVG(change_pct) AS avg_change FROM extracted").unwrap();
     assert_eq!(out.cell(0, 0), &Value::Float(5.0));
 }
 

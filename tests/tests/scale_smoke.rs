@@ -15,7 +15,7 @@ fn large_workload_end_to_end() {
         reviews_per_product: 4,
         qa_per_category: 4,
         seed: 0x5CA1E,
-            name_offset: 0,
+        name_offset: 0,
     });
     let mut b = EngineBuilder::with_config(w.lexicon.clone(), EngineConfig::default());
     for name in w.db.table_names() {
@@ -54,7 +54,7 @@ fn index_size_ordering_holds_at_scale() {
         reviews_per_product: 3,
         qa_per_category: 1,
         seed: 0x517E,
-            name_offset: 0,
+        name_offset: 0,
     });
     let docs = Arc::new(w.docstore());
     let slm = unisem_slm::Slm::new(unisem_slm::SlmConfig {
