@@ -14,8 +14,13 @@ cargo fmt --check
 echo "==> offline release build"
 CARGO_NET_OFFLINE=true cargo build --release
 
-echo "==> offline test suite"
-CARGO_NET_OFFLINE=true cargo test -q
+echo "==> offline test suite (UNISEM_THREADS=1)"
+CARGO_NET_OFFLINE=true UNISEM_THREADS=1 cargo test -q
+
+echo "==> offline test suite (UNISEM_THREADS=4)"
+# Same suite on a 4-wide parkit pool: any nondeterminism under parallelism
+# (merge order, float association, RNG sharing) diverges here and fails.
+CARGO_NET_OFFLINE=true UNISEM_THREADS=4 cargo test -q
 
 echo "==> manifest scan: every dependency must be a path dependency"
 # Inside [dependencies]/[dev-dependencies]/[build-dependencies] (including

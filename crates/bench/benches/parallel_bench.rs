@@ -1,0 +1,124 @@
+//! Parallel scaling benchmarks: PageRank, dense scoring, and engine
+//! batch answering at 1/2/4/8 threads.
+//!
+//! Each workload is timed once per pool width, and the summary prints the
+//! speedup of every width relative to the 1-thread run. Before timing, each
+//! section asserts that the multi-threaded result is bit-identical to the
+//! sequential one — a benchmark that got faster by diverging would be
+//! measuring the wrong thing.
+//!
+//! Note the reported speedup is bounded by the machine: on a single-core
+//! runner every width measures ~1.0×; the scaling numbers are meaningful
+//! only where `nproc` ≥ the pool width.
+
+use detkit::bench::{Harness, Stats};
+use parkit::Pool;
+use unisem_core::{EngineBuilder, EngineConfig, ParallelConfig};
+use unisem_hetgraph::algo::personalized_pagerank_pool;
+use unisem_hetgraph::{GraphBuilder, NodeId};
+use unisem_retrieval::{ChunkRetriever, DenseRetriever};
+use unisem_slm::{Slm, SlmConfig};
+use unisem_workloads::{EcommerceConfig, EcommerceWorkload};
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn speedup_report(label: &str, per_width: &[(usize, Stats)]) {
+    let base = per_width[0].1.median_ns.max(1) as f64;
+    let line = per_width
+        .iter()
+        .map(|(t, s)| format!("{t}t {:.2}x", base / s.median_ns.max(1) as f64))
+        .collect::<Vec<_>>()
+        .join("  ");
+    println!("{label} speedup vs 1 thread: {line}");
+}
+
+fn main() {
+    let w = EcommerceWorkload::generate(EcommerceConfig {
+        products: 24,
+        quarters: 4,
+        reviews_per_product: 3,
+        qa_per_category: 2,
+        seed: 0x9A55,
+        name_offset: 0,
+    });
+    let docs = std::sync::Arc::new(w.docstore());
+    let slm = Slm::new(SlmConfig { lexicon: w.lexicon.clone(), ..SlmConfig::default() });
+
+    let mut gb = GraphBuilder::new(slm.clone());
+    gb.add_docstore(&docs);
+    for name in w.db.table_names() {
+        gb.add_table(name, w.db.table(name).expect("listed"));
+    }
+    let (graph, _) = gb.finish();
+    let seed = graph.entity_by_name("aero widget").unwrap_or(NodeId(0));
+
+    let mut h = Harness::new("parallel");
+    h.set_iters(15);
+
+    // --- Personalized PageRank across pool widths -----------------------
+    let ppr_ref = personalized_pagerank_pool(&graph, &[seed], 0.85, 25, Pool::sequential());
+    let mut ppr_stats = Vec::new();
+    for t in WIDTHS {
+        let pool = Pool::new(t);
+        let got = personalized_pagerank_pool(&graph, &[seed], 0.85, 25, pool);
+        assert!(
+            got.iter().zip(&ppr_ref).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "pagerank diverged at {t} threads"
+        );
+        let s = h
+            .bench(&format!("ppr_25_iters_{t}t"), || {
+                personalized_pagerank_pool(&graph, &[seed], 0.85, 25, pool)
+            })
+            .clone();
+        ppr_stats.push((t, s));
+    }
+
+    // --- Dense cosine scan across pool widths ---------------------------
+    let dense_ref = DenseRetriever::build_with_pool(slm.clone(), &docs, Pool::sequential());
+    let hits_ref = dense_ref.retrieve("battery life of the aero widget", 10);
+    let mut dense_stats = Vec::new();
+    for t in WIDTHS {
+        let r = DenseRetriever::build_with_pool(slm.clone(), &docs, Pool::new(t));
+        assert_eq!(
+            r.retrieve("battery life of the aero widget", 10),
+            hits_ref,
+            "dense scan diverged at {t} threads"
+        );
+        let s = h
+            .bench(&format!("dense_scan_{t}t"), || {
+                r.retrieve("battery life of the aero widget", 10)
+            })
+            .clone();
+        dense_stats.push((t, s));
+    }
+
+    // --- Engine answer_batch across pool widths -------------------------
+    let questions: Vec<&str> = w.qa.iter().map(|q| q.question.as_str()).collect();
+    let build_engine = |threads: usize| {
+        let config = EngineConfig {
+            parallel: ParallelConfig::with_threads(threads),
+            ..EngineConfig::default()
+        };
+        let mut b = EngineBuilder::with_config(w.lexicon.clone(), config);
+        for name in w.db.table_names() {
+            b.add_table(name, w.db.table(name).expect("listed").clone()).expect("add_table");
+        }
+        for d in &w.documents {
+            b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
+        }
+        b.build().expect("engine build")
+    };
+    let batch_ref = build_engine(1).answer_batch(&questions);
+    let mut batch_stats = Vec::new();
+    for t in WIDTHS {
+        let e = build_engine(t);
+        assert_eq!(e.answer_batch(&questions), batch_ref, "answer_batch diverged at {t} threads");
+        let s = h.bench(&format!("answer_batch_{t}t"), || e.answer_batch(&questions)).clone();
+        batch_stats.push((t, s));
+    }
+
+    speedup_report("ppr_25_iters", &ppr_stats);
+    speedup_report("dense_scan", &dense_stats);
+    speedup_report("answer_batch", &batch_stats);
+    h.finish();
+}

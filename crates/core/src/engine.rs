@@ -3,6 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use parkit::Pool;
 use unisem_docstore::{DocStore, DocumentId};
 use unisem_entropy::EntropyEstimator;
 use unisem_extract::TableGenerator;
@@ -53,6 +54,39 @@ impl From<FlattenError> for EngineError {
     }
 }
 
+/// Parallel execution settings (DESIGN.md §6: determinism under
+/// parallelism). Thread count never affects results — only wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads for batch answering, index building, and the
+    /// parallel scans underneath. `0` (the default) resolves at use time
+    /// from `UNISEM_THREADS`, falling back to the machine's available
+    /// parallelism.
+    pub threads: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self { threads: 0 }
+    }
+}
+
+impl ParallelConfig {
+    /// An explicit thread count (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// The parkit pool this configuration resolves to.
+    pub fn pool(&self) -> Pool {
+        if self.threads == 0 {
+            parkit::global()
+        } else {
+            Pool::new(self.threads)
+        }
+    }
+}
+
 /// Engine configuration, including the ablation switches exercised by
 /// experiment E7.
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +117,8 @@ pub struct EngineConfig {
     /// Ablation: index entity nodes in the graph (false = chunks/records
     /// stay unlinked and retrieval loses its anchors).
     pub enable_entity_nodes: bool,
+    /// Parallel execution settings (never affects results, only speed).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for EngineConfig {
@@ -100,6 +136,7 @@ impl Default for EngineConfig {
             enable_synthesis: true,
             enable_topology: true,
             enable_entity_nodes: true,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -222,7 +259,7 @@ impl EngineBuilder {
         let graph = Arc::new(graph);
         let topo =
             TopologyRetriever::new(slm.clone(), graph.clone(), docs.clone(), config.topology);
-        let dense = DenseRetriever::build(slm.clone(), &docs);
+        let dense = DenseRetriever::build_with_pool(slm.clone(), &docs, config.parallel.pool());
         let estimator = {
             let mut e = EntropyEstimator::new(slm.clone());
             e.n_samples = config.entropy_samples;
@@ -389,6 +426,17 @@ impl UnifiedEngine {
             Route::Unstructured { chunks }
         };
         Answer { text, confidence, entropy: report, route, provenance, result_table: None }
+    }
+
+    /// Answers a batch of independent questions across the configured
+    /// pool ([`ParallelConfig`]), returning answers in input order.
+    ///
+    /// Each question is answered exactly as [`UnifiedEngine::answer`]
+    /// would sequentially — all per-question randomness is derived from
+    /// the engine seed and the question itself, never from scheduling — so
+    /// the output is byte-identical for any thread count, including 1.
+    pub fn answer_batch<S: AsRef<str> + Sync>(&self, questions: &[S]) -> Vec<Answer> {
+        self.config.parallel.pool().par_map(questions, |q| self.answer(q.as_ref()))
     }
 
     /// Tries the structured route over candidate tables; returns the first

@@ -31,7 +31,7 @@ pub mod evidence;
 
 pub use answer::{Answer, Provenance, Route};
 pub use baselines::{DirectSlmPipeline, NaiveRagPipeline, QaPipeline, TextToSqlPipeline};
-pub use engine::{EngineBuilder, EngineConfig, UnifiedEngine};
+pub use engine::{EngineBuilder, EngineConfig, ParallelConfig, UnifiedEngine};
 
 // Re-export the pieces examples and benches need most.
 pub use unisem_entropy::EntropyReport;

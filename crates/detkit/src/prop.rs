@@ -839,6 +839,27 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_hook_state_recovers() {
+        // Install first so the panic below is silenced, then poison
+        // HOOK_STATE by panicking while holding its guard. Install and
+        // Drop both recover via `PoisonError::into_inner`, so the
+        // refcounted hook swap must keep balancing afterwards.
+        let quiet = QuietPanics::install();
+        let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = HOOK_STATE.lock().unwrap_or_else(|e| e.into_inner());
+            panic!("poison the hook state");
+        }));
+        assert!(HOOK_STATE.is_poisoned(), "mutex must be poisoned for this test to bite");
+        // Nested install/drop traverse the poisoned-lock branch.
+        let quiet2 = QuietPanics::install();
+        assert!(HOOK_STATE.lock().unwrap_or_else(|e| e.into_inner()).0 >= 2);
+        drop(quiet2);
+        drop(quiet);
+        // A fresh cycle on the (still) poisoned mutex also works.
+        let _quiet3 = QuietPanics::install();
+    }
+
+    #[test]
     fn bools_shrink_to_false() {
         let mut rng = Rng::new(1);
         let g = bools();

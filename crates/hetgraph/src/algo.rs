@@ -8,8 +8,15 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use detkit::Rng;
+use parkit::Pool;
 
 use crate::graph::{HetGraph, NodeId};
+
+/// Fixed chunk size for parallel node sweeps. A constant (never derived
+/// from the thread count) so chunk boundaries — and the association order
+/// of floating-point partial sums — are identical at every
+/// `UNISEM_THREADS` setting (parkit determinism contract, DESIGN.md §6).
+const NODE_CHUNK: usize = 256;
 
 /// Breadth-first traversal up to `max_hops`, returning each reached node
 /// with its hop distance (the start node has distance 0).
@@ -188,6 +195,22 @@ pub fn personalized_pagerank(
     damping: f64,
     iterations: usize,
 ) -> Vec<f64> {
+    personalized_pagerank_pool(graph, seeds, damping, iterations, parkit::global())
+}
+
+/// [`personalized_pagerank`] on an explicit [`Pool`]. Output is
+/// bit-identical for any pool width: each power iteration is a *gather*
+/// (`next[i] = Σ rank[nb] / deg(nb)`, valid because adjacency is stored
+/// symmetrically), so every `next[i]` sums its neighbors in adjacency
+/// order regardless of scheduling, and the dangling mass reduces over
+/// fixed-size chunks combined in chunk order.
+pub fn personalized_pagerank_pool(
+    graph: &HetGraph,
+    seeds: &[NodeId],
+    damping: f64,
+    iterations: usize,
+    pool: Pool,
+) -> Vec<f64> {
     let n = graph.num_nodes();
     if n == 0 {
         return Vec::new();
@@ -202,29 +225,35 @@ pub fn personalized_pagerank(
         }
         t
     };
-    let mut rank = teleport.clone();
-    let mut next = vec![0.0; n];
-    for _ in 0..iterations {
-        for x in next.iter_mut() {
-            *x = 0.0;
-        }
-        let mut dangling = 0.0;
-        for i in 0..n {
+    let inv_deg: Vec<f64> = (0..n)
+        .map(|i| {
             let deg = graph.degree(NodeId(i as u32));
             if deg == 0 {
-                dangling += rank[i];
-                continue;
+                0.0
+            } else {
+                1.0 / deg as f64
             }
-            let share = rank[i] / deg as f64;
+        })
+        .collect();
+    let mut rank = teleport.clone();
+    for _ in 0..iterations {
+        // Dangling mass redistributes along the teleport vector.
+        let dangling = pool
+            .par_reduce_range(
+                n,
+                NODE_CHUNK,
+                |r| r.filter(|&i| inv_deg[i] == 0.0).map(|i| rank[i]).sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap_or(0.0);
+        rank = pool.par_map_range_chunked(n, NODE_CHUNK, |i| {
+            let mut inflow = 0.0;
             for &(nb, _) in graph.neighbors(NodeId(i as u32)) {
-                next[nb.0 as usize] += share;
+                let j = nb.0 as usize;
+                inflow += rank[j] * inv_deg[j];
             }
-        }
-        for i in 0..n {
-            // Dangling mass redistributes along the teleport vector.
-            next[i] = (1.0 - damping) * teleport[i] + damping * (next[i] + dangling * teleport[i]);
-        }
-        std::mem::swap(&mut rank, &mut next);
+            (1.0 - damping) * teleport[i] + damping * (inflow + dangling * teleport[i])
+        });
     }
     rank
 }
@@ -248,6 +277,19 @@ pub fn closeness(graph: &HetGraph, node: NodeId) -> f64 {
 /// Approximate betweenness centrality via sampled single-source BFS
 /// (Brandes' algorithm restricted to `samples` pivots).
 pub fn approx_betweenness(graph: &HetGraph, samples: usize, seed: u64) -> Vec<f64> {
+    approx_betweenness_pool(graph, samples, seed, parkit::global())
+}
+
+/// [`approx_betweenness`] on an explicit [`Pool`]. Pivots are drawn
+/// sequentially from the seed *before* dispatch, each pivot's Brandes pass
+/// runs independently, and per-pivot contributions are accumulated in
+/// pivot order — so the result is bit-identical for any pool width.
+pub fn approx_betweenness_pool(
+    graph: &HetGraph,
+    samples: usize,
+    seed: u64,
+    pool: Pool,
+) -> Vec<f64> {
     let n = graph.num_nodes();
     let mut centrality = vec![0.0f64; n];
     if n < 3 || samples == 0 {
@@ -255,43 +297,12 @@ pub fn approx_betweenness(graph: &HetGraph, samples: usize, seed: u64) -> Vec<f6
     }
     let mut rng = Rng::new(seed);
     let pivots: Vec<usize> = (0..samples.min(n)).map(|_| rng.gen_range(0..n)).collect();
-    for &s in &pivots {
-        // Brandes single-source accumulation.
-        let s = NodeId(s as u32);
-        let mut stack: Vec<NodeId> = Vec::new();
-        let mut preds: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-        let mut sigma: HashMap<NodeId, f64> = HashMap::new();
-        let mut dist: HashMap<NodeId, i64> = HashMap::new();
-        sigma.insert(s, 1.0);
-        dist.insert(s, 0);
-        let mut queue = VecDeque::new();
-        queue.push_back(s);
-        while let Some(v) = queue.pop_front() {
-            stack.push(v);
-            let dv = dist[&v];
-            for &(w, _) in graph.neighbors(v) {
-                if !dist.contains_key(&w) {
-                    dist.insert(w, dv + 1);
-                    queue.push_back(w);
-                }
-                if dist[&w] == dv + 1 {
-                    *sigma.entry(w).or_insert(0.0) += sigma[&v];
-                    preds.entry(w).or_default().push(v);
-                }
-            }
-        }
-        let mut delta: HashMap<NodeId, f64> = HashMap::new();
-        while let Some(w) = stack.pop() {
-            let dw = *delta.get(&w).unwrap_or(&0.0);
-            if let Some(ps) = preds.get(&w) {
-                for &v in ps {
-                    let d = (sigma[&v] / sigma[&w]) * (1.0 + dw);
-                    *delta.entry(v).or_insert(0.0) += d;
-                }
-            }
-            if w != s {
-                centrality[w.0 as usize] += dw;
-            }
+    let contributions = pool.par_map(&pivots, |&s| brandes_from(graph, NodeId(s as u32)));
+    // Index-ordered merge: sum per-pivot vectors in pivot order so float
+    // association is independent of which worker ran which pivot.
+    for contrib in &contributions {
+        for (c, d) in centrality.iter_mut().zip(contrib) {
+            *c += d;
         }
     }
     // Scale to full-graph estimate.
@@ -300,6 +311,48 @@ pub fn approx_betweenness(graph: &HetGraph, samples: usize, seed: u64) -> Vec<f6
         *c *= scale;
     }
     centrality
+}
+
+/// One Brandes single-source accumulation: dependency scores of every node
+/// with respect to shortest paths from `s`.
+fn brandes_from(graph: &HetGraph, s: NodeId) -> Vec<f64> {
+    let mut contrib = vec![0.0f64; graph.num_nodes()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut preds: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let mut sigma: HashMap<NodeId, f64> = HashMap::new();
+    let mut dist: HashMap<NodeId, i64> = HashMap::new();
+    sigma.insert(s, 1.0);
+    dist.insert(s, 0);
+    let mut queue = VecDeque::new();
+    queue.push_back(s);
+    while let Some(v) = queue.pop_front() {
+        stack.push(v);
+        let dv = dist[&v];
+        for &(w, _) in graph.neighbors(v) {
+            if !dist.contains_key(&w) {
+                dist.insert(w, dv + 1);
+                queue.push_back(w);
+            }
+            if dist[&w] == dv + 1 {
+                *sigma.entry(w).or_insert(0.0) += sigma[&v];
+                preds.entry(w).or_default().push(v);
+            }
+        }
+    }
+    let mut delta: HashMap<NodeId, f64> = HashMap::new();
+    while let Some(w) = stack.pop() {
+        let dw = *delta.get(&w).unwrap_or(&0.0);
+        if let Some(ps) = preds.get(&w) {
+            for &v in ps {
+                let d = (sigma[&v] / sigma[&w]) * (1.0 + dw);
+                *delta.entry(v).or_insert(0.0) += d;
+            }
+        }
+        if w != s {
+            contrib[w.0 as usize] = dw;
+        }
+    }
+    contrib
 }
 
 #[cfg(test)]
@@ -448,6 +501,28 @@ mod tests {
     fn betweenness_deterministic_with_seed() {
         let (g, _) = path_graph();
         assert_eq!(approx_betweenness(&g, 10, 42), approx_betweenness(&g, 10, 42));
+    }
+
+    #[test]
+    fn pagerank_bit_identical_across_pool_widths() {
+        let (g, _) = path_graph();
+        let reference = personalized_pagerank_pool(&g, &[], 0.85, 50, Pool::sequential());
+        for threads in [2, 4, 8] {
+            let got = personalized_pagerank_pool(&g, &[], 0.85, 50, Pool::new(threads));
+            let same = reference.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads={threads}: {got:?} != {reference:?}");
+        }
+    }
+
+    #[test]
+    fn betweenness_bit_identical_across_pool_widths() {
+        let (g, _) = path_graph();
+        let reference = approx_betweenness_pool(&g, 20, 42, Pool::sequential());
+        for threads in [2, 4, 8] {
+            let got = approx_betweenness_pool(&g, 20, 42, Pool::new(threads));
+            let same = reference.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads={threads}");
+        }
     }
 
     #[test]

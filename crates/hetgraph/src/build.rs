@@ -18,8 +18,9 @@
 use unisem_docstore::DocStore;
 use unisem_relstore::{DataType, Table, Value};
 use unisem_slm::pos::{pos_tag, PosTag};
-use unisem_slm::{EntityKind, Slm};
+use unisem_slm::{EntityKind, EntityMention, Slm};
 use unisem_text::normalize::stem;
+use unisem_text::tokenize::Token;
 
 use crate::graph::{EdgeKind, HetGraph, NodeId};
 
@@ -81,9 +82,23 @@ impl GraphBuilder {
     }
 
     /// Indexes every chunk of a document store.
+    ///
+    /// The per-chunk SLM passes (entity tagging + POS tagging) dominate
+    /// build cost and are independent, so they fan out across the global
+    /// parkit pool; graph mutation then replays sequentially in chunk
+    /// order, so node/edge ids are identical to a single-threaded build.
     pub fn add_docstore(&mut self, docs: &DocStore) {
+        let chunks = docs.chunks();
+        let tagged: Vec<Option<(Vec<EntityMention>, Vec<(Token, PosTag)>)>> = if self.index_entities
+        {
+            let slm = &self.slm;
+            parkit::global()
+                .par_map(chunks, |c| Some((slm.tag_entities(&c.text), pos_tag(&c.text))))
+        } else {
+            chunks.iter().map(|_| None).collect()
+        };
         let mut prev: Option<(usize, NodeId)> = None; // (doc_id, chunk node)
-        for chunk in docs.chunks() {
+        for (chunk, tags) in chunks.iter().zip(tagged) {
             let cnode = self.graph.add_chunk(chunk.id, chunk.doc_id, &chunk.text);
             self.stats.chunks += 1;
             // Chain consecutive chunks of the same document.
@@ -93,16 +108,20 @@ impl GraphBuilder {
                 }
             }
             prev = Some((chunk.doc_id, cnode));
-            self.add_chunk_entities(cnode, &chunk.text);
+            if let Some((mentions, pos)) = tags {
+                self.add_chunk_entities(cnode, mentions, pos);
+            }
         }
     }
 
-    /// Tags one chunk and wires entity/mention/relation/temporal edges.
-    fn add_chunk_entities(&mut self, cnode: NodeId, text: &str) {
-        if !self.index_entities {
-            return;
-        }
-        let mentions = self.slm.tag_entities(text);
+    /// Wires entity/mention/relation/temporal edges from a chunk's
+    /// precomputed tagging.
+    fn add_chunk_entities(
+        &mut self,
+        cnode: NodeId,
+        mentions: Vec<EntityMention>,
+        tags: Vec<(Token, PosTag)>,
+    ) {
         self.stats.mentions += mentions.len();
 
         // Entity nodes + mention edges. Value-kind entities (dates,
@@ -124,7 +143,6 @@ impl GraphBuilder {
 
         // Relational cues: for consecutive non-value entity pairs, use the
         // verb between them as the relation label.
-        let tags = pos_tag(text);
         let referential: Vec<&(NodeId, usize, usize, EntityKind)> =
             placed.iter().filter(|(_, _, _, k)| !k.is_value()).collect();
         for pair in referential.windows(2) {

@@ -1,0 +1,42 @@
+//! # parkit
+//!
+//! Deterministic parallelism for the unisem workspace (DESIGN.md §6/§7):
+//! a zero-dependency, std-only fork-join toolkit whose results are
+//! **bit-identical for any thread count**, including 1.
+//!
+//! The determinism contract rests on three rules, all enforced here rather
+//! than left to callers:
+//!
+//! 1. **Index-ordered merge.** Work is split into chunks; whichever worker
+//!    finishes a chunk, its results are placed back by chunk index, so the
+//!    output order equals the input order.
+//! 2. **Thread-count-invariant chunking.** Chunk boundaries are a function
+//!    of the input length (and an explicit chunk size) only — never of the
+//!    thread count. This matters for floating-point reductions: partial
+//!    sums are combined left-to-right in chunk order, so the association
+//!    order (and therefore every rounding step) is the same whether the
+//!    chunks ran on one thread or eight.
+//! 3. **Forked RNG substreams.** Stochastic work must not share one
+//!    sequential RNG across items. Callers fork one decorrelated substream
+//!    per item *before* dispatch (`detkit::Rng::fork`), so each item's
+//!    stream is a pure function of its index, not of scheduling.
+//!
+//! The pool is *scoped*: every call spawns its workers inside
+//! [`std::thread::scope`] and joins them before returning. There is no
+//! resident worker pool and no global job queue, which makes nested
+//! parallelism (`par_map` inside `par_map`) trivially deadlock-free — inner
+//! calls simply spawn their own scoped workers. The calling thread always
+//! participates as a worker, so a pool of 1 thread never spawns at all and
+//! degenerates to a plain sequential loop.
+//!
+//! Worker panics are caught, the remaining chunks are abandoned, and the
+//! first panic payload is re-raised on the caller (or returned as an error
+//! from the `try_` variants) — a panicking task can never hang the pool.
+//!
+//! Thread count resolution (for [`global`] and [`Pool::from_env`]):
+//! `UNISEM_THREADS` environment variable if set and ≥ 1, else
+//! [`std::thread::available_parallelism`], else 1.
+
+mod pool;
+
+pub use pool::{global, PanicError, Pool, DEFAULT_CHUNK};

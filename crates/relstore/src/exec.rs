@@ -7,6 +7,10 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::catalog::Database;
+/// Fixed chunk size for parallel row sweeps (filter/join/sort). A constant
+/// — never derived from the thread count — so chunk boundaries and result
+/// order are identical at every `UNISEM_THREADS` setting.
+const ROW_CHUNK: usize = 512;
 use crate::error::{RelError, RelResult};
 use crate::expr::Expr;
 use crate::plan::{AggExpr, AggFunc, JoinType, LogicalPlan, SortKey};
@@ -53,14 +57,30 @@ pub fn execute(plan: &LogicalPlan, db: &Database) -> RelResult<Table> {
 
 fn exec_filter(t: &Table, predicate: &Expr) -> RelResult<Table> {
     let schema = t.schema().clone();
-    let mut keep = Vec::new();
-    for i in 0..t.num_rows() {
-        let row = t.row(i);
-        // SQL WHERE: NULL predicate result drops the row.
-        if predicate.eval(&row, &schema)? == Value::Bool(true) {
-            keep.push(i);
-        }
-    }
+    // Parallel scan: predicate evaluation fans out over fixed-size row
+    // spans; kept indices concatenate in span order and the first error in
+    // row order wins, exactly as in a sequential pass.
+    let spans = parkit::global().par_reduce_range(
+        t.num_rows(),
+        ROW_CHUNK,
+        |range| {
+            let mut keep = Vec::new();
+            for i in range {
+                let row = t.row(i);
+                // SQL WHERE: NULL predicate result drops the row.
+                if predicate.eval(&row, &schema)? == Value::Bool(true) {
+                    keep.push(i);
+                }
+            }
+            Ok(keep)
+        },
+        |a: RelResult<Vec<usize>>, b| {
+            let (mut a, b) = (a?, b?);
+            a.extend(b);
+            Ok(a)
+        },
+    );
+    let keep = spans.unwrap_or_else(|| Ok(Vec::new()))?;
     Ok(t.take(&keep))
 }
 
@@ -133,44 +153,62 @@ fn exec_join(
         on.iter().map(|(_, rc)| r.schema().require(rc)).collect::<RelResult<_>>()?;
 
     // Build hash table on the smaller side? For determinism and simplicity,
-    // always build on the right.
+    // always build on the right. Key extraction is the per-row hot loop and
+    // fans out across the pool; insertion replays sequentially in row
+    // order, so each bucket's row list is ordered exactly as before.
+    let pool = parkit::global();
+    let row_keys: Vec<Option<Vec<GroupKey>>> =
+        pool.par_map_range_chunked(r.num_rows(), ROW_CHUNK, |j| {
+            // NULL keys never join.
+            if r_keys.iter().any(|&k| r.cell(j, k).is_null()) {
+                return None;
+            }
+            Some(r_keys.iter().map(|&k| r.cell(j, k).group_key()).collect())
+        });
     let mut index: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-    for j in 0..r.num_rows() {
-        // NULL keys never join.
-        if r_keys.iter().any(|&k| r.cell(j, k).is_null()) {
-            continue;
+    for (j, key) in row_keys.into_iter().enumerate() {
+        if let Some(key) = key {
+            index.entry(key).or_default().push(j);
         }
-        let key: Vec<GroupKey> = r_keys.iter().map(|&k| r.cell(j, k).group_key()).collect();
-        index.entry(key).or_default().push(j);
     }
 
     let out_schema = l.schema().join(r.schema());
-    let mut out = Table::empty(out_schema);
     let r_arity = r.schema().arity();
-    for i in 0..l.num_rows() {
-        let has_null_key = l_keys.iter().any(|&k| l.cell(i, k).is_null());
-        let matches: Option<&Vec<usize>> = if has_null_key {
-            None
-        } else {
-            let key: Vec<GroupKey> = l_keys.iter().map(|&k| l.cell(i, k).group_key()).collect();
-            index.get(&key)
-        };
-        match matches {
-            Some(js) => {
-                for &j in js {
-                    let mut row = l.row(i);
-                    row.extend(r.row(j));
-                    out.push_row(row)?;
+    // Parallel probe: each fixed-size span of left rows materializes its
+    // output rows independently; spans concatenate in order, so the result
+    // row order matches the sequential nested loop.
+    let produced: Vec<Vec<Vec<Value>>> = pool.par_chunks_range(l.num_rows(), ROW_CHUNK, |range| {
+        let mut rows = Vec::new();
+        for i in range {
+            let has_null_key = l_keys.iter().any(|&k| l.cell(i, k).is_null());
+            let matches: Option<&Vec<usize>> = if has_null_key {
+                None
+            } else {
+                let key: Vec<GroupKey> = l_keys.iter().map(|&k| l.cell(i, k).group_key()).collect();
+                index.get(&key)
+            };
+            match matches {
+                Some(js) => {
+                    for &j in js {
+                        let mut row = l.row(i);
+                        row.extend(r.row(j));
+                        rows.push(row);
+                    }
                 }
-            }
-            None => {
-                if join_type == JoinType::Left {
-                    let mut row = l.row(i);
-                    row.extend(std::iter::repeat(Value::Null).take(r_arity));
-                    out.push_row(row)?;
+                None => {
+                    if join_type == JoinType::Left {
+                        let mut row = l.row(i);
+                        row.extend(std::iter::repeat(Value::Null).take(r_arity));
+                        rows.push(row);
+                    }
                 }
             }
         }
+        rows
+    });
+    let mut out = Table::empty(out_schema);
+    for row in produced.into_iter().flatten() {
+        out.push_row(row)?;
     }
     Ok(out)
 }
@@ -335,11 +373,15 @@ fn exec_aggregate(t: &Table, group_by: &[(Expr, String)], aggs: &[AggExpr]) -> R
 
 fn exec_sort(t: &Table, keys: &[SortKey]) -> RelResult<Table> {
     let schema = t.schema().clone();
-    // Precompute key values per row (decorate-sort-undecorate).
+    // Precompute key values per row (decorate-sort-undecorate); the key
+    // evaluation fans out over fixed-size row spans merged in row order.
+    let evaluated: Vec<RelResult<Vec<Value>>> =
+        parkit::global().par_map_range_chunked(t.num_rows(), ROW_CHUNK, |i| {
+            let row = t.row(i);
+            keys.iter().map(|k| k.expr.eval(&row, &schema)).collect()
+        });
     let mut decorated: Vec<(Vec<Value>, usize)> = Vec::with_capacity(t.num_rows());
-    for i in 0..t.num_rows() {
-        let row = t.row(i);
-        let kv: RelResult<Vec<Value>> = keys.iter().map(|k| k.expr.eval(&row, &schema)).collect();
+    for (i, kv) in evaluated.into_iter().enumerate() {
         decorated.push((kv?, i));
     }
     decorated.sort_by(|(ka, ia), (kb, ib)| {

@@ -7,11 +7,16 @@
 
 use std::sync::Arc;
 
+use parkit::Pool;
 use unisem_docstore::DocStore;
 use unisem_slm::Slm;
 use unisem_text::similarity::cosine_dense;
 
 use crate::{ChunkRetriever, RetrievalResult};
+
+/// Fixed chunk size for the parallel cosine scan — a constant, never
+/// derived from the thread count, per the parkit determinism contract.
+const SCAN_CHUNK: usize = 256;
 
 /// Flat (exact) dense retriever.
 #[derive(Debug, Clone)]
@@ -19,14 +24,25 @@ pub struct DenseRetriever {
     slm: Slm,
     /// chunk_id-aligned embedding matrix.
     vectors: Vec<Vec<f32>>,
+    /// Pool used for build-time embedding and query-time scans.
+    pool: Pool,
 }
 
 impl DenseRetriever {
-    /// Builds the index by embedding every chunk of `docs`.
+    /// Builds the index by embedding every chunk of `docs` across the
+    /// global parkit pool.
     pub fn build(slm: Slm, docs: &Arc<DocStore>) -> Self {
+        Self::build_with_pool(slm, docs, parkit::global())
+    }
+
+    /// [`DenseRetriever::build`] on an explicit [`Pool`], which the
+    /// retriever also keeps for its query-time scans. Embeddings are a pure
+    /// per-chunk function merged in chunk order, so the index is identical
+    /// for any pool width.
+    pub fn build_with_pool(slm: Slm, docs: &Arc<DocStore>, pool: Pool) -> Self {
         let vectors: Vec<Vec<f32>> =
-            docs.chunks().iter().map(|c| slm.embedder().embed_text(&c.text)).collect();
-        Self { slm, vectors }
+            pool.par_map(docs.chunks(), |c| slm.embedder().embed_text(&c.text));
+        Self { slm, vectors, pool }
     }
 
     /// Number of indexed vectors.
@@ -47,12 +63,23 @@ impl ChunkRetriever for DenseRetriever {
 
     fn retrieve(&self, query: &str, k: usize) -> Vec<RetrievalResult> {
         let q = self.slm.embed(query);
+        // Parallel scan in fixed-size spans; per-span hit lists concatenate
+        // in span order, so the candidate list is scan-order identical to a
+        // sequential pass.
         let mut scored: Vec<RetrievalResult> = self
-            .vectors
-            .iter()
-            .enumerate()
-            .map(|(chunk_id, v)| RetrievalResult { chunk_id, score: cosine_dense(&q, v) })
-            .filter(|r| r.score > 0.0)
+            .pool
+            .par_chunks(&self.vectors, SCAN_CHUNK, |start, span| {
+                span.iter()
+                    .enumerate()
+                    .map(|(i, v)| RetrievalResult {
+                        chunk_id: start + i,
+                        score: cosine_dense(&q, v),
+                    })
+                    .filter(|r| r.score > 0.0)
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
             .collect();
         scored.sort_by(|a, b| {
             b.score

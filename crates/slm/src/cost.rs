@@ -253,6 +253,32 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_lock_recovers() {
+        // Poison the ledger mutex: panic while holding the guard. Every
+        // meter entry point recovers via `PoisonError::into_inner`, so a
+        // panicking worker thread must not take the meter down with it.
+        let m = CostMeter::new(CostModel::for_class(ModelClass::SlmClass));
+        m.record_embed(5);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.inner.lock().unwrap();
+            panic!("poison the meter");
+        }));
+        assert!(m.inner.is_poisoned(), "mutex must be poisoned for this test to mean anything");
+        // Recording, snapshotting, and resetting all still work, and the
+        // pre-poison state survives (the guard holder never mutated).
+        m.record_tag(7);
+        let s = m.snapshot();
+        assert_eq!(s.embed_tokens, 5);
+        assert_eq!(s.tag_tokens, 7);
+        assert!(m.simulated_latency_secs() > 0.0);
+        let final_s = m.reset();
+        assert_eq!(final_s.tag_tokens, 7);
+        assert_eq!(m.snapshot(), UsageSnapshot::default());
+        m.record_generate(3, 1);
+        assert_eq!(m.snapshot().generate_calls, 1);
+    }
+
+    #[test]
     fn concurrent_recording() {
         let m = CostMeter::new(CostModel::for_class(ModelClass::SlmClass));
         std::thread::scope(|s| {

@@ -165,31 +165,34 @@ impl Generator {
         let seed = self.base_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
             ^ fnv1a(query.as_bytes())
             ^ config.seed.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        // Fork one decorrelated RNG substream per sample *before* dispatch
+        // (parkit determinism contract, DESIGN.md §6): each sample's draws
+        // are a pure function of its index, never of scheduling, so the
+        // fan-out below is bit-identical at any thread count.
         let mut rng = Rng::new(seed);
+        let streams: Vec<Rng> = (0..config.n_samples).map(|_| rng.fork()).collect();
 
-        (0..config.n_samples)
-            .map(|s| {
-                let idx = if config.temperature <= 0.0 {
-                    argmax(&probs)
-                } else {
-                    sample_categorical(&mut rng, &probs)
-                };
-                let (core, _, source) = &candidates[idx];
-                let text = if config.paraphrase {
-                    let ti =
-                        (seed.rotate_left(s as u32) as usize).wrapping_add(s) % TEMPLATES.len();
-                    apply_template(TEMPLATES[ti], core)
-                } else {
-                    core.clone()
-                };
-                Generation {
-                    text,
-                    core: core.clone(),
-                    log_prob: probs[idx].max(1e-12).ln(),
-                    source_index: *source,
-                }
-            })
-            .collect()
+        parkit::global().par_map_range(config.n_samples, |s| {
+            let idx = if config.temperature <= 0.0 {
+                argmax(&probs)
+            } else {
+                let mut stream = streams[s].clone();
+                sample_categorical(&mut stream, &probs)
+            };
+            let (core, _, source) = &candidates[idx];
+            let text = if config.paraphrase {
+                let ti = (seed.rotate_left(s as u32) as usize).wrapping_add(s) % TEMPLATES.len();
+                apply_template(TEMPLATES[ti], core)
+            } else {
+                core.clone()
+            };
+            Generation {
+                text,
+                core: core.clone(),
+                log_prob: probs[idx].max(1e-12).ln(),
+                source_index: *source,
+            }
+        })
     }
 }
 

@@ -2,7 +2,7 @@
 //! answers, and experiment measurements — the property every experiment in
 //! EXPERIMENTS.md relies on.
 
-use unisem_core::{EngineBuilder, EngineConfig, UnifiedEngine};
+use unisem_core::{EngineBuilder, EngineConfig, ParallelConfig, UnifiedEngine};
 use unisem_workloads::{EcommerceConfig, EcommerceWorkload};
 
 fn engine(seed: u64) -> (EcommerceWorkload, UnifiedEngine) {
@@ -77,6 +77,72 @@ fn same_engine_seed_byte_identical_answers_routes_confidence() {
             item.question
         );
         assert_eq!(a1, a2, "full answer: {}", item.question);
+    }
+}
+
+/// The thread-matrix suite: the full QA workload, answered by engines
+/// configured at 1, 2, 4, and 8 threads — both singly (`answer`) and in a
+/// batch (`answer_batch`) — must agree byte-for-byte with the 1-thread
+/// reference. Answer text compares as raw bytes, routes structurally, and
+/// confidence bit-for-bit, so any scheduling leak (merge order, float
+/// association, RNG sharing) fails loudly. This is the determinism
+/// contract of DESIGN.md §6 checked end to end.
+#[test]
+fn thread_matrix_byte_identical_answers_routes_confidence() {
+    let w = EcommerceWorkload::generate(EcommerceConfig {
+        products: 6,
+        quarters: 3,
+        reviews_per_product: 2,
+        qa_per_category: 2,
+        seed: 0xD5EED,
+        name_offset: 0,
+    });
+    let build = |threads: usize| {
+        let config = EngineConfig {
+            seed: 0xABCD_1234,
+            parallel: ParallelConfig::with_threads(threads),
+            ..EngineConfig::default()
+        };
+        let mut b = EngineBuilder::with_config(w.lexicon.clone(), config);
+        for name in w.db.table_names() {
+            b.add_table(name, w.db.table(name).unwrap().clone()).unwrap();
+        }
+        for d in &w.documents {
+            b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
+        }
+        b.build().unwrap()
+    };
+    let questions: Vec<&str> = w.qa.iter().map(|item| item.question.as_str()).collect();
+
+    let reference_engine = build(1);
+    let reference: Vec<_> = questions.iter().map(|q| reference_engine.answer(q)).collect();
+
+    for threads in [1, 2, 4, 8] {
+        let e = build(threads);
+        // Single-question path.
+        for (item, expected) in w.qa.iter().zip(&reference) {
+            let a = e.answer(&item.question);
+            assert_eq!(
+                a.text.as_bytes(),
+                expected.text.as_bytes(),
+                "threads={threads} text: {}",
+                item.question
+            );
+            assert_eq!(a.route, expected.route, "threads={threads} route: {}", item.question);
+            assert_eq!(
+                a.confidence.to_bits(),
+                expected.confidence.to_bits(),
+                "threads={threads} confidence: {}",
+                item.question
+            );
+            assert_eq!(&a, expected, "threads={threads} full answer: {}", item.question);
+        }
+        // Batch path: input-ordered and identical to the sequential loop.
+        let batch = e.answer_batch(&questions);
+        assert_eq!(batch.len(), reference.len());
+        for ((q, got), expected) in questions.iter().zip(&batch).zip(&reference) {
+            assert_eq!(got, expected, "threads={threads} batch answer: {q}");
+        }
     }
 }
 
