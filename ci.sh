@@ -22,6 +22,37 @@ echo "==> offline test suite (UNISEM_THREADS=4)"
 # (merge order, float association, RNG sharing) diverges here and fails.
 CARGO_NET_OFFLINE=true UNISEM_THREADS=4 cargo test -q
 
+echo "==> integration suites under a pinned ambient fault plan"
+# The robustness and determinism integration suites must hold with
+# deterministic fault injection armed from the environment: faults
+# quarantine or degrade (never panic), every downgrade is recorded, and
+# answers replay byte-identically at any thread count. The spec pins the
+# replay seed plus probabilistic faults at the executor and traversal
+# sites, so both the structured and retrieval rungs get exercised.
+CARGO_NET_OFFLINE=true UNISEM_FAULTS="seed:0xC1,relstore.exec@64,hetgraph.traverse@96" \
+    cargo test -q -p unisem-tests --test robustness --test determinism
+
+echo "==> unwrap audit (crates/core/src, crates/relstore/src)"
+# Engine-core and relational-executor library code must stay panic-free on
+# untrusted input: no .unwrap()/.expect( outside #[cfg(test)] modules.
+# Comment lines (incl. doc examples) are ignored; tests keep their unwraps.
+bad=0
+while IFS= read -r src; do
+    hits=$(awk '
+        /#\[cfg\(test\)\]/ { exit }
+        /^[[:space:]]*\/\// { next }
+        /\.unwrap\(\)|\.expect\(/ { print FILENAME ":" FNR ": " $0 }
+    ' "$src")
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        bad=1
+    fi
+done < <(find crates/core/src crates/relstore/src -name '*.rs')
+if [ "$bad" -ne 0 ]; then
+    echo "ERROR: unwrap()/expect() in non-test engine/executor code (return typed errors instead)"
+    exit 1
+fi
+
 echo "==> manifest scan: every dependency must be a path dependency"
 # Inside [dependencies]/[dev-dependencies]/[build-dependencies] (including
 # the [workspace.dependencies] table), every entry must either declare

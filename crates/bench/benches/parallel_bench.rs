@@ -106,7 +106,7 @@ fn main() {
         for d in &w.documents {
             b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
         }
-        b.build().expect("engine build")
+        b.build().0
     };
     let batch_ref = build_engine(1).answer_batch(&questions);
     let mut batch_stats = Vec::new();

@@ -687,7 +687,7 @@ pub fn e7() {
         for d in &w.documents {
             b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
         }
-        let engine = b.build().expect("engine build");
+        let engine = b.build().0;
         let r = evaluate_pipeline(&engine, &w.qa);
         row_for(&mut t, name, &r);
     }

@@ -22,7 +22,7 @@ pub fn build_ecommerce_engine(w: &EcommerceWorkload, config: EngineConfig) -> Un
     for d in &w.documents {
         b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
     }
-    b.build().expect("engine build")
+    b.build().0
 }
 
 /// Builds a [`UnifiedEngine`] over a healthcare workload.
@@ -39,7 +39,7 @@ pub fn build_healthcare_engine(w: &HealthcareWorkload, config: EngineConfig) -> 
     for d in &w.documents {
         b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
     }
-    b.build().expect("engine build")
+    b.build().0
 }
 
 /// Evaluation result for one pipeline on one QA set.

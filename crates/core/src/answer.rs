@@ -41,6 +41,32 @@ impl Route {
     }
 }
 
+/// One rung-to-rung downgrade on the graceful-degradation ladder
+/// (structured → hybrid → pure retrieval → abstain; DESIGN.md §8). Every
+/// answer that did not take the best route it attempted carries at least
+/// one of these, so "why did this route down" is always diagnosable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The component that failed or was bounded, e.g. `relstore.exec`,
+    /// `hetgraph.traverse`, `slm.generate`, `entropy.confidence`.
+    pub component: String,
+    /// What happened, human-readable.
+    pub reason: String,
+}
+
+impl Degradation {
+    /// Creates a degradation record.
+    pub fn new(component: impl Into<String>, reason: impl Into<String>) -> Self {
+        Self { component: component.into(), reason: reason.into() }
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.component, self.reason)
+    }
+}
+
 /// One provenance pointer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Provenance {
@@ -75,12 +101,20 @@ pub struct Answer {
     pub provenance: Vec<Provenance>,
     /// The result table, when the structured route produced one.
     pub result_table: Option<Table>,
+    /// Ladder downgrades taken while resolving this answer, in order.
+    /// Empty when the answer took the best route it attempted.
+    pub degradations: Vec<Degradation>,
 }
 
 impl Answer {
     /// True when the engine abstained.
     pub fn is_abstention(&self) -> bool {
         matches!(self.route, Route::Abstained)
+    }
+
+    /// True when any ladder downgrade occurred.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
     }
 }
 
@@ -128,11 +162,29 @@ mod tests {
             route: Route::Structured { table: "t".into() },
             provenance: vec![],
             result_table: None,
+            degradations: vec![],
         };
         assert!(!a.is_abstention());
+        assert!(!a.is_degraded());
         assert!(a.to_string().contains("42"));
         let abst = Answer { text: String::new(), route: Route::Abstained, ..a };
         assert!(abst.is_abstention());
         assert!(abst.to_string().contains("abstained"));
+    }
+
+    #[test]
+    fn degradation_display_and_flag() {
+        let d = Degradation::new("relstore.exec", "join budget exceeded");
+        assert_eq!(d.to_string(), "relstore.exec: join budget exceeded");
+        let a = Answer {
+            text: "x".into(),
+            confidence: 0.5,
+            entropy: report(),
+            route: Route::Hybrid { table: None, chunks: vec![] },
+            provenance: vec![],
+            result_table: None,
+            degradations: vec![d],
+        };
+        assert!(a.is_degraded());
     }
 }

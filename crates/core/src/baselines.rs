@@ -111,6 +111,7 @@ impl QaPipeline for NaiveRagPipeline {
             route: Route::Unstructured { chunks },
             provenance,
             result_table: None,
+            degradations: vec![],
         }
     }
 }
@@ -175,6 +176,7 @@ impl QaPipeline for TextToSqlPipeline {
                             rows: result.num_rows(),
                         }],
                         result_table: Some(result),
+                        degradations: vec![],
                     };
                 }
             }
@@ -188,6 +190,7 @@ impl QaPipeline for TextToSqlPipeline {
             route: Route::Abstained,
             provenance: vec![],
             result_table: None,
+            degradations: vec![],
         }
     }
 }
@@ -227,6 +230,7 @@ impl QaPipeline for DirectSlmPipeline {
             route: Route::Unstructured { chunks: vec![] },
             provenance: vec![],
             result_table: None,
+            degradations: vec![],
         }
     }
 }

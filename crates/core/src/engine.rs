@@ -3,24 +3,26 @@
 use std::fmt;
 use std::sync::Arc;
 
+use faultkit::{FaultPlan, InjectedFault, Site};
 use parkit::Pool;
 use unisem_docstore::{DocStore, DocumentId};
 use unisem_entropy::EntropyEstimator;
 use unisem_extract::TableGenerator;
 use unisem_hetgraph::{GraphBuilder, HetGraph};
 use unisem_relstore::plan::AggFunc;
-use unisem_relstore::{Database, RelError, Table};
+use unisem_relstore::{Database, ExecLimits, RelError, Table};
 use unisem_retrieval::{
     ChunkRetriever, DenseRetriever, RetrievalResult, TopologyConfig, TopologyRetriever,
 };
-use unisem_semistore::{FlattenError, JsonValue, SemiStore};
+use unisem_semistore::{FlattenError, JsonError, JsonValue, SemiStore, XmlError};
 use unisem_semops::synthesize::resolve_subject_column;
 use unisem_semops::{IntentParser, OperatorSynthesizer, QueryIntent};
 use unisem_slm::{CostMeter, Lexicon, ModelClass, Slm, SlmConfig, SupportedAnswer};
 use unisem_text::ChunkConfig;
 
-use crate::answer::{Answer, Provenance, Route};
+use crate::answer::{Answer, Degradation, Provenance, Route};
 use crate::evidence::{extract_evidence_grounded, to_supported_answers};
+use crate::ingest::{IngestReport, QuarantineReason, Quarantined};
 
 /// Engine construction / ingestion errors.
 #[derive(Debug)]
@@ -29,6 +31,12 @@ pub enum EngineError {
     Rel(RelError),
     /// JSON flattening failure.
     Flatten(FlattenError),
+    /// XML parse failure at ingestion.
+    Xml(XmlError),
+    /// JSON parse failure at ingestion.
+    Json(JsonError),
+    /// A deterministic fault-injection hook fired (see `faultkit`).
+    Fault(InjectedFault),
 }
 
 impl fmt::Display for EngineError {
@@ -36,6 +44,9 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Rel(e) => write!(f, "relational error: {e}"),
             EngineError::Flatten(e) => write!(f, "flatten error: {e}"),
+            EngineError::Xml(e) => write!(f, "xml error: {e}"),
+            EngineError::Json(e) => write!(f, "json error: {e}"),
+            EngineError::Fault(e) => write!(f, "{e}"),
         }
     }
 }
@@ -51,6 +62,24 @@ impl From<RelError> for EngineError {
 impl From<FlattenError> for EngineError {
     fn from(e: FlattenError) -> Self {
         EngineError::Flatten(e)
+    }
+}
+
+impl From<XmlError> for EngineError {
+    fn from(e: XmlError) -> Self {
+        EngineError::Xml(e)
+    }
+}
+
+impl From<JsonError> for EngineError {
+    fn from(e: JsonError) -> Self {
+        EngineError::Json(e)
+    }
+}
+
+impl From<InjectedFault> for EngineError {
+    fn from(e: InjectedFault) -> Self {
+        EngineError::Fault(e)
     }
 }
 
@@ -87,6 +116,29 @@ impl ParallelConfig {
     }
 }
 
+/// Deterministic resource governors (DESIGN.md §8). Each bound is a pure
+/// function of the data — never of timing — so a governed run replays
+/// identically; breaching one triggers a ladder downgrade instead of
+/// unbounded work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GovernorConfig {
+    /// Maximum nodes a single topology traversal may discover before the
+    /// frontier is truncated (recorded as a degradation).
+    pub max_traversal_frontier: usize,
+    /// Maximum rows a single join may materialize on the structured route;
+    /// beyond it the table is skipped with a recorded failure.
+    pub max_join_rows: usize,
+    /// Minimum entropy samples required to certify a confidence score;
+    /// below it the engine abstains rather than trust the estimate.
+    pub entropy_sample_floor: usize,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        Self { max_traversal_frontier: 4096, max_join_rows: 1_000_000, entropy_sample_floor: 2 }
+    }
+}
+
 /// Engine configuration, including the ablation switches exercised by
 /// experiment E7.
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +171,13 @@ pub struct EngineConfig {
     pub enable_entity_nodes: bool,
     /// Parallel execution settings (never affects results, only speed).
     pub parallel: ParallelConfig,
+    /// Deterministic fault-injection plan. The default (`unset`) defers to
+    /// the `UNISEM_FAULTS` environment variable, resolved once when the
+    /// builder is created; `FaultPlan::disabled()` opts out entirely.
+    pub faults: FaultPlan,
+    /// Deterministic resource governors (frontier cap, join row budget,
+    /// entropy sample floor).
+    pub governors: GovernorConfig,
 }
 
 impl Default for EngineConfig {
@@ -137,6 +196,8 @@ impl Default for EngineConfig {
             enable_topology: true,
             enable_entity_nodes: true,
             parallel: ParallelConfig::default(),
+            faults: FaultPlan::unset(),
+            governors: GovernorConfig::default(),
         }
     }
 }
@@ -149,6 +210,13 @@ pub struct EngineBuilder {
     docs: DocStore,
     db: Database,
     semi: SemiStore,
+    /// Sources quarantined during ingestion (bad JSON/XML); joined at
+    /// build time by flatten/extraction quarantines.
+    quarantined: Vec<Quarantined>,
+    /// Monotonic counter over semi-structured ingestion attempts — the
+    /// fault-injection call key, so a given document's parse fault replays
+    /// identically for the same ingestion sequence.
+    ingest_attempts: usize,
 }
 
 impl EngineBuilder {
@@ -157,14 +225,19 @@ impl EngineBuilder {
         Self::with_config(lexicon, EngineConfig::default())
     }
 
-    /// Starts a builder with explicit configuration.
-    pub fn with_config(lexicon: Lexicon, config: EngineConfig) -> Self {
+    /// Starts a builder with explicit configuration. An `unset` fault plan
+    /// resolves against `UNISEM_FAULTS` here, once, so builder, build, and
+    /// every answer see the same plan.
+    pub fn with_config(lexicon: Lexicon, mut config: EngineConfig) -> Self {
+        config.faults = config.faults.resolve();
         Self {
             config,
             lexicon,
             docs: DocStore::new(config.chunk),
             db: Database::new(),
             semi: SemiStore::new(),
+            quarantined: Vec::new(),
+            ingest_attempts: 0,
         }
     }
 
@@ -189,15 +262,62 @@ impl EngineBuilder {
         self.semi.insert(collection, doc);
     }
 
+    /// Parses and ingests one JSON text document into a named collection.
+    ///
+    /// A malformed document is **quarantined** — recorded in the build's
+    /// [`IngestReport`] and excluded — rather than aborting ingestion; the
+    /// parse error is still returned for immediate caller feedback.
+    pub fn add_json_text(&mut self, collection: &str, text: &str) -> Result<(), EngineError> {
+        let key = format!("{collection}:{}", self.ingest_attempts);
+        self.ingest_attempts += 1;
+        if let Err(f) = self.config.faults.check(Site::SemiParse, &key) {
+            self.quarantined.push(Quarantined {
+                source: format!("json document '{key}'"),
+                reason: QuarantineReason::InjectedFault(f.to_string()),
+            });
+            return Err(EngineError::Fault(f));
+        }
+        match unisem_semistore::parse_json(text) {
+            Ok(doc) => {
+                self.semi.insert(collection, doc);
+                Ok(())
+            }
+            Err(e) => {
+                self.quarantined.push(Quarantined {
+                    source: format!("json document '{key}'"),
+                    reason: QuarantineReason::Json(e.to_string()),
+                });
+                Err(EngineError::Json(e))
+            }
+        }
+    }
+
     /// Ingests one XML document into a named collection ("XML
     /// configurations", §I). The root element's *contents* become the
     /// record (attributes as `@name`, text as `#text`).
+    ///
+    /// Like [`Self::add_json_text`], a malformed document is quarantined
+    /// (the build still succeeds) and the parse error returned.
     pub fn add_xml(&mut self, collection: &str, xml: &str) -> Result<(), EngineError> {
-        let parsed = unisem_semistore::parse_xml(xml).map_err(|e| {
-            EngineError::Flatten(unisem_semistore::FlattenError::Rel(RelError::Parse(
-                e.to_string(),
-            )))
-        })?;
+        let key = format!("{collection}:{}", self.ingest_attempts);
+        self.ingest_attempts += 1;
+        if let Err(f) = self.config.faults.check(Site::SemiParse, &key) {
+            self.quarantined.push(Quarantined {
+                source: format!("xml document '{key}'"),
+                reason: QuarantineReason::InjectedFault(f.to_string()),
+            });
+            return Err(EngineError::Fault(f));
+        }
+        let parsed = match unisem_semistore::parse_xml(xml) {
+            Ok(p) => p,
+            Err(e) => {
+                self.quarantined.push(Quarantined {
+                    source: format!("xml document '{key}'"),
+                    reason: QuarantineReason::Xml(e.to_string()),
+                });
+                return Err(EngineError::Xml(e));
+            }
+        };
         // Unwrap the single root-name key so sibling documents with the
         // same root element flatten into one schema.
         let doc = match &parsed {
@@ -210,33 +330,73 @@ impl EngineBuilder {
 
     /// Builds the engine: flattens JSON, runs extraction, builds the graph,
     /// and wires the retrievers.
-    pub fn build(self) -> Result<UnifiedEngine, EngineError> {
-        let EngineBuilder { config, lexicon, docs, mut db, semi } = self;
+    ///
+    /// Build never aborts on a bad source. Per-source failures — flatten
+    /// conflicts, extraction errors, injected faults — are quarantined
+    /// with typed reasons in the returned [`IngestReport`]; the engine is
+    /// built from everything that survived.
+    pub fn build(self) -> (UnifiedEngine, IngestReport) {
+        let EngineBuilder { config, lexicon, docs, mut db, semi, mut quarantined, .. } = self;
+        let faults = config.faults;
         let slm = Slm::new(SlmConfig {
             lexicon,
             class: config.model_class,
             seed: config.seed,
             ..SlmConfig::default()
         });
+        let mut report =
+            IngestReport { documents: docs.num_documents(), ..IngestReport::default() };
 
-        // Semi-structured → tables.
+        // Semi-structured → tables; a collection that fails to flatten is
+        // quarantined whole (its documents share one schema).
         for coll in semi.collections() {
-            let table = semi.to_table(coll)?;
-            if db.has_table(coll) {
-                db.create_or_replace_table(&format!("json_{coll}"), table);
-            } else {
-                db.create_or_replace_table(coll, table);
+            if let Err(f) = faults.check(Site::SemiFlatten, coll) {
+                quarantined.push(Quarantined {
+                    source: format!("collection '{coll}'"),
+                    reason: QuarantineReason::InjectedFault(f.to_string()),
+                });
+                continue;
+            }
+            match semi.to_table(coll) {
+                Ok(table) => {
+                    if db.has_table(coll) {
+                        db.create_or_replace_table(&format!("json_{coll}"), table);
+                    } else {
+                        db.create_or_replace_table(coll, table);
+                    }
+                    report.collections_flattened += 1;
+                }
+                Err(e) => quarantined.push(Quarantined {
+                    source: format!("collection '{coll}'"),
+                    reason: QuarantineReason::Flatten(e.to_string()),
+                }),
             }
         }
 
-        // Unstructured → extracted table (§III.C task 1).
+        // Unstructured → extracted table (§III.C task 1); failures cost the
+        // extracted table, not the build.
         if config.enable_extraction && !docs.is_empty() {
-            let texts: Vec<&str> = docs.documents().iter().map(|d| d.text.as_str()).collect();
-            let (extracted, _) = TableGenerator::new(slm.clone())
-                .generate_table(&texts)
-                .map_err(EngineError::Rel)?;
-            if !extracted.is_empty() {
-                db.create_or_replace_table("extracted", extracted);
+            match faults.check(Site::ExtractTablegen, "extracted") {
+                Err(f) => quarantined.push(Quarantined {
+                    source: "document extraction".into(),
+                    reason: QuarantineReason::InjectedFault(f.to_string()),
+                }),
+                Ok(()) => {
+                    let texts: Vec<&str> =
+                        docs.documents().iter().map(|d| d.text.as_str()).collect();
+                    match TableGenerator::new(slm.clone()).generate_table(&texts) {
+                        Ok((extracted, _)) => {
+                            if !extracted.is_empty() {
+                                report.extracted_rows = extracted.num_rows();
+                                db.create_or_replace_table("extracted", extracted);
+                            }
+                        }
+                        Err(e) => quarantined.push(Quarantined {
+                            source: "document extraction".into(),
+                            reason: QuarantineReason::Extraction(e.to_string()),
+                        }),
+                    }
+                }
             }
         }
 
@@ -249,16 +409,22 @@ impl EngineBuilder {
             // is still useful (they join text to values) but keep the
             // "extracted" table out to avoid double-counting mentions.
             if name != "extracted" {
-                let table = db.table(&name)?.clone();
-                gb.add_table(&name, &table);
+                if let Ok(table) = db.table(&name) {
+                    let table = table.clone();
+                    gb.add_table(&name, &table);
+                }
             }
         }
         let (graph, _) = gb.finish();
 
         let docs = Arc::new(docs);
         let graph = Arc::new(graph);
-        let topo =
-            TopologyRetriever::new(slm.clone(), graph.clone(), docs.clone(), config.topology);
+        // The traversal frontier governor clamps whatever the topology
+        // config asks for.
+        let mut topo_config = config.topology;
+        topo_config.max_frontier =
+            topo_config.max_frontier.min(config.governors.max_traversal_frontier);
+        let topo = TopologyRetriever::new(slm.clone(), graph.clone(), docs.clone(), topo_config);
         let dense = DenseRetriever::build_with_pool(slm.clone(), &docs, config.parallel.pool());
         let estimator = {
             let mut e = EntropyEstimator::new(slm.clone());
@@ -267,7 +433,9 @@ impl EngineBuilder {
             e
         };
 
-        Ok(UnifiedEngine {
+        report.tables = db.len();
+        report.quarantined = quarantined;
+        let engine = UnifiedEngine {
             parser: IntentParser::new(slm.clone()),
             synthesizer: OperatorSynthesizer::new(),
             estimator,
@@ -278,7 +446,9 @@ impl EngineBuilder {
             topo,
             dense,
             config,
-        })
+            ingest: Arc::new(report.clone()),
+        };
+        (engine, report)
     }
 }
 
@@ -295,12 +465,19 @@ pub struct UnifiedEngine {
     synthesizer: OperatorSynthesizer,
     estimator: EntropyEstimator,
     config: EngineConfig,
+    ingest: Arc<IngestReport>,
 }
 
 impl UnifiedEngine {
-    /// The configuration in effect.
+    /// The configuration in effect (fault plan already resolved).
     pub fn config(&self) -> EngineConfig {
         self.config
+    }
+
+    /// The ingestion report from the build: what was indexed, what was
+    /// quarantined, and why.
+    pub fn ingest_report(&self) -> &IngestReport {
+        &self.ingest
     }
 
     /// The relational catalog (native + flattened + extracted tables).
@@ -353,14 +530,47 @@ impl UnifiedEngine {
     }
 
     /// Answers a natural-language question across all ingested modalities.
+    ///
+    /// Resolution walks a graceful-degradation ladder (DESIGN.md §8):
+    /// structured → hybrid → pure retrieval → abstain. Every downgrade —
+    /// a failed component, an injected fault, a tripped resource governor
+    /// — is recorded in [`Answer::degradations`], so a degraded answer is
+    /// always diagnosable and never silent.
     pub fn answer(&self, question: &str) -> Answer {
+        let faults = self.config.faults;
+        let governors = self.config.governors;
+        let mut degradations: Vec<Degradation> = Vec::new();
+
+        // Entropy gate first: without a working generator, or enough
+        // samples to make the estimate meaningful, no confidence can be
+        // certified — and an uncertifiable answer is worse than an
+        // abstention (§III.D).
+        if let Err(f) = faults.check(Site::SlmGenerate, question) {
+            degradations.push(Degradation::new(
+                "slm.generate",
+                format!("answer sampling unavailable: {f}"),
+            ));
+            return abstained(degradations);
+        }
+        if self.config.entropy_samples < governors.entropy_sample_floor {
+            degradations.push(Degradation::new(
+                "entropy.samples",
+                format!(
+                    "{} entropy samples below floor {}; confidence uncertifiable",
+                    self.config.entropy_samples, governors.entropy_sample_floor
+                ),
+            ));
+            return abstained(degradations);
+        }
+
         let intent = self.parser.analyze(question);
 
         // Structured route for analytical intents (§III.C task 2).
         let mut attempted_structured = false;
         if self.config.enable_synthesis && !intent.is_plain_lookup() {
             attempted_structured = true;
-            if let Some((table, result)) = self.try_structured(&intent) {
+            let (hit, failures) = self.try_structured_traced(&intent);
+            if let Some((table, result)) = hit {
                 let text = render_structured(&intent, &self.db, &table, &result);
                 if !text.is_empty() {
                     // Deterministic plan output = maximally grounded
@@ -375,13 +585,50 @@ impl UnifiedEngine {
                         route: Route::Structured { table: table.clone() },
                         provenance: vec![Provenance::TableRows { table, rows: result.num_rows() }],
                         result_table: Some(result),
+                        degradations,
                     };
                 }
             }
+            // The structured rung yielded nothing — record why before
+            // stepping down, surfacing the last failure when there was one.
+            match failures.last() {
+                Some((table, err)) => degradations.push(Degradation::new(
+                    "relstore.exec",
+                    format!("structured route failed on '{table}': {err}"),
+                )),
+                None => degradations.push(Degradation::new(
+                    "structured",
+                    "no table produced a signal-bearing result",
+                )),
+            }
         }
 
-        // Retrieval route (§III.B).
-        let hits = self.retrieve(question, self.config.retrieval_top_k);
+        // Retrieval rung (§III.B): a traversal fault or frontier cap falls
+        // back to dense scoring rather than failing the query.
+        let hits = if self.config.enable_topology {
+            if let Err(f) = faults.check(Site::GraphTraverse, question) {
+                degradations.push(Degradation::new(
+                    "hetgraph.traverse",
+                    format!("topology traversal unavailable: {f}; using dense retrieval"),
+                ));
+                self.dense.retrieve(question, self.config.retrieval_top_k)
+            } else {
+                let (hits, stats) =
+                    self.topo.retrieve_with_stats(question, self.config.retrieval_top_k);
+                if stats.frontier_capped {
+                    degradations.push(Degradation::new(
+                        "hetgraph.traverse",
+                        format!(
+                            "traversal frontier capped at {} nodes; candidates truncated",
+                            self.topo.config().max_frontier
+                        ),
+                    ));
+                }
+                hits
+            }
+        } else {
+            self.dense.retrieve(question, self.config.retrieval_top_k)
+        };
         let chunk_triples: Vec<(usize, String, f64)> = hits
             .iter()
             .filter_map(|h| {
@@ -409,6 +656,18 @@ impl UnifiedEngine {
             .collect();
 
         if supported.is_empty() || confidence < self.config.abstain_confidence {
+            // Last rung: the semantic-entropy gate declines to answer.
+            degradations.push(if supported.is_empty() {
+                Degradation::new("evidence", "no grounded supporting evidence")
+            } else {
+                Degradation::new(
+                    "entropy.confidence",
+                    format!(
+                        "confidence {confidence:.2} below abstain threshold {:.2}",
+                        self.config.abstain_confidence
+                    ),
+                )
+            });
             return Answer {
                 text: "This cannot be determined from the available data.".to_string(),
                 confidence,
@@ -416,6 +675,7 @@ impl UnifiedEngine {
                 route: Route::Abstained,
                 provenance,
                 result_table: None,
+                degradations,
             };
         }
 
@@ -425,7 +685,15 @@ impl UnifiedEngine {
         } else {
             Route::Unstructured { chunks }
         };
-        Answer { text, confidence, entropy: report, route, provenance, result_table: None }
+        Answer {
+            text,
+            confidence,
+            entropy: report,
+            route,
+            provenance,
+            result_table: None,
+            degradations,
+        }
     }
 
     /// Answers a batch of independent questions across the configured
@@ -440,23 +708,62 @@ impl UnifiedEngine {
     }
 
     /// Tries the structured route over candidate tables; returns the first
-    /// table whose synthesized plan yields a signal-bearing result.
-    fn try_structured(&self, intent: &QueryIntent) -> Option<(String, Table)> {
+    /// table whose synthesized plan yields a signal-bearing result, plus
+    /// every per-table failure encountered on the way (synthesis errors,
+    /// injected faults, execution errors, tripped governors) so the caller
+    /// can surface *why* the route stepped down instead of dropping the
+    /// errors on the floor.
+    fn try_structured_traced(
+        &self,
+        intent: &QueryIntent,
+    ) -> (Option<(String, Table)>, Vec<(String, String)>) {
+        let faults = self.config.faults;
+        let limits = ExecLimits { max_join_rows: self.config.governors.max_join_rows };
+        let mut failures: Vec<(String, String)> = Vec::new();
         let mut names: Vec<String> = self.db.table_names().into_iter().map(String::from).collect();
         // Native tables first; the extracted table is the fallback source.
         names.sort_by_key(|n| (n == "extracted", n.clone()));
         for name in names {
-            let Ok(plan) = self.synthesizer.synthesize(intent, &self.db, &name) else {
+            if let Err(f) = faults.check(Site::RelExec, &name) {
+                failures.push((name, f.to_string()));
                 continue;
+            }
+            let plan = match self.synthesizer.synthesize(intent, &self.db, &name) {
+                Ok(p) => p,
+                Err(e) => {
+                    failures.push((name, format!("synthesis: {e}")));
+                    continue;
+                }
             };
-            let Ok(result) = self.db.run_plan(&plan) else {
-                continue;
-            };
-            if has_signal(&result) {
-                return Some((name, result));
+            match self.db.run_plan_with_limits(&plan, &limits) {
+                Ok(result) if has_signal(&result) => return (Some((name, result)), failures),
+                Ok(_) => {}
+                Err(e) => failures.push((name, format!("execution: {e}"))),
             }
         }
-        None
+        (None, failures)
+    }
+}
+
+/// An abstention emitted before entropy estimation could run (generator
+/// fault or sample floor): zeroed report, zero confidence.
+fn abstained(degradations: Vec<Degradation>) -> Answer {
+    Answer {
+        text: "This cannot be determined from the available data.".to_string(),
+        confidence: 0.0,
+        entropy: unisem_entropy::EntropyReport {
+            n_samples: 0,
+            n_clusters: 0,
+            semantic_entropy: 0.0,
+            discrete_semantic_entropy: 0.0,
+            predictive_entropy: 0.0,
+            lexical_variance: 0.0,
+            top_answer: None,
+        },
+        route: Route::Abstained,
+        provenance: Vec::new(),
+        result_table: None,
+        degradations,
     }
 }
 
@@ -594,7 +901,7 @@ mod tests {
             )
             .unwrap(),
         );
-        b.build().unwrap()
+        b.build().0
     }
 
     #[test]
@@ -662,7 +969,7 @@ mod tests {
         };
         let mut b = EngineBuilder::with_config(sample_lexicon(), config);
         b.add_document("d", "Aero Widget sales increased 10% in Q1 2024.", "x");
-        let e = b.build().unwrap();
+        let e = b.build().0;
         assert!(!e.db().has_table("extracted"));
         // Dense retrieval still answers.
         let hits = e.retrieve("Aero Widget sales", 2);
@@ -696,7 +1003,7 @@ mod tests {
             .unwrap();
         b.add_table("orders", t).unwrap();
         b.add_json("orders", unisem_semistore::parse_json(r#"{"y": 2}"#).unwrap());
-        let e = b.build().unwrap();
+        let e = b.build().0;
         assert!(e.db().has_table("orders"));
         assert!(e.db().has_table("json_orders"));
     }
@@ -706,12 +1013,95 @@ mod tests {
         let mut b = EngineBuilder::new(Lexicon::new());
         b.add_xml("configs", r#"<cfg><host>alpha</host><port>80</port></cfg>"#).unwrap();
         b.add_xml("configs", r#"<cfg><host>beta</host><port>443</port></cfg>"#).unwrap();
-        assert!(b.add_xml("configs", "<broken>").is_err());
-        let e = b.build().unwrap();
+        // Malformed XML: a first-class typed error AND a quarantine record
+        // — the build still succeeds with the two good documents.
+        let err = b.add_xml("configs", "<broken>").unwrap_err();
+        assert!(matches!(err, EngineError::Xml(_)), "{err}");
+        let (e, report) = b.build();
+        assert_eq!(report.num_quarantined(), 1);
+        assert_eq!(report.quarantined[0].reason.kind(), "xml");
+        assert!(report.quarantined[0].source.contains("configs"));
+        assert_eq!(e.ingest_report(), &report);
         let t = e.db().table("configs").unwrap();
         assert_eq!(t.num_rows(), 2);
         let out = e.db().run_sql("SELECT host FROM configs WHERE port = 443").unwrap();
         assert_eq!(out.cell(0, 0), &Value::str("beta"));
+    }
+
+    #[test]
+    fn json_text_quarantines_bad_documents() {
+        let mut b = EngineBuilder::new(Lexicon::new());
+        b.add_json_text("orders", r#"{"id": 1, "amount": 10}"#).unwrap();
+        let err = b.add_json_text("orders", r#"{"id": 2, "amount":"#).unwrap_err();
+        assert!(matches!(err, EngineError::Json(_)), "{err}");
+        let (e, report) = b.build();
+        assert_eq!(report.num_quarantined(), 1);
+        assert_eq!(report.quarantined[0].reason.kind(), "json");
+        assert_eq!(e.db().table("orders").unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn injected_slm_fault_abstains_with_degradation() {
+        let config = EngineConfig {
+            faults: FaultPlan::single(Site::SlmGenerate),
+            ..EngineConfig::default()
+        };
+        let mut b = EngineBuilder::with_config(sample_lexicon(), config);
+        b.add_document("d", "Acme Corp makes the Aero Widget.", "x");
+        let e = b.build().0;
+        let a = e.answer("Which manufacturer makes the Aero Widget?");
+        assert!(a.is_abstention());
+        assert!(a.is_degraded());
+        assert_eq!(a.degradations[0].component, "slm.generate");
+    }
+
+    #[test]
+    fn injected_relexec_fault_degrades_to_retrieval() {
+        let config =
+            EngineConfig { faults: FaultPlan::single(Site::RelExec), ..EngineConfig::default() };
+        let mut b = EngineBuilder::with_config(sample_lexicon(), config);
+        let sales = Table::from_rows(
+            Schema::of(&[("product", DataType::Str), ("amount", DataType::Float)]),
+            vec![vec![Value::str("Aero Widget"), Value::Float(100.0)]],
+        )
+        .unwrap();
+        b.add_table("sales", sales).unwrap();
+        b.add_document("r", "Aero Widget sales totaled $100 this quarter.", "report");
+        let e = b.build().0;
+        let a = e.answer("What was the total sales amount of Aero Widget across all quarters?");
+        // The structured rung is fully faulted: the answer must step down
+        // and say why.
+        assert!(!matches!(a.route, Route::Structured { .. }));
+        assert!(a.is_degraded());
+        assert!(
+            a.degradations.iter().any(|d| d.component == "relstore.exec"),
+            "{:?}",
+            a.degradations
+        );
+    }
+
+    #[test]
+    fn entropy_sample_floor_abstains() {
+        let config = EngineConfig { entropy_samples: 1, ..EngineConfig::default() };
+        let mut b = EngineBuilder::with_config(sample_lexicon(), config);
+        b.add_document("d", "Acme Corp makes the Aero Widget.", "x");
+        let e = b.build().0;
+        let a = e.answer("Which manufacturer makes the Aero Widget?");
+        assert!(a.is_abstention());
+        assert_eq!(a.degradations[0].component, "entropy.samples");
+    }
+
+    #[test]
+    fn flatten_conflict_quarantines_collection() {
+        let mut b = EngineBuilder::new(Lexicon::new());
+        // Array documents cannot flatten into a record schema.
+        b.add_json("bad", unisem_semistore::parse_json("[1, 2, 3]").unwrap());
+        b.add_json("good", unisem_semistore::parse_json(r#"{"x": 1}"#).unwrap());
+        let (e, report) = b.build();
+        assert_eq!(report.num_quarantined(), 1);
+        assert_eq!(report.quarantined[0].reason.kind(), "flatten");
+        assert!(!e.db().has_table("bad"));
+        assert!(e.db().has_table("good"));
     }
 
     #[test]

@@ -28,12 +28,17 @@ pub mod answer;
 pub mod baselines;
 pub mod engine;
 pub mod evidence;
+pub mod ingest;
 
-pub use answer::{Answer, Provenance, Route};
+pub use answer::{Answer, Degradation, Provenance, Route};
 pub use baselines::{DirectSlmPipeline, NaiveRagPipeline, QaPipeline, TextToSqlPipeline};
-pub use engine::{EngineBuilder, EngineConfig, ParallelConfig, UnifiedEngine};
+pub use engine::{
+    EngineBuilder, EngineConfig, EngineError, GovernorConfig, ParallelConfig, UnifiedEngine,
+};
+pub use ingest::{IngestReport, QuarantineReason, Quarantined};
 
 // Re-export the pieces examples and benches need most.
+pub use faultkit::{FaultPlan, InjectedFault, Site as FaultSite};
 pub use unisem_entropy::EntropyReport;
 pub use unisem_relstore::{Database, Table, Value};
 pub use unisem_slm::{EntityKind, Lexicon, ModelClass, Slm, SlmConfig};

@@ -22,7 +22,7 @@ fn build_ecommerce_engine(w: &EcommerceWorkload) -> UnifiedEngine {
     for d in &w.documents {
         b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
     }
-    b.build().unwrap()
+    b.build().0
 }
 
 fn build_healthcare_engine(w: &HealthcareWorkload) -> UnifiedEngine {
@@ -33,7 +33,7 @@ fn build_healthcare_engine(w: &HealthcareWorkload) -> UnifiedEngine {
     for d in &w.documents {
         b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
     }
-    b.build().unwrap()
+    b.build().0
 }
 
 fn accuracy_by_category(

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use crate::error::{RelError, RelResult};
-use crate::exec::execute;
+use crate::exec::{execute, execute_with_limits, ExecLimits};
 use crate::optimize::optimize;
 use crate::plan::LogicalPlan;
 use crate::sql;
@@ -80,6 +80,18 @@ impl Database {
     pub fn run_plan(&self, plan: &LogicalPlan) -> RelResult<Table> {
         let optimized = optimize(plan.clone());
         execute(&optimized, self)
+    }
+
+    /// Executes a logical plan (after optimization) under resource
+    /// governors; a tripped governor surfaces as
+    /// [`RelError::ResourceExhausted`].
+    pub fn run_plan_with_limits(
+        &self,
+        plan: &LogicalPlan,
+        limits: &ExecLimits,
+    ) -> RelResult<Table> {
+        let optimized = optimize(plan.clone());
+        execute_with_limits(&optimized, self, limits)
     }
 
     /// Parses, plans, optimizes, and executes a SQL query.

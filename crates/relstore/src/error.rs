@@ -24,6 +24,10 @@ pub enum RelError {
     DivisionByZero,
     /// Two tables/columns conflicted (e.g. duplicate name on create).
     Conflict(String),
+    /// A deterministic resource governor tripped: the plan would exceed
+    /// `limit` units of `what` (e.g. join output rows). Callers treat this
+    /// as a downgrade signal, not a bug.
+    ResourceExhausted { what: &'static str, limit: usize },
 }
 
 impl fmt::Display for RelError {
@@ -41,6 +45,9 @@ impl fmt::Display for RelError {
             RelError::Plan(msg) => write!(f, "plan error: {msg}"),
             RelError::DivisionByZero => write!(f, "division by zero"),
             RelError::Conflict(msg) => write!(f, "conflict: {msg}"),
+            RelError::ResourceExhausted { what, limit } => {
+                write!(f, "resource exhausted: {what} would exceed limit {limit}")
+            }
         }
     }
 }

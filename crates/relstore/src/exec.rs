@@ -18,38 +18,67 @@ use crate::schema::{Column, DataType, Schema};
 use crate::table::Table;
 use crate::value::{GroupKey, Value};
 
-/// Executes a logical plan against a database catalog.
+/// Deterministic resource governors for plan execution.
+///
+/// Defaults impose no bounds, so `execute` behaves exactly as before; the
+/// engine's degradation ladder passes finite limits so a pathological plan
+/// trips [`RelError::ResourceExhausted`] instead of doing unbounded work.
+/// The checks are pure functions of the plan and input tables — never of
+/// timing or thread count — so a governed run is replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Maximum rows a single join may materialize (checked against the
+    /// exact output cardinality before any output row is built).
+    pub max_join_rows: usize,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        Self { max_join_rows: usize::MAX }
+    }
+}
+
+/// Executes a logical plan against a database catalog (no resource bounds).
 pub fn execute(plan: &LogicalPlan, db: &Database) -> RelResult<Table> {
+    execute_with_limits(plan, db, &ExecLimits::default())
+}
+
+/// Executes a logical plan under the given resource governors.
+pub fn execute_with_limits(
+    plan: &LogicalPlan,
+    db: &Database,
+    limits: &ExecLimits,
+) -> RelResult<Table> {
     match plan {
         LogicalPlan::Scan { table } => db.table(table).cloned(),
         LogicalPlan::Filter { input, predicate } => {
-            let t = execute(input, db)?;
+            let t = execute_with_limits(input, db, limits)?;
             exec_filter(&t, predicate)
         }
         LogicalPlan::Project { input, exprs } => {
-            let t = execute(input, db)?;
+            let t = execute_with_limits(input, db, limits)?;
             exec_project(&t, exprs)
         }
         LogicalPlan::Join { left, right, join_type, on } => {
-            let l = execute(left, db)?;
-            let r = execute(right, db)?;
-            exec_join(&l, &r, *join_type, on)
+            let l = execute_with_limits(left, db, limits)?;
+            let r = execute_with_limits(right, db, limits)?;
+            exec_join(&l, &r, *join_type, on, limits)
         }
         LogicalPlan::Aggregate { input, group_by, aggs } => {
-            let t = execute(input, db)?;
+            let t = execute_with_limits(input, db, limits)?;
             exec_aggregate(&t, group_by, aggs)
         }
         LogicalPlan::Sort { input, keys } => {
-            let t = execute(input, db)?;
+            let t = execute_with_limits(input, db, limits)?;
             exec_sort(&t, keys)
         }
         LogicalPlan::Limit { input, n } => {
-            let t = execute(input, db)?;
+            let t = execute_with_limits(input, db, limits)?;
             let indices: Vec<usize> = (0..t.num_rows().min(*n)).collect();
             Ok(t.take(&indices))
         }
         LogicalPlan::Distinct { input } => {
-            let t = execute(input, db)?;
+            let t = execute_with_limits(input, db, limits)?;
             exec_distinct(&t)
         }
     }
@@ -123,11 +152,11 @@ fn infer_schema(
     }
     for row in rows {
         for (j, v) in row.iter().enumerate() {
-            if dtypes[j].is_none() {
-                dtypes[j] = DataType::of(v);
-            } else if let Some(d) = DataType::of(v) {
-                dtypes[j] = DataType::unify(dtypes[j].unwrap(), d).or(Some(DataType::Str));
-            }
+            dtypes[j] = match (dtypes[j], DataType::of(v)) {
+                (None, inferred) => inferred,
+                (Some(cur), Some(d)) => DataType::unify(cur, d).or(Some(DataType::Str)),
+                (cur @ Some(_), None) => cur,
+            };
         }
     }
     let cols: Vec<Column> = names
@@ -143,6 +172,7 @@ fn exec_join(
     r: &Table,
     join_type: JoinType,
     on: &[(String, String)],
+    limits: &ExecLimits,
 ) -> RelResult<Table> {
     if on.is_empty() {
         return Err(RelError::Plan("join requires at least one equality condition".into()));
@@ -169,6 +199,33 @@ fn exec_join(
     for (j, key) in row_keys.into_iter().enumerate() {
         if let Some(key) = key {
             index.entry(key).or_default().push(j);
+        }
+    }
+
+    // Join row budget: the exact output cardinality is a sum of bucket
+    // sizes, computable before materializing a single output row. The
+    // pre-pass costs one extra key extraction per left row, so it only runs
+    // under a finite limit.
+    if limits.max_join_rows != usize::MAX {
+        let per_row: Vec<usize> = pool.par_map_range_chunked(l.num_rows(), ROW_CHUNK, |i| {
+            if l_keys.iter().any(|&k| l.cell(i, k).is_null()) {
+                return usize::from(join_type == JoinType::Left);
+            }
+            let key: Vec<GroupKey> = l_keys.iter().map(|&k| l.cell(i, k).group_key()).collect();
+            match index.get(&key) {
+                Some(js) => js.len(),
+                None => usize::from(join_type == JoinType::Left),
+            }
+        });
+        let mut total: usize = 0;
+        for n in per_row {
+            total = total.saturating_add(n);
+            if total > limits.max_join_rows {
+                return Err(RelError::ResourceExhausted {
+                    what: "join output rows",
+                    limit: limits.max_join_rows,
+                });
+            }
         }
     }
 
@@ -362,7 +419,9 @@ fn exec_aggregate(t: &Table, group_by: &[(Expr, String)], aggs: &[AggExpr]) -> R
         .collect();
     let mut rows = Vec::with_capacity(order.len());
     for key in order {
-        let (vals, states) = groups.remove(&key).expect("group present");
+        let Some((vals, states)) = groups.remove(&key) else {
+            return Err(RelError::Plan("aggregate group lost during finalization".into()));
+        };
         let mut row = vals;
         row.extend(states.into_iter().map(AggState::finish));
         rows.push(row);
@@ -645,6 +704,33 @@ mod tests {
             .distinct();
         let t = execute(&plan, &d).unwrap();
         assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn join_row_budget_trips_deterministically() {
+        let d = db();
+        let plan = LogicalPlan::scan("sales")
+            .join(LogicalPlan::scan("products"), vec![("product".to_string(), "name".to_string())]);
+        // The inner join yields 4 rows: a budget of 3 must trip, 4 must not.
+        let tight = ExecLimits { max_join_rows: 3 };
+        assert!(matches!(
+            execute_with_limits(&plan, &d, &tight),
+            Err(RelError::ResourceExhausted { what: "join output rows", limit: 3 })
+        ));
+        let exact = ExecLimits { max_join_rows: 4 };
+        assert_eq!(execute_with_limits(&plan, &d, &exact).unwrap().num_rows(), 4);
+        // Left joins count the NULL-padded rows too (5 total here).
+        let left = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::scan("sales")),
+            right: Box::new(LogicalPlan::scan("products")),
+            join_type: JoinType::Left,
+            on: vec![("product".to_string(), "name".to_string())],
+        };
+        assert!(execute_with_limits(&left, &d, &exact).is_err());
+        assert_eq!(
+            execute_with_limits(&left, &d, &ExecLimits { max_join_rows: 5 }).unwrap().num_rows(),
+            5
+        );
     }
 
     #[test]

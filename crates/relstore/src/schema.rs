@@ -118,8 +118,10 @@ impl Schema {
     ///
     /// Intended for tests and embedded literals where duplicates are bugs.
     pub fn of(pairs: &[(&str, DataType)]) -> Self {
-        Self::new(pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect())
-            .expect("duplicate column in Schema::of")
+        match Self::new(pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect()) {
+            Ok(s) => s,
+            Err(e) => panic!("Schema::of: {e}"),
+        }
     }
 
     /// The columns in order.
@@ -148,18 +150,27 @@ impl Schema {
     }
 
     /// Concatenates two schemas (for joins), disambiguating duplicate names
-    /// with a `right.` prefix on the right side.
+    /// by prefixing `right.` on the right side until the name is unique
+    /// (so a right column literally named `right.x` cannot collide).
     pub fn join(&self, right: &Schema) -> Schema {
-        let mut cols = self.columns.clone();
-        for c in right.columns() {
-            let name = if self.index_of(&c.name).is_some() {
-                format!("right.{}", c.name)
-            } else {
-                c.name.clone()
-            };
-            cols.push(Column::new(name, c.dtype));
-        }
-        Schema::new(cols).expect("join disambiguation produced duplicates")
+        let columns = {
+            let mut cols = self.columns.clone();
+            let mut taken: std::collections::HashSet<String> =
+                cols.iter().map(|c| c.name.to_lowercase()).collect();
+            for c in right.columns() {
+                let mut name = c.name.clone();
+                while taken.contains(&name.to_lowercase()) {
+                    name = format!("right.{name}");
+                }
+                taken.insert(name.to_lowercase());
+                cols.push(Column::new(name, c.dtype));
+            }
+            cols
+        };
+        // Uniqueness is guaranteed by the loop above, so the index can be
+        // built without the fallible constructor.
+        let by_name = columns.iter().enumerate().map(|(i, c)| (c.name.to_lowercase(), i)).collect();
+        Schema { columns, by_name }
     }
 }
 

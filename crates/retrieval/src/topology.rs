@@ -54,6 +54,11 @@ pub struct TopologyConfig {
     pub beta: f64,
     /// Minimum Jaro-Winkler similarity for fuzzy anchor linking.
     pub fuzzy_threshold: f64,
+    /// Resource governor: maximum distinct nodes a single traversal may
+    /// discover. Expansion order is deterministic (cost, then node id), so
+    /// the cap truncates the same frontier on every run; hitting it sets
+    /// [`TraversalStats::frontier_capped`] instead of doing unbounded work.
+    pub max_frontier: usize,
 }
 
 impl Default for TopologyConfig {
@@ -67,6 +72,7 @@ impl Default for TopologyConfig {
             alpha: 0.65,
             beta: 0.35,
             fuzzy_threshold: 0.88,
+            max_frontier: usize::MAX,
         }
     }
 }
@@ -82,6 +88,9 @@ pub struct TraversalStats {
     pub chunks_scored: usize,
     /// Whether the query fell back to pure lexical retrieval.
     pub lexical_fallback: bool,
+    /// Whether any anchor's traversal hit [`TopologyConfig::max_frontier`]
+    /// and was truncated (a degradation signal for the engine).
+    pub frontier_capped: bool,
 }
 
 /// The topology-enhanced retriever.
@@ -214,7 +223,9 @@ impl TopologyRetriever {
     /// [`unisem_hetgraph::algo::dijkstra_within`], but a non-start node
     /// whose degree exceeds `hub_cap` is *reached* (it can score) without
     /// being *expanded* (it never fans the frontier out).
-    fn bounded_traversal(&self, start: NodeId, max_cost: f64) -> HashMap<NodeId, f64> {
+    /// Returns the reached nodes with their costs plus whether the
+    /// `max_frontier` governor truncated the expansion.
+    fn bounded_traversal(&self, start: NodeId, max_cost: f64) -> (HashMap<NodeId, f64>, bool) {
         use std::cmp::Ordering;
         use std::collections::BinaryHeap;
 
@@ -241,6 +252,7 @@ impl TopologyRetriever {
 
         let mut dist: HashMap<NodeId, f64> = HashMap::new();
         let mut heap = BinaryHeap::new();
+        let mut capped = false;
         dist.insert(start, 0.0);
         heap.push(Item { cost: 0.0, node: start });
         while let Some(Item { cost, node }) = heap.pop() {
@@ -254,12 +266,20 @@ impl TopologyRetriever {
             for &(next, edge) in self.graph.neighbors(node) {
                 let c = cost + self.graph.edge(edge).kind.traversal_cost();
                 if c <= max_cost && c < *dist.get(&next).unwrap_or(&f64::INFINITY) {
+                    // Frontier governor: already-reached nodes may still
+                    // relax to a cheaper cost, but no *new* node joins a
+                    // full frontier. Pop order is (cost, node id), so the
+                    // surviving set is identical on every run.
+                    if !dist.contains_key(&next) && dist.len() >= self.config.max_frontier {
+                        capped = true;
+                        continue;
+                    }
                     dist.insert(next, c);
                     heap.push(Item { cost: c, node: next });
                 }
             }
         }
-        dist
+        (dist, capped)
     }
 
     /// Retrieval with traversal statistics.
@@ -299,7 +319,9 @@ impl TopologyRetriever {
         let max_cost = if primary.is_empty() { 1.0 } else { self.config.max_hops as f64 * 2.0 };
         let mut proximity: HashMap<NodeId, f64> = HashMap::new();
         for &a in anchors {
-            for (node, cost) in self.bounded_traversal(a, max_cost) {
+            let (reached, capped) = self.bounded_traversal(a, max_cost);
+            stats.frontier_capped |= capped;
+            for (node, cost) in reached {
                 *proximity.entry(node).or_insert(0.0) += self.config.decay.powf(cost);
             }
         }
@@ -492,6 +514,26 @@ mod tests {
         let (_, s4) = wide.retrieve_with_stats("Drug A results", 3);
         assert!(s1.nodes_touched <= s4.nodes_touched);
         assert!(s1.nodes_touched > 0);
+    }
+
+    #[test]
+    fn frontier_cap_truncates_and_reports() {
+        let (slm, g, d) = setup();
+        let capped = TopologyRetriever::new(
+            slm.clone(),
+            g.clone(),
+            d.clone(),
+            TopologyConfig { max_frontier: 2, ..TopologyConfig::default() },
+        );
+        let uncapped = TopologyRetriever::new(slm, g, d, TopologyConfig::default());
+        let q = "How did Drug A affect Patient X?";
+        let (_, sc) = capped.retrieve_with_stats(q, 3);
+        let (_, su) = uncapped.retrieve_with_stats(q, 3);
+        assert!(sc.frontier_capped);
+        assert!(!su.frontier_capped);
+        assert!(sc.nodes_touched <= su.nodes_touched);
+        // The truncated frontier is deterministic, too.
+        assert_eq!(capped.retrieve(q, 3), capped.retrieve(q, 3));
     }
 
     #[test]

@@ -300,7 +300,7 @@ impl<'a> JsonParser<'a> {
                     let rest = &self.bytes[self.pos..];
                     let text = std::str::from_utf8(rest)
                         .map_err(|_| self.err("invalid utf8 in string"))?;
-                    let c = text.chars().next().unwrap();
+                    let c = text.chars().next().ok_or_else(|| self.err("unterminated string"))?;
                     s.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -164,11 +164,10 @@ impl XmlParser {
                     }
                     self.advance(1);
                     self.skip_ws();
-                    let quote = self.peek();
-                    if quote != Some('"') && quote != Some('\'') {
-                        return Err(self.err("expected quoted attribute value"));
-                    }
-                    let quote = quote.expect("checked");
+                    let quote = match self.peek() {
+                        Some(q @ ('"' | '\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
                     self.advance(1);
                     let mut value = String::new();
                     loop {

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for d in &workload.documents {
         builder.add_document(d.title.clone(), d.text.clone(), d.source.clone());
     }
-    let engine = builder.build()?;
+    let (engine, _report) = builder.build();
 
     println!(
         "ingested: {} documents, {} tables, {} graph nodes\n",

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for d in &workload.documents {
         builder.add_document(d.title.clone(), d.text.clone(), d.source.clone());
     }
-    let engine = builder.build()?;
+    let (engine, _report) = builder.build();
 
     let drug_a = unisem_workloads::names::drug(0);
     let drug_b = unisem_workloads::names::drug(1);

@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 5. Build: extraction, graph indexing, and retrievers are wired up.
-    let engine = builder.build()?;
+    let (engine, _report) = builder.build();
     println!(
         "engine ready: {} docs, {} graph nodes, tables: {:?}\n",
         engine.docs().num_documents(),

@@ -21,7 +21,7 @@ fn engine(seed: u64) -> (EcommerceWorkload, UnifiedEngine) {
     for d in &w.documents {
         b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
     }
-    let e = b.build().unwrap();
+    let e = b.build().0;
     (w, e)
 }
 
@@ -61,7 +61,7 @@ fn same_engine_seed_byte_identical_answers_routes_confidence() {
         for d in &w.documents {
             b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
         }
-        b.build().unwrap()
+        b.build().0
     };
     let e1 = build();
     let e2 = build();
@@ -110,7 +110,7 @@ fn thread_matrix_byte_identical_answers_routes_confidence() {
         for d in &w.documents {
             b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
         }
-        b.build().unwrap()
+        b.build().0
     };
     let questions: Vec<&str> = w.qa.iter().map(|item| item.question.as_str()).collect();
 

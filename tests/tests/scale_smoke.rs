@@ -29,7 +29,7 @@ fn large_workload_end_to_end() {
     for d in &w.documents {
         b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
     }
-    let engine = b.build().unwrap();
+    let engine = b.build().0;
 
     assert!(engine.docs().num_documents() > 200);
     assert!(engine.graph().num_nodes() > 400);
