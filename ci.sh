@@ -32,6 +32,52 @@ echo "==> integration suites under a pinned ambient fault plan"
 CARGO_NET_OFFLINE=true UNISEM_FAULTS="seed:0xC1,relstore.exec@64,hetgraph.traverse@96" \
     cargo test -q -p unisem-tests --test robustness --test determinism
 
+echo "==> observability gates (DESIGN.md §9)"
+# Tracing must be zero-cost when disabled: the observability suite runs
+# with the sink explicitly off and asserts — via the sink's own write
+# counter, which counts every write_block call including no-ops — that the
+# hot path makes zero trace-sink writes. Trace/metrics determinism across
+# thread counts is covered by the determinism suite above.
+CARGO_NET_OFFLINE=true UNISEM_TRACE=off \
+    cargo test -q -p unisem-tests --test observability
+
+echo "==> bench smoke (profile binary)"
+# The per-stage profiler must keep producing well-formed detkit JSON lines;
+# --smoke uses reduced workloads and writes nothing (the committed
+# BENCH_baseline.json stays untouched).
+profile_out=$(CARGO_NET_OFFLINE=true cargo run -q --release -p unisem-bench --bin profile -- --smoke 2>/dev/null)
+lines=$(printf '%s\n' "$profile_out" | grep -c '"suite":"profile"')
+if [ "$lines" -lt 18 ]; then
+    echo "ERROR: profile --smoke emitted $lines stage lines (expected >= 18)"
+    exit 1
+fi
+
+echo "==> closed-namespace audit (degradation labels, metric names)"
+# Degradation components and metric names form one closed namespace
+# (tracekit::component / tracekit::Metric). Non-test engine code must pass
+# registry constants, never string literals — a literal compiles today and
+# silently forks the namespace tomorrow. Metric recording calls take enum
+# variants by construction; a string argument means someone is routing
+# around the registry (e.g. via from_name), so it fails too.
+bad=0
+while IFS= read -r src; do
+    hits=$(awk '
+        /#\[cfg\(test\)\]/ { exit }
+        /^[[:space:]]*\/\// { next }
+        /Degradation::new\("/ { print FILENAME ":" FNR ": " $0 }
+        /\.(incr|add|set|observe|record_stage)\("/ { print FILENAME ":" FNR ": " $0 }
+        /from_name\((format!|&format!|String)/ { print FILENAME ":" FNR ": " $0 }
+    ' "$src")
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        bad=1
+    fi
+done < <(find crates/core/src crates/retrieval/src crates/relstore/src crates/hetgraph/src -name '*.rs')
+if [ "$bad" -ne 0 ]; then
+    echo "ERROR: closed-namespace violation (use tracekit::component / Metric enum constants)"
+    exit 1
+fi
+
 echo "==> unwrap audit (crates/core/src, crates/relstore/src)"
 # Engine-core and relational-executor library code must stay panic-free on
 # untrusted input: no .unwrap()/.expect( outside #[cfg(test)] modules.

@@ -1,0 +1,89 @@
+//! Per-stage pipeline profile: builds the two evaluation workloads,
+//! answers their full QA sets through [`UnifiedEngine::answer_batch`], and
+//! emits every tracekit stage timing as a detkit `Stats` JSON line
+//! (suite `profile`, name `<workload>.<stage>`).
+//!
+//! The default run regenerates `BENCH_baseline.json` in the current
+//! directory; `--smoke` shrinks the workloads and prints to stdout only
+//! (the ci.sh bench smoke step), leaving the committed baseline untouched.
+//!
+//! ```sh
+//! cargo run --release -p unisem-bench --bin profile            # rewrite baseline
+//! cargo run --release -p unisem-bench --bin profile -- --smoke # CI smoke
+//! ```
+
+use detkit::bench::Stats;
+use unisem_bench::harness::{build_ecommerce_engine, build_healthcare_engine};
+use unisem_core::{EngineConfig, TimingReport, UnifiedEngine};
+use unisem_workloads::{EcommerceConfig, EcommerceWorkload, HealthcareConfig, HealthcareWorkload};
+
+/// Flattens one engine's stage timings into `Stats` lines. `TimingReport`
+/// aggregates totals only, so the distribution fields all carry the mean —
+/// the baseline tracks per-stage averages, not spread.
+fn stage_stats(workload: &str, timings: &TimingReport) -> Vec<Stats> {
+    timings
+        .stages
+        .iter()
+        .map(|&(stage, count, total_ns)| {
+            let mean = total_ns / count.max(1);
+            Stats {
+                suite: "profile".to_string(),
+                name: format!("{workload}.{stage}"),
+                iters: u32::try_from(count).unwrap_or(u32::MAX),
+                mean_ns: mean,
+                median_ns: mean,
+                p95_ns: mean,
+                min_ns: mean,
+                max_ns: mean,
+            }
+        })
+        .collect()
+}
+
+fn answer_qa(engine: &UnifiedEngine, questions: Vec<String>) {
+    let answers = engine.answer_batch(&questions);
+    assert_eq!(answers.len(), questions.len());
+}
+
+fn profile_ecommerce(smoke: bool) -> Vec<Stats> {
+    let w = EcommerceWorkload::generate(EcommerceConfig {
+        products: if smoke { 4 } else { 12 },
+        quarters: if smoke { 2 } else { 4 },
+        reviews_per_product: if smoke { 1 } else { 4 },
+        qa_per_category: if smoke { 1 } else { 5 },
+        seed: 0xEC0,
+        name_offset: 0,
+    });
+    let engine = build_ecommerce_engine(&w, EngineConfig::default());
+    answer_qa(&engine, w.qa.iter().map(|q| q.question.clone()).collect());
+    stage_stats("ecommerce", &engine.timing_report())
+}
+
+fn profile_healthcare(smoke: bool) -> Vec<Stats> {
+    let w = HealthcareWorkload::generate(HealthcareConfig {
+        drugs: if smoke { 4 } else { 8 },
+        patients: if smoke { 4 } else { 16 },
+        trials_per_drug: if smoke { 1 } else { 3 },
+        qa_per_category: if smoke { 1 } else { 5 },
+        seed: 0x4EA17,
+    });
+    let engine = build_healthcare_engine(&w, EngineConfig::default());
+    answer_qa(&engine, w.qa.iter().map(|q| q.question.clone()).collect());
+    stage_stats("healthcare", &engine.timing_report())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut lines = String::new();
+    for stats in profile_ecommerce(smoke).iter().chain(profile_healthcare(smoke).iter()) {
+        lines.push_str(&stats.to_json_line());
+        lines.push('\n');
+        eprintln!("{} mean {} ns ({} samples)", stats.name, stats.mean_ns, stats.iters);
+    }
+    if smoke {
+        print!("{lines}");
+    } else {
+        std::fs::write("BENCH_baseline.json", &lines).expect("write BENCH_baseline.json");
+        eprintln!("wrote BENCH_baseline.json ({} stages)", lines.lines().count());
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use tracekit::QueryTrace;
 use unisem_entropy::EntropyReport;
 use unisem_relstore::Table;
 
@@ -55,9 +56,20 @@ pub struct Degradation {
 }
 
 impl Degradation {
-    /// Creates a degradation record.
+    /// Creates a degradation record. The component must be a label from
+    /// the closed registry in [`tracekit::component`] — one namespace
+    /// shared with fault-site names and metric prefixes — so degradation
+    /// records, fault reports, and metrics always agree on a subsystem's
+    /// name. Ad-hoc labels fail debug builds (the test suite) rather than
+    /// silently forking the namespace.
     pub fn new(component: impl Into<String>, reason: impl Into<String>) -> Self {
-        Self { component: component.into(), reason: reason.into() }
+        let component = component.into();
+        debug_assert!(
+            tracekit::component::is_registered(&component),
+            "unregistered degradation component label: {component:?} \
+             (add it to tracekit::component or use an existing label)"
+        );
+        Self { component, reason: reason.into() }
     }
 }
 
@@ -104,6 +116,10 @@ pub struct Answer {
     /// Ladder downgrades taken while resolving this answer, in order.
     /// Empty when the answer took the best route it attempted.
     pub degradations: Vec<Degradation>,
+    /// Per-query explain trace (ladder rungs attempted, synthesized plan,
+    /// traversal stats, entropy verdict). `None` unless
+    /// `EngineConfig::trace` opted in; deterministic when present.
+    pub trace: Option<QueryTrace>,
 }
 
 impl Answer {
@@ -163,6 +179,7 @@ mod tests {
             provenance: vec![],
             result_table: None,
             degradations: vec![],
+            trace: None,
         };
         assert!(!a.is_abstention());
         assert!(!a.is_degraded());
@@ -184,6 +201,7 @@ mod tests {
             provenance: vec![],
             result_table: None,
             degradations: vec![d],
+            trace: None,
         };
         assert!(a.is_degraded());
     }

@@ -85,8 +85,7 @@ impl QaPipeline for NaiveRagPipeline {
         let evidence = extract_evidence(question, &triples, 6);
         let supported = to_supported_answers(&evidence);
         let report = self.estimator.estimate(question, &supported);
-        let n = report.n_samples.max(2) as f64;
-        let confidence = (1.0 - report.discrete_semantic_entropy / n.ln()).clamp(0.0, 1.0);
+        let confidence = report.confidence();
         let provenance: Vec<Provenance> = evidence
             .iter()
             .filter_map(|e| {
@@ -112,6 +111,7 @@ impl QaPipeline for NaiveRagPipeline {
             provenance,
             result_table: None,
             degradations: vec![],
+            trace: None,
         }
     }
 }
@@ -177,6 +177,7 @@ impl QaPipeline for TextToSqlPipeline {
                         }],
                         result_table: Some(result),
                         degradations: vec![],
+                        trace: None,
                     };
                 }
             }
@@ -191,6 +192,7 @@ impl QaPipeline for TextToSqlPipeline {
             provenance: vec![],
             result_table: None,
             degradations: vec![],
+            trace: None,
         }
     }
 }
@@ -221,8 +223,7 @@ impl QaPipeline for DirectSlmPipeline {
 
     fn answer(&self, question: &str) -> Answer {
         let report = self.estimator.estimate(question, &[]);
-        let n = report.n_samples.max(2) as f64;
-        let confidence = (1.0 - report.discrete_semantic_entropy / n.ln()).clamp(0.0, 1.0);
+        let confidence = report.confidence();
         Answer {
             text: report.top_answer.clone().unwrap_or_default(),
             confidence,
@@ -231,6 +232,7 @@ impl QaPipeline for DirectSlmPipeline {
             provenance: vec![],
             result_table: None,
             degradations: vec![],
+            trace: None,
         }
     }
 }

@@ -2,9 +2,14 @@
 
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use faultkit::{FaultPlan, InjectedFault, Site};
 use parkit::Pool;
+use tracekit::{
+    component, EntropyVerdict, Hist, Metric, MetricsRegistry, MetricsReport, RungOutcome, Stage,
+    TimingReport, TraceScope, TraceSink, TraversalTrace,
+};
 use unisem_docstore::{DocStore, DocumentId};
 use unisem_entropy::EntropyEstimator;
 use unisem_extract::TableGenerator;
@@ -178,6 +183,12 @@ pub struct EngineConfig {
     /// Deterministic resource governors (frontier cap, join row budget,
     /// entropy sample floor).
     pub governors: GovernorConfig,
+    /// Attach a deterministic per-query explain trace to every
+    /// [`Answer::trace`] (DESIGN.md §9). Off by default: the hot path then
+    /// performs zero trace allocations. Independent of the `UNISEM_TRACE`
+    /// sink — `trace` controls the in-`Answer` copy, the sink controls
+    /// emitted JSON-lines; either alone enables recording.
+    pub trace: bool,
 }
 
 impl Default for EngineConfig {
@@ -198,6 +209,7 @@ impl Default for EngineConfig {
             parallel: ParallelConfig::default(),
             faults: FaultPlan::unset(),
             governors: GovernorConfig::default(),
+            trace: false,
         }
     }
 }
@@ -338,6 +350,8 @@ impl EngineBuilder {
     pub fn build(self) -> (UnifiedEngine, IngestReport) {
         let EngineBuilder { config, lexicon, docs, mut db, semi, mut quarantined, .. } = self;
         let faults = config.faults;
+        let metrics = Arc::new(MetricsRegistry::new());
+        let build_start = Instant::now();
         let slm = Slm::new(SlmConfig {
             lexicon,
             class: config.model_class,
@@ -349,6 +363,7 @@ impl EngineBuilder {
 
         // Semi-structured → tables; a collection that fails to flatten is
         // quarantined whole (its documents share one schema).
+        let flatten_start = Instant::now();
         for coll in semi.collections() {
             if let Err(f) = faults.check(Site::SemiFlatten, coll) {
                 quarantined.push(Quarantined {
@@ -372,9 +387,11 @@ impl EngineBuilder {
                 }),
             }
         }
+        metrics.record_stage(Stage::BuildFlatten, elapsed_ns(flatten_start));
 
         // Unstructured → extracted table (§III.C task 1); failures cost the
         // extracted table, not the build.
+        let extract_start = Instant::now();
         if config.enable_extraction && !docs.is_empty() {
             match faults.check(Site::ExtractTablegen, "extracted") {
                 Err(f) => quarantined.push(Quarantined {
@@ -400,7 +417,10 @@ impl EngineBuilder {
             }
         }
 
+        metrics.record_stage(Stage::BuildExtract, elapsed_ns(extract_start));
+
         // Graph index over every modality (§III.A).
+        let graph_start = Instant::now();
         let mut gb = GraphBuilder::new(slm.clone());
         gb.set_index_entities(config.enable_entity_nodes);
         gb.add_docstore(&docs);
@@ -415,7 +435,8 @@ impl EngineBuilder {
                 }
             }
         }
-        let (graph, _) = gb.finish();
+        let (graph, graph_stats) = gb.finish();
+        metrics.record_stage(Stage::BuildGraph, elapsed_ns(graph_start));
 
         let docs = Arc::new(docs);
         let graph = Arc::new(graph);
@@ -425,7 +446,9 @@ impl EngineBuilder {
         topo_config.max_frontier =
             topo_config.max_frontier.min(config.governors.max_traversal_frontier);
         let topo = TopologyRetriever::new(slm.clone(), graph.clone(), docs.clone(), topo_config);
+        let dense_start = Instant::now();
         let dense = DenseRetriever::build_with_pool(slm.clone(), &docs, config.parallel.pool());
+        metrics.record_stage(Stage::BuildDense, elapsed_ns(dense_start));
         let estimator = {
             let mut e = EntropyEstimator::new(slm.clone());
             e.n_samples = config.entropy_samples;
@@ -435,6 +458,22 @@ impl EngineBuilder {
 
         report.tables = db.len();
         report.quarantined = quarantined;
+
+        // Build gauges: pure functions of the ingested data, never of
+        // timing, so a metrics snapshot stays byte-identical at any thread
+        // count (DESIGN.md §9).
+        metrics.set(Metric::IngestTables, report.tables as u64);
+        metrics.set(Metric::IngestCollections, report.collections_flattened as u64);
+        metrics.set(Metric::IngestDocuments, report.documents as u64);
+        metrics.set(Metric::IngestExtractedRows, report.extracted_rows as u64);
+        metrics.add(Metric::IngestQuarantined, report.num_quarantined() as u64);
+        metrics.set(Metric::GraphNodes, graph_stats.nodes as u64);
+        metrics.set(Metric::GraphEdges, graph_stats.edges as u64);
+        metrics.set(Metric::GraphEntities, graph_stats.entities as u64);
+        metrics.set(Metric::GraphChunks, graph_stats.chunks as u64);
+        metrics.set(Metric::GraphRecords, graph_stats.records as u64);
+        metrics.record_stage(Stage::BuildTotal, elapsed_ns(build_start));
+
         let engine = UnifiedEngine {
             parser: IntentParser::new(slm.clone()),
             synthesizer: OperatorSynthesizer::new(),
@@ -447,9 +486,17 @@ impl EngineBuilder {
             dense,
             config,
             ingest: Arc::new(report.clone()),
+            metrics,
+            sink: Arc::new(TraceSink::from_env()),
         };
         (engine, report)
     }
+}
+
+/// Nanoseconds since `start`, saturated into `u64` (wall-clock; feeds the
+/// non-deterministic [`TimingReport`] only).
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The unified semantic query engine.
@@ -466,6 +513,11 @@ pub struct UnifiedEngine {
     estimator: EntropyEstimator,
     config: EngineConfig,
     ingest: Arc<IngestReport>,
+    /// Closed-registry metrics for this engine instance (shared by clones).
+    metrics: Arc<MetricsRegistry>,
+    /// Trace sink resolved once at build from `UNISEM_TRACE` (like the
+    /// fault plan), overridable for tests via [`Self::set_trace_sink`].
+    sink: Arc<TraceSink>,
 }
 
 impl UnifiedEngine {
@@ -505,6 +557,36 @@ impl UnifiedEngine {
         self.slm.meter()
     }
 
+    /// The engine's closed-registry metrics (live; snapshot with
+    /// [`Self::metrics_report`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Deterministic metrics snapshot: every registered counter, gauge,
+    /// and histogram. Byte-identical at any thread count for the same
+    /// workload (DESIGN.md §9).
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.metrics.snapshot()
+    }
+
+    /// Wall-clock stage timings (non-deterministic; kept separate from
+    /// [`Self::metrics_report`] so determinism checks never see them).
+    pub fn timing_report(&self) -> TimingReport {
+        self.metrics.timings()
+    }
+
+    /// The trace sink in effect (resolved from `UNISEM_TRACE` at build).
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.sink
+    }
+
+    /// Replaces the trace sink — e.g. with [`TraceSink::memory`] so tests
+    /// capture emitted trace blocks without touching the environment.
+    pub fn set_trace_sink(&mut self, sink: Arc<TraceSink>) {
+        self.sink = sink;
+    }
+
     /// Total index footprint in bytes (graph + lexical postings + dense
     /// vectors if the dense path is active).
     pub fn index_bytes(&self) -> usize {
@@ -537,6 +619,57 @@ impl UnifiedEngine {
     /// — is recorded in [`Answer::degradations`], so a degraded answer is
     /// always diagnosable and never silent.
     pub fn answer(&self, question: &str) -> Answer {
+        let (answer, block) = self.answer_traced(question);
+        if let Some(block) = block {
+            self.sink.write_block(&block);
+        }
+        answer
+    }
+
+    /// [`Self::answer`] split for the batch path: resolves the answer and
+    /// renders — but does not write — the trace-sink block, so
+    /// [`Self::answer_batch`] can merge blocks in input order after its
+    /// parallel map (cross-query interleaving is unrepresentable).
+    ///
+    /// Zero-cost-when-disabled contract: with tracing off
+    /// (`config.trace == false` and an off sink) the scope is disabled —
+    /// every recording call is one branch, no allocation — the block is
+    /// `None`, and the sink is never touched.
+    fn answer_traced(&self, question: &str) -> (Answer, Option<String>) {
+        let start = Instant::now();
+        let sinking = !self.sink.is_off();
+        let mut scope = if self.config.trace || sinking {
+            TraceScope::enabled(question)
+        } else {
+            TraceScope::disabled()
+        };
+
+        let mut answer = self.answer_impl(question, &mut scope);
+
+        self.metrics.incr(Metric::QueryAnswered);
+        if answer.is_abstention() {
+            self.metrics.incr(Metric::QueryAbstained);
+        }
+        if matches!(answer.route, Route::Structured { .. }) {
+            self.metrics.incr(Metric::QueryStructuredHits);
+        }
+        self.metrics.add(Metric::QueryDegradations, answer.degradations.len() as u64);
+        self.metrics.record_stage(Stage::AnswerTotal, elapsed_ns(start));
+
+        let trace = scope.finish(answer.route.label());
+        let block = match (&trace, sinking) {
+            (Some(t), true) => Some(tracekit::render_block(t, elapsed_ns(start))),
+            _ => None,
+        };
+        if self.config.trace {
+            answer.trace = trace;
+        }
+        (answer, block)
+    }
+
+    /// The resolution ladder itself; `scope` collects the explain trace
+    /// (free when disabled).
+    fn answer_impl(&self, question: &str, scope: &mut TraceScope) -> Answer {
         let faults = self.config.faults;
         let governors = self.config.governors;
         let mut degradations: Vec<Degradation> = Vec::new();
@@ -546,15 +679,26 @@ impl UnifiedEngine {
         // certified — and an uncertifiable answer is worse than an
         // abstention (§III.D).
         if let Err(f) = faults.check(Site::SlmGenerate, question) {
+            self.metrics.incr(Metric::FaultsFired);
+            scope.event("fault.fired", || f.to_string());
+            scope.rung("entropy_gate", RungOutcome::Failed, || {
+                "answer sampling unavailable; abstaining".to_string()
+            });
             degradations.push(Degradation::new(
-                "slm.generate",
+                component::SLM_GENERATE,
                 format!("answer sampling unavailable: {f}"),
             ));
             return abstained(degradations);
         }
         if self.config.entropy_samples < governors.entropy_sample_floor {
+            scope.rung("entropy_gate", RungOutcome::Failed, || {
+                format!(
+                    "{} samples below floor {}",
+                    self.config.entropy_samples, governors.entropy_sample_floor
+                )
+            });
             degradations.push(Degradation::new(
-                "entropy.samples",
+                component::ENTROPY_SAMPLES,
                 format!(
                     "{} entropy samples below floor {}; confidence uncertifiable",
                     self.config.entropy_samples, governors.entropy_sample_floor
@@ -564,20 +708,37 @@ impl UnifiedEngine {
         }
 
         let intent = self.parser.analyze(question);
+        scope.event("intent.parsed", || {
+            format!(
+                "entities={} plain_lookup={} comparative={}",
+                intent.entities.len(),
+                intent.is_plain_lookup(),
+                intent.comparative
+            )
+        });
 
         // Structured route for analytical intents (§III.C task 2).
         let mut attempted_structured = false;
         if self.config.enable_synthesis && !intent.is_plain_lookup() {
             attempted_structured = true;
-            let (hit, failures) = self.try_structured_traced(&intent);
+            let structured_start = Instant::now();
+            let (hit, failures) = self.try_structured_traced(&intent, scope);
+            self.metrics.record_stage(Stage::AnswerStructured, elapsed_ns(structured_start));
             if let Some((table, result)) = hit {
                 let text = render_structured(&intent, &self.db, &table, &result);
                 if !text.is_empty() {
                     // Deterministic plan output = maximally grounded
                     // evidence; entropy sampling confirms stability.
+                    let entropy_start = Instant::now();
                     let evidence = vec![SupportedAnswer::new(text.clone(), 6.0)];
                     let report = self.estimator.estimate(question, &evidence);
-                    let confidence = confidence_from(&report);
+                    self.metrics.record_stage(Stage::AnswerEntropy, elapsed_ns(entropy_start));
+                    self.record_entropy(&report);
+                    let confidence = report.confidence();
+                    scope.rung("structured", RungOutcome::Succeeded, || {
+                        format!("table '{table}' ({} result rows)", result.num_rows())
+                    });
+                    scope.set_entropy(entropy_verdict(&report, confidence, false));
                     return Answer {
                         text,
                         confidence,
@@ -586,38 +747,84 @@ impl UnifiedEngine {
                         provenance: vec![Provenance::TableRows { table, rows: result.num_rows() }],
                         result_table: Some(result),
                         degradations,
+                        trace: None,
                     };
                 }
             }
             // The structured rung yielded nothing — record why before
             // stepping down, surfacing the last failure when there was one.
             match failures.last() {
-                Some((table, err)) => degradations.push(Degradation::new(
-                    "relstore.exec",
-                    format!("structured route failed on '{table}': {err}"),
-                )),
-                None => degradations.push(Degradation::new(
-                    "structured",
-                    "no table produced a signal-bearing result",
-                )),
+                Some((table, err)) => {
+                    scope.rung("structured", RungOutcome::Failed, || {
+                        format!("last failure on '{table}': {err}")
+                    });
+                    degradations.push(Degradation::new(
+                        component::REL_EXEC,
+                        format!("structured route failed on '{table}': {err}"),
+                    ));
+                }
+                None => {
+                    scope.rung("structured", RungOutcome::Failed, || {
+                        "no table produced a signal-bearing result".to_string()
+                    });
+                    degradations.push(Degradation::new(
+                        component::ENGINE_STRUCTURED,
+                        "no table produced a signal-bearing result",
+                    ));
+                }
             }
+        } else {
+            scope.rung("structured", RungOutcome::Skipped, || {
+                if self.config.enable_synthesis {
+                    "plain lookup intent".to_string()
+                } else {
+                    "operator synthesis disabled".to_string()
+                }
+            });
         }
 
         // Retrieval rung (§III.B): a traversal fault or frontier cap falls
         // back to dense scoring rather than failing the query.
+        let retrieval_start = Instant::now();
         let hits = if self.config.enable_topology {
             if let Err(f) = faults.check(Site::GraphTraverse, question) {
+                self.metrics.incr(Metric::FaultsFired);
+                self.metrics.incr(Metric::DenseFallbackQueries);
+                scope.event("fault.fired", || f.to_string());
+                scope.set_traversal(TraversalTrace {
+                    dense_fallback: true,
+                    ..TraversalTrace::default()
+                });
                 degradations.push(Degradation::new(
-                    "hetgraph.traverse",
+                    component::GRAPH_TRAVERSE,
                     format!("topology traversal unavailable: {f}; using dense retrieval"),
                 ));
                 self.dense.retrieve(question, self.config.retrieval_top_k)
             } else {
                 let (hits, stats) =
                     self.topo.retrieve_with_stats(question, self.config.retrieval_top_k);
+                self.metrics.incr(Metric::TraverseQueries);
+                self.metrics.add(Metric::TraverseAnchors, stats.anchors as u64);
+                self.metrics.add(Metric::TraverseNodesTouched, stats.nodes_touched as u64);
+                self.metrics.add(Metric::TraverseNodesPopped, stats.nodes_popped as u64);
+                self.metrics.add(Metric::TraverseChunksScored, stats.chunks_scored as u64);
+                self.metrics.observe(Hist::TraverseFrontier, stats.nodes_touched as u64);
+                if stats.lexical_fallback {
+                    self.metrics.incr(Metric::TraverseLexicalFallback);
+                }
+                scope.set_traversal(TraversalTrace {
+                    anchors: stats.anchors,
+                    nodes_touched: stats.nodes_touched,
+                    nodes_popped: stats.nodes_popped,
+                    chunks_scored: stats.chunks_scored,
+                    frontier_capped: stats.frontier_capped,
+                    lexical_fallback: stats.lexical_fallback,
+                    dense_fallback: false,
+                });
                 if stats.frontier_capped {
+                    self.metrics.incr(Metric::TraverseFrontierCapped);
                     degradations.push(Degradation::new(
-                        "hetgraph.traverse",
+                        component::GRAPH_TRAVERSE,
                         format!(
                             "traversal frontier capped at {} nodes; candidates truncated",
                             self.topo.config().max_frontier
@@ -627,8 +834,13 @@ impl UnifiedEngine {
                 hits
             }
         } else {
+            scope.set_traversal(TraversalTrace {
+                dense_fallback: true,
+                ..TraversalTrace::default()
+            });
             self.dense.retrieve(question, self.config.retrieval_top_k)
         };
+        self.metrics.record_stage(Stage::AnswerRetrieval, elapsed_ns(retrieval_start));
         let chunk_triples: Vec<(usize, String, f64)> = hits
             .iter()
             .filter_map(|h| {
@@ -641,8 +853,11 @@ impl UnifiedEngine {
         // IDF weighting also sharpens discriminative terms.
         let evidence = extract_evidence_grounded(question, &chunk_triples, 6, &intent.entities);
         let supported = to_supported_answers(&evidence);
+        let entropy_start = Instant::now();
         let report = self.estimator.estimate(question, &supported);
-        let confidence = confidence_from(&report);
+        self.metrics.record_stage(Stage::AnswerEntropy, elapsed_ns(entropy_start));
+        self.record_entropy(&report);
+        let confidence = report.confidence();
 
         let chunks: Vec<usize> = evidence.iter().map(|e| e.chunk_id).collect();
         let provenance: Vec<Provenance> = evidence
@@ -657,11 +872,22 @@ impl UnifiedEngine {
 
         if supported.is_empty() || confidence < self.config.abstain_confidence {
             // Last rung: the semantic-entropy gate declines to answer.
+            scope.rung("retrieval", RungOutcome::Failed, || {
+                if supported.is_empty() {
+                    "no grounded supporting evidence".to_string()
+                } else {
+                    format!(
+                        "confidence {confidence:.2} below abstain threshold {:.2}",
+                        self.config.abstain_confidence
+                    )
+                }
+            });
+            scope.set_entropy(entropy_verdict(&report, confidence, true));
             degradations.push(if supported.is_empty() {
-                Degradation::new("evidence", "no grounded supporting evidence")
+                Degradation::new(component::RETRIEVAL_EVIDENCE, "no grounded supporting evidence")
             } else {
                 Degradation::new(
-                    "entropy.confidence",
+                    component::ENTROPY_CONFIDENCE,
                     format!(
                         "confidence {confidence:.2} below abstain threshold {:.2}",
                         self.config.abstain_confidence
@@ -676,9 +902,14 @@ impl UnifiedEngine {
                 provenance,
                 result_table: None,
                 degradations,
+                trace: None,
             };
         }
 
+        scope.rung("retrieval", RungOutcome::Succeeded, || {
+            format!("{} evidence sentences from {} chunks", evidence.len(), chunks.len())
+        });
+        scope.set_entropy(entropy_verdict(&report, confidence, false));
         let text = report.top_answer.clone().unwrap_or_else(|| evidence[0].text.clone());
         let route = if attempted_structured {
             Route::Hybrid { table: None, chunks }
@@ -693,7 +924,15 @@ impl UnifiedEngine {
             provenance,
             result_table: None,
             degradations,
+            trace: None,
         }
+    }
+
+    /// Records one entropy estimate in the closed metric registry.
+    fn record_entropy(&self, report: &unisem_entropy::EntropyReport) {
+        self.metrics.incr(Metric::EntropyEstimates);
+        self.metrics.add(Metric::EntropySamples, report.n_samples as u64);
+        self.metrics.add(Metric::EntropyClusters, report.n_clusters as u64);
     }
 
     /// Answers a batch of independent questions across the configured
@@ -703,8 +942,24 @@ impl UnifiedEngine {
     /// would sequentially — all per-question randomness is derived from
     /// the engine seed and the question itself, never from scheduling — so
     /// the output is byte-identical for any thread count, including 1.
+    /// When a trace sink is active, each query's block is rendered inside
+    /// the parallel map but written here, sequentially, in input order —
+    /// cross-query interleaving in the sink is unrepresentable.
     pub fn answer_batch<S: AsRef<str> + Sync>(&self, questions: &[S]) -> Vec<Answer> {
-        self.config.parallel.pool().par_map(questions, |q| self.answer(q.as_ref()))
+        self.metrics.incr(Metric::BatchCalls);
+        self.metrics.add(Metric::BatchItems, questions.len() as u64);
+        self.metrics.add(Metric::BatchChunks, parkit::auto_chunk_count(questions.len()) as u64);
+        let traced =
+            self.config.parallel.pool().par_map(questions, |q| self.answer_traced(q.as_ref()));
+        traced
+            .into_iter()
+            .map(|(answer, block)| {
+                if let Some(block) = block {
+                    self.sink.write_block(&block);
+                }
+                answer
+            })
+            .collect()
     }
 
     /// Tries the structured route over candidate tables; returns the first
@@ -716,6 +971,7 @@ impl UnifiedEngine {
     fn try_structured_traced(
         &self,
         intent: &QueryIntent,
+        scope: &mut TraceScope,
     ) -> (Option<(String, Table)>, Vec<(String, String)>) {
         let faults = self.config.faults;
         let limits = ExecLimits { max_join_rows: self.config.governors.max_join_rows };
@@ -725,20 +981,38 @@ impl UnifiedEngine {
         names.sort_by_key(|n| (n == "extracted", n.clone()));
         for name in names {
             if let Err(f) = faults.check(Site::RelExec, &name) {
+                self.metrics.incr(Metric::FaultsFired);
+                scope.event("fault.fired", || f.to_string());
                 failures.push((name, f.to_string()));
                 continue;
             }
             let plan = match self.synthesizer.synthesize(intent, &self.db, &name) {
                 Ok(p) => p,
                 Err(e) => {
+                    self.metrics.incr(Metric::RelSynthesisErrors);
                     failures.push((name, format!("synthesis: {e}")));
                     continue;
                 }
             };
-            match self.db.run_plan_with_limits(&plan, &limits) {
-                Ok(result) if has_signal(&result) => return (Some((name, result)), failures),
+            let (outcome, stats) = self.db.run_plan_with_limits_stats(&plan, &limits);
+            self.metrics.incr(Metric::RelPlansExecuted);
+            self.metrics.add(Metric::RelRowsScanned, stats.rows_scanned as u64);
+            self.metrics.add(Metric::RelRowsJoined, stats.rows_joined as u64);
+            match outcome {
+                Ok(result) if has_signal(&result) => {
+                    self.metrics.observe(Hist::RelResultRows, result.num_rows() as u64);
+                    scope.set_plan(|| plan.to_string());
+                    return (Some((name, result)), failures);
+                }
                 Ok(_) => {}
-                Err(e) => failures.push((name, format!("execution: {e}"))),
+                Err(e) => {
+                    if matches!(e, RelError::ResourceExhausted { .. }) {
+                        self.metrics.incr(Metric::RelBudgetHits);
+                    } else {
+                        self.metrics.incr(Metric::RelExecErrors);
+                    }
+                    failures.push((name, format!("execution: {e}")));
+                }
             }
         }
         (None, failures)
@@ -764,13 +1038,23 @@ fn abstained(degradations: Vec<Degradation>) -> Answer {
         provenance: Vec::new(),
         result_table: None,
         degradations,
+        trace: None,
     }
 }
 
-/// Confidence = 1 − normalized discrete semantic entropy.
-fn confidence_from(report: &unisem_entropy::EntropyReport) -> f64 {
-    let n = report.n_samples.max(2) as f64;
-    (1.0 - report.discrete_semantic_entropy / n.ln()).clamp(0.0, 1.0)
+/// Packs an entropy report + final confidence into the trace verdict.
+fn entropy_verdict(
+    report: &unisem_entropy::EntropyReport,
+    confidence: f64,
+    abstained: bool,
+) -> EntropyVerdict {
+    EntropyVerdict {
+        n_samples: report.n_samples,
+        n_clusters: report.n_clusters,
+        discrete_semantic_entropy: report.discrete_semantic_entropy,
+        confidence,
+        abstained,
+    }
 }
 
 /// A result carries signal when it has rows and at least one non-null cell

@@ -20,6 +20,11 @@
 //!    pipeline of §III.C).
 //! 4. **Uncertainty** — every answer carries a semantic-entropy report
 //!    (`unisem-entropy`, §III.D); high-entropy answers abstain.
+//! 5. **Observability** — a deterministic trace/metrics layer (`tracekit`,
+//!    DESIGN.md §9): closed-registry metrics
+//!    ([`UnifiedEngine::metrics_report`]), per-query explain traces
+//!    ([`Answer::trace`] via [`EngineConfig::trace`]), and JSON-lines
+//!    trace emission controlled by `UNISEM_TRACE`.
 //!
 //! [`baselines`] implements the comparison systems of the evaluation
 //! (naive dense RAG, Text-to-SQL-only, direct SLM) and the ablations.
@@ -39,6 +44,10 @@ pub use ingest::{IngestReport, QuarantineReason, Quarantined};
 
 // Re-export the pieces examples and benches need most.
 pub use faultkit::{FaultPlan, InjectedFault, Site as FaultSite};
+pub use tracekit::{
+    component, EntropyVerdict, MetricsReport, QueryTrace, TimingReport, TraceSink, TraceSpec,
+    TraversalTrace,
+};
 pub use unisem_entropy::EntropyReport;
 pub use unisem_relstore::{Database, Table, Value};
 pub use unisem_slm::{EntityKind, Lexicon, ModelClass, Slm, SlmConfig};

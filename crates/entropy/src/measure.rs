@@ -23,6 +23,19 @@ pub struct EntropyReport {
     pub top_answer: Option<String>,
 }
 
+impl EntropyReport {
+    /// Calibrated confidence: 1 − normalized discrete semantic entropy,
+    /// clamped to `[0, 1]`. The normalizer is `ln(max(n_samples, 2))` — the
+    /// entropy of total disagreement — so unanimous samples score 1 and
+    /// all-distinct samples score 0. This is *the* confidence formula every
+    /// pipeline (unified engine and baselines alike) uses, so abstention
+    /// thresholds are comparable across them.
+    pub fn confidence(&self) -> f64 {
+        let n = self.n_samples.max(2) as f64;
+        (1.0 - self.discrete_semantic_entropy / n.ln()).clamp(0.0, 1.0)
+    }
+}
+
 /// Discrete semantic entropy: `−Σ (|c|/n) ln(|c|/n)` over clusters.
 ///
 /// 0 when all samples agree; `ln(n)` when all disagree.
@@ -117,6 +130,26 @@ mod tests {
     fn unanimous_is_zero() {
         let c = clusters_of(&["same", "same", "same"]);
         assert_eq!(discrete_semantic_entropy(&c, 3), 0.0);
+    }
+
+    #[test]
+    fn confidence_maps_entropy_to_unit_interval() {
+        let report = |n: usize, e: f64| EntropyReport {
+            n_samples: n,
+            n_clusters: 1,
+            semantic_entropy: e,
+            discrete_semantic_entropy: e,
+            predictive_entropy: 0.0,
+            lexical_variance: 0.0,
+            top_answer: None,
+        };
+        assert_eq!(report(5, 0.0).confidence(), 1.0, "unanimous");
+        assert_eq!(report(5, (5f64).ln()).confidence(), 0.0, "total disagreement");
+        let mid = report(4, (4f64).ln() / 2.0).confidence();
+        assert!((mid - 0.5).abs() < 1e-12, "{mid}");
+        // Degenerate sample counts clamp instead of dividing by ln(1)=0.
+        assert!(report(1, 0.3).confidence().is_finite());
+        assert!((0.0..=1.0).contains(&report(0, 9.0).confidence()));
     }
 
     #[test]

@@ -91,15 +91,19 @@ impl Site {
         }
     }
 
-    /// Stable dotted name (used in specs, reports, and degradation traces).
+    /// Stable dotted name (used in specs, reports, and degradation
+    /// traces). Site names are drawn from the shared component-label
+    /// registry in [`tracekit::component`], so a fault report, a
+    /// degradation record, and a metric about the same boundary always
+    /// agree on its name.
     pub fn name(self) -> &'static str {
         match self {
-            Site::SemiParse => "semistore.parse",
-            Site::SemiFlatten => "semistore.flatten",
-            Site::RelExec => "relstore.exec",
-            Site::ExtractTablegen => "extract.tablegen",
-            Site::GraphTraverse => "hetgraph.traverse",
-            Site::SlmGenerate => "slm.generate",
+            Site::SemiParse => tracekit::component::SEMI_PARSE,
+            Site::SemiFlatten => tracekit::component::SEMI_FLATTEN,
+            Site::RelExec => tracekit::component::REL_EXEC,
+            Site::ExtractTablegen => tracekit::component::EXTRACT_TABLEGEN,
+            Site::GraphTraverse => tracekit::component::GRAPH_TRAVERSE,
+            Site::SlmGenerate => tracekit::component::SLM_GENERATE,
         }
     }
 
@@ -399,6 +403,10 @@ mod tests {
         for (i, s) in Site::ALL.into_iter().enumerate() {
             assert_eq!(s.index(), i);
             assert_eq!(Site::from_name(s.name()), Some(s));
+            assert!(
+                tracekit::component::is_registered(s.name()),
+                "site name must be a registered component label: {s}"
+            );
         }
         assert_eq!(Site::from_name("nope"), None);
         assert_eq!(Site::ALL.len(), NUM_SITES);

@@ -37,6 +37,12 @@ pub struct GraphBuildStats {
     pub relation_edges: usize,
     /// Records indexed from tables.
     pub records: usize,
+    /// Total nodes in the finished graph (populated by
+    /// [`GraphBuilder::finish`]).
+    pub nodes: usize,
+    /// Total edges in the finished graph (populated by
+    /// [`GraphBuilder::finish`]).
+    pub edges: usize,
 }
 
 /// Incremental graph builder.
@@ -76,9 +82,13 @@ impl GraphBuilder {
         self.stats
     }
 
-    /// Finishes, returning the graph and stats.
+    /// Finishes, returning the graph and stats (with the final node and
+    /// edge totals filled in).
     pub fn finish(self) -> (HetGraph, GraphBuildStats) {
-        (self.graph, self.stats)
+        let mut stats = self.stats;
+        stats.nodes = self.graph.num_nodes();
+        stats.edges = self.graph.num_edges();
+        (self.graph, stats)
     }
 
     /// Indexes every chunk of a document store.

@@ -39,4 +39,4 @@
 
 mod pool;
 
-pub use pool::{global, PanicError, Pool, DEFAULT_CHUNK};
+pub use pool::{auto_chunk_count, auto_chunk_size, global, PanicError, Pool, DEFAULT_CHUNK};

@@ -46,6 +46,24 @@ fn auto_chunk(n: usize) -> usize {
     (n / 64).clamp(1, DEFAULT_CHUNK)
 }
 
+/// The automatic chunk size the pool would use for an input of length `n`.
+/// Width-invariant by construction (depends on `n` only), so observers —
+/// e.g. a `parkit.batch_chunks` metric — record the same value at every
+/// thread count.
+pub fn auto_chunk_size(n: usize) -> usize {
+    auto_chunk(n)
+}
+
+/// Number of chunks an auto-chunked map over `n` items dispatches. Also
+/// width-invariant; `0` for an empty input.
+pub fn auto_chunk_count(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        ceil_div(n, auto_chunk(n))
+    }
+}
+
 fn ceil_div(n: usize, d: usize) -> usize {
     n.div_ceil(d)
 }
@@ -464,6 +482,10 @@ mod tests {
         assert_eq!(auto_chunk(63), 1);
         assert_eq!(auto_chunk(6400), 100);
         assert_eq!(auto_chunk(1_000_000), DEFAULT_CHUNK);
+        assert_eq!(auto_chunk_size(6400), 100, "public helper mirrors the internal policy");
+        assert_eq!(auto_chunk_count(0), 0);
+        assert_eq!(auto_chunk_count(63), 63, "chunk size 1 → one chunk per item");
+        assert_eq!(auto_chunk_count(6400), 64);
     }
 
     #[test]

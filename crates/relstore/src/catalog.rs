@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use crate::error::{RelError, RelResult};
-use crate::exec::{execute, execute_with_limits, ExecLimits};
+use crate::exec::{execute, execute_with_limits, execute_with_limits_stats, ExecLimits, ExecStats};
 use crate::optimize::optimize;
 use crate::plan::LogicalPlan;
 use crate::sql;
@@ -92,6 +92,17 @@ impl Database {
     ) -> RelResult<Table> {
         let optimized = optimize(plan.clone());
         execute_with_limits(&optimized, self, limits)
+    }
+
+    /// [`Self::run_plan_with_limits`] plus deterministic work counters
+    /// ([`ExecStats`]); the counters are valid even when execution fails.
+    pub fn run_plan_with_limits_stats(
+        &self,
+        plan: &LogicalPlan,
+        limits: &ExecLimits,
+    ) -> (RelResult<Table>, ExecStats) {
+        let optimized = optimize(plan.clone());
+        execute_with_limits_stats(&optimized, self, limits)
     }
 
     /// Parses, plans, optimizes, and executes a SQL query.

@@ -38,6 +38,28 @@ impl Default for ExecLimits {
     }
 }
 
+/// Deterministic work counters for one plan execution.
+///
+/// Pure functions of the plan and input tables (never of timing or thread
+/// count), so they feed the observability layer's byte-identical metric
+/// snapshots. Counters accumulate even when execution fails, so a
+/// budget-tripped join still reports the scan work that preceded it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Base-table rows read by `Scan` nodes.
+    pub rows_scanned: usize,
+    /// Output rows materialized by `Join` nodes.
+    pub rows_joined: usize,
+}
+
+impl ExecStats {
+    /// Accumulates another execution's counters into this one.
+    pub fn merge(&mut self, other: ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.rows_joined += other.rows_joined;
+    }
+}
+
 /// Executes a logical plan against a database catalog (no resource bounds).
 pub fn execute(plan: &LogicalPlan, db: &Database) -> RelResult<Table> {
     execute_with_limits(plan, db, &ExecLimits::default())
@@ -49,36 +71,64 @@ pub fn execute_with_limits(
     db: &Database,
     limits: &ExecLimits,
 ) -> RelResult<Table> {
+    execute_with_limits_stats(plan, db, limits).0
+}
+
+/// Executes a logical plan under the given resource governors, also
+/// returning deterministic work counters. The counters are valid whether or
+/// not execution succeeded.
+pub fn execute_with_limits_stats(
+    plan: &LogicalPlan,
+    db: &Database,
+    limits: &ExecLimits,
+) -> (RelResult<Table>, ExecStats) {
+    let mut stats = ExecStats::default();
+    let result = exec_node(plan, db, limits, &mut stats);
+    (result, stats)
+}
+
+fn exec_node(
+    plan: &LogicalPlan,
+    db: &Database,
+    limits: &ExecLimits,
+    stats: &mut ExecStats,
+) -> RelResult<Table> {
     match plan {
-        LogicalPlan::Scan { table } => db.table(table).cloned(),
+        LogicalPlan::Scan { table } => {
+            let t = db.table(table).cloned()?;
+            stats.rows_scanned += t.num_rows();
+            Ok(t)
+        }
         LogicalPlan::Filter { input, predicate } => {
-            let t = execute_with_limits(input, db, limits)?;
+            let t = exec_node(input, db, limits, stats)?;
             exec_filter(&t, predicate)
         }
         LogicalPlan::Project { input, exprs } => {
-            let t = execute_with_limits(input, db, limits)?;
+            let t = exec_node(input, db, limits, stats)?;
             exec_project(&t, exprs)
         }
         LogicalPlan::Join { left, right, join_type, on } => {
-            let l = execute_with_limits(left, db, limits)?;
-            let r = execute_with_limits(right, db, limits)?;
-            exec_join(&l, &r, *join_type, on, limits)
+            let l = exec_node(left, db, limits, stats)?;
+            let r = exec_node(right, db, limits, stats)?;
+            let joined = exec_join(&l, &r, *join_type, on, limits)?;
+            stats.rows_joined += joined.num_rows();
+            Ok(joined)
         }
         LogicalPlan::Aggregate { input, group_by, aggs } => {
-            let t = execute_with_limits(input, db, limits)?;
+            let t = exec_node(input, db, limits, stats)?;
             exec_aggregate(&t, group_by, aggs)
         }
         LogicalPlan::Sort { input, keys } => {
-            let t = execute_with_limits(input, db, limits)?;
+            let t = exec_node(input, db, limits, stats)?;
             exec_sort(&t, keys)
         }
         LogicalPlan::Limit { input, n } => {
-            let t = execute_with_limits(input, db, limits)?;
+            let t = exec_node(input, db, limits, stats)?;
             let indices: Vec<usize> = (0..t.num_rows().min(*n)).collect();
             Ok(t.take(&indices))
         }
         LogicalPlan::Distinct { input } => {
-            let t = execute_with_limits(input, db, limits)?;
+            let t = exec_node(input, db, limits, stats)?;
             exec_distinct(&t)
         }
     }
@@ -731,6 +781,28 @@ mod tests {
             execute_with_limits(&left, &d, &ExecLimits { max_join_rows: 5 }).unwrap().num_rows(),
             5
         );
+    }
+
+    #[test]
+    fn exec_stats_count_scans_and_join_output() {
+        let d = db();
+        let plan = LogicalPlan::scan("sales")
+            .join(LogicalPlan::scan("products"), vec![("product".to_string(), "name".to_string())]);
+        let (result, stats) = execute_with_limits_stats(&plan, &d, &ExecLimits::default());
+        assert_eq!(result.unwrap().num_rows(), 4);
+        assert_eq!(stats.rows_scanned, 7, "5 sales rows + 2 product rows");
+        assert_eq!(stats.rows_joined, 4);
+        // Counters survive a budget trip: both scans ran before the join
+        // budget pre-pass rejected the output.
+        let (result, stats) =
+            execute_with_limits_stats(&plan, &d, &ExecLimits { max_join_rows: 3 });
+        assert!(result.is_err());
+        assert_eq!(stats.rows_scanned, 7);
+        assert_eq!(stats.rows_joined, 0);
+        let mut acc = ExecStats::default();
+        acc.merge(stats);
+        acc.merge(ExecStats { rows_scanned: 1, rows_joined: 2 });
+        assert_eq!(acc, ExecStats { rows_scanned: 8, rows_joined: 2 });
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod value;
 
 pub use catalog::Database;
 pub use error::{RelError, RelResult};
-pub use exec::ExecLimits;
+pub use exec::{ExecLimits, ExecStats};
 pub use expr::Expr;
 pub use plan::{AggExpr, AggFunc, JoinType, LogicalPlan, SortKey};
 pub use schema::{Column, DataType, Schema};

@@ -84,6 +84,9 @@ pub struct TraversalStats {
     pub anchors: usize,
     /// Nodes within the hop bound (the candidate frontier).
     pub nodes_touched: usize,
+    /// Heap expansions performed across all anchor traversals (the
+    /// traversal's actual work, as opposed to the frontier it settled on).
+    pub nodes_popped: usize,
     /// Chunk candidates actually scored.
     pub chunks_scored: usize,
     /// Whether the query fell back to pure lexical retrieval.
@@ -223,9 +226,14 @@ impl TopologyRetriever {
     /// [`unisem_hetgraph::algo::dijkstra_within`], but a non-start node
     /// whose degree exceeds `hub_cap` is *reached* (it can score) without
     /// being *expanded* (it never fans the frontier out).
-    /// Returns the reached nodes with their costs plus whether the
-    /// `max_frontier` governor truncated the expansion.
-    fn bounded_traversal(&self, start: NodeId, max_cost: f64) -> (HashMap<NodeId, f64>, bool) {
+    /// Returns the reached nodes with their costs, whether the
+    /// `max_frontier` governor truncated the expansion, and how many
+    /// non-stale heap pops the search performed (its actual work).
+    fn bounded_traversal(
+        &self,
+        start: NodeId,
+        max_cost: f64,
+    ) -> (HashMap<NodeId, f64>, bool, usize) {
         use std::cmp::Ordering;
         use std::collections::BinaryHeap;
 
@@ -253,12 +261,14 @@ impl TopologyRetriever {
         let mut dist: HashMap<NodeId, f64> = HashMap::new();
         let mut heap = BinaryHeap::new();
         let mut capped = false;
+        let mut popped = 0usize;
         dist.insert(start, 0.0);
         heap.push(Item { cost: 0.0, node: start });
         while let Some(Item { cost, node }) = heap.pop() {
             if cost > *dist.get(&node).unwrap_or(&f64::INFINITY) {
                 continue;
             }
+            popped += 1;
             // Hub damping: only the anchor itself may expand past the cap.
             if node != start && self.graph.degree(node) > self.config.hub_cap {
                 continue;
@@ -279,7 +289,7 @@ impl TopologyRetriever {
                 }
             }
         }
-        (dist, capped)
+        (dist, capped, popped)
     }
 
     /// Retrieval with traversal statistics.
@@ -319,8 +329,9 @@ impl TopologyRetriever {
         let max_cost = if primary.is_empty() { 1.0 } else { self.config.max_hops as f64 * 2.0 };
         let mut proximity: HashMap<NodeId, f64> = HashMap::new();
         for &a in anchors {
-            let (reached, capped) = self.bounded_traversal(a, max_cost);
+            let (reached, capped, popped) = self.bounded_traversal(a, max_cost);
             stats.frontier_capped |= capped;
+            stats.nodes_popped += popped;
             for (node, cost) in reached {
                 *proximity.entry(node).or_insert(0.0) += self.config.decay.powf(cost);
             }
@@ -474,6 +485,10 @@ mod tests {
         assert!(!hits.is_empty());
         assert!(!stats.lexical_fallback);
         assert!(stats.nodes_touched > 0);
+        assert!(
+            stats.nodes_popped >= stats.nodes_touched.min(1),
+            "a non-lexical traversal performs at least one expansion"
+        );
         // Top hit should be from the trial document (chunk of doc 0).
         let (_, _, docs) = setup();
         let top_doc = docs.chunk(hits[0].chunk_id).unwrap().doc_id;

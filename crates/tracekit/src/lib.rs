@@ -1,0 +1,77 @@
+//! # tracekit
+//!
+//! Deterministic observability for the unisem engine (DESIGN.md §9):
+//! structured traces, a closed-registry metrics layer, and per-query
+//! explain traces. Std-only and dependency-free, matching the
+//! detkit/parkit/faultkit substrate-kit pattern.
+//!
+//! Three pillars:
+//!
+//! 1. **Spans/events with a deterministic logical clock**
+//!    ([`explain::TraceScope`]): every event carries a monotonic
+//!    per-query sequence number instead of a wall-clock timestamp, so a
+//!    trace is byte-identical at any thread count. Wall-clock durations
+//!    are carried *out-of-band* (a separate, redactable JSON line — see
+//!    [`trace::wall_clock_enabled`]) and never enter the deterministic
+//!    payload. Traces are emitted as JSON-lines through a
+//!    [`trace::TraceSink`] resolved from the `UNISEM_TRACE` environment
+//!    spec (`off | stderr | file:<path>`).
+//! 2. **Closed-registry metrics** ([`metrics::MetricsRegistry`]):
+//!    counters, gauges, and histograms addressed only by the
+//!    compile-time [`metrics::Metric`] / [`metrics::Hist`] enums — no
+//!    dynamically-constructed metric names can exist, which is what lets
+//!    ci.sh grep-audit the namespace. Every recorded value is a pure
+//!    function of the data (row counts, frontier sizes, sample counts —
+//!    never durations), so a [`metrics::MetricsReport`] snapshot is
+//!    byte-identical at any thread count. Wall-clock stage timings live
+//!    in the separate, deliberately *non*-deterministic
+//!    [`metrics::TimingReport`].
+//! 3. **Per-query explain traces** ([`explain::QueryTrace`]): the
+//!    degradation-ladder rungs attempted, the synthesized operator plan,
+//!    traversal statistics, and the entropy verdict — attached to
+//!    `Answer::trace` when `EngineConfig::trace` opts in.
+//!
+//! [`component`] is the closed registry of component labels shared by
+//! degradation records, fault-injection site names, and metric prefixes.
+
+pub mod component;
+pub mod explain;
+pub mod metrics;
+pub mod trace;
+
+pub use explain::{
+    emit, render_block, EntropyVerdict, QueryTrace, RungAttempt, RungOutcome, TraceEvent,
+    TraceScope, TraversalTrace,
+};
+pub use metrics::{Hist, Metric, MetricsRegistry, MetricsReport, Stage, TimingReport};
+pub use trace::{TraceSink, TraceSpec};
+
+/// Escapes a string for embedding in a JSON string literal (shared by the
+/// sink and report renderers; tracekit is dependency-free by policy).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

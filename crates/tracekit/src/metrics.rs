@@ -1,0 +1,623 @@
+//! Closed-registry metrics.
+//!
+//! Metric names are compile-time enum variants — there is no string-keyed
+//! API, so a dynamically-constructed metric name is unrepresentable (ci.sh
+//! additionally greps call sites to keep it that way). Counters and gauges
+//! are plain atomics; histograms bucket by powers of two. Every value
+//! recorded into a [`MetricsRegistry`] must be a pure function of the data
+//! (row counts, frontier sizes, sample counts), **never** of timing, so a
+//! [`MetricsReport`] snapshot is byte-identical at any thread count.
+//!
+//! Wall-clock stage timings are deliberately quarantined in a separate
+//! [`TimingReport`] (fed by [`MetricsRegistry::record_stage`]): they share
+//! the registry's closed-name discipline but are excluded from every
+//! determinism comparison and from [`MetricsReport`] itself.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json_escape;
+
+/// Number of registered metrics (counters + gauges).
+pub const NUM_METRICS: usize = 35;
+/// Number of registered histograms.
+pub const NUM_HISTS: usize = 2;
+/// Number of registered wall-clock stages.
+pub const NUM_STAGES: usize = 9;
+/// Histogram bucket upper bounds (≤, powers of two); one overflow bucket
+/// follows.
+pub const HIST_BOUNDS: [u64; 17] =
+    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536];
+/// Buckets per histogram (bounds + overflow).
+pub const NUM_BUCKETS: usize = HIST_BOUNDS.len() + 1;
+
+/// How a metric is written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic; written with [`MetricsRegistry::add`].
+    Counter,
+    /// Point-in-time value; written with [`MetricsRegistry::set`] from
+    /// single-threaded code (build) only, so snapshots stay deterministic.
+    Gauge,
+}
+
+/// The closed metric registry: every counter and gauge the engine records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Metric {
+    /// Relational tables registered at build (native + flattened +
+    /// extracted).
+    IngestTables,
+    /// Semi-structured collections successfully flattened.
+    IngestCollections,
+    /// Unstructured documents indexed.
+    IngestDocuments,
+    /// Rows in the `extracted` table.
+    IngestExtractedRows,
+    /// Sources quarantined during ingestion/build.
+    IngestQuarantined,
+    /// Nodes in the heterogeneous graph.
+    GraphNodes,
+    /// Edges in the heterogeneous graph.
+    GraphEdges,
+    /// Distinct entity nodes created at build.
+    GraphEntities,
+    /// Chunks indexed into the graph.
+    GraphChunks,
+    /// Table records indexed into the graph.
+    GraphRecords,
+    /// Queries answered (including abstentions).
+    QueryAnswered,
+    /// Queries that ended in abstention.
+    QueryAbstained,
+    /// Degradation-ladder downgrades recorded across all queries.
+    QueryDegradations,
+    /// Queries resolved on the structured route.
+    QueryStructuredHits,
+    /// Topology traversals run.
+    TraverseQueries,
+    /// Anchor nodes linked across all traversals.
+    TraverseAnchors,
+    /// Distinct nodes discovered across all traversals.
+    TraverseNodesTouched,
+    /// Heap expansions performed across all traversals.
+    TraverseNodesPopped,
+    /// Chunk candidates scored across all traversals.
+    TraverseChunksScored,
+    /// Traversals truncated by the frontier governor.
+    TraverseFrontierCapped,
+    /// Traversals that fell back to pure lexical retrieval.
+    TraverseLexicalFallback,
+    /// Queries that fell back to dense retrieval (traversal fault).
+    DenseFallbackQueries,
+    /// Logical plans executed on the structured route.
+    RelPlansExecuted,
+    /// Base-table rows scanned by plan execution.
+    RelRowsScanned,
+    /// Join output rows materialized by plan execution.
+    RelRowsJoined,
+    /// Executions aborted by the join row budget.
+    RelBudgetHits,
+    /// Plan executions that failed (other than budget hits).
+    RelExecErrors,
+    /// Operator syntheses that failed.
+    RelSynthesisErrors,
+    /// Entropy estimates computed.
+    EntropyEstimates,
+    /// Answer samples drawn for entropy estimation.
+    EntropySamples,
+    /// Semantic clusters formed across all estimates.
+    EntropyClusters,
+    /// Deterministic fault injections that fired.
+    FaultsFired,
+    /// `answer_batch` invocations.
+    BatchCalls,
+    /// Questions submitted through `answer_batch`.
+    BatchItems,
+    /// parkit chunks dispatched for batch answering (width-invariant).
+    BatchChunks,
+}
+
+impl Metric {
+    /// Every registered metric, in registry (declaration) order.
+    pub const ALL: [Metric; NUM_METRICS] = [
+        Metric::IngestTables,
+        Metric::IngestCollections,
+        Metric::IngestDocuments,
+        Metric::IngestExtractedRows,
+        Metric::IngestQuarantined,
+        Metric::GraphNodes,
+        Metric::GraphEdges,
+        Metric::GraphEntities,
+        Metric::GraphChunks,
+        Metric::GraphRecords,
+        Metric::QueryAnswered,
+        Metric::QueryAbstained,
+        Metric::QueryDegradations,
+        Metric::QueryStructuredHits,
+        Metric::TraverseQueries,
+        Metric::TraverseAnchors,
+        Metric::TraverseNodesTouched,
+        Metric::TraverseNodesPopped,
+        Metric::TraverseChunksScored,
+        Metric::TraverseFrontierCapped,
+        Metric::TraverseLexicalFallback,
+        Metric::DenseFallbackQueries,
+        Metric::RelPlansExecuted,
+        Metric::RelRowsScanned,
+        Metric::RelRowsJoined,
+        Metric::RelBudgetHits,
+        Metric::RelExecErrors,
+        Metric::RelSynthesisErrors,
+        Metric::EntropyEstimates,
+        Metric::EntropySamples,
+        Metric::EntropyClusters,
+        Metric::FaultsFired,
+        Metric::BatchCalls,
+        Metric::BatchItems,
+        Metric::BatchChunks,
+    ];
+
+    /// Stable registry index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable dotted name (`subsystem.measure`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::IngestTables => "ingest.tables",
+            Metric::IngestCollections => "ingest.collections",
+            Metric::IngestDocuments => "ingest.documents",
+            Metric::IngestExtractedRows => "ingest.extracted_rows",
+            Metric::IngestQuarantined => "ingest.quarantined",
+            Metric::GraphNodes => "graph.nodes",
+            Metric::GraphEdges => "graph.edges",
+            Metric::GraphEntities => "graph.entities",
+            Metric::GraphChunks => "graph.chunks",
+            Metric::GraphRecords => "graph.records",
+            Metric::QueryAnswered => "query.answered",
+            Metric::QueryAbstained => "query.abstained",
+            Metric::QueryDegradations => "query.degradations",
+            Metric::QueryStructuredHits => "query.structured_hits",
+            Metric::TraverseQueries => "traverse.queries",
+            Metric::TraverseAnchors => "traverse.anchors",
+            Metric::TraverseNodesTouched => "traverse.nodes_touched",
+            Metric::TraverseNodesPopped => "traverse.nodes_popped",
+            Metric::TraverseChunksScored => "traverse.chunks_scored",
+            Metric::TraverseFrontierCapped => "traverse.frontier_capped",
+            Metric::TraverseLexicalFallback => "traverse.lexical_fallback",
+            Metric::DenseFallbackQueries => "dense.fallback_queries",
+            Metric::RelPlansExecuted => "relstore.plans_executed",
+            Metric::RelRowsScanned => "relstore.rows_scanned",
+            Metric::RelRowsJoined => "relstore.rows_joined",
+            Metric::RelBudgetHits => "relstore.budget_hits",
+            Metric::RelExecErrors => "relstore.exec_errors",
+            Metric::RelSynthesisErrors => "relstore.synthesis_errors",
+            Metric::EntropyEstimates => "entropy.estimates",
+            Metric::EntropySamples => "entropy.samples",
+            Metric::EntropyClusters => "entropy.clusters",
+            Metric::FaultsFired => "faultkit.fired",
+            Metric::BatchCalls => "parkit.batch_calls",
+            Metric::BatchItems => "parkit.batch_items",
+            Metric::BatchChunks => "parkit.batch_chunks",
+        }
+    }
+
+    /// Counter or gauge.
+    pub fn kind(self) -> MetricKind {
+        match self {
+            Metric::IngestTables
+            | Metric::IngestCollections
+            | Metric::IngestDocuments
+            | Metric::IngestExtractedRows
+            | Metric::GraphNodes
+            | Metric::GraphEdges
+            | Metric::GraphEntities
+            | Metric::GraphChunks
+            | Metric::GraphRecords => MetricKind::Gauge,
+            _ => MetricKind::Counter,
+        }
+    }
+
+    /// Looks a metric up by its dotted name.
+    pub fn from_name(name: &str) -> Option<Metric> {
+        Metric::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+/// The closed histogram registry (buckets over deterministic values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Hist {
+    /// Frontier size (nodes touched) per traversal.
+    TraverseFrontier,
+    /// Result rows per successfully executed plan.
+    RelResultRows,
+}
+
+impl Hist {
+    /// Every registered histogram, in registry order.
+    pub const ALL: [Hist; NUM_HISTS] = [Hist::TraverseFrontier, Hist::RelResultRows];
+
+    /// Stable registry index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable dotted name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::TraverseFrontier => "traverse.frontier_size",
+            Hist::RelResultRows => "relstore.result_rows",
+        }
+    }
+}
+
+/// The closed wall-clock stage registry (feeds [`TimingReport`] only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Whole engine build.
+    BuildTotal,
+    /// Semi-structured collection flattening.
+    BuildFlatten,
+    /// Relational table generation over documents.
+    BuildExtract,
+    /// Heterogeneous graph construction.
+    BuildGraph,
+    /// Dense retriever embedding build.
+    BuildDense,
+    /// Whole `answer` call.
+    AnswerTotal,
+    /// Structured route (synthesis + plan execution).
+    AnswerStructured,
+    /// Retrieval rung (traversal or dense).
+    AnswerRetrieval,
+    /// Entropy estimation.
+    AnswerEntropy,
+}
+
+impl Stage {
+    /// Every registered stage, in registry order.
+    pub const ALL: [Stage; NUM_STAGES] = [
+        Stage::BuildTotal,
+        Stage::BuildFlatten,
+        Stage::BuildExtract,
+        Stage::BuildGraph,
+        Stage::BuildDense,
+        Stage::AnswerTotal,
+        Stage::AnswerStructured,
+        Stage::AnswerRetrieval,
+        Stage::AnswerEntropy,
+    ];
+
+    /// Stable registry index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable dotted name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::BuildTotal => "build.total",
+            Stage::BuildFlatten => "build.flatten",
+            Stage::BuildExtract => "build.extract",
+            Stage::BuildGraph => "build.graph",
+            Stage::BuildDense => "build.dense",
+            Stage::AnswerTotal => "answer.total",
+            Stage::AnswerStructured => "answer.structured",
+            Stage::AnswerRetrieval => "answer.retrieval",
+            Stage::AnswerEntropy => "answer.entropy",
+        }
+    }
+}
+
+/// Thread-safe metric storage for one engine instance.
+///
+/// Writes are relaxed atomics: integer sums and bucket increments are
+/// order-independent, so concurrent recording from a parkit pool yields
+/// the same snapshot as a sequential run.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: [AtomicU64; NUM_METRICS],
+    hists: [[AtomicU64; NUM_BUCKETS]; NUM_HISTS],
+    stage_ns: [AtomicU64; NUM_STAGES],
+    stage_count: [AtomicU64; NUM_STAGES],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            stage_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            stage_count: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Adds to a counter. Usable on gauges only from single-threaded code.
+    pub fn add(&self, metric: Metric, n: u64) {
+        self.counters[metric.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    pub fn incr(&self, metric: Metric) {
+        self.add(metric, 1);
+    }
+
+    /// Sets a gauge (single-threaded build code only — last write wins).
+    pub fn set(&self, metric: Metric, value: u64) {
+        debug_assert_eq!(metric.kind(), MetricKind::Gauge, "set() is for gauges: {metric:?}");
+        self.counters[metric.index()].store(value, Ordering::Relaxed);
+    }
+
+    /// Current value of a metric.
+    pub fn get(&self, metric: Metric) -> u64 {
+        self.counters[metric.index()].load(Ordering::Relaxed)
+    }
+
+    /// Records one observation into a histogram.
+    pub fn observe(&self, hist: Hist, value: u64) {
+        let bucket = HIST_BOUNDS.iter().position(|&b| value <= b).unwrap_or(NUM_BUCKETS - 1);
+        self.hists[hist.index()][bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records wall-clock time spent in a stage ([`TimingReport`] only;
+    /// never part of the deterministic [`MetricsReport`]).
+    pub fn record_stage(&self, stage: Stage, ns: u64) {
+        self.stage_ns[stage.index()].fetch_add(ns, Ordering::Relaxed);
+        self.stage_count[stage.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deterministic snapshot: every counter, gauge, and histogram, in
+    /// registry order (zeros included, so the byte layout never depends on
+    /// which code paths ran).
+    pub fn snapshot(&self) -> MetricsReport {
+        let metrics = Metric::ALL.iter().map(|&m| (m.name(), self.get(m))).collect::<Vec<_>>();
+        let histograms = Hist::ALL
+            .iter()
+            .map(|&h| {
+                let buckets = (0..NUM_BUCKETS)
+                    .map(|b| {
+                        let le = HIST_BOUNDS.get(b).copied();
+                        (le, self.hists[h.index()][b].load(Ordering::Relaxed))
+                    })
+                    .collect();
+                (h.name(), buckets)
+            })
+            .collect();
+        MetricsReport { metrics, histograms }
+    }
+
+    /// Wall-clock stage timings (non-deterministic by nature; kept apart
+    /// from [`MetricsReport`] so determinism comparisons never see them).
+    pub fn timings(&self) -> TimingReport {
+        TimingReport {
+            stages: Stage::ALL
+                .iter()
+                .map(|&s| {
+                    (
+                        s.name(),
+                        self.stage_count[s.index()].load(Ordering::Relaxed),
+                        self.stage_ns[s.index()].load(Ordering::Relaxed),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A deterministic point-in-time snapshot of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// `(name, value)` for every registered counter/gauge, registry order.
+    pub metrics: Vec<(&'static str, u64)>,
+    /// `(name, buckets)` for every histogram; each bucket is
+    /// `(upper bound, count)` with `None` as the overflow bucket.
+    pub histograms: Vec<(&'static str, Vec<(Option<u64>, u64)>)>,
+}
+
+impl MetricsReport {
+    /// Looks a counter/gauge value up by name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// Stable single-line JSON (key order = registry order), suitable for
+    /// byte-for-byte determinism comparison and `BENCH_*.json` appending.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":{");
+        for (i, (name, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", json_escape(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, buckets)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{{", json_escape(name)));
+            for (j, (le, count)) in buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                match le {
+                    Some(le) => out.push_str(&format!("\"le_{le}\":{count}")),
+                    None => out.push_str(&format!("\"inf\":{count}")),
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics:")?;
+        for (name, v) in &self.metrics {
+            writeln!(f, "  {name:<26} {v}")?;
+        }
+        for (name, buckets) in &self.histograms {
+            let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+            writeln!(f, "  {name:<26} {total} observations")?;
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock stage timings: `(stage, count, total_ns)` per stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingReport {
+    /// One entry per registered [`Stage`], registry order.
+    pub stages: Vec<(&'static str, u64, u64)>,
+}
+
+impl TimingReport {
+    /// Total nanoseconds recorded for a stage.
+    pub fn total_ns(&self, name: &str) -> Option<u64> {
+        self.stages.iter().find(|(n, _, _)| *n == name).map(|(_, _, ns)| *ns)
+    }
+
+    /// Times a stage has been recorded.
+    pub fn count(&self, name: &str) -> Option<u64> {
+        self.stages.iter().find(|(n, _, _)| *n == name).map(|(_, c, _)| *c)
+    }
+
+    /// Stable single-line JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"timings\":{");
+        for (i, (name, count, ns)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{count},\"total_ns\":{ns}}}",
+                json_escape(name)
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stage timings:")?;
+        for (name, count, ns) in &self.stages {
+            let avg = if *count > 0 { ns / count } else { 0 };
+            writeln!(f, "  {name:<20} {count:>6} × avg {avg} ns")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_are_consistent() {
+        for (i, m) in Metric::ALL.into_iter().enumerate() {
+            assert_eq!(m.index(), i, "{m:?}");
+            assert_eq!(Metric::from_name(m.name()), Some(m));
+            assert!(m.name().contains('.'), "{m:?}");
+        }
+        for (i, h) in Hist::ALL.into_iter().enumerate() {
+            assert_eq!(h.index(), i);
+        }
+        for (i, s) in Stage::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(Metric::from_name("nope"), None);
+        let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_METRICS, "duplicate metric name");
+    }
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = MetricsRegistry::new();
+        r.incr(Metric::QueryAnswered);
+        r.add(Metric::QueryAnswered, 2);
+        r.set(Metric::GraphNodes, 41);
+        assert_eq!(r.get(Metric::QueryAnswered), 3);
+        assert_eq!(r.get(Metric::GraphNodes), 41);
+        assert_eq!(r.get(Metric::QueryAbstained), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let r = MetricsRegistry::new();
+        r.observe(Hist::TraverseFrontier, 0);
+        r.observe(Hist::TraverseFrontier, 1);
+        r.observe(Hist::TraverseFrontier, 5);
+        r.observe(Hist::TraverseFrontier, 1_000_000);
+        let report = r.snapshot();
+        let (_, buckets) = &report.histograms[Hist::TraverseFrontier.index()];
+        assert_eq!(buckets[0], (Some(1), 2), "0 and 1 land in le_1");
+        assert_eq!(buckets[3], (Some(8), 1), "5 lands in le_8");
+        assert_eq!(buckets[NUM_BUCKETS - 1], (None, 1), "overflow bucket");
+    }
+
+    #[test]
+    fn snapshot_is_complete_and_json_stable() {
+        let r = MetricsRegistry::new();
+        let report = r.snapshot();
+        assert_eq!(report.metrics.len(), NUM_METRICS);
+        assert_eq!(report.histograms.len(), NUM_HISTS);
+        assert_eq!(report.get("query.answered"), Some(0));
+        assert_eq!(report.get("bogus"), None);
+        r.incr(Metric::QueryAnswered);
+        let a = r.snapshot().to_json();
+        let b = r.snapshot().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"metrics\":{\"ingest.tables\":0"), "{a}");
+        assert!(a.contains("\"query.answered\":1"));
+        assert!(a.contains("\"traverse.frontier_size\":{\"le_1\":0"));
+        assert!(r.snapshot().to_string().contains("query.answered"));
+    }
+
+    #[test]
+    fn sums_are_order_independent_across_threads() {
+        let r = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        r.incr(Metric::EntropySamples);
+                        r.observe(Hist::RelResultRows, 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.get(Metric::EntropySamples), 4000);
+        let report = r.snapshot();
+        let (_, buckets) = &report.histograms[Hist::RelResultRows.index()];
+        assert_eq!(buckets[2], (Some(4), 4000));
+    }
+
+    #[test]
+    fn timings_are_separate_from_metrics() {
+        let r = MetricsRegistry::new();
+        r.record_stage(Stage::AnswerTotal, 500);
+        r.record_stage(Stage::AnswerTotal, 700);
+        let t = r.timings();
+        assert_eq!(t.count("answer.total"), Some(2));
+        assert_eq!(t.total_ns("answer.total"), Some(1200));
+        assert_eq!(t.total_ns("build.graph"), Some(0));
+        assert!(t.to_json().contains("\"answer.total\":{\"count\":2,\"total_ns\":1200}"));
+        assert!(t.to_string().contains("answer.total"));
+        // The deterministic snapshot must not mention timings at all.
+        assert!(!r.snapshot().to_json().contains("total_ns"));
+    }
+}

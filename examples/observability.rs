@@ -1,0 +1,96 @@
+//! Observability tour (DESIGN.md §9): per-query explain traces, the closed
+//! metric registry, and trace-sink emission.
+//!
+//! Run with:
+//! ```sh
+//! cargo run -p unisem-core --example observability
+//! # ...or stream every query's trace block as JSON-lines to stderr:
+//! UNISEM_TRACE=stderr cargo run -p unisem-core --example observability
+//! ```
+
+use unisem_core::{EngineBuilder, EngineConfig, EntityKind, Lexicon};
+use unisem_relstore::{DataType, Schema, Table, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lexicon = Lexicon::new().with_entries([
+        ("Aero Widget", EntityKind::Product),
+        ("Nova Speaker", EntityKind::Product),
+        ("Acme Corp", EntityKind::Organization),
+    ]);
+    // Opt in to per-query explain traces: every Answer now carries
+    // `answer.trace` (deterministic — byte-identical across runs and
+    // thread counts). With `trace: false` (the default) the hot path
+    // performs zero trace allocations.
+    let config = EngineConfig { trace: true, ..EngineConfig::default() };
+    let mut builder = EngineBuilder::with_config(lexicon, config);
+
+    let sales = Table::from_rows(
+        Schema::of(&[
+            ("product", DataType::Str),
+            ("quarter", DataType::Str),
+            ("amount", DataType::Float),
+        ]),
+        vec![
+            vec![Value::str("Aero Widget"), Value::str("Q1 2024"), Value::Float(1200.0)],
+            vec![Value::str("Aero Widget"), Value::str("Q2 2024"), Value::Float(1500.0)],
+            vec![Value::str("Nova Speaker"), Value::str("Q1 2024"), Value::Float(900.0)],
+        ],
+    )?;
+    builder.add_table("sales", sales)?;
+    builder.add_document(
+        "press release",
+        "Acme Corp launched the Aero Widget in January. The Aero Widget is \
+         manufactured by Acme Corp at its Hamburg plant.",
+        "news",
+    );
+
+    let (engine, _report) = builder.build();
+
+    for question in [
+        "What was the total sales amount of Aero Widget across all quarters?",
+        "Which manufacturer makes the Aero Widget?",
+        "What was the total sales of the Phantom Gizmo in Q2 2024?",
+    ] {
+        let answer = engine.answer(question);
+        println!("Q: {question}");
+        println!("A: {answer}");
+        // The explain trace: ladder rungs attempted (with outcomes), the
+        // synthesized plan, traversal stats, and the entropy verdict.
+        let trace = answer.trace.as_ref().expect("EngineConfig::trace attaches one");
+        println!("  route taken: {}", trace.route);
+        for rung in &trace.rungs {
+            println!("  rung {:<12} {:<9} {}", rung.rung, rung.outcome.label(), rung.detail);
+        }
+        if let Some(plan) = &trace.plan {
+            println!("  plan: {plan}");
+        }
+        if let Some(t) = &trace.traversal {
+            println!(
+                "  traversal: {} anchors, {} nodes touched, {} chunks scored",
+                t.anchors, t.nodes_touched, t.chunks_scored
+            );
+        }
+        if let Some(e) = &trace.entropy {
+            println!(
+                "  entropy: {} samples -> {} clusters, confidence {:.2}, abstained={}",
+                e.n_samples, e.n_clusters, e.confidence, e.abstained
+            );
+        }
+        println!();
+    }
+
+    // The closed metric registry: every counter/gauge has a compile-time
+    // name; the snapshot is deterministic for a given workload.
+    let metrics = engine.metrics_report();
+    println!("metrics snapshot (deterministic):");
+    for name in ["query.answered", "query.abstained", "traverse.queries", "relstore.plans_executed"]
+    {
+        println!("  {name} = {}", metrics.get(name).unwrap_or(0));
+    }
+
+    // Wall-clock stage timings live in a *separate* report, so determinism
+    // checks never see them.
+    let timings = engine.timing_report();
+    println!("\nstage timings (wall-clock, non-deterministic):\n{timings}");
+    Ok(())
+}

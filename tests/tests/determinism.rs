@@ -2,7 +2,7 @@
 //! answers, and experiment measurements — the property every experiment in
 //! EXPERIMENTS.md relies on.
 
-use unisem_core::{EngineBuilder, EngineConfig, ParallelConfig, UnifiedEngine};
+use unisem_core::{EngineBuilder, EngineConfig, FaultPlan, ParallelConfig, UnifiedEngine};
 use unisem_workloads::{EcommerceConfig, EcommerceWorkload};
 
 fn engine(seed: u64) -> (EcommerceWorkload, UnifiedEngine) {
@@ -142,6 +142,77 @@ fn thread_matrix_byte_identical_answers_routes_confidence() {
         assert_eq!(batch.len(), reference.len());
         for ((q, got), expected) in questions.iter().zip(&batch).zip(&reference) {
             assert_eq!(got, expected, "threads={threads} batch answer: {q}");
+        }
+    }
+}
+
+/// DESIGN.md §9: explain traces and metrics snapshots are covered by the
+/// same determinism contract as answers — byte-identical at any thread
+/// count, with and without a pinned fault plan. The fault plan is passed
+/// programmatically (never via `UNISEM_FAULTS`) so the test is hermetic.
+#[test]
+fn trace_and_metrics_byte_identical_across_threads_and_faults() {
+    let w = EcommerceWorkload::generate(EcommerceConfig {
+        products: 6,
+        quarters: 3,
+        reviews_per_product: 2,
+        qa_per_category: 2,
+        seed: 0xD5EED,
+        name_offset: 0,
+    });
+    let questions: Vec<&str> = w.qa.iter().map(|item| item.question.as_str()).collect();
+    let plans = [
+        FaultPlan::disabled(),
+        // Sub-unity probabilities: whether a site fires is a pure function
+        // of (plan, site, key), so the firing pattern itself must replay
+        // identically at every width.
+        FaultPlan::parse("seed:0xC1,relstore.exec@64,hetgraph.traverse@96").expect("valid spec"),
+    ];
+    for plan in plans {
+        let build = |threads: usize| {
+            let config = EngineConfig {
+                seed: 0xABCD_1234,
+                trace: true,
+                faults: plan,
+                parallel: ParallelConfig::with_threads(threads),
+                ..EngineConfig::default()
+            };
+            let mut b = EngineBuilder::with_config(w.lexicon.clone(), config);
+            for name in w.db.table_names() {
+                b.add_table(name, w.db.table(name).unwrap().clone()).unwrap();
+            }
+            for d in &w.documents {
+                b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
+            }
+            b.build().0
+        };
+        let spec = plan.spec();
+        let reference_engine = build(1);
+        let reference_traces: Vec<String> = reference_engine
+            .answer_batch(&questions)
+            .iter()
+            .map(|a| a.trace.as_ref().expect("trace opted in").to_jsonl())
+            .collect();
+        let reference_metrics = reference_engine.metrics_report().to_json();
+        for threads in [2, 4, 8] {
+            let e = build(threads);
+            let traces: Vec<String> = e
+                .answer_batch(&questions)
+                .iter()
+                .map(|a| a.trace.as_ref().expect("trace opted in").to_jsonl())
+                .collect();
+            for ((q, got), want) in questions.iter().zip(&traces).zip(&reference_traces) {
+                assert_eq!(
+                    got.as_bytes(),
+                    want.as_bytes(),
+                    "threads={threads} faults='{spec}' trace: {q}"
+                );
+            }
+            assert_eq!(
+                e.metrics_report().to_json().as_bytes(),
+                reference_metrics.as_bytes(),
+                "threads={threads} faults='{spec}' metrics snapshot"
+            );
         }
     }
 }
