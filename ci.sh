@@ -2,9 +2,11 @@
 # Hermetic CI gate for the unisem workspace.
 #
 # Verifies the zero-dependency policy (DESIGN.md §7): the whole workspace
-# must format-check, build, and test with the network hard-disabled, and no
-# Cargo.toml may declare a dependency that is not a path dependency on
-# another workspace crate.
+# must format-check, build, and test with the network hard-disabled — and
+# the determinism contract must hold statically: udlint (crates/lintkit)
+# lexes every engine source and audits panics, hash-order iteration,
+# wall-clock reads, raw threads, the closed metric namespace, env reads,
+# and path-only manifests. See DESIGN.md §10.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -52,76 +54,25 @@ if [ "$lines" -lt 18 ]; then
     exit 1
 fi
 
-echo "==> closed-namespace audit (degradation labels, metric names)"
-# Degradation components and metric names form one closed namespace
-# (tracekit::component / tracekit::Metric). Non-test engine code must pass
-# registry constants, never string literals — a literal compiles today and
-# silently forks the namespace tomorrow. Metric recording calls take enum
-# variants by construction; a string argument means someone is routing
-# around the registry (e.g. via from_name), so it fails too.
-bad=0
-while IFS= read -r src; do
-    hits=$(awk '
-        /#\[cfg\(test\)\]/ { exit }
-        /^[[:space:]]*\/\// { next }
-        /Degradation::new\("/ { print FILENAME ":" FNR ": " $0 }
-        /\.(incr|add|set|observe|record_stage)\("/ { print FILENAME ":" FNR ": " $0 }
-        /from_name\((format!|&format!|String)/ { print FILENAME ":" FNR ": " $0 }
-    ' "$src")
-    if [ -n "$hits" ]; then
-        echo "$hits"
-        bad=1
-    fi
-done < <(find crates/core/src crates/retrieval/src crates/relstore/src crates/hetgraph/src -name '*.rs')
-if [ "$bad" -ne 0 ]; then
-    echo "ERROR: closed-namespace violation (use tracekit::component / Metric enum constants)"
-    exit 1
-fi
+echo "==> udlint --deny all (static determinism-contract audit)"
+# One tokenizer-based linter replaces the former awk gates (closed metric
+# namespace, unwrap audit, path-only manifests) and adds the lints awk
+# could not express: hash-order iteration hazards, wall-clock reads
+# outside tracekit::wall, raw thread spawns, and env reads outside the
+# UNISEM_* surface. `udlint --list` names every lint; suppressions need
+# `// udlint: allow(<lint>) -- <reason>` and are budgeted below.
+CARGO_NET_OFFLINE=true cargo run -q --release -p lintkit --bin udlint -- --deny all
 
-echo "==> unwrap audit (crates/core/src, crates/relstore/src)"
-# Engine-core and relational-executor library code must stay panic-free on
-# untrusted input: no .unwrap()/.expect( outside #[cfg(test)] modules.
-# Comment lines (incl. doc examples) are ignored; tests keep their unwraps.
-bad=0
-while IFS= read -r src; do
-    hits=$(awk '
-        /#\[cfg\(test\)\]/ { exit }
-        /^[[:space:]]*\/\// { next }
-        /\.unwrap\(\)|\.expect\(/ { print FILENAME ":" FNR ": " $0 }
-    ' "$src")
-    if [ -n "$hits" ]; then
-        echo "$hits"
-        bad=1
-    fi
-done < <(find crates/core/src crates/relstore/src -name '*.rs')
-if [ "$bad" -ne 0 ]; then
-    echo "ERROR: unwrap()/expect() in non-test engine/executor code (return typed errors instead)"
+echo "==> suppression budget meta-gate"
+# The committed budget (lint-budget.txt) is the ceiling on active
+# `udlint: allow` suppressions. New suppressions fail CI until the budget
+# is raised in the same review — so the count can only grow deliberately,
+# and only shrinking it is frictionless.
+budget=$(tr -d '[:space:]' < lint-budget.txt)
+count=$(CARGO_NET_OFFLINE=true cargo run -q --release -p lintkit --bin udlint -- --suppressions)
+if [ "$count" -gt "$budget" ]; then
+    echo "ERROR: $count udlint suppressions exceed the committed budget of $budget"
+    echo "       (fix the findings, or raise lint-budget.txt under review)"
     exit 1
 fi
-
-echo "==> manifest scan: every dependency must be a path dependency"
-# Inside [dependencies]/[dev-dependencies]/[build-dependencies] (including
-# the [workspace.dependencies] table), every entry must either declare
-# `path =` directly or inherit via `workspace = true` (the root
-# [workspace.dependencies] table is scanned by the same rule, so inherited
-# entries are transitively path-only). Version-only (`foo = "1.0"`), git,
-# and registry deps all fail.
-bad=0
-while IFS= read -r manifest; do
-    violations=$(awk '
-        /^\[/ { in_deps = ($0 ~ /dependencies\]$/) }
-        in_deps && /^[A-Za-z0-9_-]+[[:space:]]*=/ {
-            if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/)
-                print FILENAME ": " $0
-        }
-    ' "$manifest")
-    if [ -n "$violations" ]; then
-        echo "$violations"
-        bad=1
-    fi
-done < <(find . -name Cargo.toml -not -path './target/*')
-if [ "$bad" -ne 0 ]; then
-    echo "ERROR: non-path dependencies found (hermetic build policy)"
-    exit 1
-fi
-echo "==> OK: workspace is hermetic"
+echo "==> OK: workspace is hermetic ($count/$budget suppressions in use)"

@@ -2,7 +2,6 @@
 
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 
 use faultkit::{FaultPlan, InjectedFault, Site};
 use parkit::Pool;
@@ -351,7 +350,7 @@ impl EngineBuilder {
         let EngineBuilder { config, lexicon, docs, mut db, semi, mut quarantined, .. } = self;
         let faults = config.faults;
         let metrics = Arc::new(MetricsRegistry::new());
-        let build_start = Instant::now();
+        let build_start = tracekit::wall::Stopwatch::start();
         let slm = Slm::new(SlmConfig {
             lexicon,
             class: config.model_class,
@@ -363,7 +362,7 @@ impl EngineBuilder {
 
         // Semi-structured → tables; a collection that fails to flatten is
         // quarantined whole (its documents share one schema).
-        let flatten_start = Instant::now();
+        let flatten_start = tracekit::wall::Stopwatch::start();
         for coll in semi.collections() {
             if let Err(f) = faults.check(Site::SemiFlatten, coll) {
                 quarantined.push(Quarantined {
@@ -387,11 +386,11 @@ impl EngineBuilder {
                 }),
             }
         }
-        metrics.record_stage(Stage::BuildFlatten, elapsed_ns(flatten_start));
+        metrics.record_stage(Stage::BuildFlatten, flatten_start.elapsed_ns());
 
         // Unstructured → extracted table (§III.C task 1); failures cost the
         // extracted table, not the build.
-        let extract_start = Instant::now();
+        let extract_start = tracekit::wall::Stopwatch::start();
         if config.enable_extraction && !docs.is_empty() {
             match faults.check(Site::ExtractTablegen, "extracted") {
                 Err(f) => quarantined.push(Quarantined {
@@ -417,10 +416,10 @@ impl EngineBuilder {
             }
         }
 
-        metrics.record_stage(Stage::BuildExtract, elapsed_ns(extract_start));
+        metrics.record_stage(Stage::BuildExtract, extract_start.elapsed_ns());
 
         // Graph index over every modality (§III.A).
-        let graph_start = Instant::now();
+        let graph_start = tracekit::wall::Stopwatch::start();
         let mut gb = GraphBuilder::new(slm.clone());
         gb.set_index_entities(config.enable_entity_nodes);
         gb.add_docstore(&docs);
@@ -436,7 +435,7 @@ impl EngineBuilder {
             }
         }
         let (graph, graph_stats) = gb.finish();
-        metrics.record_stage(Stage::BuildGraph, elapsed_ns(graph_start));
+        metrics.record_stage(Stage::BuildGraph, graph_start.elapsed_ns());
 
         let docs = Arc::new(docs);
         let graph = Arc::new(graph);
@@ -446,9 +445,9 @@ impl EngineBuilder {
         topo_config.max_frontier =
             topo_config.max_frontier.min(config.governors.max_traversal_frontier);
         let topo = TopologyRetriever::new(slm.clone(), graph.clone(), docs.clone(), topo_config);
-        let dense_start = Instant::now();
+        let dense_start = tracekit::wall::Stopwatch::start();
         let dense = DenseRetriever::build_with_pool(slm.clone(), &docs, config.parallel.pool());
-        metrics.record_stage(Stage::BuildDense, elapsed_ns(dense_start));
+        metrics.record_stage(Stage::BuildDense, dense_start.elapsed_ns());
         let estimator = {
             let mut e = EntropyEstimator::new(slm.clone());
             e.n_samples = config.entropy_samples;
@@ -472,7 +471,7 @@ impl EngineBuilder {
         metrics.set(Metric::GraphEntities, graph_stats.entities as u64);
         metrics.set(Metric::GraphChunks, graph_stats.chunks as u64);
         metrics.set(Metric::GraphRecords, graph_stats.records as u64);
-        metrics.record_stage(Stage::BuildTotal, elapsed_ns(build_start));
+        metrics.record_stage(Stage::BuildTotal, build_start.elapsed_ns());
 
         let engine = UnifiedEngine {
             parser: IntentParser::new(slm.clone()),
@@ -491,12 +490,6 @@ impl EngineBuilder {
         };
         (engine, report)
     }
-}
-
-/// Nanoseconds since `start`, saturated into `u64` (wall-clock; feeds the
-/// non-deterministic [`TimingReport`] only).
-fn elapsed_ns(start: Instant) -> u64 {
-    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The unified semantic query engine.
@@ -636,7 +629,7 @@ impl UnifiedEngine {
     /// every recording call is one branch, no allocation — the block is
     /// `None`, and the sink is never touched.
     fn answer_traced(&self, question: &str) -> (Answer, Option<String>) {
-        let start = Instant::now();
+        let start = tracekit::wall::Stopwatch::start();
         let sinking = !self.sink.is_off();
         let mut scope = if self.config.trace || sinking {
             TraceScope::enabled(question)
@@ -654,11 +647,11 @@ impl UnifiedEngine {
             self.metrics.incr(Metric::QueryStructuredHits);
         }
         self.metrics.add(Metric::QueryDegradations, answer.degradations.len() as u64);
-        self.metrics.record_stage(Stage::AnswerTotal, elapsed_ns(start));
+        self.metrics.record_stage(Stage::AnswerTotal, start.elapsed_ns());
 
         let trace = scope.finish(answer.route.label());
         let block = match (&trace, sinking) {
-            (Some(t), true) => Some(tracekit::render_block(t, elapsed_ns(start))),
+            (Some(t), true) => Some(tracekit::render_block(t, start.elapsed_ns())),
             _ => None,
         };
         if self.config.trace {
@@ -721,18 +714,18 @@ impl UnifiedEngine {
         let mut attempted_structured = false;
         if self.config.enable_synthesis && !intent.is_plain_lookup() {
             attempted_structured = true;
-            let structured_start = Instant::now();
+            let structured_start = tracekit::wall::Stopwatch::start();
             let (hit, failures) = self.try_structured_traced(&intent, scope);
-            self.metrics.record_stage(Stage::AnswerStructured, elapsed_ns(structured_start));
+            self.metrics.record_stage(Stage::AnswerStructured, structured_start.elapsed_ns());
             if let Some((table, result)) = hit {
                 let text = render_structured(&intent, &self.db, &table, &result);
                 if !text.is_empty() {
                     // Deterministic plan output = maximally grounded
                     // evidence; entropy sampling confirms stability.
-                    let entropy_start = Instant::now();
+                    let entropy_start = tracekit::wall::Stopwatch::start();
                     let evidence = vec![SupportedAnswer::new(text.clone(), 6.0)];
                     let report = self.estimator.estimate(question, &evidence);
-                    self.metrics.record_stage(Stage::AnswerEntropy, elapsed_ns(entropy_start));
+                    self.metrics.record_stage(Stage::AnswerEntropy, entropy_start.elapsed_ns());
                     self.record_entropy(&report);
                     let confidence = report.confidence();
                     scope.rung("structured", RungOutcome::Succeeded, || {
@@ -785,7 +778,7 @@ impl UnifiedEngine {
 
         // Retrieval rung (§III.B): a traversal fault or frontier cap falls
         // back to dense scoring rather than failing the query.
-        let retrieval_start = Instant::now();
+        let retrieval_start = tracekit::wall::Stopwatch::start();
         let hits = if self.config.enable_topology {
             if let Err(f) = faults.check(Site::GraphTraverse, question) {
                 self.metrics.incr(Metric::FaultsFired);
@@ -840,7 +833,7 @@ impl UnifiedEngine {
             });
             self.dense.retrieve(question, self.config.retrieval_top_k)
         };
-        self.metrics.record_stage(Stage::AnswerRetrieval, elapsed_ns(retrieval_start));
+        self.metrics.record_stage(Stage::AnswerRetrieval, retrieval_start.elapsed_ns());
         let chunk_triples: Vec<(usize, String, f64)> = hits
             .iter()
             .filter_map(|h| {
@@ -853,9 +846,9 @@ impl UnifiedEngine {
         // IDF weighting also sharpens discriminative terms.
         let evidence = extract_evidence_grounded(question, &chunk_triples, 6, &intent.entities);
         let supported = to_supported_answers(&evidence);
-        let entropy_start = Instant::now();
+        let entropy_start = tracekit::wall::Stopwatch::start();
         let report = self.estimator.estimate(question, &supported);
-        self.metrics.record_stage(Stage::AnswerEntropy, elapsed_ns(entropy_start));
+        self.metrics.record_stage(Stage::AnswerEntropy, entropy_start.elapsed_ns());
         self.record_entropy(&report);
         let confidence = report.confidence();
 

@@ -5,7 +5,7 @@
 //! that are most relevant to a given query".
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet, VecDeque};
 
 use detkit::Rng;
 use parkit::Pool;
@@ -42,8 +42,8 @@ pub fn bfs_within(graph: &HetGraph, start: NodeId, max_hops: usize) -> Vec<(Node
 
 /// Multi-source BFS: hop distance to the nearest of `sources` for every
 /// reachable node.
-pub fn multi_source_hops(graph: &HetGraph, sources: &[NodeId]) -> HashMap<NodeId, usize> {
-    let mut dist = HashMap::new();
+pub fn multi_source_hops(graph: &HetGraph, sources: &[NodeId]) -> BTreeMap<NodeId, usize> {
+    let mut dist = BTreeMap::new();
     let mut queue = VecDeque::new();
     for &s in sources {
         if !dist.contains_key(&s) {
@@ -90,8 +90,8 @@ impl PartialOrd for HeapItem {
 
 /// Weighted single-source shortest distances using edge traversal costs
 /// (see [`crate::graph::EdgeKind::traversal_cost`]), cut off at `max_cost`.
-pub fn dijkstra_within(graph: &HetGraph, start: NodeId, max_cost: f64) -> HashMap<NodeId, f64> {
-    let mut dist: HashMap<NodeId, f64> = HashMap::new();
+pub fn dijkstra_within(graph: &HetGraph, start: NodeId, max_cost: f64) -> BTreeMap<NodeId, f64> {
+    let mut dist: BTreeMap<NodeId, f64> = BTreeMap::new();
     let mut heap = BinaryHeap::new();
     dist.insert(start, 0.0);
     heap.push(HeapItem { cost: 0.0, node: start });

@@ -1,0 +1,93 @@
+//! `udlint` — the workspace determinism linter.
+//!
+//! ```text
+//! udlint [--root DIR] [--format text|json] [--deny all] [--pedantic]
+//!        [--suppressions] [--list]
+//! ```
+//!
+//! - `--root DIR`        tree to lint (default: current directory)
+//! - `--format json`     machine-readable, byte-stable report
+//! - `--deny all`        exit non-zero if any unsuppressed diagnostic
+//! - `--pedantic`        also run the high-noise slice-index audit
+//! - `--suppressions`    print only the active-suppression count
+//!                       (ci.sh compares it against lint-budget.txt)
+//! - `--list`            print the closed lint registry and exit
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = String::from("text");
+    let mut deny = false;
+    let mut pedantic = false;
+    let mut count_only = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => return usage("--root needs a directory"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = "text".into(),
+                Some("json") => format = "json".into(),
+                _ => return usage("--format must be `text` or `json`"),
+            },
+            "--deny" => match args.next().as_deref() {
+                Some("all") => deny = true,
+                _ => return usage("only `--deny all` is supported"),
+            },
+            "--pedantic" => pedantic = true,
+            "--suppressions" => count_only = true,
+            "--list" => {
+                for (name, desc) in lintkit::LINTS {
+                    println!("{name}\n    {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match lintkit::runner::run(&root, pedantic) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("udlint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if count_only {
+        println!("{}", report.suppressed.len());
+        return ExitCode::SUCCESS;
+    }
+
+    match format.as_str() {
+        "json" => print!("{}", report.render_json()),
+        _ => print!("{}", report.render_text()),
+    }
+
+    if deny && !report.diagnostics.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("udlint: {err}");
+    }
+    eprintln!(
+        "usage: udlint [--root DIR] [--format text|json] [--deny all] [--pedantic] \
+         [--suppressions] [--list]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

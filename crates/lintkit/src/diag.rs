@@ -1,0 +1,120 @@
+//! Diagnostics and their text/JSON renderings.
+//!
+//! Ordering is part of the contract: diagnostics (and suppression
+//! reports) sort by `(path, line, lint)` and the JSON rendering contains
+//! nothing nondeterministic (no timestamps, no absolute paths), so two
+//! runs over the same tree are byte-identical — CI can diff them.
+
+use std::cmp::Ordering;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint name (see [`crate::LINTS`]).
+    pub lint: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The canonical sort key.
+    pub fn sort_key(&self) -> (&str, u32, &str, &str) {
+        (&self.path, self.line, &self.lint, &self.message)
+    }
+}
+
+impl PartialOrd for Diagnostic {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Diagnostic {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+/// A diagnostic that was silenced by a suppression comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppressed {
+    /// The silenced diagnostic.
+    pub diag: Diagnostic,
+    /// The mandatory reason from the suppression comment.
+    pub reason: String,
+}
+
+/// Escapes a string for a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// `{"path":…,"line":…,"lint":…,"message":…}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"path\":\"{}\",\"line\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.path),
+            self.line,
+            json_escape(&self.lint),
+            json_escape(&self.message)
+        )
+    }
+
+    /// `path:line: [lint] message` (the text format).
+    pub fn to_text(&self) -> String {
+        format!("{}:{}: [{}] {}", self.path, self.line, self.lint, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(path: &str, line: u32, lint: &str) -> Diagnostic {
+        Diagnostic { path: path.into(), line, lint: lint.into(), message: "m".into() }
+    }
+
+    #[test]
+    fn sorts_by_path_line_lint() {
+        let mut v =
+            vec![d("b.rs", 1, "x"), d("a.rs", 9, "x"), d("a.rs", 9, "a"), d("a.rs", 2, "z")];
+        v.sort();
+        let got: Vec<(String, u32, String)> =
+            v.into_iter().map(|d| (d.path, d.line, d.lint)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("a.rs".into(), 2, "z".into()),
+                ("a.rs".into(), 9, "a".into()),
+                ("a.rs".into(), 9, "x".into()),
+                ("b.rs".into(), 1, "x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let mut diag = d("a\"b.rs", 3, "l");
+        diag.message = "line\nbreak\tand \\ quote\"".into();
+        let j = diag.to_json();
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("line\\nbreak\\tand \\\\ quote\\\""));
+    }
+}

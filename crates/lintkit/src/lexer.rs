@@ -1,0 +1,511 @@
+//! A std-only Rust lexer, exact enough for linting.
+//!
+//! The awk gates this crate replaces worked line-by-line on raw text, so a
+//! `.unwrap()` inside a raw string, a `Degradation::new(` split across two
+//! lines, or an `unwrap` in a block comment all confused them. This lexer
+//! produces a real token stream instead:
+//!
+//! - raw strings (`r"…"`, `r#"…"#`, any hash depth, plus `b`/`br`/`c`/`cr`
+//!   prefixes) are single [`TokKind::Str`] tokens — their *contents* can
+//!   never match a code pattern;
+//! - block comments nest (`/* /* */ */`), line/doc comments are kept as
+//!   tokens so the suppression grammar can read them;
+//! - `'a'` (char literal) and `'a` (lifetime) are distinguished the way
+//!   rustc does it, so `Vec<'a>` never eats the rest of the file;
+//! - numbers absorb exponents (`1.0e-3`) without swallowing `0..n` ranges.
+//!
+//! The lexer never fails: unknown bytes become one-byte [`TokKind::Punct`]
+//! tokens. Every token records the 1-based line it starts on.
+
+/// Token classes, deliberately coarse — passes match on text, not grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Any string literal, raw or not, byte or not, with quotes/prefix.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (integer or float, any base, suffix included).
+    Num,
+    /// One punctuation byte (`.`, `#`, `{`, …).
+    Punct,
+    /// `// …` comment (doc comments `///` and `//!` included), no newline.
+    LineComment,
+    /// `/* … */` comment, nesting handled; may span lines.
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Set by [`crate::source::SourceFile`]: token lies inside a
+    /// `#[cfg(test)]` item (or the file is wholly test scope).
+    pub in_test: bool,
+}
+
+impl Tok {
+    fn new(kind: TokKind, text: &str, line: u32) -> Tok {
+        Tok { kind, text: text.to_string(), line, in_test: false }
+    }
+
+    /// True for comment tokens (which passes skip).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into tokens. Never fails; see module docs for guarantees.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { b: src.as_bytes(), src, i: 0, line: 1, toks: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    src: &'a str,
+    i: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.i),
+                b'\'' => self.char_or_lifetime(),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    // Operators that passes match as single tokens are
+                    // glued (`::`, `->`, `=>`, `..`); everything else —
+                    // including UTF-8 continuation bytes outside literals,
+                    // which don't occur in valid code positions — degrades
+                    // to one-byte Punct tokens.
+                    let rest = &self.b[self.i..];
+                    let len = if rest.starts_with(b"..=") || rest.starts_with(b"...") {
+                        3
+                    } else if rest.starts_with(b"::")
+                        || rest.starts_with(b"->")
+                        || rest.starts_with(b"=>")
+                        || rest.starts_with(b"..")
+                    {
+                        2
+                    } else {
+                        1
+                    };
+                    let end = (self.i + len).min(self.b.len());
+                    self.push(TokKind::Punct, self.i, end);
+                    self.i = end;
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize) {
+        // Slicing on a non-char boundary can't happen for the token kinds
+        // we produce (ASCII delimiters), but guard anyway: widen to the
+        // nearest boundaries rather than panicking inside the linter.
+        let mut s = start;
+        let mut e = end.min(self.src.len());
+        while s > 0 && !self.src.is_char_boundary(s) {
+            s -= 1;
+        }
+        while e < self.src.len() && !self.src.is_char_boundary(e) {
+            e += 1;
+        }
+        self.toks.push(Tok::new(kind, &self.src[s..e], self.line));
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.push(TokKind::LineComment, start, self.i);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let start_line = self.line;
+        let mut depth = 0usize;
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if self.b[self.i] == b'\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+            }
+        }
+        let line = self.line;
+        self.line = start_line;
+        self.push(TokKind::BlockComment, start, self.i);
+        self.line = line;
+    }
+
+    /// Cooked string starting at `start` (which may be before a `b`/`c`
+    /// prefix); `self.i` is at the opening quote.
+    fn string(&mut self, start: usize) {
+        let start_line = self.line;
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2.min(self.b.len() - self.i),
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        let line = self.line;
+        self.line = start_line;
+        self.push(TokKind::Str, start, self.i);
+        self.line = line;
+    }
+
+    /// Raw string starting at `start`; `self.i` is at the first `#` or the
+    /// opening quote.
+    fn raw_string(&mut self, start: usize) {
+        let start_line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // opening quote (caller guaranteed it)
+        'scan: while self.i < self.b.len() {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+            } else if self.b[self.i] == b'"' {
+                // Need `hashes` trailing #s to close.
+                let mut j = self.i + 1;
+                let mut seen = 0usize;
+                while seen < hashes && self.b.get(j) == Some(&b'#') {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    self.i = j;
+                    break 'scan;
+                }
+            }
+            self.i += 1;
+        }
+        let line = self.line;
+        self.line = start_line;
+        self.push(TokKind::Str, start, self.i);
+        self.line = line;
+    }
+
+    /// Distinguishes `'a'` / `'\n'` / `b'x'` (char literals) from `'a` /
+    /// `'static` (lifetimes): a char literal closes with `'` right after
+    /// one (possibly escaped) character; a lifetime is `'` + ident with no
+    /// closing quote.
+    fn char_or_lifetime(&mut self) {
+        let start = self.i;
+        self.i += 1; // opening '
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.i += 2.min(self.b.len() - self.i);
+                while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                    self.i += 1;
+                }
+                self.i = (self.i + 1).min(self.b.len());
+                self.push(TokKind::Char, start, self.i);
+            }
+            Some(c) if is_ident_start(c) => {
+                // Could be 'x' (char) or 'ident (lifetime). Scan the ident.
+                let mut j = self.i;
+                while j < self.b.len() && is_ident_continue(self.b[j]) {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') && j == self.i + 1 {
+                    // Exactly one ASCII ident char then a quote: 'x'.
+                    self.i = j + 1;
+                    self.push(TokKind::Char, start, self.i);
+                } else {
+                    // Lifetime ('a, 'static, '_): no closing quote consumed.
+                    self.i = j;
+                    self.push(TokKind::Lifetime, start, self.i);
+                }
+            }
+            Some(b'_') => {
+                self.i += 1;
+                self.push(TokKind::Lifetime, start, self.i);
+            }
+            Some(_) => {
+                // Non-ident char: 'é', ' ', etc. — char literal; find the
+                // closing quote within a few bytes.
+                while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                    if self.b[self.i] == b'\n' {
+                        // Stray quote; bail as Punct to stay line-accurate.
+                        self.push(TokKind::Punct, start, start + 1);
+                        self.i = start + 1;
+                        return;
+                    }
+                    self.i += 1;
+                }
+                self.i = (self.i + 1).min(self.b.len());
+                self.push(TokKind::Char, start, self.i);
+            }
+            None => {
+                self.push(TokKind::Punct, start, self.i);
+            }
+        }
+    }
+
+    /// An identifier, or a string/char literal behind an `r`/`b`/`c`
+    /// prefix (`r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`, `b'x'`, `c"…"`).
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        let ident = &self.src[start..self.i];
+        let next = self.peek(0);
+        match ident {
+            "r" | "br" | "cr" => {
+                if next == Some(b'"') {
+                    return self.raw_string(start);
+                }
+                if next == Some(b'#') {
+                    // `r#"…"#` raw string, or `r#ident` raw identifier.
+                    let mut j = self.i;
+                    while self.b.get(j) == Some(&b'#') {
+                        j += 1;
+                    }
+                    if self.b.get(j) == Some(&b'"') {
+                        return self.raw_string(start);
+                    }
+                    if ident == "r" && is_ident_start(self.b.get(j).copied().unwrap_or(0)) {
+                        // Raw identifier r#foo: lex as one Ident token.
+                        self.i = j;
+                        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                            self.i += 1;
+                        }
+                        return self.push(TokKind::Ident, start, self.i);
+                    }
+                }
+            }
+            "b" | "c" => {
+                if next == Some(b'"') {
+                    return self.string(start);
+                }
+                if ident == "b" && next == Some(b'\'') {
+                    // Byte char literal b'x': delegate, then re-brand the
+                    // token to include the prefix.
+                    self.char_or_lifetime();
+                    if let Some(last) = self.toks.last_mut() {
+                        last.text = self.src[start..self.i].to_string();
+                    }
+                    return;
+                }
+            }
+            _ => {}
+        }
+        self.push(TokKind::Ident, start, self.i);
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.i += 1;
+                // Exponent sign: `1e-3`, `2.5E+7`.
+                if (c == b'e' || c == b'E')
+                    && !self.src[start..self.i].starts_with("0x")
+                    && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                {
+                    self.i += 1;
+                }
+            } else if c == b'.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !self.src[start..self.i].contains('.')
+            {
+                // Fraction — but `0..n` must stay a range: only consume the
+                // dot when a digit follows and we haven't taken one yet.
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, start, self.i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let t = texts("let x = a.b();");
+        let kinds: Vec<TokKind> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Ident,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Punct,
+                TokKind::Punct,
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_string_hides_code() {
+        let t = texts(r####"let s = r#"x.unwrap() "quoted" inner"#; s.len()"####);
+        let strs: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokKind::Str).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(strs, vec![r###"r#"x.unwrap() "quoted" inner"#"###]);
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && s == "unwrap"));
+    }
+
+    #[test]
+    fn raw_string_hash_depths() {
+        let src = "r\"a\" r#\"b\"# r##\"c \"# inner\"##";
+        let t = texts(src);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = texts("a /* outer /* inner.unwrap() */ still */ b");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "a".into()),
+                (TokKind::BlockComment, "/* outer /* inner.unwrap() */ still */".into()),
+                (TokKind::Ident, "b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let t = texts("let c: char = 'a'; fn f<'a>(x: &'a str) {} let n = '\\n';");
+        let chars: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokKind::Char).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(chars, vec!["'a'", "'\\n'"]);
+        let lifes: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(lifes, vec!["'a", "'a"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let t = texts("&'static str; &'_ u8");
+        let lifes: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(lifes, vec!["'static", "'_"]);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let t = texts(r##"b"bytes" b'x' br#"raw"#"##);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let t = texts("1.0e-3 0x1f 0..10 1_000 2.5E+7 x.0");
+        let nums: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokKind::Num).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(nums, vec!["1.0e-3", "0x1f", "0", "10", "1_000", "2.5E+7", "0"]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = texts(r#"let s = "a\"b.unwrap()\\"; t"#);
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && s == "unwrap"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn line_numbers_across_multiline_tokens() {
+        let src = "a\n/* c1\nc2 */\nb \"s1\ns2\" c";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 5, "line counter advances across multiline string");
+        let cm = toks.iter().find(|t| t.kind == TokKind::BlockComment).unwrap();
+        assert_eq!(cm.line, 2, "block comment reports its starting line");
+    }
+
+    #[test]
+    fn doc_comments_are_line_comments() {
+        let t = texts("/// x.unwrap() in docs\n//! inner\nfn f() {}");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::LineComment).count(), 2);
+        assert!(!t.iter().any(|(k, s)| *k == TokKind::Ident && s == "unwrap"));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let t = texts("let r#type = 1;");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Ident && s == "r#type"));
+    }
+
+    #[test]
+    fn unterminated_tokens_do_not_hang() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?} lexes to something");
+        }
+    }
+}

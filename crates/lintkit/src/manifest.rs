@@ -1,0 +1,251 @@
+//! `non-path-dependency` — the hermetic-build manifest pass.
+//!
+//! Every dependency in every `Cargo.toml` (including the root
+//! `[workspace.dependencies]` table, so `workspace = true` inheritance is
+//! transitively path-only) must either declare `path = …` or inherit via
+//! `workspace = true`. Version-only, git, and registry dependencies all
+//! fail: the tier-1 gate builds with `CARGO_NET_OFFLINE=true` against an
+//! empty registry, so they could never resolve anyway — this lint just
+//! says so before cargo does, with a line number.
+//!
+//! Improvements over the awk it replaces: multi-line inline tables
+//! (`foo = {` … `}`) are joined before checking, and dotted sub-table
+//! sections (`[dependencies.foo]`) are audited too.
+//!
+//! Suppression uses the same grammar as Rust sources, in a TOML comment:
+//! `# udlint: allow(non-path-dependency) -- <reason>`.
+
+use crate::diag::Diagnostic;
+use crate::source::Suppression;
+
+/// Whether a `[section]` header names a dependency table.
+fn is_dep_table(section: &str) -> bool {
+    section == "dependencies"
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+        || section == "workspace.dependencies"
+        || section.ends_with(".dependencies")
+        || section.ends_with(".dev-dependencies")
+        || section.ends_with(".build-dependencies")
+}
+
+/// Whether a header is a *single-dependency* sub-table like
+/// `[dependencies.foo]`.
+fn dep_subtable(section: &str) -> Option<&str> {
+    for prefix in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+        if let Some(rest) = section.strip_prefix(prefix) {
+            return Some(rest);
+        }
+    }
+    None
+}
+
+fn entry_is_path_or_workspace(entry: &str) -> bool {
+    let squashed: String = entry.split_whitespace().collect::<Vec<_>>().join(" ");
+    squashed.contains("path =")
+        || squashed.contains("path=")
+        || squashed.contains("workspace = true")
+        || squashed.contains("workspace=true")
+}
+
+/// Lints one manifest. Returns diagnostics plus any suppressions parsed
+/// from its TOML comments (target = the comment's own line or, for a
+/// standalone comment line, the following line).
+pub fn lint_manifest(rel_path: &str, src: &str) -> (Vec<Diagnostic>, Vec<Suppression>) {
+    let mut out = Vec::new();
+    let mut suppressions = Vec::new();
+    let mut section = String::new();
+    // (start line, name, accumulated text, brace balance) of an entry.
+    let mut pending: Option<(u32, String, String, i32)> = None;
+    let mut subtable: Option<(u32, String, bool)> = None; // line, name, saw path
+
+    let close_subtable = |sub: &mut Option<(u32, String, bool)>, out: &mut Vec<Diagnostic>| {
+        if let Some((line, name, ok)) = sub.take() {
+            if !ok {
+                out.push(Diagnostic {
+                    path: rel_path.to_string(),
+                    line,
+                    lint: "non-path-dependency".into(),
+                    message: format!(
+                        "dependency table `{name}` has no `path =` key (hermetic build \
+                             policy: path-only dependencies)"
+                    ),
+                });
+            }
+        }
+    };
+
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = (i + 1) as u32;
+        // TOML comments can carry suppressions.
+        if let Some(hash) = raw.find('#') {
+            let comment = &raw[hash..];
+            if let Some(s) = parse_toml_allow(comment, lineno, raw[..hash].trim().is_empty()) {
+                suppressions.push(s);
+            }
+        }
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((_, _, text, balance)) = pending.as_mut() {
+            text.push(' ');
+            text.push_str(line);
+            *balance += brace_delta(line);
+            if *balance <= 0 {
+                let (l, name, text, _) = pending.take().unwrap_or_default();
+                if !entry_is_path_or_workspace(&text) {
+                    push_entry_diag(&mut out, rel_path, l, &name);
+                }
+            }
+            continue;
+        }
+        if line.starts_with('[') {
+            close_subtable(&mut subtable, &mut out);
+            section = line.trim_matches(['[', ']']).trim().to_string();
+            if let Some(name) = dep_subtable(&section) {
+                subtable = Some((lineno, name.to_string(), false));
+            }
+            continue;
+        }
+        if subtable.is_some() {
+            if line.starts_with("path") {
+                if let Some(s) = subtable.as_mut() {
+                    s.2 = true;
+                }
+            }
+            continue;
+        }
+        if !is_dep_table(&section) {
+            continue;
+        }
+        let Some((name, rest)) = line.split_once('=') else { continue };
+        let name = name.trim().to_string();
+        let balance = brace_delta(rest);
+        if balance > 0 {
+            pending = Some((lineno, name, rest.to_string(), balance));
+        } else if !entry_is_path_or_workspace(rest) {
+            push_entry_diag(&mut out, rel_path, lineno, &name);
+        }
+    }
+    close_subtable(&mut subtable, &mut out);
+    if let Some((l, name, text, _)) = pending {
+        if !entry_is_path_or_workspace(&text) {
+            push_entry_diag(&mut out, rel_path, l, &name);
+        }
+    }
+    (out, suppressions)
+}
+
+fn push_entry_diag(out: &mut Vec<Diagnostic>, rel_path: &str, line: u32, name: &str) {
+    out.push(Diagnostic {
+        path: rel_path.to_string(),
+        line,
+        lint: "non-path-dependency".into(),
+        message: format!(
+            "dependency `{name}` is not a path dependency (hermetic build policy: declare \
+             `path = …` or inherit `workspace = true`)"
+        ),
+    });
+}
+
+fn brace_delta(s: &str) -> i32 {
+    s.chars()
+        .map(|c| match c {
+            '{' => 1,
+            '}' => -1,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Parses `# udlint: allow(lint) -- reason`; standalone comments cover
+/// the next line, trailing comments their own line. Malformed markers are
+/// simply ignored here (the Rust-side grammar is the canonical one).
+fn parse_toml_allow(comment: &str, line: u32, standalone: bool) -> Option<Suppression> {
+    let pos = comment.find("udlint:")?;
+    let rest = comment[pos + 7..].trim_start().strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let lint = rest[..close].trim().to_string();
+    let reason = rest[close + 1..].trim_start().strip_prefix("--")?.trim().to_string();
+    if lint.is_empty() || reason.is_empty() {
+        return None;
+    }
+    Some(Suppression {
+        target_line: if standalone { line + 1 } else { line },
+        comment_line: line,
+        lint,
+        reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        lint_manifest("Cargo.toml", src).0
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let src = "[dependencies]\n\
+                   detkit = { path = \"../detkit\" }\n\
+                   unisem-core = { workspace = true }\n\
+                   [dev-dependencies]\n\
+                   parkit = { path = \"../parkit\", features = [\"x\"] }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn version_git_and_registry_deps_fail() {
+        let src = "[dependencies]\n\
+                   serde = \"1.0\"\n\
+                   rand = { version = \"0.8\" }\n\
+                   left-pad = { git = \"https://example.org/x\" }\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().all(|d| d.lint == "non-path-dependency"));
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn multiline_inline_table_is_joined() {
+        let src = "[dependencies]\nbig = {\n  version = \"1\"\n}\nok = { path = \"x\" }\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn dotted_subtable_requires_path() {
+        let src = "[dependencies.foo]\nversion = \"1\"\n\n[dependencies.bar]\npath = \"../bar\"\n";
+        let d = lint(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("`foo`"));
+    }
+
+    #[test]
+    fn workspace_dependencies_table_is_audited() {
+        let src = "[workspace.dependencies]\nserde = \"1\"\n";
+        assert_eq!(lint(src).len(), 1);
+    }
+
+    #[test]
+    fn non_dep_sections_ignored() {
+        let src = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n[features]\ndefault = []\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn toml_suppression_parses() {
+        let src = "[dependencies]\n\
+                   serde = \"1\" # udlint: allow(non-path-dependency) -- vendored offline\n";
+        let (d, s) = lint_manifest("Cargo.toml", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].target_line, 2);
+        assert_eq!(s[0].lint, "non-path-dependency");
+    }
+}

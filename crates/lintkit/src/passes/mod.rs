@@ -1,0 +1,144 @@
+//! The AST-lite pass framework and the closed lint registry.
+//!
+//! A pass walks one file's significant-token stream (comments stripped,
+//! `in_test` spans marked) and emits [`Diagnostic`]s. Passes are pure
+//! pattern matchers over tokens — no type information — so each lint
+//! documents its heuristic and accepts line-level suppression for the
+//! cases the heuristic cannot see through (reason mandatory, counted,
+//! budgeted by ci.sh).
+//!
+//! # Adding a lint (DESIGN.md §10)
+//!
+//! 1. Add the name + description to [`crate::LINTS`].
+//! 2. Write a `Pass` impl in a new `passes/<name>.rs` module: pick the
+//!    crates it applies to in `applies`, match tokens in `run`.
+//! 3. Register it in [`registry`].
+//! 4. Add adversarial snippets to `tests/adversarial.rs` proving the
+//!    false-positive cases (strings, comments, test spans) stay silent.
+
+pub mod envread;
+pub mod namespace;
+pub mod spawn;
+pub mod unordered;
+pub mod unwrap;
+pub mod wallclock;
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// How a file participates in linting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileScope {
+    /// Not linted: tooling crates (detkit, bench, lintkit), integration
+    /// tests, benches, examples — code that never serves a query.
+    Ignored,
+    /// Library code of an engine crate; `krate` is the directory name
+    /// under `crates/`.
+    Engine {
+        /// Crate directory name (e.g. `"core"`, `"relstore"`).
+        krate: String,
+    },
+}
+
+/// Crates whose `src/` is *tooling*, not engine code. The determinism
+/// contract binds what runs inside a query; harnesses that measure or
+/// lint the engine legitimately read clocks, env vars, and argv.
+const TOOLING_CRATES: &[&str] = &["detkit", "bench", "lintkit"];
+
+/// Crates whose non-test library code must stay panic-free on untrusted
+/// input (the `unwrap-in-core` audit set; DESIGN.md §8).
+const PANIC_FREE_CRATES: &[&str] = &["core", "relstore", "hetgraph", "retrieval"];
+
+/// Crates bound by the closed trace/metric namespace rule (DESIGN.md §9).
+const NAMESPACE_CRATES: &[&str] = &["core", "relstore", "hetgraph", "retrieval"];
+
+/// Classifies a workspace-relative path (forward slashes).
+pub fn file_scope(rel_path: &str) -> FileScope {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    if parts.first() != Some(&"crates") || parts.len() < 3 {
+        // Workspace-level `tests/`, `examples/`, stray files.
+        return FileScope::Ignored;
+    }
+    let krate = parts[1];
+    if TOOLING_CRATES.contains(&krate) {
+        return FileScope::Ignored;
+    }
+    if parts[2] != "src" {
+        // crates/<k>/tests, crates/<k>/benches, crates/<k>/examples.
+        return FileScope::Ignored;
+    }
+    FileScope::Engine { krate: krate.to_string() }
+}
+
+/// A lint pass over one file.
+pub trait Pass {
+    /// The lint name this pass reports under (must appear in
+    /// [`crate::LINTS`]).
+    fn lint(&self) -> &'static str;
+
+    /// Whether the pass runs on engine crate `krate` at `rel_path`.
+    fn applies(&self, krate: &str, rel_path: &str) -> bool;
+
+    /// Emits diagnostics for `file` into `out`.
+    fn run(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// The closed pass registry. `pedantic` additionally enables the
+/// slice-index audit (high-noise; run via `udlint --pedantic`).
+pub fn registry(pedantic: bool) -> Vec<Box<dyn Pass>> {
+    let mut passes: Vec<Box<dyn Pass>> = vec![
+        Box::new(unwrap::UnwrapInCore),
+        Box::new(unordered::UnorderedIteration),
+        Box::new(wallclock::WallclockInHotPath),
+        Box::new(spawn::RawThreadSpawn),
+        Box::new(namespace::StringMetricLabel),
+        Box::new(envread::NondeterministicEnv),
+    ];
+    if pedantic {
+        passes.push(Box::new(unwrap::SliceIndex));
+    }
+    passes
+}
+
+pub(crate) fn in_panic_free_set(krate: &str) -> bool {
+    PANIC_FREE_CRATES.contains(&krate)
+}
+
+pub(crate) fn in_namespace_set(krate: &str) -> bool {
+    NAMESPACE_CRATES.contains(&krate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_classification() {
+        assert_eq!(
+            file_scope("crates/core/src/engine.rs"),
+            FileScope::Engine { krate: "core".into() }
+        );
+        assert_eq!(file_scope("crates/detkit/src/rng.rs"), FileScope::Ignored);
+        assert_eq!(file_scope("crates/bench/src/bin/profile.rs"), FileScope::Ignored);
+        assert_eq!(file_scope("crates/lintkit/src/lexer.rs"), FileScope::Ignored);
+        assert_eq!(file_scope("crates/parkit/tests/stress.rs"), FileScope::Ignored);
+        assert_eq!(file_scope("tests/tests/determinism.rs"), FileScope::Ignored);
+        assert_eq!(file_scope("examples/observability.rs"), FileScope::Ignored);
+        assert_eq!(
+            file_scope("crates/tracekit/src/wall.rs"),
+            FileScope::Engine { krate: "tracekit".into() }
+        );
+    }
+
+    #[test]
+    fn registry_is_closed_and_named() {
+        for pass in registry(true) {
+            assert!(
+                crate::LINTS.iter().any(|(name, _)| *name == pass.lint()),
+                "pass `{}` missing from LINTS registry",
+                pass.lint()
+            );
+        }
+        assert_eq!(registry(false).len() + 1, registry(true).len());
+    }
+}

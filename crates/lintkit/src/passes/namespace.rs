@@ -1,0 +1,91 @@
+//! `string-metric-label` — the closed trace/metric namespace rule
+//! (DESIGN.md §9), now multiline-proof.
+//!
+//! Degradation components and metric names form one closed namespace
+//! (`tracekit::component` / `tracekit::Metric`). Engine code must pass
+//! registry constants, never string literals — a literal compiles today
+//! and silently forks the namespace tomorrow. The old awk gate matched
+//! single lines, so `Degradation::new(\n    "label"` slipped through;
+//! token matching does not care where the newlines fall.
+//!
+//! Flags, outside test spans:
+//!
+//! - `Degradation::new("…"` — string literal as the component argument;
+//! - `.incr("…"` / `.add("…"` / `.set("…"` / `.observe("…"` /
+//!   `.record_stage("…"` — metric calls take enum variants by
+//!   construction, so a string argument means someone is routing around
+//!   the registry;
+//! - `from_name(format!…)` / `from_name(String…)` / `from_name(&format!…)`
+//!   — dynamically *constructed* names defeat the closed registry even
+//!   through the lookup API.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::passes::{in_namespace_set, Pass};
+use crate::source::SourceFile;
+
+/// The closed-namespace pass.
+pub struct StringMetricLabel;
+
+const METRIC_METHODS: &[&str] = &["incr", "add", "set", "observe", "record_stage"];
+
+impl Pass for StringMetricLabel {
+    fn lint(&self) -> &'static str {
+        "string-metric-label"
+    }
+
+    fn applies(&self, krate: &str, _rel_path: &str) -> bool {
+        in_namespace_set(krate)
+    }
+
+    fn run(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for k in 0..file.sig.len() {
+            if file.sig_in_test(k) {
+                continue;
+            }
+            let t = file.sig_text(k);
+            let flagged = if t == "Degradation"
+                && file.sig_matches(k + 1, &["::", "new", "("])
+                && file.sig_kind(k + 4) == Some(TokKind::Str)
+            {
+                Some(
+                    "Degradation::new(\"…\") bypasses the closed component registry; \
+                     use a tracekit::component constant"
+                        .to_string(),
+                )
+            } else if METRIC_METHODS.contains(&t)
+                && k > 0
+                && file.sig_text(k - 1) == "."
+                && file.sig_text(k + 1) == "("
+                && file.sig_kind(k + 2) == Some(TokKind::Str)
+            {
+                Some(format!(
+                    ".{t}(\"…\") takes a string where the closed Metric registry expects an \
+                     enum constant"
+                ))
+            } else if t == "from_name" && file.sig_text(k + 1) == "(" {
+                let a = file.sig_text(k + 2);
+                let b = file.sig_text(k + 3);
+                if a == "format" || a == "String" || (a == "&" && b == "format") {
+                    Some(
+                        "from_name with a dynamically built name routes around the closed \
+                         metric registry"
+                            .to_string(),
+                    )
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            if let Some(message) = flagged {
+                out.push(Diagnostic {
+                    path: file.rel_path.clone(),
+                    line: file.sig_line(k),
+                    lint: self.lint().into(),
+                    message,
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! `raw-thread-spawn` — threads outside parkit.
+//!
+//! Determinism under parallelism (DESIGN.md §6) holds because *all*
+//! engine concurrency flows through parkit's deterministic fork-join
+//! pool: fixed chunking, index-ordered merges, panic containment. A raw
+//! `std::thread::spawn` (or `thread::Builder`) bypasses every one of
+//! those guarantees, so outside `crates/parkit` it is a contract
+//! violation, not a style preference.
+
+use crate::diag::Diagnostic;
+use crate::passes::Pass;
+use crate::source::SourceFile;
+
+/// The raw-thread pass.
+pub struct RawThreadSpawn;
+
+impl Pass for RawThreadSpawn {
+    fn lint(&self) -> &'static str {
+        "raw-thread-spawn"
+    }
+
+    fn applies(&self, krate: &str, _rel_path: &str) -> bool {
+        krate != "parkit"
+    }
+
+    fn run(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for k in 0..file.sig.len() {
+            if file.sig_in_test(k) || file.sig_text(k) != "thread" {
+                continue;
+            }
+            if file.sig_matches(k + 1, &["::", "spawn"])
+                || file.sig_matches(k + 1, &["::", "Builder"])
+            {
+                out.push(Diagnostic {
+                    path: file.rel_path.clone(),
+                    line: file.sig_line(k),
+                    lint: self.lint().into(),
+                    message: "raw std::thread outside parkit bypasses the deterministic \
+                              fork-join pool; use parkit::Pool"
+                        .into(),
+                });
+            }
+        }
+    }
+}

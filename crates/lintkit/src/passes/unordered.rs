@@ -1,0 +1,362 @@
+//! `unordered-iteration` — the determinism contract's blind spot.
+//!
+//! `HashMap`/`HashSet` iteration order depends on `RandomState`'s
+//! per-process seed: any float accumulated, trace emitted, or collection
+//! built *in iteration order* silently varies across runs even at one
+//! thread — exactly the hazard the byte-identical-answers contract
+//! (DESIGN.md §6) cannot tolerate and no compiler check catches.
+//!
+//! # Heuristic
+//!
+//! Per file, collect identifiers *known* to be hash collections:
+//!
+//! - annotations: `name: HashMap<…>` / `name: &mut HashSet<…>` (lets,
+//!   params, struct fields);
+//! - constructor bindings: `name = HashMap::new()` / `with_capacity`;
+//! - collect bindings: `let name = …collect::<HashMap<…>>()`.
+//!
+//! Then flag, outside test spans:
+//!
+//! - `for … in name` / `for … in &name` / `for … in name.iter()` …;
+//! - `name.iter()`, `.keys()`, `.values()`, `.drain()`, `.into_iter()`,
+//!   `.intersection()` … (also behind `self.`) unless the remainder of
+//!   the statement contains an **order-insensitive sink**: a `.sort*`
+//!   call, `.count()`, `.any()`/`.all()`, `.min()`/`.max()`, an integer
+//!   `.sum::<uN/iN>()`, or a `.collect::<…>()` into a `BTreeMap`/
+//!   `BTreeSet`/`HashMap`/`HashSet` (re-keying is order-insensitive);
+//! - `fn … -> HashMap/HashSet` returns (callers will iterate them; the
+//!   unordered-ness escapes the function boundary).
+//!
+//! The heuristic cannot prove per-key-update loops safe (`for k in map`
+//! where each key's slot is written independently) — those either switch
+//! to `BTreeMap`/sorted iteration or carry a reasoned suppression.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::passes::Pass;
+use crate::source::SourceFile;
+
+/// The unordered-iteration pass.
+pub struct UnorderedIteration;
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Iterator-producing methods on hash collections.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "intersection",
+    "union",
+    "difference",
+    "symmetric_difference",
+];
+
+/// Tokens that may appear between an identifier and its `HashMap`
+/// annotation when walking backwards from the type name to the `:`.
+const TYPE_PATH_TOKENS: &[&str] =
+    &["::", "std", "collections", "&", "mut", "<", "Arc", "Rc", "Box", "Option", "dyn"];
+
+impl Pass for UnorderedIteration {
+    fn lint(&self) -> &'static str {
+        "unordered-iteration"
+    }
+
+    fn applies(&self, _krate: &str, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn run(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let hash_idents = collect_hash_idents(file);
+        flag_fn_returns(file, self.lint(), out);
+        flag_for_loops(file, &hash_idents, self.lint(), out);
+        flag_method_chains(file, &hash_idents, self.lint(), out);
+        // One site can be matched by both the for-loop and the chain
+        // scanner; report it once.
+        out.sort();
+        out.dedup();
+    }
+}
+
+/// Identifiers this file binds to a `HashMap`/`HashSet`.
+fn collect_hash_idents(file: &SourceFile) -> BTreeSet<String> {
+    let mut idents = BTreeSet::new();
+    for k in 0..file.sig.len() {
+        if !HASH_TYPES.contains(&file.sig_text(k)) {
+            continue;
+        }
+        // Annotation: walk back over type-path tokens to a `:`, then the
+        // identifier before it (covers lets, fn params, struct fields).
+        let mut j = k;
+        while j > 0 && TYPE_PATH_TOKENS.contains(&file.sig_text(j - 1)) {
+            j -= 1;
+        }
+        if j >= 2 && file.sig_text(j - 1) == ":" && file.sig_kind(j - 2) == Some(TokKind::Ident) {
+            idents.insert(file.sig_text(j - 2).to_string());
+            continue;
+        }
+        // Constructor binding: `name = HashMap::new()`.
+        if file.sig_text(k + 1) == "::"
+            && k >= 2
+            && file.sig_text(k - 1) == "="
+            && file.sig_kind(k - 2) == Some(TokKind::Ident)
+        {
+            idents.insert(file.sig_text(k - 2).to_string());
+            continue;
+        }
+        // Collect binding: `let name = … .collect::<HashMap<…>>()`.
+        if file.sig_matches(k.saturating_sub(3), &["collect", "::", "<"]) {
+            let mut b = k;
+            let mut steps = 0;
+            while b > 0 && steps < 120 {
+                let t = file.sig_text(b - 1);
+                if t == ";" || t == "{" || t == "}" {
+                    break;
+                }
+                if t == "let" {
+                    let name_at = if file.sig_text(b) == "mut" { b + 1 } else { b };
+                    if file.sig_kind(name_at) == Some(TokKind::Ident) {
+                        idents.insert(file.sig_text(name_at).to_string());
+                    }
+                    break;
+                }
+                b -= 1;
+                steps += 1;
+            }
+        }
+    }
+    idents
+}
+
+/// Flags `fn … -> … HashMap/HashSet …` signatures.
+fn flag_fn_returns(file: &SourceFile, lint: &str, out: &mut Vec<Diagnostic>) {
+    for k in 0..file.sig.len() {
+        if file.sig_in_test(k) || file.sig_text(k) != "->" {
+            continue;
+        }
+        // Only fn signatures: scan the return type until the body `{`,
+        // a `;` (trait method), or `where`.
+        let mut j = k + 1;
+        while j < file.sig.len() {
+            let t = file.sig_text(j);
+            if t == "{" || t == ";" || t == "where" {
+                break;
+            }
+            if HASH_TYPES.contains(&t) {
+                out.push(Diagnostic {
+                    path: file.rel_path.clone(),
+                    line: file.sig_line(j),
+                    lint: lint.into(),
+                    message: format!(
+                        "returning a {t} lets callers iterate it in nondeterministic order; \
+                         return a BTreeMap/BTreeSet or a sorted Vec"
+                    ),
+                });
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Flags `for … in <hash-expr>` loops.
+fn flag_for_loops(
+    file: &SourceFile,
+    hash_idents: &BTreeSet<String>,
+    lint: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    for k in 0..file.sig.len() {
+        if file.sig_in_test(k) || file.sig_text(k) != "for" {
+            continue;
+        }
+        // `for <pat> in <expr> {` — find `in` at pattern depth 0. Also
+        // rejects `impl Trait for Type` (no `in` before `{`).
+        let mut depth = 0i32;
+        let mut j = k + 1;
+        let mut in_at = None;
+        while j < file.sig.len() && j < k + 64 {
+            match file.sig_text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "in" if depth == 0 => {
+                    in_at = Some(j);
+                    break;
+                }
+                "{" | ";" => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(in_at) = in_at else { continue };
+        // Expression tokens between `in` and the body `{`.
+        let mut expr = Vec::new();
+        let mut depth = 0i32;
+        let mut j = in_at + 1;
+        while j < file.sig.len() {
+            let t = file.sig_text(j);
+            if t == "{" && depth == 0 {
+                break;
+            }
+            match t {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                _ => {}
+            }
+            expr.push(t.to_string());
+            j += 1;
+        }
+        let base = base_ident(&expr);
+        if let Some(base) = base {
+            if hash_idents.contains(&base) && iterates_directly(&expr, &base) {
+                out.push(Diagnostic {
+                    path: file.rel_path.clone(),
+                    line: file.sig_line(k),
+                    lint: lint.into(),
+                    message: format!(
+                        "`for` over `{base}` (HashMap/HashSet) iterates in nondeterministic \
+                         order; sort first or use a BTreeMap/BTreeSet"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The identifier a borrow/method-chain expression starts from, skipping
+/// leading `&`/`mut` and a `self.` prefix.
+fn base_ident(expr: &[String]) -> Option<String> {
+    let mut i = 0;
+    while i < expr.len() && (expr[i] == "&" || expr[i] == "mut") {
+        i += 1;
+    }
+    if expr.get(i).map(String::as_str) == Some("self")
+        && expr.get(i + 1).map(String::as_str) == Some(".")
+    {
+        i += 2;
+    }
+    expr.get(i).cloned()
+}
+
+/// True when the expression iterates `base` itself: the whole expression
+/// is the identifier, or the identifier immediately followed by an
+/// iterator method (`base`, `&base`, `base.iter()`, `base.keys().map(…)`).
+fn iterates_directly(expr: &[String], base: &str) -> bool {
+    let mut i = 0;
+    while i < expr.len() && (expr[i] == "&" || expr[i] == "mut") {
+        i += 1;
+    }
+    if expr.get(i).map(String::as_str) == Some("self") {
+        i += 2;
+    }
+    if expr.get(i).map(String::as_str) != Some(base) {
+        return false;
+    }
+    match expr.get(i + 1).map(String::as_str) {
+        None => true, // `for x in map` / `for x in &map`
+        Some(".") => expr.get(i + 2).is_some_and(|m| ITER_METHODS.contains(&m.as_str())),
+        _ => false,
+    }
+}
+
+/// Flags `name.iter()`-style chains outside `for` headers unless the
+/// rest of the statement contains an order-insensitive sink.
+fn flag_method_chains(
+    file: &SourceFile,
+    hash_idents: &BTreeSet<String>,
+    lint: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    for k in 2..file.sig.len() {
+        if file.sig_in_test(k) {
+            continue;
+        }
+        let m = file.sig_text(k);
+        if !ITER_METHODS.contains(&m) || file.sig_text(k - 1) != "." || file.sig_text(k + 1) != "("
+        {
+            continue;
+        }
+        // Base: `name.m(` or `self.name.m(`.
+        let name = file.sig_text(k - 2);
+        if file.sig_kind(k - 2) != Some(TokKind::Ident) {
+            continue;
+        }
+        let base = if name == "self" { continue } else { name };
+        if !hash_idents.contains(base) {
+            continue;
+        }
+        if has_order_insensitive_sink(file, k) {
+            continue;
+        }
+        out.push(Diagnostic {
+            path: file.rel_path.clone(),
+            line: file.sig_line(k),
+            lint: lint.into(),
+            message: format!(
+                "`{base}.{m}()` iterates a HashMap/HashSet in nondeterministic order with no \
+                 order-insensitive sink in the statement; sort, or use a BTreeMap/BTreeSet"
+            ),
+        });
+    }
+}
+
+/// Integer types whose `Sum` is commutative exactly (unlike floats).
+const INT_TYPES: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// Scans forward from the iterator call for a sink that makes iteration
+/// order irrelevant, stopping at the end of the statement.
+fn has_order_insensitive_sink(file: &SourceFile, from: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = from + 1;
+    while j < file.sig.len() {
+        let t = file.sig_text(j);
+        match t {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                depth -= 1;
+                if depth < 0 {
+                    return false; // end of the enclosing expression
+                }
+            }
+            ";" | "{" | "}" if depth == 0 => return false,
+            _ if file.sig_text(j - 1) == "." => {
+                if t.starts_with("sort") {
+                    return true;
+                }
+                match t {
+                    "count" | "any" | "all" | "min" | "max" | "is_subset" | "is_superset"
+                    | "is_disjoint" => return true,
+                    "sum" | "collect" => {
+                        // Order-insensitive only with an explicit integer /
+                        // rekeying turbofish: `.sum::<usize>()`,
+                        // `.collect::<BTreeMap<_, _>>()`.
+                        if file.sig_matches(j + 1, &["::", "<"]) {
+                            let target = file.sig_text(j + 3);
+                            if t == "sum" && INT_TYPES.contains(&target) {
+                                return true;
+                            }
+                            if t == "collect"
+                                && matches!(target, "BTreeMap" | "BTreeSet" | "HashMap" | "HashSet")
+                            {
+                                return true;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}

@@ -1,0 +1,50 @@
+//! `wallclock-in-hot-path` — wall-clock reads outside tracekit's
+//! wall-gated module.
+//!
+//! Wall-clock is inherently nondeterministic, so the observability layer
+//! quarantines it: durations live in the deliberately non-deterministic
+//! `TimingReport` / redactable trace lines, and the *only* blessed read
+//! point is `tracekit::wall` (`crates/tracekit/src/wall.rs`), whose
+//! `Stopwatch` is what engine stages use. A raw `Instant::now()` or
+//! `SystemTime::now()` anywhere else in engine code is a contract leak —
+//! one format-string away from a nondeterministic answer payload.
+
+use crate::diag::Diagnostic;
+use crate::passes::Pass;
+use crate::source::SourceFile;
+
+/// The wall-clock pass.
+pub struct WallclockInHotPath;
+
+/// The one module allowed to touch the process clock.
+const BLESSED: &str = "crates/tracekit/src/wall.rs";
+
+impl Pass for WallclockInHotPath {
+    fn lint(&self) -> &'static str {
+        "wallclock-in-hot-path"
+    }
+
+    fn applies(&self, _krate: &str, rel_path: &str) -> bool {
+        rel_path != BLESSED
+    }
+
+    fn run(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for k in 0..file.sig.len() {
+            if file.sig_in_test(k) {
+                continue;
+            }
+            let t = file.sig_text(k);
+            if (t == "Instant" || t == "SystemTime") && file.sig_matches(k + 1, &["::", "now"]) {
+                out.push(Diagnostic {
+                    path: file.rel_path.clone(),
+                    line: file.sig_line(k),
+                    lint: self.lint().into(),
+                    message: format!(
+                        "{t}::now() outside tracekit::wall; use tracekit::wall::Stopwatch so \
+                         wall-clock stays quarantined from deterministic state"
+                    ),
+                });
+            }
+        }
+    }
+}

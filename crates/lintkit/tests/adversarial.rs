@@ -1,0 +1,322 @@
+//! Adversarial snippets for udlint: every construct that broke the old
+//! awk gates (or would break a naive regex linter) — raw strings holding
+//! code-like text, comments, `#[cfg(test)]` placement, multiline calls —
+//! proving zero false positives and zero false negatives on each.
+
+use lintkit::runner::check_source;
+
+const CORE: &str = "crates/core/src/x.rs";
+
+fn lints(rel_path: &str, src: &str) -> Vec<String> {
+    let r = check_source(rel_path, src, false);
+    r.diagnostics.iter().map(|d| d.lint.clone()).collect()
+}
+
+// ---------------------------------------------------------------- unwrap
+
+#[test]
+fn unwrap_in_raw_string_is_not_flagged() {
+    let src = r##"
+fn f() -> String {
+    let doc = r#"call x.unwrap() and then panic!("boom")"#;
+    doc.to_string()
+}
+"##;
+    assert!(lints(CORE, src).is_empty());
+}
+
+#[test]
+fn unwrap_in_cooked_string_with_escapes_is_not_flagged() {
+    let src = "fn f() -> String { \"quote \\\" then .unwrap() inside\".to_string() }\n";
+    assert!(lints(CORE, src).is_empty());
+}
+
+#[test]
+fn unwrap_in_line_and_doc_comments_is_not_flagged() {
+    let src = "\
+// x.unwrap() here is prose
+/// so is this .expect(\"msg\") in docs
+//! and panic!(\"inner doc\")
+fn f() {}
+";
+    assert!(lints(CORE, src).is_empty());
+}
+
+#[test]
+fn unwrap_in_nested_block_comment_is_not_flagged() {
+    let src = "/* outer /* x.unwrap() */ still comment panic!(\"no\") */\nfn f() {}\n";
+    assert!(lints(CORE, src).is_empty());
+}
+
+#[test]
+fn real_unwrap_is_flagged() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_eq!(lints(CORE, src), vec!["unwrap-in-core"]);
+}
+
+#[test]
+fn expect_and_panic_macros_are_flagged() {
+    let src = "\
+fn f(x: Option<u32>) -> u32 { x.expect(\"msg\") }
+fn g() { panic!(\"boom\") }
+fn h() -> u32 { unreachable!() }
+fn i() { todo!() }
+fn j() { unimplemented!() }
+";
+    assert_eq!(lints(CORE, src).len(), 5);
+}
+
+#[test]
+fn unwrap_or_and_friends_are_not_flagged() {
+    let src = "\
+fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }
+fn g(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 1) }
+fn h(x: Option<u32>) -> u32 { x.unwrap_or_default() }
+";
+    assert!(lints(CORE, src).is_empty());
+}
+
+#[test]
+fn unwrap_outside_panic_free_crates_is_not_flagged() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(lints("crates/text/src/x.rs", src).is_empty());
+    assert!(lints("crates/parkit/src/x.rs", src).is_empty());
+}
+
+// --------------------------------------------------------- cfg(test) spans
+
+#[test]
+fn cfg_test_module_is_exempt_but_code_after_it_is_not() {
+    // The old awk gate stopped at the first #[cfg(test)] line, hiding
+    // everything after the test module. Token-level span marking does not.
+    let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+
+fn live(x: Option<u32>) -> u32 { x.unwrap() }
+";
+    assert_eq!(lints(CORE, src), vec!["unwrap-in-core"]);
+}
+
+#[test]
+fn cfg_test_on_function_exempts_only_that_function() {
+    let src = "\
+#[cfg(test)]
+fn helper(x: Option<u32>) -> u32 { x.unwrap() }
+fn live(x: Option<u32>) -> u32 { x.unwrap() }
+";
+    assert_eq!(lints(CORE, src).len(), 1);
+}
+
+#[test]
+fn cfg_not_test_is_still_audited() {
+    let src = "#[cfg(not(test))]\nfn live(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_eq!(lints(CORE, src), vec!["unwrap-in-core"]);
+}
+
+#[test]
+fn test_attr_with_stacked_attributes_is_exempt() {
+    let src = "#[test]\n#[should_panic]\nfn t() { Option::<u32>::None.unwrap(); }\n";
+    assert!(lints(CORE, src).is_empty());
+}
+
+// ----------------------------------------------------- unordered iteration
+
+#[test]
+fn for_over_hashmap_is_flagged_btreemap_is_not() {
+    let hash = "\
+use std::collections::HashMap;
+fn f(m: &HashMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_, v) in m { acc += v; }
+    acc
+}
+";
+    assert_eq!(lints(CORE, hash), vec!["unordered-iteration"]);
+    let btree = hash.replace("HashMap", "BTreeMap");
+    assert!(lints(CORE, &btree).is_empty());
+}
+
+#[test]
+fn hash_iteration_with_order_insensitive_sink_is_not_flagged() {
+    let src = "\
+use std::collections::{BTreeSet, HashMap, HashSet};
+fn count(m: &HashMap<u32, f64>) -> usize { m.iter().count() }
+fn rekey(m: &HashMap<u32, f64>) -> BTreeSet<u32> { m.keys().copied().collect::<BTreeSet<u32>>() }
+fn isum(m: &HashMap<u32, u64>) -> u64 { m.values().copied().sum::<u64>() }
+fn anyv(s: &HashSet<u32>) -> bool { s.iter().any(|&x| x > 3) }
+";
+    assert!(lints(CORE, src).is_empty(), "{:?}", lints(CORE, src));
+}
+
+#[test]
+fn hash_iteration_feeding_float_sum_is_flagged() {
+    let src = "\
+use std::collections::HashMap;
+fn fsum(m: &HashMap<u32, f64>) -> f64 { m.values().sum::<f64>() }
+";
+    assert_eq!(lints(CORE, src), vec!["unordered-iteration"]);
+}
+
+#[test]
+fn returning_a_hashmap_is_flagged() {
+    let src = "\
+use std::collections::HashMap;
+fn build() -> HashMap<u32, f64> { HashMap::new() }
+";
+    assert_eq!(lints(CORE, src), vec!["unordered-iteration"]);
+}
+
+#[test]
+fn hashmap_named_in_string_or_comment_is_not_tracked() {
+    let src = "\
+// this mentions a HashMap<u32, f64> in prose
+fn f() -> String { \"for x in map.iter()\".to_string() }
+";
+    assert!(lints(CORE, src).is_empty());
+}
+
+// ------------------------------------------------------------- wall clock
+
+#[test]
+fn instant_now_is_flagged_outside_the_blessed_module() {
+    let src = "use std::time::Instant;\nfn f() -> Instant { Instant::now() }\n";
+    assert_eq!(lints(CORE, src), vec!["wallclock-in-hot-path"]);
+    assert_eq!(lints("crates/tracekit/src/trace.rs", src), vec!["wallclock-in-hot-path"]);
+    assert!(lints("crates/tracekit/src/wall.rs", src).is_empty(), "blessed module");
+}
+
+#[test]
+fn instant_now_in_test_code_is_not_flagged() {
+    let src = "#[cfg(test)]\nmod tests {\n fn t() { let _ = std::time::Instant::now(); }\n}\n";
+    assert!(lints(CORE, src).is_empty());
+}
+
+#[test]
+fn systemtime_now_is_flagged() {
+    let src = "fn f() -> std::time::SystemTime { std::time::SystemTime::now() }\n";
+    assert_eq!(lints(CORE, src), vec!["wallclock-in-hot-path"]);
+}
+
+// ------------------------------------------------------------ raw threads
+
+#[test]
+fn thread_spawn_is_flagged_outside_parkit() {
+    let src = "fn f() { std::thread::spawn(|| {}); }\n";
+    assert_eq!(lints(CORE, src), vec!["raw-thread-spawn"]);
+    assert!(lints("crates/parkit/src/pool.rs", src).is_empty(), "parkit is the pool");
+}
+
+#[test]
+fn thread_spawn_in_raw_string_is_not_flagged() {
+    let src = r##"fn f() -> &'static str { r#"std::thread::spawn(|| {})"# }"##;
+    assert!(lints(CORE, src).is_empty());
+}
+
+// -------------------------------------------------------- closed namespace
+
+#[test]
+fn multiline_degradation_new_with_string_is_flagged() {
+    // The awk gate matched single lines; the token stream does not care
+    // where the newlines fall.
+    let src = "\
+fn f() {
+    let _d = Degradation::new(
+        \"freeform-component\",
+    );
+}
+";
+    assert_eq!(lints(CORE, src), vec!["string-metric-label"]);
+}
+
+#[test]
+fn metric_call_with_string_label_is_flagged_enum_is_not() {
+    let flagged = "fn f(m: &M) { m.incr(\n  \"my_counter\", 1); }\n";
+    assert_eq!(lints(CORE, flagged), vec!["string-metric-label"]);
+    let ok = "fn f(m: &M) { m.incr(Metric::RowsScanned, 1); }\n";
+    assert!(lints(CORE, ok).is_empty());
+}
+
+#[test]
+fn from_name_with_format_is_flagged_constant_is_not() {
+    let flagged = "fn f() { let _ = Metric::from_name(format!(\"q_{}\", 3)); }\n";
+    assert_eq!(lints(CORE, flagged), vec!["string-metric-label"]);
+    let ok = "fn f() { let _ = Metric::from_name(KNOWN_NAME); }\n";
+    assert!(lints(CORE, ok).is_empty());
+}
+
+#[test]
+fn namespace_rule_only_binds_namespace_crates() {
+    let src = "fn f() { let _d = Degradation::new(\"x\"); }\n";
+    assert!(lints("crates/tracekit/src/component.rs", src).is_empty());
+    assert_eq!(lints("crates/relstore/src/y.rs", src), vec!["string-metric-label"]);
+}
+
+// ------------------------------------------------------------- env reads
+
+#[test]
+fn blessed_unisem_env_read_is_not_flagged() {
+    let src = "fn f() -> Option<String> { std::env::var(\"UNISEM_THREADS\").ok() }\n";
+    assert!(lints(CORE, src).is_empty());
+}
+
+#[test]
+fn non_unisem_env_read_is_flagged() {
+    let src = "fn f() -> Option<String> { std::env::var(\"PATH\").ok() }\n";
+    assert_eq!(lints(CORE, src), vec!["nondeterministic-env"]);
+}
+
+#[test]
+fn dynamically_named_env_read_is_flagged() {
+    let src = "fn f(name: &str) -> Option<String> { std::env::var(name).ok() }\n";
+    assert_eq!(lints(CORE, src), vec!["nondeterministic-env"]);
+}
+
+#[test]
+fn ambient_env_reads_are_flagged() {
+    let src = "\
+fn a() { for (_k, _v) in std::env::vars() {} }
+fn b() -> std::path::PathBuf { std::env::temp_dir() }
+";
+    let got = lints(CORE, src);
+    assert_eq!(got.iter().filter(|l| *l == "nondeterministic-env").count(), 2, "{got:?}");
+}
+
+// ------------------------------------------------------------ suppressions
+
+#[test]
+fn suppression_with_reason_silences_and_is_counted() {
+    let src = "\
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // udlint: allow(unwrap-in-core) -- input validated at ingestion
+}
+";
+    let r = check_source(CORE, src, false);
+    assert!(r.diagnostics.is_empty());
+    assert_eq!(r.suppressed.len(), 1);
+    assert_eq!(r.suppressed[0].reason, "input validated at ingestion");
+}
+
+#[test]
+fn suppression_without_reason_is_a_diagnostic() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() // udlint: allow(unwrap-in-core)\n}\n";
+    let r = check_source(CORE, src, false);
+    assert!(r.diagnostics.iter().any(|d| d.lint == "suppression-syntax"));
+    assert!(r.diagnostics.iter().any(|d| d.lint == "unwrap-in-core"), "not silenced");
+}
+
+#[test]
+fn standalone_suppression_covers_next_line() {
+    let src = "\
+fn f(x: Option<u32>) -> u32 {
+    // udlint: allow(unwrap-in-core) -- caller guarantees Some
+    x.unwrap()
+}
+";
+    let r = check_source(CORE, src, false);
+    assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    assert_eq!(r.suppressed.len(), 1);
+}

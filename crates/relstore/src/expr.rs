@@ -279,7 +279,12 @@ pub fn eval_binary(op: BinOp, l: &Value, r: &Value) -> RelResult<Value> {
                 BinOp::Le => ord != std::cmp::Ordering::Greater,
                 BinOp::Gt => ord == std::cmp::Ordering::Greater,
                 BinOp::Ge => ord != std::cmp::Ordering::Less,
-                _ => unreachable!(),
+                other => {
+                    return Err(RelError::Plan(format!(
+                        "eval_binary: operator {other:?} classified as comparison but not \
+                         handled"
+                    )))
+                }
             }),
         });
     }
@@ -311,8 +316,9 @@ pub fn eval_binary(op: BinOp, l: &Value, r: &Value) -> RelResult<Value> {
             let a = l.as_f64().ok_or_else(|| type_err(l))?;
             Ok(Value::float(a / b))
         }
-        // Comparisons and logical ops were handled above.
-        _ => unreachable!("comparison/logical ops handled earlier"),
+        // Comparisons and logical ops were handled above; a typed error
+        // keeps a future operator addition from panicking query execution.
+        other => Err(RelError::Plan(format!("eval_binary: unhandled operator {other:?}"))),
     }
 }
 
@@ -322,7 +328,7 @@ fn three_valued_logic(op: BinOp, l: &Value, r: &Value) -> RelResult<Value> {
     match op {
         BinOp::And => three_valued_and(l, r),
         BinOp::Or => three_valued_or(l, r),
-        _ => unreachable!(),
+        other => Err(RelError::Plan(format!("three_valued_logic: non-logical operator {other:?}"))),
     }
 }
 

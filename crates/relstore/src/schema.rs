@@ -120,6 +120,7 @@ impl Schema {
     pub fn of(pairs: &[(&str, DataType)]) -> Self {
         match Self::new(pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect()) {
             Ok(s) => s,
+            // udlint: allow(unwrap-in-core) -- documented test/literal convenience; duplicate columns in an embedded literal are a programming bug, and the fallible path is Schema::new
             Err(e) => panic!("Schema::of: {e}"),
         }
     }

@@ -4,7 +4,7 @@
 //! BM25 scores. Included so experiment E1/E7 can show the topology
 //! retriever's wins are not just "hybrid beats single-signal".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use unisem_docstore::DocStore;
@@ -42,7 +42,7 @@ impl ChunkRetriever for HybridRetriever {
         let dmax = dense_hits.iter().map(|h| h.score).fold(0.0f64, f64::max).max(1e-12);
         let lmax = lex_hits.iter().map(|h| h.score).fold(0.0f64, f64::max).max(1e-12);
 
-        let mut fused: HashMap<usize, f64> = HashMap::new();
+        let mut fused: BTreeMap<usize, f64> = BTreeMap::new();
         for h in &dense_hits {
             *fused.entry(h.chunk_id).or_insert(0.0) += self.dense_weight * h.score / dmax;
         }

@@ -17,7 +17,7 @@
 //! 4. **Hybrid scoring** — the topological score fuses with a BM25 lexical
 //!    score so purely-verbal queries still work.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use unisem_docstore::DocStore;
@@ -233,7 +233,7 @@ impl TopologyRetriever {
         &self,
         start: NodeId,
         max_cost: f64,
-    ) -> (HashMap<NodeId, f64>, bool, usize) {
+    ) -> (BTreeMap<NodeId, f64>, bool, usize) {
         use std::cmp::Ordering;
         use std::collections::BinaryHeap;
 
@@ -258,7 +258,7 @@ impl TopologyRetriever {
             }
         }
 
-        let mut dist: HashMap<NodeId, f64> = HashMap::new();
+        let mut dist: BTreeMap<NodeId, f64> = BTreeMap::new();
         let mut heap = BinaryHeap::new();
         let mut capped = false;
         let mut popped = 0usize;
@@ -327,7 +327,7 @@ impl TopologyRetriever {
         // temporal anchor's multi-hop neighborhood is the entire
         // contemporaneous corpus.
         let max_cost = if primary.is_empty() { 1.0 } else { self.config.max_hops as f64 * 2.0 };
-        let mut proximity: HashMap<NodeId, f64> = HashMap::new();
+        let mut proximity: BTreeMap<NodeId, f64> = BTreeMap::new();
         for &a in anchors {
             let (reached, capped, popped) = self.bounded_traversal(a, max_cost);
             stats.frontier_capped |= capped;
@@ -351,7 +351,7 @@ impl TopologyRetriever {
         stats.nodes_touched = proximity.len();
 
         // Candidate chunks: traversal proximity × static centrality prior.
-        let mut topo: HashMap<usize, f64> = HashMap::new();
+        let mut topo: BTreeMap<usize, f64> = BTreeMap::new();
         for (&node, &prox) in &proximity {
             if let unisem_hetgraph::NodeKind::Chunk { chunk_id, .. } = &self.graph.node(node).kind {
                 let prior = self.static_prior[node.0 as usize];
@@ -361,7 +361,7 @@ impl TopologyRetriever {
         stats.chunks_scored = topo.len();
 
         // Lexical scores over the same corpus (normalized below).
-        let lex: HashMap<usize, f64> = self
+        let lex: BTreeMap<usize, f64> = self
             .docs
             .search(query, (k * 4).max(20))
             .into_iter()
@@ -373,7 +373,7 @@ impl TopologyRetriever {
 
         // Fuse: candidates get both components; lexical-only hits keep the
         // beta component so verbal queries aren't starved.
-        let mut fused: HashMap<usize, f64> = HashMap::new();
+        let mut fused: BTreeMap<usize, f64> = BTreeMap::new();
         for (&c, &t) in &topo {
             let l = lex.get(&c).copied().unwrap_or(0.0);
             fused.insert(c, self.config.alpha * t / topo_max + self.config.beta * l / lex_max);

@@ -4,7 +4,7 @@
 //! the hybrid retriever. Documents are identified by dense `usize` ids
 //! assigned at insertion order.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::normalize::normalize_token;
 use crate::tokenize::tokenize_words;
@@ -28,8 +28,9 @@ impl Default for Bm25Params {
 #[derive(Debug, Clone)]
 pub struct Bm25Index {
     params: Bm25Params,
-    /// term -> postings of (doc_id, term_frequency).
-    postings: HashMap<String, Vec<(usize, u32)>>,
+    /// term -> postings of (doc_id, term_frequency). Ordered so that
+    /// iteration (size accounting, debugging) is deterministic.
+    postings: BTreeMap<String, Vec<(usize, u32)>>,
     /// Document lengths in tokens.
     doc_len: Vec<usize>,
     total_tokens: usize,
@@ -44,7 +45,7 @@ impl Default for Bm25Index {
 impl Bm25Index {
     /// Creates an empty index with the given parameters.
     pub fn new(params: Bm25Params) -> Self {
-        Self { params, postings: HashMap::new(), doc_len: Vec::new(), total_tokens: 0 }
+        Self { params, postings: BTreeMap::new(), doc_len: Vec::new(), total_tokens: 0 }
     }
 
     /// Adds a document, returning its id (insertion order).
@@ -58,7 +59,8 @@ impl Bm25Index {
         let doc_id = self.doc_len.len();
         self.doc_len.push(terms.len());
         self.total_tokens += terms.len();
-        let mut tf: HashMap<&String, u32> = HashMap::new();
+        // BTreeMap: postings lists must grow in a deterministic term order.
+        let mut tf: BTreeMap<&String, u32> = BTreeMap::new();
         for t in terms {
             *tf.entry(t).or_insert(0) += 1;
         }
@@ -116,7 +118,7 @@ impl Bm25Index {
     /// Like [`Self::search`] but with pre-normalized query terms.
     pub fn search_terms(&self, terms: &[String], top_k: usize) -> Vec<(usize, f64)> {
         let avg = self.avg_doc_len();
-        let mut scores: HashMap<usize, f64> = HashMap::new();
+        let mut scores: BTreeMap<usize, f64> = BTreeMap::new();
         for term in terms {
             let Some(posts) = self.postings.get(term) else {
                 continue;

@@ -3,7 +3,7 @@
 //! Used for entity linking (matching query mentions to graph entity nodes),
 //! answer clustering in semantic entropy, and fuzzy schema alignment.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Levenshtein edit distance between two strings (unit costs).
 ///
@@ -99,7 +99,11 @@ pub fn jaccard<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
 }
 
 /// Cosine similarity between two term-frequency maps.
-pub fn cosine_terms(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+///
+/// Takes `BTreeMap`s so the float dot-product accumulates in a
+/// deterministic key order (hash-map iteration order would make the sum
+/// vary across processes).
+pub fn cosine_terms(a: &BTreeMap<String, f64>, b: &BTreeMap<String, f64>) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
@@ -188,14 +192,14 @@ mod tests {
 
     #[test]
     fn cosine_terms_basics() {
-        let mut a = HashMap::new();
+        let mut a = BTreeMap::new();
         a.insert("x".to_string(), 1.0);
         a.insert("y".to_string(), 1.0);
-        let mut b = HashMap::new();
+        let mut b = BTreeMap::new();
         b.insert("x".to_string(), 1.0);
         b.insert("y".to_string(), 1.0);
         assert!((cosine_terms(&a, &b) - 1.0).abs() < 1e-9);
-        let mut c = HashMap::new();
+        let mut c = BTreeMap::new();
         c.insert("z".to_string(), 2.0);
         assert_eq!(cosine_terms(&a, &c), 0.0);
     }

@@ -1,6 +1,6 @@
 //! Corpus statistics and TF-IDF weighting.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::normalize::normalize_token;
 use crate::tokenize::tokenize_words;
@@ -101,9 +101,11 @@ impl TfIdfVectorizer {
     /// Computes the TF-IDF map for one document.
     ///
     /// TF is log-scaled (`1 + ln(tf)`); IDF uses the smoothed BM25 form.
-    pub fn transform(&self, text: &str) -> HashMap<String, f64> {
+    /// Returned as a `BTreeMap` so callers iterating it (dot products,
+    /// traces) see a deterministic term order.
+    pub fn transform(&self, text: &str) -> BTreeMap<String, f64> {
         let terms = Self::terms(text);
-        let mut tf: HashMap<String, usize> = HashMap::new();
+        let mut tf: BTreeMap<String, usize> = BTreeMap::new();
         for t in terms {
             *tf.entry(t).or_insert(0) += 1;
         }

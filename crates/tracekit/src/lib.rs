@@ -38,6 +38,7 @@ pub mod component;
 pub mod explain;
 pub mod metrics;
 pub mod trace;
+pub mod wall;
 
 pub use explain::{
     emit, render_block, EntropyVerdict, QueryTrace, RungAttempt, RungOutcome, TraceEvent,
