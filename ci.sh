@@ -34,6 +34,17 @@ echo "==> integration suites under a pinned ambient fault plan"
 CARGO_NET_OFFLINE=true UNISEM_FAULTS="seed:0xC1,relstore.exec@64,hetgraph.traverse@96" \
     cargo test -q -p unisem-tests --test robustness --test determinism
 
+echo "==> planner-diff gate: differential + golden explain plans (DESIGN.md §11)"
+# The cost-based planner must produce byte-identical answers to the legacy
+# degradation ladder (its differential-testing oracle) for every workload
+# query, at 1 and 4 threads, with and without the pinned fault plan — and
+# the optimized explain plans must match the committed golden snapshots
+# byte-for-byte (bless intentional changes with UNISEM_BLESS=1). Both
+# suites pin their fault plans programmatically, so arming the ambient
+# plan here only widens the build-time surface they run under.
+CARGO_NET_OFFLINE=true UNISEM_FAULTS="seed:0xC1,relstore.exec@64,hetgraph.traverse@96" \
+    cargo test -q -p unisem-tests --test planner_diff --test planner_golden
+
 echo "==> observability gates (DESIGN.md §9)"
 # Tracing must be zero-cost when disabled: the observability suite runs
 # with the sink explicitly off and asserts — via the sink's own write

@@ -27,6 +27,8 @@ use unisem_text::ChunkConfig;
 use crate::answer::{Answer, Degradation, Provenance, Route};
 use crate::evidence::{extract_evidence_grounded, to_supported_answers};
 use crate::ingest::{IngestReport, QuarantineReason, Quarantined};
+use crate::planner::physical::{self, ExecActuals};
+use crate::planner::{CandidatePlan, CostModel, JoinEdge, JoinOrder, LogicalNode, StatsCatalog};
 
 /// Engine construction / ingestion errors.
 #[derive(Debug)]
@@ -188,6 +190,13 @@ pub struct EngineConfig {
     /// sink — `trace` controls the in-`Answer` copy, the sink controls
     /// emitted JSON-lines; either alone enables recording.
     pub trace: bool,
+    /// Resolve answers through the pre-planner degradation ladder instead
+    /// of the cost-based planner (DESIGN.md §11). The ladder is kept
+    /// verbatim as the differential-testing oracle: for every query the
+    /// planner's answer must be byte-identical to the ladder's
+    /// (`tests/tests/planner_diff.rs`). Off by default — the planner is
+    /// the production path.
+    pub legacy_ladder: bool,
 }
 
 impl Default for EngineConfig {
@@ -209,6 +218,7 @@ impl Default for EngineConfig {
             faults: FaultPlan::unset(),
             governors: GovernorConfig::default(),
             trace: false,
+            legacy_ladder: false,
         }
     }
 }
@@ -455,6 +465,13 @@ impl EngineBuilder {
             e
         };
 
+        // Planner statistics (DESIGN.md §11): collected single-threaded
+        // from the final substrates, so the catalog — like every build
+        // gauge — is a pure function of the ingested data.
+        let stats_start = tracekit::wall::Stopwatch::start();
+        let stats = Arc::new(StatsCatalog::collect(&db, &docs, &graph));
+        metrics.record_stage(Stage::BuildStats, stats_start.elapsed_ns());
+
         report.tables = db.len();
         report.quarantined = quarantined;
 
@@ -471,6 +488,10 @@ impl EngineBuilder {
         metrics.set(Metric::GraphEntities, graph_stats.entities as u64);
         metrics.set(Metric::GraphChunks, graph_stats.chunks as u64);
         metrics.set(Metric::GraphRecords, graph_stats.records as u64);
+        metrics.set(Metric::PlannerStatsTables, stats.tables.len() as u64);
+        metrics.set(Metric::PlannerStatsColumns, stats.num_columns() as u64);
+        metrics.set(Metric::PlannerStatsPostings, stats.text.postings as u64);
+        metrics.set(Metric::PlannerStatsMaxDegree, stats.graph.max_degree as u64);
         metrics.record_stage(Stage::BuildTotal, build_start.elapsed_ns());
 
         let engine = UnifiedEngine {
@@ -485,6 +506,7 @@ impl EngineBuilder {
             dense,
             config,
             ingest: Arc::new(report.clone()),
+            stats,
             metrics,
             sink: Arc::new(TraceSink::from_env()),
         };
@@ -506,6 +528,8 @@ pub struct UnifiedEngine {
     estimator: EntropyEstimator,
     config: EngineConfig,
     ingest: Arc<IngestReport>,
+    /// Build-time per-substrate statistics catalog (DESIGN.md §11).
+    stats: Arc<StatsCatalog>,
     /// Closed-registry metrics for this engine instance (shared by clones).
     metrics: Arc<MetricsRegistry>,
     /// Trace sink resolved once at build from `UNISEM_TRACE` (like the
@@ -660,9 +684,22 @@ impl UnifiedEngine {
         (answer, block)
     }
 
-    /// The resolution ladder itself; `scope` collects the explain trace
-    /// (free when disabled).
+    /// Dispatches resolution to the cost-based planner (the default) or
+    /// the legacy degradation ladder ([`EngineConfig::legacy_ladder`]).
+    /// The two paths are differentially tested to produce byte-identical
+    /// answers; only the recorded explain plan differs.
     fn answer_impl(&self, question: &str, scope: &mut TraceScope) -> Answer {
+        if self.config.legacy_ladder {
+            self.answer_ladder(question, scope)
+        } else {
+            self.answer_planned(question, scope)
+        }
+    }
+
+    /// The pre-planner resolution ladder, kept verbatim as the
+    /// differential-testing oracle; `scope` collects the explain trace
+    /// (free when disabled).
+    fn answer_ladder(&self, question: &str, scope: &mut TraceScope) -> Answer {
         let faults = self.config.faults;
         let governors = self.config.governors;
         let mut degradations: Vec<Degradation> = Vec::new();
@@ -919,6 +956,518 @@ impl UnifiedEngine {
             degradations,
             trace: None,
         }
+    }
+
+    /// Cost-based resolution (DESIGN.md §11): synthesize a logical plan
+    /// spanning every substrate, cost it against the build-time statistics
+    /// catalog, execute it, and record the physical plan — with per-node
+    /// estimated vs actual costs — in the explain trace.
+    ///
+    /// Execution drives the same substrate primitives, in the same
+    /// semantic order, with the same bookkeeping as [`Self::answer_ladder`]
+    /// — that equivalence is the planner's correctness contract, enforced
+    /// byte-for-byte by `tests/tests/planner_diff.rs`. Join reordering is
+    /// deliberately *not* applied here: physically re-joining in a
+    /// different order changes row enumeration order and therefore
+    /// float-accumulation order in aggregates. The reordering optimizer is
+    /// exposed through [`Self::optimized_multi_join`] instead.
+    fn answer_planned(&self, question: &str, scope: &mut TraceScope) -> Answer {
+        let faults = self.config.faults;
+        let governors = self.config.governors;
+        let mut degradations: Vec<Degradation> = Vec::new();
+        let mut actuals = ExecActuals::default();
+
+        // Admission gates run before any plan is built: without a working
+        // generator or enough entropy samples nothing downstream can be
+        // certified, so the only plan is the gate itself.
+        if let Err(f) = faults.check(Site::SlmGenerate, question) {
+            self.metrics.incr(Metric::FaultsFired);
+            scope.event("fault.fired", || f.to_string());
+            scope.rung("entropy_gate", RungOutcome::Failed, || {
+                "answer sampling unavailable; abstaining".to_string()
+            });
+            degradations.push(Degradation::new(
+                component::SLM_GENERATE,
+                format!("answer sampling unavailable: {f}"),
+            ));
+            actuals.gate = Some(format!("failed: {f}"));
+            actuals.outcome = Some("abstained".to_string());
+            self.set_physical_plan(scope, &self.gate_only_plan(), &actuals);
+            return abstained(degradations);
+        }
+        if self.config.entropy_samples < governors.entropy_sample_floor {
+            scope.rung("entropy_gate", RungOutcome::Failed, || {
+                format!(
+                    "{} samples below floor {}",
+                    self.config.entropy_samples, governors.entropy_sample_floor
+                )
+            });
+            degradations.push(Degradation::new(
+                component::ENTROPY_SAMPLES,
+                format!(
+                    "{} entropy samples below floor {}; confidence uncertifiable",
+                    self.config.entropy_samples, governors.entropy_sample_floor
+                ),
+            ));
+            actuals.gate = Some(format!(
+                "failed: {} samples below floor {}",
+                self.config.entropy_samples, governors.entropy_sample_floor
+            ));
+            actuals.outcome = Some("abstained".to_string());
+            self.set_physical_plan(scope, &self.gate_only_plan(), &actuals);
+            return abstained(degradations);
+        }
+        actuals.gate = Some("passed".to_string());
+
+        let intent = self.parser.analyze(question);
+        scope.event("intent.parsed", || {
+            format!(
+                "entities={} plain_lookup={} comparative={}",
+                intent.entities.len(),
+                intent.is_plain_lookup(),
+                intent.comparative
+            )
+        });
+        actuals.tag = Some(format!(
+            "entities={} plain_lookup={} comparative={}",
+            intent.entities.len(),
+            intent.is_plain_lookup(),
+            intent.comparative
+        ));
+
+        // Plan synthesis: candidate relational plans are synthesized up
+        // front (synthesis is pure), faulted tables marked without
+        // synthesis — exactly the tables the ladder never synthesizes.
+        let structured = self.config.enable_synthesis && !intent.is_plain_lookup();
+        let structured_start = tracekit::wall::Stopwatch::start();
+        let candidates = if structured { self.plan_candidates(&intent) } else { Vec::new() };
+        let logical = self.assemble_logical(&intent, &candidates, structured);
+        self.metrics.incr(Metric::PlannerPlansBuilt);
+
+        // Structured branch: first signal-bearing candidate wins; every
+        // failure on the way is bookkept like the ladder's.
+        if structured {
+            let limits = ExecLimits { max_join_rows: governors.max_join_rows };
+            let mut failures: Vec<(String, String)> = Vec::new();
+            let mut hit: Option<(String, Table)> = None;
+            for (name, state) in &candidates {
+                match state {
+                    CandidatePlan::Faulted => {
+                        if let Err(f) = faults.check(Site::RelExec, name) {
+                            self.metrics.incr(Metric::FaultsFired);
+                            scope.event("fault.fired", || f.to_string());
+                            failures.push((name.clone(), f.to_string()));
+                            actuals.structured.insert(name.clone(), format!("fault: {f}"));
+                        }
+                    }
+                    CandidatePlan::Unplannable(e) => {
+                        self.metrics.incr(Metric::RelSynthesisErrors);
+                        failures.push((name.clone(), format!("synthesis: {e}")));
+                        actuals.structured.insert(name.clone(), format!("synthesis failed: {e}"));
+                    }
+                    CandidatePlan::Planned(plan) => {
+                        let (outcome, stats) = self.db.run_plan_with_limits_stats(plan, &limits);
+                        self.metrics.incr(Metric::RelPlansExecuted);
+                        self.metrics.add(Metric::RelRowsScanned, stats.rows_scanned as u64);
+                        self.metrics.add(Metric::RelRowsJoined, stats.rows_joined as u64);
+                        match outcome {
+                            Ok(result) if has_signal(&result) => {
+                                self.metrics.observe(Hist::RelResultRows, result.num_rows() as u64);
+                                actuals.structured.insert(
+                                    name.clone(),
+                                    format!("rows={} (signal)", result.num_rows()),
+                                );
+                                hit = Some((name.clone(), result));
+                                break;
+                            }
+                            Ok(result) => {
+                                actuals.structured.insert(
+                                    name.clone(),
+                                    format!("rows={} (no signal)", result.num_rows()),
+                                );
+                            }
+                            Err(e) => {
+                                if matches!(e, RelError::ResourceExhausted { .. }) {
+                                    self.metrics.incr(Metric::RelBudgetHits);
+                                } else {
+                                    self.metrics.incr(Metric::RelExecErrors);
+                                }
+                                failures.push((name.clone(), format!("execution: {e}")));
+                                actuals
+                                    .structured
+                                    .insert(name.clone(), format!("execution error: {e}"));
+                            }
+                        }
+                    }
+                }
+            }
+            self.metrics.record_stage(Stage::AnswerStructured, structured_start.elapsed_ns());
+            if let Some((table, result)) = hit {
+                let text = render_structured(&intent, &self.db, &table, &result);
+                if !text.is_empty() {
+                    let entropy_start = tracekit::wall::Stopwatch::start();
+                    let evidence = vec![SupportedAnswer::new(text.clone(), 6.0)];
+                    let report = self.estimator.estimate(question, &evidence);
+                    self.metrics.record_stage(Stage::AnswerEntropy, entropy_start.elapsed_ns());
+                    self.record_entropy(&report);
+                    let confidence = report.confidence();
+                    scope.rung("structured", RungOutcome::Succeeded, || {
+                        format!("table '{table}' ({} result rows)", result.num_rows())
+                    });
+                    scope.set_entropy(entropy_verdict(&report, confidence, false));
+                    actuals.entail = Some(format!(
+                        "samples={} clusters={} confidence={confidence:.2}",
+                        report.n_samples, report.n_clusters
+                    ));
+                    actuals.outcome = Some("structured".to_string());
+                    self.set_physical_plan(scope, &logical, &actuals);
+                    return Answer {
+                        text,
+                        confidence,
+                        entropy: report,
+                        route: Route::Structured { table: table.clone() },
+                        provenance: vec![Provenance::TableRows { table, rows: result.num_rows() }],
+                        result_table: Some(result),
+                        degradations,
+                        trace: None,
+                    };
+                }
+            }
+            match failures.last() {
+                Some((table, err)) => {
+                    scope.rung("structured", RungOutcome::Failed, || {
+                        format!("last failure on '{table}': {err}")
+                    });
+                    degradations.push(Degradation::new(
+                        component::REL_EXEC,
+                        format!("structured route failed on '{table}': {err}"),
+                    ));
+                }
+                None => {
+                    scope.rung("structured", RungOutcome::Failed, || {
+                        "no table produced a signal-bearing result".to_string()
+                    });
+                    degradations.push(Degradation::new(
+                        component::ENGINE_STRUCTURED,
+                        "no table produced a signal-bearing result",
+                    ));
+                }
+            }
+        } else {
+            scope.rung("structured", RungOutcome::Skipped, || {
+                if self.config.enable_synthesis {
+                    "plain lookup intent".to_string()
+                } else {
+                    "operator synthesis disabled".to_string()
+                }
+            });
+        }
+
+        // Retrieval branch: identical traversal / dense-fallback semantics
+        // to the ladder.
+        let retrieval_start = tracekit::wall::Stopwatch::start();
+        let hits = if self.config.enable_topology {
+            if let Err(f) = faults.check(Site::GraphTraverse, question) {
+                self.metrics.incr(Metric::FaultsFired);
+                self.metrics.incr(Metric::DenseFallbackQueries);
+                scope.event("fault.fired", || f.to_string());
+                scope.set_traversal(TraversalTrace {
+                    dense_fallback: true,
+                    ..TraversalTrace::default()
+                });
+                degradations.push(Degradation::new(
+                    component::GRAPH_TRAVERSE,
+                    format!("topology traversal unavailable: {f}; using dense retrieval"),
+                ));
+                actuals.retrieval = Some(format!("dense fallback ({f})"));
+                self.dense.retrieve(question, self.config.retrieval_top_k)
+            } else {
+                let (hits, stats) =
+                    self.topo.retrieve_with_stats(question, self.config.retrieval_top_k);
+                self.metrics.incr(Metric::TraverseQueries);
+                self.metrics.add(Metric::TraverseAnchors, stats.anchors as u64);
+                self.metrics.add(Metric::TraverseNodesTouched, stats.nodes_touched as u64);
+                self.metrics.add(Metric::TraverseNodesPopped, stats.nodes_popped as u64);
+                self.metrics.add(Metric::TraverseChunksScored, stats.chunks_scored as u64);
+                self.metrics.observe(Hist::TraverseFrontier, stats.nodes_touched as u64);
+                if stats.lexical_fallback {
+                    self.metrics.incr(Metric::TraverseLexicalFallback);
+                }
+                scope.set_traversal(TraversalTrace {
+                    anchors: stats.anchors,
+                    nodes_touched: stats.nodes_touched,
+                    nodes_popped: stats.nodes_popped,
+                    chunks_scored: stats.chunks_scored,
+                    frontier_capped: stats.frontier_capped,
+                    lexical_fallback: stats.lexical_fallback,
+                    dense_fallback: false,
+                });
+                if stats.frontier_capped {
+                    self.metrics.incr(Metric::TraverseFrontierCapped);
+                    degradations.push(Degradation::new(
+                        component::GRAPH_TRAVERSE,
+                        format!(
+                            "traversal frontier capped at {} nodes; candidates truncated",
+                            self.topo.config().max_frontier
+                        ),
+                    ));
+                }
+                actuals.retrieval = Some(format!(
+                    "anchors={} nodes_touched={} chunks_scored={} hits={}",
+                    stats.anchors,
+                    stats.nodes_touched,
+                    stats.chunks_scored,
+                    hits.len()
+                ));
+                hits
+            }
+        } else {
+            scope.set_traversal(TraversalTrace {
+                dense_fallback: true,
+                ..TraversalTrace::default()
+            });
+            let hits = self.dense.retrieve(question, self.config.retrieval_top_k);
+            actuals.retrieval = Some(format!("dense scan hits={}", hits.len()));
+            hits
+        };
+        self.metrics.record_stage(Stage::AnswerRetrieval, retrieval_start.elapsed_ns());
+        let chunk_triples: Vec<(usize, String, f64)> = hits
+            .iter()
+            .filter_map(|h| {
+                self.docs.chunk(h.chunk_id).ok().map(|c| (c.id, c.text.clone(), h.score))
+            })
+            .collect();
+        let evidence = extract_evidence_grounded(question, &chunk_triples, 6, &intent.entities);
+        let supported = to_supported_answers(&evidence);
+        actuals.extract = Some(format!("evidence={} sentences", evidence.len()));
+        let entropy_start = tracekit::wall::Stopwatch::start();
+        let report = self.estimator.estimate(question, &supported);
+        self.metrics.record_stage(Stage::AnswerEntropy, entropy_start.elapsed_ns());
+        self.record_entropy(&report);
+        let confidence = report.confidence();
+        actuals.entail = Some(format!(
+            "samples={} clusters={} confidence={confidence:.2}",
+            report.n_samples, report.n_clusters
+        ));
+
+        let chunks: Vec<usize> = evidence.iter().map(|e| e.chunk_id).collect();
+        let provenance: Vec<Provenance> = evidence
+            .iter()
+            .filter_map(|e| {
+                self.docs
+                    .chunk(e.chunk_id)
+                    .ok()
+                    .map(|c| Provenance::Chunk { chunk_id: c.id, doc_id: c.doc_id })
+            })
+            .collect();
+
+        if supported.is_empty() || confidence < self.config.abstain_confidence {
+            scope.rung("retrieval", RungOutcome::Failed, || {
+                if supported.is_empty() {
+                    "no grounded supporting evidence".to_string()
+                } else {
+                    format!(
+                        "confidence {confidence:.2} below abstain threshold {:.2}",
+                        self.config.abstain_confidence
+                    )
+                }
+            });
+            scope.set_entropy(entropy_verdict(&report, confidence, true));
+            degradations.push(if supported.is_empty() {
+                Degradation::new(component::RETRIEVAL_EVIDENCE, "no grounded supporting evidence")
+            } else {
+                Degradation::new(
+                    component::ENTROPY_CONFIDENCE,
+                    format!(
+                        "confidence {confidence:.2} below abstain threshold {:.2}",
+                        self.config.abstain_confidence
+                    ),
+                )
+            });
+            actuals.confidence = Some(if supported.is_empty() {
+                "abstained: no grounded supporting evidence".to_string()
+            } else {
+                format!(
+                    "abstained: confidence {confidence:.2} below threshold {:.2}",
+                    self.config.abstain_confidence
+                )
+            });
+            actuals.outcome = Some("abstained".to_string());
+            self.set_physical_plan(scope, &logical, &actuals);
+            return Answer {
+                text: "This cannot be determined from the available data.".to_string(),
+                confidence,
+                entropy: report,
+                route: Route::Abstained,
+                provenance,
+                result_table: None,
+                degradations,
+                trace: None,
+            };
+        }
+
+        scope.rung("retrieval", RungOutcome::Succeeded, || {
+            format!("{} evidence sentences from {} chunks", evidence.len(), chunks.len())
+        });
+        scope.set_entropy(entropy_verdict(&report, confidence, false));
+        let text = report.top_answer.clone().unwrap_or_else(|| evidence[0].text.clone());
+        let route = if structured {
+            Route::Hybrid { table: None, chunks }
+        } else {
+            Route::Unstructured { chunks }
+        };
+        actuals.confidence = Some(format!("passed: confidence {confidence:.2}"));
+        actuals.outcome = Some(route.label().to_string());
+        self.set_physical_plan(scope, &logical, &actuals);
+        Answer {
+            text,
+            confidence,
+            entropy: report,
+            route,
+            provenance,
+            result_table: None,
+            degradations,
+            trace: None,
+        }
+    }
+
+    /// Synthesizes the per-table relational candidates in ladder order
+    /// (native tables first, `extracted` last). Tables the deterministic
+    /// fault plan hits are marked [`CandidatePlan::Faulted`] without
+    /// synthesis — the ladder never synthesizes them either, and the
+    /// bookkeeping for both is deferred to execution.
+    fn plan_candidates(&self, intent: &QueryIntent) -> Vec<(String, CandidatePlan)> {
+        let faults = self.config.faults;
+        let mut names: Vec<String> = self.db.table_names().into_iter().map(String::from).collect();
+        names.sort_by_key(|n| (n == "extracted", n.clone()));
+        names
+            .into_iter()
+            .map(|name| {
+                let state = if faults.check(Site::RelExec, &name).is_err() {
+                    CandidatePlan::Faulted
+                } else {
+                    match self.synthesizer.synthesize(intent, &self.db, &name) {
+                        Ok(p) => CandidatePlan::Planned(p),
+                        Err(e) => CandidatePlan::Unplannable(e.to_string()),
+                    }
+                };
+                (name, state)
+            })
+            .collect()
+    }
+
+    /// Assembles the unified logical plan for one query: an entropy gate
+    /// admitting a semantic-tagging node over ordered alternatives —
+    /// entailment-verified relational candidates, a confidence-gated
+    /// retrieval pipeline (topology traversal with dense fallback, or
+    /// dense-only), and terminal abstention.
+    fn assemble_logical(
+        &self,
+        intent: &QueryIntent,
+        candidates: &[(String, CandidatePlan)],
+        structured: bool,
+    ) -> LogicalNode {
+        let samples = self.config.entropy_samples;
+        let top_k = self.config.retrieval_top_k;
+        let mut branches: Vec<LogicalNode> = Vec::new();
+        if structured {
+            let alts = candidates
+                .iter()
+                .map(|(table, plan)| LogicalNode::Relational {
+                    table: table.clone(),
+                    plan: plan.clone(),
+                })
+                .collect();
+            branches.push(LogicalNode::SemEntail {
+                samples,
+                child: Box::new(LogicalNode::Alternatives { children: alts }),
+            });
+        }
+        let retrieval = if self.config.enable_topology {
+            LogicalNode::GraphTraverse {
+                top_k,
+                max_frontier: self.topo.config().max_frontier,
+                fallback: Box::new(LogicalNode::DenseScan { top_k, dims: self.dense.dims() }),
+            }
+        } else {
+            LogicalNode::DenseScan { top_k, dims: self.dense.dims() }
+        };
+        branches.push(LogicalNode::ConfidenceGate {
+            threshold: self.config.abstain_confidence,
+            child: Box::new(LogicalNode::SemEntail {
+                samples,
+                child: Box::new(LogicalNode::SemExtract {
+                    max_sentences: 6,
+                    child: Box::new(retrieval),
+                }),
+            }),
+        });
+        branches.push(LogicalNode::Abstain);
+        LogicalNode::EntropyGate {
+            samples,
+            floor: self.config.governors.entropy_sample_floor,
+            child: Box::new(LogicalNode::SemTag {
+                entities: intent.entities.len(),
+                plain_lookup: intent.is_plain_lookup(),
+                comparative: intent.comparative,
+                child: Box::new(LogicalNode::Alternatives { children: branches }),
+            }),
+        }
+    }
+
+    /// The degenerate plan recorded when an admission gate abstains before
+    /// any plan could be built.
+    fn gate_only_plan(&self) -> LogicalNode {
+        LogicalNode::EntropyGate {
+            samples: self.config.entropy_samples,
+            floor: self.config.governors.entropy_sample_floor,
+            child: Box::new(LogicalNode::Abstain),
+        }
+    }
+
+    /// Lowers the logical plan to its costed physical form and records it
+    /// in the trace scope. The closure only runs when tracing is enabled,
+    /// so the planner keeps the zero-cost-when-disabled contract.
+    fn set_physical_plan(
+        &self,
+        scope: &mut TraceScope,
+        logical: &LogicalNode,
+        actuals: &ExecActuals,
+    ) {
+        let model = CostModel::new(&self.stats);
+        scope.set_plan(|| physical::lower(logical, &model, actuals).render());
+    }
+
+    /// The build-time statistics catalog the cost model reads.
+    pub fn stats(&self) -> &StatsCatalog {
+        &self.stats
+    }
+
+    /// Chooses a cost-optimal join order over the named tables, inferring
+    /// equi-join edges from shared / subject-resolvable columns (the same
+    /// inference operator synthesis uses). Returns `None` when no tables
+    /// are given or none of them exist. Counts one
+    /// [`Metric::PlannerJoinDp`] or [`Metric::PlannerJoinGreedy`]
+    /// depending on which optimizer strategy ran.
+    pub fn optimized_multi_join(&self, tables: &[&str]) -> Option<JoinOrder> {
+        let rels: Vec<String> =
+            tables.iter().filter(|t| self.db.has_table(t)).map(|t| (*t).to_string()).collect();
+        let mut edges: Vec<JoinEdge> = Vec::new();
+        for (i, left) in rels.iter().enumerate() {
+            for right in rels.iter().skip(i + 1) {
+                if let Ok(Some(on)) = self.synthesizer.join_keys(&self.db, left, right) {
+                    edges.push(JoinEdge::new(left.clone(), right.clone(), on));
+                }
+            }
+        }
+        let model = CostModel::new(&self.stats);
+        let order = crate::planner::optimize_join_order(&rels, &edges, &model)?;
+        if order.used_dp {
+            self.metrics.incr(Metric::PlannerJoinDp);
+        } else {
+            self.metrics.incr(Metric::PlannerJoinGreedy);
+        }
+        Some(order)
     }
 
     /// Records one entropy estimate in the closed metric registry.

@@ -34,6 +34,7 @@ pub mod baselines;
 pub mod engine;
 pub mod evidence;
 pub mod ingest;
+pub mod planner;
 
 pub use answer::{Answer, Degradation, Provenance, Route};
 pub use baselines::{DirectSlmPipeline, NaiveRagPipeline, QaPipeline, TextToSqlPipeline};
@@ -41,6 +42,9 @@ pub use engine::{
     EngineBuilder, EngineConfig, EngineError, GovernorConfig, ParallelConfig, UnifiedEngine,
 };
 pub use ingest::{IngestReport, QuarantineReason, Quarantined};
+pub use planner::{
+    Cost, CostModel, JoinEdge, JoinOrder, JoinTree, LogicalNode, PhysicalPlan, StatsCatalog,
+};
 
 // Re-export the pieces examples and benches need most.
 pub use faultkit::{FaultPlan, InjectedFault, Site as FaultSite};

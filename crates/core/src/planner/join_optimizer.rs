@@ -1,0 +1,506 @@
+//! Deterministic join-order optimization (DESIGN.md §11).
+//!
+//! Small join sets (≤ [`DP_THRESHOLD`] relations) get exact Selinger-style
+//! dynamic programming over connected subsets; larger sets fall back to a
+//! greedy min-rows heuristic. Both paths canonicalize their input first —
+//! relations sorted by name, edges normalized and deduplicated — so the
+//! chosen order is invariant to the permutation in which join edges were
+//! discovered (the detkit property test in `crates/core/tests` checks
+//! this directly).
+//!
+//! Tie-breaking is total: candidates are compared by `(contains a cross
+//! join, cost, estimated rows, smaller left subset)`, and strictly-better
+//! acceptance over a deterministic enumeration order means equal-cost
+//! plans always resolve to the same tree. Putting the cross-join flag
+//! first means a connected order is always preferred when one exists —
+//! relstore cannot execute a join without an equality condition, so for
+//! edge graphs extracted from runnable plans (always connected) the
+//! chosen tree is runnable too.
+//!
+//! Note the engine's answer path applies reordering as an *annotation*
+//! only: physically re-joining in a different order changes row
+//! enumeration order, which changes float-accumulation order in
+//! downstream aggregates and could flip answer bits. The rewriting API
+//! ([`reorder_plan`]) is exercised by property tests and the public
+//! [`crate::UnifiedEngine::optimized_multi_join`] entry point instead.
+
+use unisem_relstore::plan::{JoinType, LogicalPlan};
+
+use super::cost::CostModel;
+
+/// Relation count at or below which exact DP runs; above it, greedy.
+pub const DP_THRESHOLD: usize = 8;
+
+/// An equi-join edge between two named relations. Canonical form keeps
+/// `left <= right` lexicographically, with `on` pairs oriented
+/// `(left column, right column)` and sorted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Lexicographically smaller relation.
+    pub left: String,
+    /// Lexicographically larger relation.
+    pub right: String,
+    /// `(left column, right column)` equality pairs.
+    pub on: Vec<(String, String)>,
+}
+
+impl JoinEdge {
+    /// A canonicalized edge (sides swapped into name order, pairs sorted).
+    pub fn new(a: impl Into<String>, b: impl Into<String>, on: Vec<(String, String)>) -> JoinEdge {
+        let a = a.into();
+        let b = b.into();
+        let mut edge = if a <= b {
+            JoinEdge { left: a, right: b, on }
+        } else {
+            JoinEdge { left: b, right: a, on: on.into_iter().map(|(x, y)| (y, x)).collect() }
+        };
+        edge.on.sort();
+        edge.on.dedup();
+        edge
+    }
+}
+
+/// A join tree over named base relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinTree {
+    /// A base relation.
+    Leaf(String),
+    /// An inner equi-join of two subtrees.
+    Node {
+        /// Left subtree.
+        left: Box<JoinTree>,
+        /// Right subtree.
+        right: Box<JoinTree>,
+        /// `(left column, right column)` pairs, oriented to the subtrees.
+        on: Vec<(String, String)>,
+    },
+}
+
+impl JoinTree {
+    /// All leaf relation names, left to right.
+    pub fn relations(&self) -> Vec<String> {
+        match self {
+            JoinTree::Leaf(name) => vec![name.clone()],
+            JoinTree::Node { left, right, .. } => {
+                let mut out = left.relations();
+                out.extend(right.relations());
+                out
+            }
+        }
+    }
+
+    /// Compact parenthesized rendering, e.g. `((a ⨝ b) ⨝ c)`.
+    pub fn render(&self) -> String {
+        match self {
+            JoinTree::Leaf(name) => name.clone(),
+            JoinTree::Node { left, right, .. } => {
+                format!("({} ⨝ {})", left.render(), right.render())
+            }
+        }
+    }
+
+    /// Whether any node joins without an equality condition (a cross
+    /// join, which relstore cannot execute).
+    pub fn has_cross_join(&self) -> bool {
+        match self {
+            JoinTree::Leaf(_) => false,
+            JoinTree::Node { left, right, on } => {
+                on.is_empty() || left.has_cross_join() || right.has_cross_join()
+            }
+        }
+    }
+
+    /// Lowers the tree to a relstore [`LogicalPlan`] of scans and inner
+    /// joins.
+    pub fn to_plan(&self) -> LogicalPlan {
+        match self {
+            JoinTree::Leaf(name) => LogicalPlan::scan(name.clone()),
+            JoinTree::Node { left, right, on } => left.to_plan().join(right.to_plan(), on.clone()),
+        }
+    }
+}
+
+/// The optimizer's result: a join tree plus its estimates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinOrder {
+    /// The chosen tree.
+    pub tree: JoinTree,
+    /// Estimated output rows.
+    pub estimated_rows: u64,
+    /// Estimated total cost units.
+    pub cost: u64,
+    /// Whether exact DP ran (`false` = greedy fallback).
+    pub used_dp: bool,
+}
+
+/// One in-progress subtree during optimization.
+#[derive(Debug, Clone)]
+struct Partial {
+    mask: u64,
+    tree: JoinTree,
+    rows: u64,
+    cost: u64,
+    /// Any node in the subtree joins without an equality condition.
+    cross: bool,
+}
+
+/// Chooses a join order for `relations` connected by `edges`.
+///
+/// Input order never matters: relations are sorted by name and edges are
+/// canonicalized before any enumeration. Unconnected splits are treated
+/// as cross joins (row product), so a plan always exists; edges only
+/// make some splits cheaper. Returns `None` for an empty relation set.
+pub fn optimize(relations: &[String], edges: &[JoinEdge], model: &CostModel) -> Option<JoinOrder> {
+    let mut rels: Vec<String> = relations.to_vec();
+    rels.sort_unstable();
+    rels.dedup();
+    if rels.is_empty() || rels.len() > 64 {
+        return None;
+    }
+    let mut canon: Vec<JoinEdge> = edges
+        .iter()
+        .filter(|e| rels.binary_search(&e.left).is_ok() && rels.binary_search(&e.right).is_ok())
+        .map(|e| JoinEdge::new(e.left.clone(), e.right.clone(), e.on.clone()))
+        .collect();
+    canon.sort_by(|a, b| (&a.left, &a.right, &a.on).cmp(&(&b.left, &b.right, &b.on)));
+    canon.dedup();
+
+    if rels.len() == 1 {
+        let rows = model.table_rows(&rels[0]);
+        return Some(JoinOrder {
+            tree: JoinTree::Leaf(rels[0].clone()),
+            estimated_rows: rows,
+            cost: rows,
+            used_dp: false,
+        });
+    }
+
+    let use_dp = rels.len() <= DP_THRESHOLD;
+    let best =
+        if use_dp { dp_order(&rels, &canon, model)? } else { greedy_order(&rels, &canon, model)? };
+    Some(JoinOrder { estimated_rows: best.rows, cost: best.cost, tree: best.tree, used_dp: use_dp })
+}
+
+/// Exact bitmask DP over all subset splits.
+fn dp_order(rels: &[String], edges: &[JoinEdge], model: &CostModel) -> Option<Partial> {
+    let n = rels.len();
+    let full: u64 = (1u64 << n) - 1;
+    let mut table: Vec<Option<Partial>> = vec![None; (full + 1) as usize];
+    for (i, name) in rels.iter().enumerate() {
+        let rows = model.table_rows(name);
+        table[1usize << i] = Some(Partial {
+            mask: 1u64 << i,
+            tree: JoinTree::Leaf(name.clone()),
+            rows,
+            cost: rows,
+            cross: false,
+        });
+    }
+    for mask in 1..=full {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        let mut best: Option<Partial> = None;
+        // `None` until the first candidate: estimates can saturate at
+        // `u64::MAX` on huge cross products, so a sentinel key would
+        // wrongly reject them under strictly-better acceptance.
+        let mut best_key: Option<(u64, u64, u64, u64)> = None;
+        // Enumerate proper submasks deterministically (descending).
+        let mut sub = (mask - 1) & mask;
+        while sub > 0 {
+            let rest = mask & !sub;
+            if let (Some(l), Some(r)) = (&table[sub as usize], &table[rest as usize]) {
+                if let Some(candidate) = join_partials(rels, edges, model, l, r) {
+                    let key = (u64::from(candidate.cross), candidate.cost, candidate.rows, sub);
+                    if best_key.map(|b| key < b).unwrap_or(true) {
+                        best_key = Some(key);
+                        best = Some(candidate);
+                    }
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+        table[mask as usize] = best;
+    }
+    table[full as usize].clone()
+}
+
+/// Greedy fallback: repeatedly merge the pair with the smallest estimated
+/// joined row count (strictly-better acceptance over index order breaks
+/// ties deterministically).
+fn greedy_order(rels: &[String], edges: &[JoinEdge], model: &CostModel) -> Option<Partial> {
+    let mut parts: Vec<Partial> = rels
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let rows = model.table_rows(name);
+            Partial {
+                mask: 1u64 << i,
+                tree: JoinTree::Leaf(name.clone()),
+                rows,
+                cost: rows,
+                cross: false,
+            }
+        })
+        .collect();
+    while parts.len() > 1 {
+        let mut best: Option<(usize, usize, Partial)> = None;
+        let mut best_key: Option<(u64, u64, u64)> = None;
+        for i in 0..parts.len() {
+            for j in (i + 1)..parts.len() {
+                if let Some(candidate) = join_partials(rels, edges, model, &parts[i], &parts[j]) {
+                    let key = (u64::from(candidate.cross), candidate.rows, candidate.cost);
+                    if best_key.map(|b| key < b).unwrap_or(true) {
+                        best_key = Some(key);
+                        best = Some((i, j, candidate));
+                    }
+                }
+            }
+        }
+        let (i, j, merged) = best?;
+        parts.remove(j);
+        parts.remove(i);
+        parts.insert(0, merged);
+    }
+    parts.pop()
+}
+
+/// Joins two partial subtrees, estimating the merged cardinality from the
+/// edges that cross the split.
+fn join_partials(
+    rels: &[String],
+    edges: &[JoinEdge],
+    model: &CostModel,
+    l: &Partial,
+    r: &Partial,
+) -> Option<Partial> {
+    let mut on: Vec<(String, String)> = Vec::new();
+    let mut rows = l.rows.saturating_mul(r.rows);
+    for e in edges {
+        let li = rels.binary_search(&e.left).ok()?;
+        let ri = rels.binary_search(&e.right).ok()?;
+        let (lbit, rbit) = (1u64 << li, 1u64 << ri);
+        let crossing = if l.mask & lbit != 0 && r.mask & rbit != 0 {
+            Some(false)
+        } else if l.mask & rbit != 0 && r.mask & lbit != 0 {
+            Some(true)
+        } else {
+            None
+        };
+        if let Some(flipped) = crossing {
+            for (a, b) in &e.on {
+                let (lc, rc, lrel, rrel) = if flipped {
+                    (b.clone(), a.clone(), &e.right, &e.left)
+                } else {
+                    (a.clone(), b.clone(), &e.left, &e.right)
+                };
+                let ld = distinct_of(model, lrel, &lc);
+                let rd = distinct_of(model, rrel, &rc);
+                rows /= ld.max(rd).max(1);
+                on.push((lc, rc));
+            }
+        }
+    }
+    if l.rows > 0 && r.rows > 0 {
+        rows = rows.max(1);
+    }
+    on.sort();
+    on.dedup();
+    let cost = l
+        .cost
+        .saturating_add(r.cost)
+        .saturating_add(l.rows)
+        .saturating_add(r.rows)
+        .saturating_add(rows);
+    let cross = l.cross || r.cross || on.is_empty();
+    Some(Partial {
+        mask: l.mask | r.mask,
+        tree: JoinTree::Node {
+            left: Box::new(l.tree.clone()),
+            right: Box::new(r.tree.clone()),
+            on,
+        },
+        rows,
+        cost,
+        cross,
+    })
+}
+
+fn distinct_of(model: &CostModel, rel: &str, col: &str) -> u64 {
+    model.stats().table(rel).map(|t| t.distinct(col) as u64).unwrap_or(2)
+}
+
+/// Rewrites a pure inner-join tree of base-table scans into the
+/// cost-optimal join order. Returns `None` (leaving the caller's plan
+/// untouched) when the plan contains anything other than scans and inner
+/// equi-joins, repeats a table, or has no join at all — reordering is
+/// only defined where it provably preserves set semantics.
+pub fn reorder_plan(plan: &LogicalPlan, model: &CostModel) -> Option<(LogicalPlan, JoinOrder)> {
+    let mut edges: Vec<JoinEdge> = Vec::new();
+    let rels = collect_join_tree(plan, model, &mut edges)?;
+    if rels.len() < 2 {
+        return None;
+    }
+    let mut unique = rels.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    if unique.len() != rels.len() {
+        return None;
+    }
+    let order = optimize(&unique, &edges, model)?;
+    // A runnable input plan yields a connected edge graph, so the
+    // cross-averse tie-break should never pick a cross join here; the
+    // guard keeps the promise airtight regardless.
+    if order.tree.has_cross_join() {
+        return None;
+    }
+    Some((order.tree.to_plan(), order))
+}
+
+/// Collects scan leaves and crossing edges from a scan/inner-join tree;
+/// `None` when any other operator appears. Column-to-relation attribution
+/// asks the statistics catalog which side's table actually declares the
+/// column, falling back to the first relation of the subtree.
+fn collect_join_tree(
+    plan: &LogicalPlan,
+    model: &CostModel,
+    edges: &mut Vec<JoinEdge>,
+) -> Option<Vec<String>> {
+    match plan {
+        LogicalPlan::Scan { table } => Some(vec![table.clone()]),
+        LogicalPlan::Join { left, right, join_type, on } => {
+            if *join_type != JoinType::Inner {
+                return None;
+            }
+            let lrels = collect_join_tree(left, model, edges)?;
+            let rrels = collect_join_tree(right, model, edges)?;
+            for (lc, rc) in on {
+                let lrel = owner_of(model, &lrels, lc)?;
+                let rrel = owner_of(model, &rrels, rc)?;
+                edges.push(JoinEdge::new(lrel, rrel, vec![(lc.clone(), rc.clone())]));
+            }
+            let mut out = lrels;
+            out.extend(rrels);
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// The first relation of a subtree whose table declares `col`, falling
+/// back to the subtree's first relation when the catalog has no match.
+fn owner_of(model: &CostModel, rels: &[String], col: &str) -> Option<String> {
+    rels.iter()
+        .find(|r| model.stats().table(r).map(|t| t.column(col).is_some()).unwrap_or(false))
+        .or_else(|| rels.first())
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::stats::{ColumnStats, StatsCatalog, TableStats};
+
+    fn catalog(specs: &[(&str, usize, &[(&str, usize)])]) -> StatsCatalog {
+        let mut cat = StatsCatalog::default();
+        for (name, rows, cols) in specs {
+            cat.tables.insert(
+                (*name).to_string(),
+                TableStats {
+                    rows: *rows,
+                    columns: cols
+                        .iter()
+                        .map(|(c, d)| ColumnStats {
+                            name: (*c).to_string(),
+                            distinct: *d,
+                            nulls: 0,
+                        })
+                        .collect(),
+                },
+            );
+        }
+        cat
+    }
+
+    fn star_edges() -> Vec<JoinEdge> {
+        vec![
+            JoinEdge::new("orders", "customers", vec![("cid".into(), "cid".into())]),
+            JoinEdge::new("orders", "products", vec![("pid".into(), "pid".into())]),
+        ]
+    }
+
+    #[test]
+    fn dp_puts_selective_join_first() {
+        let cat = catalog(&[
+            ("orders", 10_000, &[("cid", 100), ("pid", 50)]),
+            ("customers", 100, &[("cid", 100)]),
+            ("products", 50, &[("pid", 50)]),
+        ]);
+        let model = CostModel::new(&cat);
+        let rels: Vec<String> =
+            ["customers", "orders", "products"].iter().map(|s| s.to_string()).collect();
+        let order = optimize(&rels, &star_edges(), &model).expect("plan");
+        assert!(order.used_dp);
+        assert_eq!(order.estimated_rows, 10_000);
+        assert_eq!(order.tree.relations().len(), 3);
+    }
+
+    #[test]
+    fn edge_permutation_is_invariant() {
+        let cat = catalog(&[
+            ("a", 10, &[("k", 10)]),
+            ("b", 200, &[("k", 10), ("j", 20)]),
+            ("c", 3_000, &[("j", 20)]),
+        ]);
+        let model = CostModel::new(&cat);
+        let rels: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let e1 = JoinEdge::new("a", "b", vec![("k".into(), "k".into())]);
+        let e2 = JoinEdge::new("c", "b", vec![("j".into(), "j".into())]);
+        let fwd = optimize(&rels, &[e1.clone(), e2.clone()], &model).expect("plan");
+        let rev = optimize(&rels, &[e2, e1], &model).expect("plan");
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn greedy_handles_large_sets() {
+        let specs: Vec<(String, usize)> =
+            (0..12).map(|i| (format!("t{i:02}"), 10 + i * 7)).collect();
+        let cat_specs: Vec<(&str, usize, &[(&str, usize)])> =
+            specs.iter().map(|(n, r)| (n.as_str(), *r, &[][..])).collect();
+        let cat = catalog(&cat_specs);
+        let model = CostModel::new(&cat);
+        let rels: Vec<String> = specs.iter().map(|(n, _)| n.clone()).collect();
+        let order = optimize(&rels, &[], &model).expect("plan");
+        assert!(!order.used_dp);
+        assert_eq!(order.tree.relations().len(), 12);
+    }
+
+    #[test]
+    fn reorder_rejects_non_join_shapes() {
+        let cat = catalog(&[("a", 10, &[]), ("b", 10, &[])]);
+        let model = CostModel::new(&cat);
+        let single = LogicalPlan::scan("a");
+        assert!(reorder_plan(&single, &model).is_none());
+        let with_limit = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![]).limit(3);
+        assert!(reorder_plan(&with_limit, &model).is_none());
+        let self_join = LogicalPlan::scan("a").join(LogicalPlan::scan("a"), vec![]);
+        assert!(reorder_plan(&self_join, &model).is_none());
+    }
+
+    #[test]
+    fn reorder_emits_runnable_plan() {
+        let cat = catalog(&[
+            ("orders", 10_000, &[("cid", 100), ("pid", 50)]),
+            ("customers", 100, &[("cid", 100)]),
+            ("products", 50, &[("pid", 50)]),
+        ]);
+        let model = CostModel::new(&cat);
+        let plan = LogicalPlan::scan("customers")
+            .join(LogicalPlan::scan("orders"), vec![("cid".into(), "cid".into())])
+            .join(LogicalPlan::scan("products"), vec![("pid".into(), "pid".into())]);
+        let (rewritten, order) = reorder_plan(&plan, &model).expect("reordered");
+        assert_eq!(order.tree.relations().len(), 3);
+        assert!(matches!(rewritten, LogicalPlan::Join { .. }));
+        assert!(order.tree.render().contains("⨝"));
+    }
+}

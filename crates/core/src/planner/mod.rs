@@ -1,0 +1,30 @@
+//! Unified cost-based query planner (DESIGN.md §11).
+//!
+//! The planner splits query resolution into a **logical** algebra
+//! ([`logical::LogicalNode`]) spanning every substrate — relational,
+//! semi-structured, document, graph — with the SLM semantic operators as
+//! first-class nodes; a deterministic, integer-only **cost model**
+//! ([`cost::CostModel`]) fed by build-time per-substrate statistics
+//! ([`stats::StatsCatalog`]); a **join-order optimizer**
+//! ([`join_optimizer`]) with exact DP below
+//! [`join_optimizer::DP_THRESHOLD`] relations and a greedy fallback
+//! above; and a **physical** lowering ([`physical::PhysicalPlan`]) that
+//! pairs every operator with estimated and actual costs for the explain
+//! trace.
+//!
+//! `UnifiedEngine::answer` synthesizes, optimizes, and executes these
+//! plans; the pre-planner degradation ladder survives verbatim behind
+//! `EngineConfig::legacy_ladder` as the differential-testing oracle
+//! (`tests/tests/planner_diff.rs` proves byte-identical answers).
+
+pub mod cost;
+pub mod join_optimizer;
+pub mod logical;
+pub mod physical;
+pub mod stats;
+
+pub use cost::{Cost, CostModel, RelEstimate};
+pub use join_optimizer::{optimize as optimize_join_order, JoinEdge, JoinOrder, JoinTree};
+pub use logical::{CandidatePlan, LogicalNode};
+pub use physical::{ExecActuals, PhysNode, PhysicalPlan};
+pub use stats::{ColumnStats, GraphDegreeStats, StatsCatalog, TableStats, TextStats};

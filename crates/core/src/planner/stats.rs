@@ -1,0 +1,239 @@
+//! Build-time statistics catalog (DESIGN.md §11).
+//!
+//! The cost model's only data input. Collected once, at build time, from
+//! every substrate: relational row counts and per-column cardinalities,
+//! inverted-index posting-list lengths, and the graph degree histogram.
+//!
+//! Determinism contract: every number here is a pure function of the
+//! ingested data — never of timing, thread count, or iteration order.
+//! Tables live in a `BTreeMap`, so catalog iteration (and [`render`])
+//! is byte-identical at any pool width; the thread-matrix test in
+//! `tests/tests/planner_diff.rs` checks exactly that.
+//!
+//! [`render`]: StatsCatalog::render
+
+use std::collections::BTreeMap;
+
+use unisem_docstore::DocStore;
+use unisem_hetgraph::HetGraph;
+use unisem_relstore::Database;
+
+/// Cardinality statistics for one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Distinct non-NULL values (SQL comparison semantics).
+    pub distinct: usize,
+    /// NULL count.
+    pub nulls: usize,
+}
+
+/// Statistics for one relational table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: usize,
+    /// Per-column statistics, schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Statistics for a named column, if present.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Distinct count for a named column; an unknown column estimates as
+    /// the full row count (every value unique — the conservative default).
+    pub fn distinct(&self, name: &str) -> usize {
+        self.column(name).map(|c| c.distinct).unwrap_or(self.rows).max(1)
+    }
+}
+
+/// Inverted-index statistics for the unstructured substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TextStats {
+    /// Documents in the store.
+    pub documents: usize,
+    /// Chunks indexed.
+    pub chunks: usize,
+    /// Distinct indexed terms.
+    pub terms: usize,
+    /// Total posting entries across all terms.
+    pub postings: usize,
+    /// Longest posting list.
+    pub max_posting: usize,
+}
+
+/// Degree statistics for the heterogeneous graph.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GraphDegreeStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Mean degree scaled by 1000 (integer arithmetic keeps the catalog
+    /// float-free and therefore trivially byte-stable).
+    pub avg_degree_x1000: usize,
+    /// Power-of-two degree histogram: `(inclusive upper bound, node
+    /// count)`, overflow bucket reported with bound `usize::MAX`.
+    pub histogram: Vec<(usize, usize)>,
+}
+
+/// The per-substrate statistics catalog the planner costs plans against.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsCatalog {
+    /// Per-table statistics, keyed by table name (deterministic order).
+    pub tables: BTreeMap<String, TableStats>,
+    /// Inverted-index statistics.
+    pub text: TextStats,
+    /// Graph degree statistics.
+    pub graph: GraphDegreeStats,
+}
+
+impl StatsCatalog {
+    /// Collects statistics from every substrate. Single-threaded by
+    /// design: statistics are part of the build's deterministic output,
+    /// and the collection pass is linear in the data.
+    pub fn collect(db: &Database, docs: &DocStore, graph: &HetGraph) -> StatsCatalog {
+        let mut tables = BTreeMap::new();
+        let mut names: Vec<String> = db.table_names().into_iter().map(String::from).collect();
+        names.sort_unstable();
+        for name in names {
+            if let Ok(t) = db.table(&name) {
+                let columns = t
+                    .schema()
+                    .columns()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let (distinct, nulls) = t.column_stats(i);
+                        ColumnStats { name: c.name.clone(), distinct, nulls }
+                    })
+                    .collect();
+                tables.insert(name, TableStats { rows: t.num_rows(), columns });
+            }
+        }
+        let (terms, postings, max_posting) = docs.posting_stats();
+        let text = TextStats {
+            documents: docs.num_documents(),
+            chunks: docs.num_chunks(),
+            terms,
+            postings,
+            max_posting,
+        };
+        let nodes = graph.num_nodes();
+        let graph = GraphDegreeStats {
+            nodes,
+            edges: graph.num_edges(),
+            max_degree: graph.max_degree(),
+            avg_degree_x1000: if nodes == 0 { 0 } else { graph.num_edges() * 2 * 1000 / nodes },
+            histogram: graph.degree_histogram(),
+        };
+        StatsCatalog { tables, text, graph }
+    }
+
+    /// Statistics for a named table.
+    pub fn table(&self, name: &str) -> Option<&TableStats> {
+        self.tables.get(name)
+    }
+
+    /// Total column statistics collected (feeds the build gauge).
+    pub fn num_columns(&self) -> usize {
+        self.tables.values().map(|t| t.columns.len()).sum()
+    }
+
+    /// Deterministic plaintext rendering, one fact per line. Tables come
+    /// out in `BTreeMap` key order, so the bytes are identical for any
+    /// build thread count.
+    pub fn render(&self) -> String {
+        let mut out = String::from("statistics catalog:\n");
+        for (name, t) in &self.tables {
+            out.push_str(&format!("  table {name}: rows={}\n", t.rows));
+            for c in &t.columns {
+                out.push_str(&format!(
+                    "    column {}: distinct={} nulls={}\n",
+                    c.name, c.distinct, c.nulls
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "  text: documents={} chunks={} terms={} postings={} max_posting={}\n",
+            self.text.documents,
+            self.text.chunks,
+            self.text.terms,
+            self.text.postings,
+            self.text.max_posting
+        ));
+        out.push_str(&format!(
+            "  graph: nodes={} edges={} max_degree={} avg_degree_x1000={}\n",
+            self.graph.nodes, self.graph.edges, self.graph.max_degree, self.graph.avg_degree_x1000
+        ));
+        for (bound, count) in &self.graph.histogram {
+            if *count > 0 {
+                let label =
+                    if *bound == usize::MAX { "inf".to_string() } else { format!("{bound}") };
+                out.push_str(&format!("    degree<={label}: {count}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unisem_relstore::{DataType, Schema, Table, Value};
+    use unisem_text::ChunkConfig;
+
+    fn sample_catalog() -> StatsCatalog {
+        let mut db = Database::new();
+        let t = Table::from_rows(
+            Schema::of(&[("product", DataType::Str), ("amount", DataType::Float)]),
+            vec![
+                vec![Value::str("a"), Value::Float(1.0)],
+                vec![Value::str("a"), Value::Float(2.0)],
+                vec![Value::str("b"), Value::Null],
+            ],
+        )
+        .expect("typed rows");
+        db.create_table("sales", t).expect("fresh");
+        let mut docs = DocStore::new(ChunkConfig::default());
+        docs.add_document("d", "alpha beta alpha.", "src");
+        StatsCatalog::collect(&db, &docs, &HetGraph::new())
+    }
+
+    #[test]
+    fn collects_cardinalities_and_text_stats() {
+        let cat = sample_catalog();
+        let t = cat.table("sales").expect("collected");
+        assert_eq!(t.rows, 3);
+        assert_eq!(t.distinct("product"), 2);
+        assert_eq!(t.column("amount").expect("col").nulls, 1);
+        assert_eq!(t.distinct("missing"), 3, "unknown column defaults to row count");
+        assert!(cat.text.terms > 0);
+        assert!(cat.text.postings >= cat.text.terms);
+        assert_eq!(cat.num_columns(), 2);
+    }
+
+    #[test]
+    fn render_is_stable_and_complete() {
+        let cat = sample_catalog();
+        assert_eq!(cat.render(), cat.render());
+        let text = cat.render();
+        assert!(text.contains("table sales: rows=3"), "{text}");
+        assert!(text.contains("column product: distinct=2"), "{text}");
+        assert!(text.contains("text: documents=1"), "{text}");
+    }
+
+    #[test]
+    fn empty_substrates_collect_cleanly() {
+        let cat = StatsCatalog::collect(&Database::new(), &DocStore::default(), &HetGraph::new());
+        assert!(cat.tables.is_empty());
+        assert_eq!(cat.graph.nodes, 0);
+        assert_eq!(cat.graph.avg_degree_x1000, 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the cost-based planner (detkit harness,
+//! DESIGN.md §11): join reordering preserves semantics and the operator
+//! set, the chosen order is invariant to edge-discovery permutation, and
+//! cost estimates are monotone in table cardinality.
+
+use detkit::prop::{i32s, i8s, usizes, vec_of, zip, zip3, Gen};
+use detkit::{prop_assert, prop_assert_eq, prop_check};
+use unisem_core::planner::join_optimizer::{optimize, reorder_plan, JoinEdge};
+use unisem_core::planner::{ColumnStats, CostModel, StatsCatalog, TableStats};
+use unisem_docstore::DocStore;
+use unisem_hetgraph::HetGraph;
+use unisem_relstore::plan::LogicalPlan;
+use unisem_relstore::{DataType, Database, Expr, Schema, Table, Value};
+
+/// Generator: rows for a two-int-column table, keys in a small range so
+/// joins actually match.
+fn rows2(key_hi: i8, max_rows: usize) -> Gen<Vec<(i8, i32)>> {
+    vec_of(&zip(&i8s(0, key_hi), &i32s(-50, 49)), 0, max_rows)
+}
+
+fn int_table(cols: [&str; 2], rows: &[(i8, i32)]) -> Table {
+    let schema = Schema::of(&[(cols[0], DataType::Int), (cols[1], DataType::Int)]);
+    Table::from_rows(
+        schema,
+        rows.iter()
+            .map(|(k, v)| vec![Value::Int(i64::from(*k)), Value::Int(i64::from(*v))])
+            .collect(),
+    )
+    .expect("typed rows")
+}
+
+/// Every row of `t` as a sorted `(column name, rendered value)` record,
+/// the whole table sorted — a column-order- and row-order-insensitive
+/// fingerprint for comparing join outputs across plan rewrites.
+fn row_multiset(t: &Table) -> Vec<Vec<(String, String)>> {
+    let names: Vec<String> = t.schema().columns().iter().map(|c| c.name.clone()).collect();
+    let mut out: Vec<Vec<(String, String)>> = (0..t.num_rows())
+        .map(|r| {
+            let mut rec: Vec<(String, String)> = names
+                .iter()
+                .enumerate()
+                .map(|(c, n)| (n.clone(), format!("{:?}", t.cell(r, c))))
+                .collect();
+            rec.sort();
+            rec
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn catalog_of(db: &Database) -> StatsCatalog {
+    StatsCatalog::collect(db, &DocStore::default(), &HetGraph::new())
+}
+
+// Join reordering preserves semantics: the rewritten plan produces the
+// same row multiset as the original, and never adds or drops a relation
+// (the operator-set invariant at the join level).
+prop_check!(
+    reorder_preserves_rows_and_operator_set,
+    zip3(&rows2(4, 10), &rows2(4, 10), &rows2(4, 10)),
+    |input| {
+        let (ra, rb, rc) = input;
+        let mut db = Database::new();
+        db.create_table("a", int_table(["ka", "va"], ra)).expect("fresh");
+        db.create_table("b", int_table(["kb", "jb"], rb)).expect("fresh");
+        db.create_table("c", int_table(["jc", "vc"], rc)).expect("fresh");
+        let plan = LogicalPlan::scan("a")
+            .join(LogicalPlan::scan("b"), vec![("ka".into(), "kb".into())])
+            .join(LogicalPlan::scan("c"), vec![("jb".into(), "jc".into())]);
+        let cat = catalog_of(&db);
+        let model = CostModel::new(&cat);
+        let (rewritten, order) = reorder_plan(&plan, &model).expect("pure join tree");
+        let mut rels = order.tree.relations();
+        rels.sort();
+        prop_assert_eq!(rels, vec!["a".to_string(), "b".into(), "c".into()]);
+        let original = db.run_plan(&plan).expect("original executes");
+        let reordered = db.run_plan(&rewritten).expect("rewritten executes");
+        prop_assert_eq!(row_multiset(&original), row_multiset(&reordered));
+        Ok(())
+    }
+);
+
+// The chosen join order is invariant to the permutation in which edges
+// were discovered: reversing or rotating the edge list changes nothing.
+prop_check!(
+    join_order_invariant_to_edge_permutation,
+    zip(&vec_of(&usizes(1, 500), 3, 6), &usizes(0, 5)),
+    |input| {
+        let (sizes, rot) = input;
+        let rels: Vec<String> = (0..sizes.len()).map(|i| format!("t{i}")).collect();
+        let mut cat = StatsCatalog::default();
+        for (name, rows) in rels.iter().zip(sizes.iter()) {
+            cat.tables.insert(
+                name.clone(),
+                TableStats {
+                    rows: *rows,
+                    columns: vec![ColumnStats {
+                        name: "k".into(),
+                        distinct: (*rows / 2).max(1),
+                        nulls: 0,
+                    }],
+                },
+            );
+        }
+        let model = CostModel::new(&cat);
+        let edges: Vec<JoinEdge> = rels
+            .windows(2)
+            .map(|w| JoinEdge::new(w[0].clone(), w[1].clone(), vec![("k".into(), "k".into())]))
+            .collect();
+        let baseline = optimize(&rels, &edges, &model).expect("plan");
+        let mut reversed = edges.clone();
+        reversed.reverse();
+        prop_assert_eq!(&baseline, &optimize(&rels, &reversed, &model).expect("plan"));
+        let mut rotated = edges.clone();
+        rotated.rotate_left(rot % edges.len().max(1));
+        prop_assert_eq!(&baseline, &optimize(&rels, &rotated, &model).expect("plan"));
+        let mut tree_rels = baseline.tree.relations();
+        tree_rels.sort();
+        prop_assert_eq!(tree_rels, rels);
+        Ok(())
+    }
+);
+
+// Cost estimates are monotone in table cardinality: growing a table never
+// shrinks the estimated rows or total cost of a scan-filter plan over it.
+prop_check!(
+    cost_monotone_in_table_cardinality,
+    zip3(&usizes(1, 10_000), &usizes(1, 10_000), &usizes(1, 50)),
+    |input| {
+        let (rows, delta, distinct) = input;
+        let cat_with = |n: usize| {
+            let mut cat = StatsCatalog::default();
+            cat.tables.insert(
+                "t".into(),
+                TableStats {
+                    rows: n,
+                    columns: vec![ColumnStats { name: "k".into(), distinct: *distinct, nulls: 0 }],
+                },
+            );
+            cat
+        };
+        let plan = LogicalPlan::scan("t").filter(Expr::col("k").eq(Expr::lit(1i64)));
+        let small_cat = cat_with(*rows);
+        let big_cat = cat_with(rows + delta);
+        let small = CostModel::new(&small_cat).rel_plan(&plan).cost;
+        let big = CostModel::new(&big_cat).rel_plan(&plan).cost;
+        prop_assert!(small.rows <= big.rows, "row estimate shrank: {} -> {}", small.rows, big.rows);
+        prop_assert!(
+            small.total() <= big.total(),
+            "total cost shrank: {} -> {}",
+            small.total(),
+            big.total()
+        );
+        Ok(())
+    }
+);

@@ -171,6 +171,13 @@ impl DocStore {
             .collect()
     }
 
+    /// Inverted-index statistics `(distinct terms, total postings, longest
+    /// posting list)` — the unstructured substrate's contribution to the
+    /// planner's build-time statistics catalog.
+    pub fn posting_stats(&self) -> (usize, usize, usize) {
+        self.index.posting_stats()
+    }
+
     /// Approximate resident bytes of the inverted index (for E2).
     pub fn index_bytes(&self) -> usize {
         self.index.approx_bytes()

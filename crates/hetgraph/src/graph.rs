@@ -211,6 +211,26 @@ impl HetGraph {
         self.adjacency[id.0 as usize].len()
     }
 
+    /// Maximum node degree (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Power-of-two degree histogram: `(inclusive upper bound, node count)`
+    /// for bounds 1, 2, 4, …, 1024, plus one overflow bucket reported with
+    /// bound `usize::MAX`. A pure function of the adjacency, so the planner
+    /// statistics built from it are deterministic at any thread count.
+    pub fn degree_histogram(&self) -> Vec<(usize, usize)> {
+        const BOUNDS: [usize; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+        let mut counts = [0usize; BOUNDS.len() + 1];
+        for adj in &self.adjacency {
+            let d = adj.len();
+            let bucket = BOUNDS.iter().position(|&b| d <= b).unwrap_or(BOUNDS.len());
+            counts[bucket] += 1;
+        }
+        BOUNDS.iter().copied().chain(std::iter::once(usize::MAX)).zip(counts).collect()
+    }
+
     fn push_node(&mut self, kind: NodeKind, label: String) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node { id, kind, label });

@@ -119,6 +119,30 @@ impl Table {
         Table { schema: self.schema.clone(), columns, rows: indices.len() }
     }
 
+    /// `(distinct non-NULL values, NULL count)` for one column, by SQL
+    /// comparison semantics ([`Value::sort_cmp`]) — the cardinality input
+    /// of the planner's cost model. Deterministic: a pure function of the
+    /// column contents, independent of row order.
+    pub fn column_stats(&self, idx: usize) -> (usize, usize) {
+        let mut nulls = 0usize;
+        let mut vals: Vec<&Value> = Vec::new();
+        for v in self.column(idx) {
+            if v.is_null() {
+                nulls += 1;
+            } else {
+                vals.push(v);
+            }
+        }
+        vals.sort_by(|a, b| a.sort_cmp(b));
+        let mut distinct = 0usize;
+        for i in 0..vals.len() {
+            if i == 0 || vals[i - 1].sort_cmp(vals[i]) != std::cmp::Ordering::Equal {
+                distinct += 1;
+            }
+        }
+        (distinct, nulls)
+    }
+
     /// Approximate resident bytes (for the E2 storage experiment).
     pub fn approx_bytes(&self) -> usize {
         let cell = |v: &Value| match v {

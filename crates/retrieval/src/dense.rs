@@ -54,6 +54,12 @@ impl DenseRetriever {
     pub fn is_empty(&self) -> bool {
         self.vectors.is_empty()
     }
+
+    /// Embedding dimensionality (0 when empty) — with [`Self::len`], the
+    /// planner's per-query scan-cost input for the dense fallback.
+    pub fn dims(&self) -> usize {
+        self.vectors.first().map(Vec::len).unwrap_or(0)
+    }
 }
 
 impl ChunkRetriever for DenseRetriever {

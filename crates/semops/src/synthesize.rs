@@ -389,6 +389,34 @@ impl OperatorSynthesizer {
         Ok(db.run_plan(&plan)?)
     }
 
+    /// Finds the equi-join key pair shared by two tables: an exact shared
+    /// column name, else subject-ish columns on both sides. This is the
+    /// join-edge inference primitive behind [`Self::join_plan`] and the
+    /// core planner's join-graph construction. Returns `None` when no key
+    /// exists.
+    pub fn join_keys(
+        &self,
+        db: &Database,
+        left: &str,
+        right: &str,
+    ) -> Result<Option<Vec<(String, String)>>, SynthesisError> {
+        let ls = db.table(left)?.schema().clone();
+        let rs = db.table(right)?.schema().clone();
+        // Exact shared column name.
+        for c in ls.columns() {
+            if rs.index_of(&c.name).is_some() {
+                return Ok(Some(vec![(c.name.clone(), c.name.clone())]));
+            }
+        }
+        // Subject-ish column on the left matching a name-ish column right.
+        let lsub = resolve_subject_column(&ls);
+        let rsub = resolve_subject_column(&rs);
+        if let (Some(l), Some(r)) = (lsub, rsub) {
+            return Ok(Some(vec![(l, r)]));
+        }
+        Ok(None)
+    }
+
     /// Finds a join key shared by two tables (same column name on both
     /// sides, or a `name`-like column matching a subject column) and
     /// synthesizes the joined plan. Returns `None` when no key exists.
@@ -398,24 +426,9 @@ impl OperatorSynthesizer {
         left: &str,
         right: &str,
     ) -> Result<Option<LogicalPlan>, SynthesisError> {
-        let ls = db.table(left)?.schema().clone();
-        let rs = db.table(right)?.schema().clone();
-        // Exact shared column name.
-        for c in ls.columns() {
-            if rs.index_of(&c.name).is_some() {
-                return Ok(Some(
-                    LogicalPlan::scan(left)
-                        .join(LogicalPlan::scan(right), vec![(c.name.clone(), c.name.clone())]),
-                ));
-            }
-        }
-        // Subject-ish column on the left matching a name-ish column right.
-        let lsub = resolve_subject_column(&ls);
-        let rsub = resolve_subject_column(&rs);
-        if let (Some(l), Some(r)) = (lsub, rsub) {
-            return Ok(Some(LogicalPlan::scan(left).join(LogicalPlan::scan(right), vec![(l, r)])));
-        }
-        Ok(None)
+        Ok(self
+            .join_keys(db, left, right)?
+            .map(|on| LogicalPlan::scan(left).join(LogicalPlan::scan(right), on)))
     }
 }
 

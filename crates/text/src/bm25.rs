@@ -80,6 +80,18 @@ impl Bm25Index {
         self.doc_len.is_empty()
     }
 
+    /// Inverted-index statistics for the planner's cost model:
+    /// `(distinct terms, total postings, longest posting list)`.
+    pub fn posting_stats(&self) -> (usize, usize, usize) {
+        let mut total = 0usize;
+        let mut max = 0usize;
+        for posts in self.postings.values() {
+            total += posts.len();
+            max = max.max(posts.len());
+        }
+        (self.postings.len(), total, max)
+    }
+
     /// Approximate resident size of the index in bytes (for the E2 storage
     /// experiment): postings entries plus term keys plus doc-length array.
     pub fn approx_bytes(&self) -> usize {

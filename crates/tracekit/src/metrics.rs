@@ -19,11 +19,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::json_escape;
 
 /// Number of registered metrics (counters + gauges).
-pub const NUM_METRICS: usize = 35;
+pub const NUM_METRICS: usize = 42;
 /// Number of registered histograms.
 pub const NUM_HISTS: usize = 2;
 /// Number of registered wall-clock stages.
-pub const NUM_STAGES: usize = 9;
+pub const NUM_STAGES: usize = 10;
 /// Histogram bucket upper bounds (≤, powers of two); one overflow bucket
 /// follows.
 pub const HIST_BOUNDS: [u64; 17] =
@@ -115,6 +115,20 @@ pub enum Metric {
     BatchItems,
     /// parkit chunks dispatched for batch answering (width-invariant).
     BatchChunks,
+    /// Tables covered by the planner's build-time statistics catalog.
+    PlannerStatsTables,
+    /// Column statistics (cardinality + NULL counts) collected at build.
+    PlannerStatsColumns,
+    /// Inverted-index postings counted into the statistics catalog.
+    PlannerStatsPostings,
+    /// Maximum graph node degree recorded in the statistics catalog.
+    PlannerStatsMaxDegree,
+    /// Logical plans synthesized and optimized by the cost-based planner.
+    PlannerPlansBuilt,
+    /// Join orders solved exactly (dynamic programming over subsets).
+    PlannerJoinDp,
+    /// Join orders solved greedily (relation count above the DP threshold).
+    PlannerJoinGreedy,
 }
 
 impl Metric {
@@ -155,6 +169,13 @@ impl Metric {
         Metric::BatchCalls,
         Metric::BatchItems,
         Metric::BatchChunks,
+        Metric::PlannerStatsTables,
+        Metric::PlannerStatsColumns,
+        Metric::PlannerStatsPostings,
+        Metric::PlannerStatsMaxDegree,
+        Metric::PlannerPlansBuilt,
+        Metric::PlannerJoinDp,
+        Metric::PlannerJoinGreedy,
     ];
 
     /// Stable registry index.
@@ -200,6 +221,13 @@ impl Metric {
             Metric::BatchCalls => "parkit.batch_calls",
             Metric::BatchItems => "parkit.batch_items",
             Metric::BatchChunks => "parkit.batch_chunks",
+            Metric::PlannerStatsTables => "planner.stats_tables",
+            Metric::PlannerStatsColumns => "planner.stats_columns",
+            Metric::PlannerStatsPostings => "planner.stats_postings",
+            Metric::PlannerStatsMaxDegree => "planner.stats_max_degree",
+            Metric::PlannerPlansBuilt => "planner.plans_built",
+            Metric::PlannerJoinDp => "planner.join_dp",
+            Metric::PlannerJoinGreedy => "planner.join_greedy",
         }
     }
 
@@ -214,7 +242,11 @@ impl Metric {
             | Metric::GraphEdges
             | Metric::GraphEntities
             | Metric::GraphChunks
-            | Metric::GraphRecords => MetricKind::Gauge,
+            | Metric::GraphRecords
+            | Metric::PlannerStatsTables
+            | Metric::PlannerStatsColumns
+            | Metric::PlannerStatsPostings
+            | Metric::PlannerStatsMaxDegree => MetricKind::Gauge,
             _ => MetricKind::Counter,
         }
     }
@@ -265,6 +297,8 @@ pub enum Stage {
     BuildGraph,
     /// Dense retriever embedding build.
     BuildDense,
+    /// Planner statistics-catalog collection.
+    BuildStats,
     /// Whole `answer` call.
     AnswerTotal,
     /// Structured route (synthesis + plan execution).
@@ -283,6 +317,7 @@ impl Stage {
         Stage::BuildExtract,
         Stage::BuildGraph,
         Stage::BuildDense,
+        Stage::BuildStats,
         Stage::AnswerTotal,
         Stage::AnswerStructured,
         Stage::AnswerRetrieval,
@@ -302,6 +337,7 @@ impl Stage {
             Stage::BuildExtract => "build.extract",
             Stage::BuildGraph => "build.graph",
             Stage::BuildDense => "build.dense",
+            Stage::BuildStats => "build.stats",
             Stage::AnswerTotal => "answer.total",
             Stage::AnswerStructured => "answer.structured",
             Stage::AnswerRetrieval => "answer.retrieval",

@@ -1,0 +1,227 @@
+//! Differential plan testing (DESIGN.md §11): the cost-based planner and
+//! the legacy degradation ladder must produce **byte-identical** answers
+//! for every workload query — text as raw bytes, routes structurally,
+//! confidence bit-for-bit, degradations and entropy reports included —
+//! at multiple thread counts and under a pinned fault plan. The ladder
+//! is the oracle; any drift is a planner bug by definition.
+//!
+//! Also here: the statistics-collection determinism contract — building
+//! with stats enabled (always) must stay byte-identical across thread
+//! counts, for both the catalog rendering and the metrics snapshot.
+
+use unisem_core::{EngineBuilder, EngineConfig, FaultPlan, ParallelConfig, UnifiedEngine};
+use unisem_workloads::ecommerce::DocSpec;
+use unisem_workloads::{
+    EcommerceConfig, EcommerceWorkload, HealthcareConfig, HealthcareWorkload, QaItem,
+};
+
+struct Workload {
+    name: &'static str,
+    lexicon: unisem_slm::Lexicon,
+    db: unisem_relstore::Database,
+    semi: unisem_semistore::SemiStore,
+    documents: Vec<DocSpec>,
+    qa: Vec<QaItem>,
+}
+
+fn workloads() -> Vec<Workload> {
+    let e = EcommerceWorkload::generate(EcommerceConfig {
+        products: 6,
+        quarters: 3,
+        reviews_per_product: 2,
+        qa_per_category: 2,
+        seed: 0xD1FF,
+        name_offset: 0,
+    });
+    let h = HealthcareWorkload::generate(HealthcareConfig {
+        drugs: 4,
+        patients: 6,
+        trials_per_drug: 2,
+        qa_per_category: 2,
+        seed: 0x4EA17,
+    });
+    vec![
+        Workload {
+            name: "ecommerce",
+            lexicon: e.lexicon,
+            db: e.db,
+            semi: e.semi,
+            documents: e.documents,
+            qa: e.qa,
+        },
+        Workload {
+            name: "healthcare",
+            lexicon: h.lexicon,
+            db: h.db,
+            semi: h.semi,
+            documents: h.documents,
+            qa: h.qa,
+        },
+    ]
+}
+
+fn build(w: &Workload, config: EngineConfig) -> UnifiedEngine {
+    let mut b = EngineBuilder::with_config(w.lexicon.clone(), config);
+    for name in w.db.table_names() {
+        b.add_table(name, w.db.table(name).expect("listed").clone()).expect("fresh");
+    }
+    for coll in w.semi.collections() {
+        for doc in w.semi.docs(coll) {
+            b.add_json(coll, doc.clone());
+        }
+    }
+    for d in &w.documents {
+        b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
+    }
+    b.build().0
+}
+
+/// The fault plans the differential harness pins: none, and the exact
+/// plan ci.sh exports for its robustness gates. Passed programmatically
+/// so the suite is hermetic even when `UNISEM_FAULTS` is set outside.
+fn fault_plans() -> Vec<FaultPlan> {
+    vec![
+        FaultPlan::disabled(),
+        FaultPlan::parse("seed:0xC1,relstore.exec@64,hetgraph.traverse@96").expect("valid spec"),
+    ]
+}
+
+/// The tentpole contract: for every workload query, at 1 and 4 threads,
+/// with and without the pinned fault plan, the planner's `Answer` is
+/// byte-identical to the ladder's.
+#[test]
+fn planner_and_ladder_answers_byte_identical() {
+    for w in workloads() {
+        for faults in fault_plans() {
+            let spec = faults.spec();
+            for threads in [1usize, 4] {
+                let config = EngineConfig {
+                    seed: 0xABCD_1234,
+                    faults,
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..EngineConfig::default()
+                };
+                let planner = build(&w, EngineConfig { legacy_ladder: false, ..config });
+                let ladder = build(&w, EngineConfig { legacy_ladder: true, ..config });
+                for item in &w.qa {
+                    let p = planner.answer(&item.question);
+                    let l = ladder.answer(&item.question);
+                    let ctx = format!(
+                        "workload={} threads={threads} faults='{spec}' q: {}",
+                        w.name, item.question
+                    );
+                    assert_eq!(p.text.as_bytes(), l.text.as_bytes(), "text: {ctx}");
+                    assert_eq!(p.route, l.route, "route: {ctx}");
+                    assert_eq!(p.confidence.to_bits(), l.confidence.to_bits(), "confidence: {ctx}");
+                    assert_eq!(p.degradations, l.degradations, "degradations: {ctx}");
+                    assert_eq!(p.entropy, l.entropy, "entropy: {ctx}");
+                    assert_eq!(p, l, "full answer: {ctx}");
+                }
+            }
+        }
+    }
+}
+
+/// The batch path goes through the same dispatcher; spot-check it against
+/// the ladder's batch output so parallel answering can't diverge either.
+#[test]
+fn planner_and_ladder_batches_match() {
+    for w in workloads() {
+        let config = EngineConfig {
+            seed: 0xABCD_1234,
+            parallel: ParallelConfig::with_threads(4),
+            ..EngineConfig::default()
+        };
+        let planner = build(&w, EngineConfig { legacy_ladder: false, ..config });
+        let ladder = build(&w, EngineConfig { legacy_ladder: true, ..config });
+        let questions: Vec<&str> = w.qa.iter().map(|i| i.question.as_str()).collect();
+        assert_eq!(
+            planner.answer_batch(&questions),
+            ladder.answer_batch(&questions),
+            "workload={}",
+            w.name
+        );
+    }
+}
+
+/// Statistics collection must not perturb determinism: builds at 1, 2,
+/// 4, and 8 threads produce byte-identical statistics catalogs and
+/// byte-identical build-metrics snapshots.
+#[test]
+fn stats_catalog_byte_identical_across_build_threads() {
+    for w in workloads() {
+        let build_at = |threads: usize| {
+            build(
+                &w,
+                EngineConfig {
+                    seed: 0xABCD_1234,
+                    faults: FaultPlan::disabled(),
+                    parallel: ParallelConfig::with_threads(threads),
+                    ..EngineConfig::default()
+                },
+            )
+        };
+        let reference = build_at(1);
+        let ref_stats = reference.stats().render();
+        let ref_metrics = reference.metrics_report().to_json();
+        assert!(ref_stats.contains("table "), "catalog has tables: {ref_stats}");
+        for threads in [2usize, 4, 8] {
+            let e = build_at(threads);
+            assert_eq!(
+                e.stats().render().as_bytes(),
+                ref_stats.as_bytes(),
+                "workload={} threads={threads} stats catalog",
+                w.name
+            );
+            assert_eq!(
+                e.metrics_report().to_json().as_bytes(),
+                ref_metrics.as_bytes(),
+                "workload={} threads={threads} build metrics",
+                w.name
+            );
+        }
+    }
+}
+
+/// `Answer::trace` in planner mode carries the optimized physical plan
+/// with per-node estimated vs actual costs (the ISSUE's acceptance
+/// criterion for explain output).
+#[test]
+fn planner_trace_shows_estimated_and_actual_costs() {
+    for w in workloads() {
+        let e = build(
+            &w,
+            EngineConfig {
+                seed: 0xABCD_1234,
+                trace: true,
+                faults: FaultPlan::disabled(),
+                ..EngineConfig::default()
+            },
+        );
+        let mut saw_structured_plan = false;
+        for item in &w.qa {
+            let a = e.answer(&item.question);
+            let t = a.trace.as_ref().expect("trace opted in");
+            let plan = t.plan.as_deref().unwrap_or_default();
+            assert!(
+                plan.contains("EntropyGate"),
+                "workload={} plan missing root gate: {plan}",
+                w.name
+            );
+            assert!(
+                plan.contains("[est rows~"),
+                "workload={} plan missing estimates: {plan}",
+                w.name
+            );
+            assert!(plan.contains("| actual:"), "workload={} plan missing actuals: {plan}", w.name);
+            if plan.contains("Scan:") {
+                saw_structured_plan = true;
+            }
+        }
+        assert!(
+            saw_structured_plan,
+            "workload={}: no query exercised an embedded relational plan",
+            w.name
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Golden explain-plan snapshots (DESIGN.md §11): the optimized physical
+//! plan rendered into `Answer::trace` is compared byte-for-byte against
+//! committed snapshots in `tests/golden/`, one file per workload, twelve
+//! queries each (two per QA category).
+//!
+//! To bless new snapshots after an intentional planner change:
+//!
+//! ```text
+//! UNISEM_BLESS=1 cargo test -p unisem-tests --test planner_golden
+//! ```
+//!
+//! then commit the rewritten files. The diff IS the review artifact: any
+//! cost-model or plan-shape change shows up as plan text.
+
+use unisem_core::{EngineBuilder, EngineConfig, UnifiedEngine};
+use unisem_workloads::ecommerce::DocSpec;
+use unisem_workloads::{
+    EcommerceConfig, EcommerceWorkload, HealthcareConfig, HealthcareWorkload, QaItem,
+};
+
+struct Workload {
+    file: &'static str,
+    lexicon: unisem_slm::Lexicon,
+    db: unisem_relstore::Database,
+    semi: unisem_semistore::SemiStore,
+    documents: Vec<DocSpec>,
+    qa: Vec<QaItem>,
+}
+
+fn workloads() -> Vec<Workload> {
+    let e = EcommerceWorkload::generate(EcommerceConfig {
+        products: 6,
+        quarters: 3,
+        reviews_per_product: 2,
+        qa_per_category: 2,
+        seed: 0xD1FF,
+        name_offset: 0,
+    });
+    let h = HealthcareWorkload::generate(HealthcareConfig {
+        drugs: 4,
+        patients: 6,
+        trials_per_drug: 2,
+        qa_per_category: 2,
+        seed: 0x4EA17,
+    });
+    vec![
+        Workload {
+            file: "ecommerce_plans.txt",
+            lexicon: e.lexicon,
+            db: e.db,
+            semi: e.semi,
+            documents: e.documents,
+            qa: e.qa,
+        },
+        Workload {
+            file: "healthcare_plans.txt",
+            lexicon: h.lexicon,
+            db: h.db,
+            semi: h.semi,
+            documents: h.documents,
+            qa: h.qa,
+        },
+    ]
+}
+
+fn build(w: &Workload) -> UnifiedEngine {
+    // Faults explicitly disabled: the snapshots must not depend on any
+    // ambient `UNISEM_FAULTS` plan the surrounding CI gate has armed.
+    let config = EngineConfig {
+        seed: 0xABCD_1234,
+        trace: true,
+        faults: unisem_core::FaultPlan::disabled(),
+        ..EngineConfig::default()
+    };
+    let mut b = EngineBuilder::with_config(w.lexicon.clone(), config);
+    for name in w.db.table_names() {
+        b.add_table(name, w.db.table(name).expect("listed").clone()).expect("fresh");
+    }
+    for coll in w.semi.collections() {
+        for doc in w.semi.docs(coll) {
+            b.add_json(coll, doc.clone());
+        }
+    }
+    for d in &w.documents {
+        b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
+    }
+    b.build().0
+}
+
+/// Renders every workload query's optimized physical plan into one
+/// deterministic snapshot document.
+fn snapshot(w: &Workload) -> String {
+    let engine = build(w);
+    let mut out = String::new();
+    for item in &w.qa {
+        let answer = engine.answer(&item.question);
+        let trace = answer.trace.as_ref().expect("trace opted in");
+        let plan = trace.plan.as_deref().unwrap_or("(no plan recorded)");
+        out.push_str("=== Q: ");
+        out.push_str(&item.question);
+        out.push('\n');
+        out.push_str(plan);
+        if !plan.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn golden_path(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden").join(file)
+}
+
+#[test]
+fn explain_plans_match_golden_snapshots() {
+    let bless = std::env::var_os("UNISEM_BLESS").is_some();
+    for w in workloads() {
+        let actual = snapshot(&w);
+        assert!(actual.contains("[est rows~"), "{}: plans carry estimates", w.file);
+        let path = golden_path(w.file);
+        if bless {
+            std::fs::write(&path, &actual)
+                .unwrap_or_else(|e| panic!("bless {}: {e}", path.display()));
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing golden {} ({e}); run with UNISEM_BLESS=1 to create it", path.display())
+        });
+        if expected != actual {
+            let diverges = expected
+                .lines()
+                .zip(actual.lines())
+                .position(|(e, a)| e != a)
+                .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()));
+            panic!(
+                "{} diverges from golden snapshot at line {} \
+                 (UNISEM_BLESS=1 to re-bless an intentional change)\n\
+                 expected: {:?}\n  actual: {:?}",
+                w.file,
+                diverges + 1,
+                expected.lines().nth(diverges).unwrap_or("<eof>"),
+                actual.lines().nth(diverges).unwrap_or("<eof>"),
+            );
+        }
+    }
+}
