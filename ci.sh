@@ -54,6 +54,19 @@ echo "==> observability gates (DESIGN.md §9)"
 CARGO_NET_OFFLINE=true UNISEM_TRACE=off \
     cargo test -q -p unisem-tests --test observability
 
+echo "==> storage gate: snapshot round-trip + golden page images (DESIGN.md §12)"
+# The persistent-storage suite must hold with an ambient store-site fault
+# plan armed: every test pins its own plan programmatically (disabled for
+# the byte-identity checks, explicit matrices for crash consistency), so
+# the ambient plan proves independence, not behavior. Covers: reopened
+# engines answering byte-identically at 1/2/4/8 threads, byte-stable
+# snapshot files across build thread counts, the golden page-image table
+# (bless with UNISEM_BLESS=1), the torn-page/failed-flush fault matrix,
+# and typed rejection of corrupt or truncated snapshots.
+CARGO_NET_OFFLINE=true UNISEM_FAULTS="seed:0xC1,store.page_write@64,store.flush@64" \
+    cargo test -q -p unisem-tests --test storage
+CARGO_NET_OFFLINE=true cargo test -q -p storekit
+
 echo "==> bench smoke (profile binary)"
 # The per-stage profiler must keep producing well-formed detkit JSON lines;
 # --smoke uses reduced workloads and writes nothing (the committed

@@ -17,25 +17,32 @@ use unisem_bench::harness::{build_ecommerce_engine, build_healthcare_engine};
 use unisem_core::{EngineConfig, TimingReport, UnifiedEngine};
 use unisem_workloads::{EcommerceConfig, EcommerceWorkload, HealthcareConfig, HealthcareWorkload};
 
-/// Flattens one engine's stage timings into `Stats` lines. `TimingReport`
-/// aggregates totals only, so the distribution fields all carry the mean —
-/// the baseline tracks per-stage averages, not spread.
+/// Flattens one engine's stage timings into `Stats` lines, computing real
+/// order statistics (median/p95/min/max) from the per-call samples the
+/// registry retains — not the degenerate all-fields-equal-the-mean lines
+/// the old aggregate-only path produced.
 fn stage_stats(workload: &str, timings: &TimingReport) -> Vec<Stats> {
     timings
         .stages
         .iter()
         .map(|&(stage, count, total_ns)| {
-            let mean = total_ns / count.max(1);
-            Stats {
-                suite: "profile".to_string(),
-                name: format!("{workload}.{stage}"),
-                iters: u32::try_from(count).unwrap_or(u32::MAX),
-                mean_ns: mean,
-                median_ns: mean,
-                p95_ns: mean,
-                min_ns: mean,
-                max_ns: mean,
+            let samples = timings.samples_of(stage);
+            if samples.is_empty() {
+                // Sample buffer exhausted (see MAX_STAGE_SAMPLES): fall
+                // back to the aggregate mean for every field.
+                let mean = total_ns / count.max(1);
+                return Stats {
+                    suite: "profile".to_string(),
+                    name: format!("{workload}.{stage}"),
+                    iters: u32::try_from(count).unwrap_or(u32::MAX),
+                    mean_ns: mean,
+                    median_ns: mean,
+                    p95_ns: mean,
+                    min_ns: mean,
+                    max_ns: mean,
+                };
             }
+            Stats::from_samples("profile", &format!("{workload}.{stage}"), samples.to_vec())
         })
         .collect()
 }

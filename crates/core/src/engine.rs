@@ -1,6 +1,7 @@
 //! The unified query engine: ingestion, indexing, routing, answering.
 
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 use faultkit::{FaultPlan, InjectedFault, Site};
@@ -43,6 +44,9 @@ pub enum EngineError {
     Json(JsonError),
     /// A deterministic fault-injection hook fired (see `faultkit`).
     Fault(InjectedFault),
+    /// Persistent-storage failure while saving or opening a snapshot
+    /// (see `storekit`).
+    Store(storekit::StoreError),
 }
 
 impl fmt::Display for EngineError {
@@ -53,6 +57,7 @@ impl fmt::Display for EngineError {
             EngineError::Xml(e) => write!(f, "xml error: {e}"),
             EngineError::Json(e) => write!(f, "json error: {e}"),
             EngineError::Fault(e) => write!(f, "{e}"),
+            EngineError::Store(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -86,6 +91,12 @@ impl From<JsonError> for EngineError {
 impl From<InjectedFault> for EngineError {
     fn from(e: InjectedFault) -> Self {
         EngineError::Fault(e)
+    }
+}
+
+impl From<storekit::StoreError> for EngineError {
+    fn from(e: storekit::StoreError) -> Self {
+        EngineError::Store(e)
     }
 }
 
@@ -260,6 +271,104 @@ impl EngineBuilder {
             quarantined: Vec::new(),
             ingest_attempts: 0,
         }
+    }
+
+    /// Reopens an engine from a snapshot written by
+    /// [`UnifiedEngine::save_snapshot`], skipping ingestion, flattening,
+    /// extraction, and graph construction entirely.
+    ///
+    /// The snapshot's seed, model class, embedding dimensionality, and
+    /// chunking configuration override the corresponding `config` fields:
+    /// the persisted indexes were built with them, and reusing anything
+    /// else would silently desynchronize the reopened engine from its
+    /// data. Everything else in `config` (governors, ablations, fault
+    /// plan, thread pool, tracing) applies as given. Answers from the
+    /// reopened engine are byte-identical to the saving engine's under
+    /// the same configuration (`tests/tests/storage.rs`).
+    pub fn open_snapshot(
+        path: &Path,
+        mut config: EngineConfig,
+    ) -> Result<(UnifiedEngine, IngestReport), EngineError> {
+        config.faults = config.faults.resolve();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let build_start = tracekit::wall::Stopwatch::start();
+        let loaded = crate::snapshot::read_snapshot(path, config.faults, Some(metrics.clone()))?;
+        config.seed = loaded.seed;
+        config.model_class = loaded.class;
+        config.chunk = loaded.chunk;
+        let slm = Slm::new(SlmConfig {
+            lexicon: loaded.lexicon,
+            class: config.model_class,
+            seed: config.seed,
+            embed_dim: loaded.embed_dim,
+        });
+        let docs = Arc::new(loaded.docs);
+        let graph = Arc::new(loaded.graph);
+        let db = loaded.db;
+        let stats = Arc::new(loaded.stats);
+        let report = loaded.ingest;
+
+        let mut topo_config = config.topology;
+        topo_config.max_frontier =
+            topo_config.max_frontier.min(config.governors.max_traversal_frontier);
+        let topo = TopologyRetriever::new(slm.clone(), graph.clone(), docs.clone(), topo_config);
+        let dense_start = tracekit::wall::Stopwatch::start();
+        let dense = DenseRetriever::build_with_pool(slm.clone(), &docs, config.parallel.pool());
+        metrics.record_stage(Stage::BuildDense, dense_start.elapsed_ns());
+        let estimator = {
+            let mut e = EntropyEstimator::new(slm.clone());
+            e.n_samples = config.entropy_samples;
+            e.temperature = config.entropy_temperature;
+            e
+        };
+
+        // The same build gauges `build` sets, recomputed from the loaded
+        // substrates — pure functions of the data, so a snapshot-opened
+        // engine reports the same gauge values as the engine that saved it.
+        let mut entities = 0usize;
+        let mut chunks = 0usize;
+        let mut records = 0usize;
+        for node in graph.nodes() {
+            match &node.kind {
+                unisem_hetgraph::NodeKind::Entity { .. } => entities += 1,
+                unisem_hetgraph::NodeKind::Chunk { .. } => chunks += 1,
+                unisem_hetgraph::NodeKind::Record { .. } => records += 1,
+                unisem_hetgraph::NodeKind::Table { .. } => {}
+            }
+        }
+        metrics.set(Metric::IngestTables, report.tables as u64);
+        metrics.set(Metric::IngestCollections, report.collections_flattened as u64);
+        metrics.set(Metric::IngestDocuments, report.documents as u64);
+        metrics.set(Metric::IngestExtractedRows, report.extracted_rows as u64);
+        metrics.add(Metric::IngestQuarantined, report.num_quarantined() as u64);
+        metrics.set(Metric::GraphNodes, graph.num_nodes() as u64);
+        metrics.set(Metric::GraphEdges, graph.num_edges() as u64);
+        metrics.set(Metric::GraphEntities, entities as u64);
+        metrics.set(Metric::GraphChunks, chunks as u64);
+        metrics.set(Metric::GraphRecords, records as u64);
+        metrics.set(Metric::PlannerStatsTables, stats.tables.len() as u64);
+        metrics.set(Metric::PlannerStatsColumns, stats.num_columns() as u64);
+        metrics.set(Metric::PlannerStatsPostings, stats.text.postings as u64);
+        metrics.set(Metric::PlannerStatsMaxDegree, stats.graph.max_degree as u64);
+        metrics.record_stage(Stage::BuildTotal, build_start.elapsed_ns());
+
+        let engine = UnifiedEngine {
+            parser: IntentParser::new(slm.clone()),
+            synthesizer: OperatorSynthesizer::new(),
+            estimator,
+            slm,
+            docs,
+            graph,
+            db,
+            topo,
+            dense,
+            config,
+            ingest: Arc::new(report.clone()),
+            stats,
+            metrics,
+            sink: Arc::new(TraceSink::from_env()),
+        };
+        Ok((engine, report))
     }
 
     /// Ingests an unstructured document.
@@ -1441,6 +1550,32 @@ impl UnifiedEngine {
     /// The build-time statistics catalog the cost model reads.
     pub fn stats(&self) -> &StatsCatalog {
         &self.stats
+    }
+
+    /// Persists the built engine to a `storekit` snapshot at `path`
+    /// (atomically: written to `<path>.tmp`, verified page-by-page, then
+    /// renamed into place, so a fault mid-save never corrupts an existing
+    /// snapshot). Two engines built from the same inputs with the same
+    /// seed write byte-identical files; [`EngineBuilder::open_snapshot`]
+    /// reopens one without re-running ingestion.
+    pub fn save_snapshot(&self, path: &Path) -> Result<(), EngineError> {
+        crate::snapshot::write_snapshot(
+            path,
+            self.config.faults,
+            Some(self.metrics.clone()),
+            &crate::snapshot::SnapshotSource {
+                seed: self.config.seed,
+                class: self.config.model_class,
+                embed_dim: self.slm.embed_dim(),
+                chunk: self.docs.chunk_config(),
+                lexicon: self.slm.ner().lexicon(),
+                docs: &self.docs,
+                db: &self.db,
+                graph: &self.graph,
+                stats: &self.stats,
+                ingest: &self.ingest,
+            },
+        )
     }
 
     /// Chooses a cost-optimal join order over the named tables, inferring

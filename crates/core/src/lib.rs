@@ -35,6 +35,7 @@ pub mod engine;
 pub mod evidence;
 pub mod ingest;
 pub mod planner;
+pub mod snapshot;
 
 pub use answer::{Answer, Degradation, Provenance, Route};
 pub use baselines::{DirectSlmPipeline, NaiveRagPipeline, QaPipeline, TextToSqlPipeline};
@@ -48,6 +49,7 @@ pub use planner::{
 
 // Re-export the pieces examples and benches need most.
 pub use faultkit::{FaultPlan, InjectedFault, Site as FaultSite};
+pub use storekit::StoreError;
 pub use tracekit::{
     component, EntropyVerdict, MetricsReport, QueryTrace, TimingReport, TraceSink, TraceSpec,
     TraversalTrace,

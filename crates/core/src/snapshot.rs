@@ -1,0 +1,651 @@
+//! Engine snapshots: byte-stable persistence of a built engine
+//! (DESIGN.md §12).
+//!
+//! A snapshot captures everything [`crate::EngineBuilder::build`] derives
+//! from its inputs — documents and chunks, the BM25 inverted index, every
+//! relational table (native, flattened, extracted), the heterogeneous
+//! graph, the planner's statistics catalog, and the ingest report — into
+//! one `storekit` page file. Reopening skips ingestion, flattening,
+//! extraction, and graph construction entirely; only the cheap derived
+//! structures (dense vectors, retrievers, parser) are rebuilt, from the
+//! same seed and lexicon the snapshot records.
+//!
+//! Byte-identity contract: two engines built from the same inputs with the
+//! same seed write byte-identical snapshot files, and an engine reopened
+//! from a snapshot answers every query byte-identically to the engine that
+//! saved it (`tests/tests/storage.rs` enforces both).
+//!
+//! Layout: fixed blob sections hold the length-prefixed encodings below;
+//! two B-trees make the large keyed collections pageable — `bm25.postings`
+//! (term → postings list) and `graph.entities` (canonical entity name →
+//! node id, the secondary index load-time verification walks).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use faultkit::FaultPlan;
+use storekit::{Decoder, Encoder, Snapshot, SnapshotWriter, StoreError};
+use tracekit::MetricsRegistry;
+use unisem_docstore::{DocStore, Document, StoredChunk};
+use unisem_hetgraph::{Edge, EdgeId, EdgeKind, HetGraph, Node, NodeId, NodeKind};
+use unisem_relstore::{Column, DataType, Database, Date, Schema, Table, Value};
+use unisem_slm::{EntityKind, Lexicon, ModelClass};
+use unisem_text::bm25::{Bm25Index, Bm25Params};
+use unisem_text::ChunkConfig;
+
+use crate::ingest::{IngestReport, QuarantineReason, Quarantined};
+use crate::planner::stats::{ColumnStats, GraphDegreeStats, TableStats, TextStats};
+use crate::planner::StatsCatalog;
+use crate::EngineError;
+
+/// Everything the writer serializes, borrowed from the live engine.
+pub(crate) struct SnapshotSource<'a> {
+    /// Engine seed (drives every stochastic path on reopen).
+    pub seed: u64,
+    /// Simulated model class.
+    pub class: ModelClass,
+    /// Embedding dimensionality of the SLM that built the indexes.
+    pub embed_dim: usize,
+    /// Chunking configuration the documents were ingested with.
+    pub chunk: ChunkConfig,
+    /// Domain lexicon (canonical phrase → entity kind).
+    pub lexicon: &'a Lexicon,
+    /// Document store (documents, chunks, BM25 index).
+    pub docs: &'a DocStore,
+    /// Relational catalog (native + flattened + extracted tables).
+    pub db: &'a Database,
+    /// The heterogeneous graph.
+    pub graph: &'a HetGraph,
+    /// Build-time planner statistics.
+    pub stats: &'a StatsCatalog,
+    /// The build's ingest report.
+    pub ingest: &'a IngestReport,
+}
+
+/// Everything the reader reassembles from a snapshot file.
+pub(crate) struct LoadedSnapshot {
+    pub seed: u64,
+    pub class: ModelClass,
+    pub embed_dim: usize,
+    pub chunk: ChunkConfig,
+    pub lexicon: Lexicon,
+    pub docs: DocStore,
+    pub db: Database,
+    pub graph: HetGraph,
+    pub stats: StatsCatalog,
+    pub ingest: IngestReport,
+}
+
+fn invalid(msg: impl Into<String>) -> EngineError {
+    EngineError::Store(StoreError::InvalidSnapshot(msg.into()))
+}
+
+/// Writes a full engine snapshot to `path` (atomically, via `<path>.tmp`).
+pub(crate) fn write_snapshot(
+    path: &Path,
+    faults: FaultPlan,
+    metrics: Option<Arc<MetricsRegistry>>,
+    src: &SnapshotSource<'_>,
+) -> Result<(), EngineError> {
+    let mut w = SnapshotWriter::create(path, faults, metrics)?;
+    w.add_section("config", &encode_config(src))?;
+    w.add_section("lexicon", &encode_lexicon(src.lexicon))?;
+    w.add_section("docs", &encode_docs(src.docs))?;
+    w.add_section("bm25meta", &encode_bm25_meta(src.docs.index()))?;
+    w.add_section("tables", &encode_tables(src.db)?)?;
+    w.add_section("graph", &encode_graph(src.graph))?;
+    w.add_section("stats", &encode_stats(src.stats))?;
+    w.add_section("ingest", &encode_ingest(src.ingest))?;
+    for (term, posts) in src.docs.index().postings() {
+        let mut e = Encoder::new();
+        e.u64(posts.len() as u64);
+        for &(doc, tf) in posts {
+            e.usize(doc);
+            e.u32(tf);
+        }
+        w.tree_insert("bm25.postings", term.as_bytes(), &e.into_bytes())?;
+    }
+    for node in src.graph.nodes() {
+        if let NodeKind::Entity { name, .. } = &node.kind {
+            // First node wins, matching `HetGraph::entity_by_name` (which
+            // resolves by smallest node id for duplicate surface names).
+            if src.graph.entity_by_name(name) == Some(node.id) {
+                let mut e = Encoder::new();
+                e.u32(node.id.0);
+                w.tree_insert("graph.entities", name.as_bytes(), &e.into_bytes())?;
+            }
+        }
+    }
+    w.commit(path)?;
+    Ok(())
+}
+
+/// Opens `path` and reassembles every persisted substrate.
+pub(crate) fn read_snapshot(
+    path: &Path,
+    faults: FaultPlan,
+    metrics: Option<Arc<MetricsRegistry>>,
+) -> Result<LoadedSnapshot, EngineError> {
+    let mut snap = Snapshot::open(path, faults, metrics)?;
+    let (seed, class, embed_dim, chunk) = decode_config(&snap.section("config")?)?;
+    let lexicon = decode_lexicon(&snap.section("lexicon")?)?;
+    let (docs_vec, chunks_vec) = decode_docs(&snap.section("docs")?)?;
+    let (params, doc_lens) = decode_bm25_meta(&snap.section("bm25meta")?)?;
+    let db = decode_tables(&snap.section("tables")?)?;
+    let graph = decode_graph(&snap.section("graph")?)?;
+    let stats = decode_stats(&snap.section("stats")?)?;
+    let ingest = decode_ingest(&snap.section("ingest")?)?;
+
+    let mut postings: BTreeMap<String, Vec<(usize, u32)>> = BTreeMap::new();
+    if snap.tree_names().iter().any(|t| t == "bm25.postings") {
+        for (key, value) in snap.tree_entries("bm25.postings")? {
+            let term =
+                String::from_utf8(key).map_err(|_| invalid("bm25 posting key is not UTF-8"))?;
+            let mut d = Decoder::new(&value);
+            let n = d.u64().map_err(EngineError::Store)? as usize;
+            let mut posts = Vec::with_capacity(n);
+            for _ in 0..n {
+                let doc = d.usize().map_err(EngineError::Store)?;
+                let tf = d.u32().map_err(EngineError::Store)?;
+                posts.push((doc, tf));
+            }
+            postings.insert(term, posts);
+        }
+    }
+    let index = Bm25Index::from_parts(params, postings, doc_lens);
+    let docs = DocStore::from_parts(chunk, docs_vec, chunks_vec, index);
+    if docs.num_chunks() != docs.index().len() {
+        return Err(invalid(format!(
+            "snapshot chunk count {} disagrees with BM25 document count {}",
+            docs.num_chunks(),
+            docs.index().len()
+        )));
+    }
+
+    // Verify the secondary entity index: every persisted (name → node)
+    // entry must resolve identically through the reassembled graph.
+    if snap.tree_names().iter().any(|t| t == "graph.entities") {
+        for (key, value) in snap.tree_entries("graph.entities")? {
+            let name =
+                String::from_utf8(key).map_err(|_| invalid("entity index key is not UTF-8"))?;
+            let mut d = Decoder::new(&value);
+            let id = d.u32().map_err(EngineError::Store)?;
+            if graph.entity_by_name(&name) != Some(NodeId(id)) {
+                return Err(invalid(format!(
+                    "entity index entry '{name}' -> node {id} does not resolve in the \
+                     reassembled graph"
+                )));
+            }
+        }
+    }
+
+    Ok(LoadedSnapshot { seed, class, embed_dim, chunk, lexicon, docs, db, graph, stats, ingest })
+}
+
+fn encode_config(src: &SnapshotSource<'_>) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u64(src.seed);
+    e.u8(match src.class {
+        ModelClass::SlmClass => 0,
+        ModelClass::LlmClass => 1,
+    });
+    e.usize(src.embed_dim);
+    e.usize(src.chunk.max_tokens);
+    e.usize(src.chunk.overlap_sentences);
+    e.into_bytes()
+}
+
+fn decode_config(bytes: &[u8]) -> Result<(u64, ModelClass, usize, ChunkConfig), EngineError> {
+    let mut d = Decoder::new(bytes);
+    let seed = d.u64().map_err(EngineError::Store)?;
+    let class = match d.u8().map_err(EngineError::Store)? {
+        0 => ModelClass::SlmClass,
+        1 => ModelClass::LlmClass,
+        t => return Err(invalid(format!("unknown model class tag {t}"))),
+    };
+    let embed_dim = d.usize().map_err(EngineError::Store)?;
+    let max_tokens = d.usize().map_err(EngineError::Store)?;
+    let overlap_sentences = d.usize().map_err(EngineError::Store)?;
+    Ok((seed, class, embed_dim, ChunkConfig { max_tokens, overlap_sentences }))
+}
+
+fn encode_lexicon(lexicon: &Lexicon) -> Vec<u8> {
+    let entries = lexicon.entries();
+    let mut e = Encoder::new();
+    e.u64(entries.len() as u64);
+    for (phrase, kind) in &entries {
+        e.str(phrase);
+        e.str(kind.label());
+    }
+    e.into_bytes()
+}
+
+fn decode_lexicon(bytes: &[u8]) -> Result<Lexicon, EngineError> {
+    let mut d = Decoder::new(bytes);
+    let n = d.u64().map_err(EngineError::Store)? as usize;
+    let mut lexicon = Lexicon::new();
+    for _ in 0..n {
+        let phrase = d.str().map_err(EngineError::Store)?;
+        let label = d.str().map_err(EngineError::Store)?;
+        let kind = EntityKind::from_label(&label)
+            .ok_or_else(|| invalid(format!("unknown entity kind label '{label}'")))?;
+        lexicon.add(&phrase, kind);
+    }
+    Ok(lexicon)
+}
+
+fn encode_docs(docs: &DocStore) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u64(docs.num_documents() as u64);
+    for doc in docs.documents() {
+        e.usize(doc.id);
+        e.str(&doc.title);
+        e.str(&doc.text);
+        e.str(&doc.source);
+    }
+    e.u64(docs.num_chunks() as u64);
+    for c in docs.chunks() {
+        e.usize(c.id);
+        e.usize(c.doc_id);
+        e.usize(c.index_in_doc);
+        e.str(&c.text);
+    }
+    e.into_bytes()
+}
+
+fn decode_docs(bytes: &[u8]) -> Result<(Vec<Document>, Vec<StoredChunk>), EngineError> {
+    let mut d = Decoder::new(bytes);
+    let ndocs = d.u64().map_err(EngineError::Store)? as usize;
+    let mut docs = Vec::with_capacity(ndocs);
+    for i in 0..ndocs {
+        let id = d.usize().map_err(EngineError::Store)?;
+        if id != i {
+            return Err(invalid(format!("document {i} persisted with id {id}")));
+        }
+        let title = d.str().map_err(EngineError::Store)?;
+        let text = d.str().map_err(EngineError::Store)?;
+        let source = d.str().map_err(EngineError::Store)?;
+        docs.push(Document { id, title, text, source });
+    }
+    let nchunks = d.u64().map_err(EngineError::Store)? as usize;
+    let mut chunks = Vec::with_capacity(nchunks);
+    for i in 0..nchunks {
+        let id = d.usize().map_err(EngineError::Store)?;
+        if id != i {
+            return Err(invalid(format!("chunk {i} persisted with id {id}")));
+        }
+        let doc_id = d.usize().map_err(EngineError::Store)?;
+        if doc_id >= ndocs {
+            return Err(invalid(format!("chunk {i} references unknown document {doc_id}")));
+        }
+        let index_in_doc = d.usize().map_err(EngineError::Store)?;
+        let text = d.str().map_err(EngineError::Store)?;
+        chunks.push(StoredChunk { id, doc_id, index_in_doc, text });
+    }
+    Ok((docs, chunks))
+}
+
+fn encode_bm25_meta(index: &Bm25Index) -> Vec<u8> {
+    let params = index.params();
+    let mut e = Encoder::new();
+    e.f64(params.k1);
+    e.f64(params.b);
+    e.u64(index.doc_lens().len() as u64);
+    for &len in index.doc_lens() {
+        e.usize(len);
+    }
+    e.into_bytes()
+}
+
+fn decode_bm25_meta(bytes: &[u8]) -> Result<(Bm25Params, Vec<usize>), EngineError> {
+    let mut d = Decoder::new(bytes);
+    let k1 = d.f64().map_err(EngineError::Store)?;
+    let b = d.f64().map_err(EngineError::Store)?;
+    let n = d.u64().map_err(EngineError::Store)? as usize;
+    let mut doc_lens = Vec::with_capacity(n);
+    for _ in 0..n {
+        doc_lens.push(d.usize().map_err(EngineError::Store)?);
+    }
+    Ok((Bm25Params { k1, b }, doc_lens))
+}
+
+fn encode_value(e: &mut Encoder, v: &Value) {
+    match v {
+        Value::Null => e.u8(0),
+        Value::Bool(b) => {
+            e.u8(1);
+            e.bool(*b);
+        }
+        Value::Int(i) => {
+            e.u8(2);
+            e.i64(*i);
+        }
+        Value::Float(f) => {
+            e.u8(3);
+            e.f64(*f);
+        }
+        Value::Str(s) => {
+            e.u8(4);
+            e.str(s);
+        }
+        Value::Date(date) => {
+            e.u8(5);
+            e.i64(i64::from(date.year));
+            e.u8(date.month);
+            e.u8(date.day);
+        }
+    }
+}
+
+fn decode_value(d: &mut Decoder<'_>) -> Result<Value, EngineError> {
+    Ok(match d.u8().map_err(EngineError::Store)? {
+        0 => Value::Null,
+        1 => Value::Bool(d.bool().map_err(EngineError::Store)?),
+        2 => Value::Int(d.i64().map_err(EngineError::Store)?),
+        3 => Value::Float(d.f64().map_err(EngineError::Store)?),
+        4 => Value::Str(d.str().map_err(EngineError::Store)?),
+        5 => {
+            let year = d.i64().map_err(EngineError::Store)?;
+            let year = i32::try_from(year).map_err(|_| invalid("date year out of range"))?;
+            let month = d.u8().map_err(EngineError::Store)?;
+            let day = d.u8().map_err(EngineError::Store)?;
+            let date = Date::new(year, month, day)
+                .ok_or_else(|| invalid(format!("invalid date {year}-{month}-{day}")))?;
+            Value::Date(date)
+        }
+        t => return Err(invalid(format!("unknown value tag {t}"))),
+    })
+}
+
+fn dtype_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Str => 3,
+        DataType::Date => 4,
+    }
+}
+
+fn dtype_from_tag(tag: u8) -> Result<DataType, EngineError> {
+    Ok(match tag {
+        0 => DataType::Bool,
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Str,
+        4 => DataType::Date,
+        t => return Err(invalid(format!("unknown data type tag {t}"))),
+    })
+}
+
+fn encode_tables(db: &Database) -> Result<Vec<u8>, EngineError> {
+    let mut names: Vec<String> = db.table_names().into_iter().map(String::from).collect();
+    names.sort_unstable();
+    let mut e = Encoder::new();
+    e.u64(names.len() as u64);
+    for name in &names {
+        let table = db.table(name)?;
+        e.str(name);
+        e.u64(table.schema().columns().len() as u64);
+        for col in table.schema().columns() {
+            e.str(&col.name);
+            e.u8(dtype_tag(col.dtype));
+        }
+        e.u64(table.num_rows() as u64);
+        for row in table.rows() {
+            for v in &row {
+                encode_value(&mut e, v);
+            }
+        }
+    }
+    Ok(e.into_bytes())
+}
+
+fn decode_tables(bytes: &[u8]) -> Result<Database, EngineError> {
+    let mut d = Decoder::new(bytes);
+    let ntables = d.u64().map_err(EngineError::Store)? as usize;
+    let mut db = Database::new();
+    for _ in 0..ntables {
+        let name = d.str().map_err(EngineError::Store)?;
+        let ncols = d.u64().map_err(EngineError::Store)? as usize;
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let col_name = d.str().map_err(EngineError::Store)?;
+            let dtype = dtype_from_tag(d.u8().map_err(EngineError::Store)?)?;
+            columns.push(Column::new(col_name, dtype));
+        }
+        let schema = Schema::new(columns)?;
+        let nrows = d.u64().map_err(EngineError::Store)? as usize;
+        let mut rows = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            let mut row = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                row.push(decode_value(&mut d)?);
+            }
+            rows.push(row);
+        }
+        let table = Table::from_rows(schema, rows)?;
+        db.create_table(&name, table)?;
+    }
+    Ok(db)
+}
+
+fn encode_graph(graph: &HetGraph) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u64(graph.num_nodes() as u64);
+    for node in graph.nodes() {
+        e.u32(node.id.0);
+        match &node.kind {
+            NodeKind::Chunk { chunk_id, doc_id } => {
+                e.u8(0);
+                e.usize(*chunk_id);
+                e.usize(*doc_id);
+            }
+            NodeKind::Entity { name, kind } => {
+                e.u8(1);
+                e.str(name);
+                e.str(kind.label());
+            }
+            NodeKind::Record { table, row } => {
+                e.u8(2);
+                e.str(table);
+                e.usize(*row);
+            }
+            NodeKind::Table { name } => {
+                e.u8(3);
+                e.str(name);
+            }
+        }
+        e.str(&node.label);
+    }
+    e.u64(graph.num_edges() as u64);
+    for edge in graph.edges() {
+        e.u32(edge.id.0);
+        e.u32(edge.a.0);
+        e.u32(edge.b.0);
+        match &edge.kind {
+            EdgeKind::Mentions => e.u8(0),
+            EdgeKind::RelatesTo(v) => {
+                e.u8(1);
+                e.str(v);
+            }
+            EdgeKind::Temporal => e.u8(2),
+            EdgeKind::BelongsTo => e.u8(3),
+            EdgeKind::HasAttribute(a) => {
+                e.u8(4);
+                e.str(a);
+            }
+            EdgeKind::NextChunk => e.u8(5),
+        }
+    }
+    e.into_bytes()
+}
+
+fn decode_graph(bytes: &[u8]) -> Result<HetGraph, EngineError> {
+    let mut d = Decoder::new(bytes);
+    let nnodes = d.u64().map_err(EngineError::Store)? as usize;
+    let mut nodes = Vec::with_capacity(nnodes);
+    for _ in 0..nnodes {
+        let id = NodeId(d.u32().map_err(EngineError::Store)?);
+        let kind = match d.u8().map_err(EngineError::Store)? {
+            0 => {
+                let chunk_id = d.usize().map_err(EngineError::Store)?;
+                let doc_id = d.usize().map_err(EngineError::Store)?;
+                NodeKind::Chunk { chunk_id, doc_id }
+            }
+            1 => {
+                let name = d.str().map_err(EngineError::Store)?;
+                let label = d.str().map_err(EngineError::Store)?;
+                let kind = EntityKind::from_label(&label)
+                    .ok_or_else(|| invalid(format!("unknown entity kind label '{label}'")))?;
+                NodeKind::Entity { name, kind }
+            }
+            2 => {
+                let table = d.str().map_err(EngineError::Store)?;
+                let row = d.usize().map_err(EngineError::Store)?;
+                NodeKind::Record { table, row }
+            }
+            3 => NodeKind::Table { name: d.str().map_err(EngineError::Store)? },
+            t => return Err(invalid(format!("unknown node kind tag {t}"))),
+        };
+        let label = d.str().map_err(EngineError::Store)?;
+        nodes.push(Node { id, kind, label });
+    }
+    let nedges = d.u64().map_err(EngineError::Store)? as usize;
+    let mut edges = Vec::with_capacity(nedges);
+    for _ in 0..nedges {
+        let id = EdgeId(d.u32().map_err(EngineError::Store)?);
+        let a = NodeId(d.u32().map_err(EngineError::Store)?);
+        let b = NodeId(d.u32().map_err(EngineError::Store)?);
+        let kind = match d.u8().map_err(EngineError::Store)? {
+            0 => EdgeKind::Mentions,
+            1 => EdgeKind::RelatesTo(d.str().map_err(EngineError::Store)?),
+            2 => EdgeKind::Temporal,
+            3 => EdgeKind::BelongsTo,
+            4 => EdgeKind::HasAttribute(d.str().map_err(EngineError::Store)?),
+            5 => EdgeKind::NextChunk,
+            t => return Err(invalid(format!("unknown edge kind tag {t}"))),
+        };
+        edges.push(Edge { id, a, b, kind });
+    }
+    HetGraph::from_parts(nodes, edges).map_err(invalid)
+}
+
+fn encode_stats(stats: &StatsCatalog) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u64(stats.tables.len() as u64);
+    for (name, t) in &stats.tables {
+        e.str(name);
+        e.usize(t.rows);
+        e.u64(t.columns.len() as u64);
+        for c in &t.columns {
+            e.str(&c.name);
+            e.usize(c.distinct);
+            e.usize(c.nulls);
+        }
+    }
+    e.usize(stats.text.documents);
+    e.usize(stats.text.chunks);
+    e.usize(stats.text.terms);
+    e.usize(stats.text.postings);
+    e.usize(stats.text.max_posting);
+    e.usize(stats.graph.nodes);
+    e.usize(stats.graph.edges);
+    e.usize(stats.graph.max_degree);
+    e.usize(stats.graph.avg_degree_x1000);
+    e.u64(stats.graph.histogram.len() as u64);
+    for &(bound, count) in &stats.graph.histogram {
+        e.usize(bound);
+        e.usize(count);
+    }
+    e.into_bytes()
+}
+
+fn decode_stats(bytes: &[u8]) -> Result<StatsCatalog, EngineError> {
+    let mut d = Decoder::new(bytes);
+    let ntables = d.u64().map_err(EngineError::Store)? as usize;
+    let mut tables = BTreeMap::new();
+    for _ in 0..ntables {
+        let name = d.str().map_err(EngineError::Store)?;
+        let rows = d.usize().map_err(EngineError::Store)?;
+        let ncols = d.u64().map_err(EngineError::Store)? as usize;
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let col_name = d.str().map_err(EngineError::Store)?;
+            let distinct = d.usize().map_err(EngineError::Store)?;
+            let nulls = d.usize().map_err(EngineError::Store)?;
+            columns.push(ColumnStats { name: col_name, distinct, nulls });
+        }
+        tables.insert(name, TableStats { rows, columns });
+    }
+    let text = TextStats {
+        documents: d.usize().map_err(EngineError::Store)?,
+        chunks: d.usize().map_err(EngineError::Store)?,
+        terms: d.usize().map_err(EngineError::Store)?,
+        postings: d.usize().map_err(EngineError::Store)?,
+        max_posting: d.usize().map_err(EngineError::Store)?,
+    };
+    let nodes = d.usize().map_err(EngineError::Store)?;
+    let edges = d.usize().map_err(EngineError::Store)?;
+    let max_degree = d.usize().map_err(EngineError::Store)?;
+    let avg_degree_x1000 = d.usize().map_err(EngineError::Store)?;
+    let nhist = d.u64().map_err(EngineError::Store)? as usize;
+    let mut histogram = Vec::with_capacity(nhist);
+    for _ in 0..nhist {
+        let bound = d.usize().map_err(EngineError::Store)?;
+        let count = d.usize().map_err(EngineError::Store)?;
+        histogram.push((bound, count));
+    }
+    let graph = GraphDegreeStats { nodes, edges, max_degree, avg_degree_x1000, histogram };
+    Ok(StatsCatalog { tables, text, graph })
+}
+
+fn encode_ingest(report: &IngestReport) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u64(report.quarantined.len() as u64);
+    for q in &report.quarantined {
+        e.str(&q.source);
+        let (tag, msg) = match &q.reason {
+            QuarantineReason::Json(m) => (0u8, m),
+            QuarantineReason::Xml(m) => (1, m),
+            QuarantineReason::Flatten(m) => (2, m),
+            QuarantineReason::Extraction(m) => (3, m),
+            QuarantineReason::InjectedFault(m) => (4, m),
+        };
+        e.u8(tag);
+        e.str(msg);
+    }
+    e.usize(report.tables);
+    e.usize(report.collections_flattened);
+    e.usize(report.documents);
+    e.usize(report.extracted_rows);
+    e.into_bytes()
+}
+
+fn decode_ingest(bytes: &[u8]) -> Result<IngestReport, EngineError> {
+    let mut d = Decoder::new(bytes);
+    let nquar = d.u64().map_err(EngineError::Store)? as usize;
+    let mut quarantined = Vec::with_capacity(nquar);
+    for _ in 0..nquar {
+        let source = d.str().map_err(EngineError::Store)?;
+        let tag = d.u8().map_err(EngineError::Store)?;
+        let msg = d.str().map_err(EngineError::Store)?;
+        let reason = match tag {
+            0 => QuarantineReason::Json(msg),
+            1 => QuarantineReason::Xml(msg),
+            2 => QuarantineReason::Flatten(msg),
+            3 => QuarantineReason::Extraction(msg),
+            4 => QuarantineReason::InjectedFault(msg),
+            t => return Err(invalid(format!("unknown quarantine reason tag {t}"))),
+        };
+        quarantined.push(Quarantined { source, reason });
+    }
+    Ok(IngestReport {
+        quarantined,
+        tables: d.usize().map_err(EngineError::Store)?,
+        collections_flattened: d.usize().map_err(EngineError::Store)?,
+        documents: d.usize().map_err(EngineError::Store)?,
+        extracted_rows: d.usize().map_err(EngineError::Store)?,
+    })
+}

@@ -67,6 +67,16 @@ pub struct Stats {
 }
 
 impl Stats {
+    /// Computes real order statistics (mean/median/p95/min/max) from raw
+    /// per-iteration samples in nanoseconds. Public so external harnesses
+    /// that collect their own samples (e.g. the per-stage profiler) report
+    /// true quantiles instead of copying a mean into every field.
+    ///
+    /// Panics on an empty sample vector.
+    pub fn from_samples(suite: &str, name: &str, ns: Vec<u64>) -> Self {
+        Self::from_durations(suite, name, ns)
+    }
+
     fn from_durations(suite: &str, name: &str, mut ns: Vec<u64>) -> Self {
         assert!(!ns.is_empty());
         ns.sort_unstable();
@@ -280,6 +290,21 @@ mod tests {
         assert_eq!(a.mean_ns, 3);
         assert_eq!(a.p95_ns, 5);
         assert!(a.min_ns <= a.median_ns && a.median_ns <= a.p95_ns && a.p95_ns <= a.max_ns);
+    }
+
+    #[test]
+    fn from_samples_reports_distinct_quantiles() {
+        // The regression this guards: a harness feeding aggregate means
+        // produced identical mean/median/p95/min/max at iters > 1. Real
+        // samples must yield a real spread.
+        let s = Stats::from_samples("profile", "stage", vec![100, 200, 300, 400, 1000]);
+        assert_eq!(s.iters, 5);
+        assert_eq!(s.min_ns, 100);
+        assert_eq!(s.median_ns, 300);
+        assert_eq!(s.mean_ns, 400);
+        assert_eq!(s.p95_ns, 1000);
+        assert_eq!(s.max_ns, 1000);
+        assert_ne!(s.median_ns, s.mean_ns, "skewed samples must not collapse");
     }
 
     #[test]

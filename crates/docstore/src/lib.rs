@@ -98,6 +98,29 @@ impl DocStore {
         Self { docs: Vec::new(), chunks: Vec::new(), index: Bm25Index::default(), chunk_config }
     }
 
+    /// Reassembles a store from snapshot parts: documents and chunks in
+    /// id order plus the already-built BM25 index over the chunks. The
+    /// caller is trusted to pass parts persisted from a store built with
+    /// the same `chunk_config` (the snapshot layer round-trips all four).
+    pub fn from_parts(
+        chunk_config: ChunkConfig,
+        docs: Vec<Document>,
+        chunks: Vec<StoredChunk>,
+        index: Bm25Index,
+    ) -> Self {
+        Self { docs, chunks, index, chunk_config }
+    }
+
+    /// The chunking configuration documents are ingested with.
+    pub fn chunk_config(&self) -> ChunkConfig {
+        self.chunk_config
+    }
+
+    /// The BM25 index over chunks (snapshot serialization reads it).
+    pub fn index(&self) -> &Bm25Index {
+        &self.index
+    }
+
     /// Adds a document; returns its id.
     pub fn add_document(
         &mut self,

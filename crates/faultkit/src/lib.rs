@@ -24,6 +24,8 @@
 //! | `extract.tablegen`  | relational table generation over documents    |
 //! | `hetgraph.traverse` | topology retrieval's bounded graph traversal  |
 //! | `slm.generate`      | answer sampling for semantic-entropy scoring  |
+//! | `store.page_write`  | persistent page write (torn-page simulation)  |
+//! | `store.flush`       | durable flush / fsync (failed-flush simulation) |
 //!
 //! ## Activation
 //!
@@ -48,7 +50,7 @@ use detkit::Rng;
 
 /// Number of registered fault sites. The registry is closed so that a
 /// [`FaultPlan`] can stay `Copy` (a fixed probability table).
-pub const NUM_SITES: usize = 6;
+pub const NUM_SITES: usize = 8;
 
 /// A registered fault-injection site: one substrate boundary of the
 /// unified engine.
@@ -66,6 +68,12 @@ pub enum Site {
     GraphTraverse,
     /// Answer sampling for entropy estimation (`slm.generate`).
     SlmGenerate,
+    /// Persistent page write in the storage layer — fires as a torn page:
+    /// only a prefix of the page reaches the file (`store.page_write`).
+    StorePageWrite,
+    /// Durable flush (fsync) in the storage layer — fires as a failed
+    /// flush: buffered writes never become durable (`store.flush`).
+    StoreFlush,
 }
 
 impl Site {
@@ -77,6 +85,8 @@ impl Site {
         Site::ExtractTablegen,
         Site::GraphTraverse,
         Site::SlmGenerate,
+        Site::StorePageWrite,
+        Site::StoreFlush,
     ];
 
     /// Stable registry index.
@@ -88,6 +98,8 @@ impl Site {
             Site::ExtractTablegen => 3,
             Site::GraphTraverse => 4,
             Site::SlmGenerate => 5,
+            Site::StorePageWrite => 6,
+            Site::StoreFlush => 7,
         }
     }
 
@@ -104,6 +116,8 @@ impl Site {
             Site::ExtractTablegen => tracekit::component::EXTRACT_TABLEGEN,
             Site::GraphTraverse => tracekit::component::GRAPH_TRAVERSE,
             Site::SlmGenerate => tracekit::component::SLM_GENERATE,
+            Site::StorePageWrite => tracekit::component::STORE_PAGE_WRITE,
+            Site::StoreFlush => tracekit::component::STORE_FLUSH,
         }
     }
 

@@ -310,6 +310,52 @@ impl HetGraph {
         id
     }
 
+    /// Reassembles a graph from snapshot parts: nodes and edges in id
+    /// order, exactly as [`Self::nodes`] / [`Self::edges`] returned them.
+    /// Adjacency and every lookup index are rebuilt; entity names are
+    /// trusted to be canonical already (they were canonicalized when the
+    /// persisted graph was first built) and are NOT re-canonicalized, so
+    /// the reassembled graph is structurally identical byte for byte.
+    pub fn from_parts(nodes: Vec<Node>, edges: Vec<Edge>) -> Result<Self, String> {
+        let mut g = HetGraph { adjacency: vec![Vec::new(); nodes.len()], ..HetGraph::default() };
+        for (i, node) in nodes.iter().enumerate() {
+            if node.id.0 as usize != i {
+                return Err(format!("node {} stored at position {i}", node.id.0));
+            }
+            match &node.kind {
+                NodeKind::Chunk { chunk_id, .. } => {
+                    g.chunk_index.insert(*chunk_id, node.id);
+                }
+                NodeKind::Entity { name, kind } => {
+                    g.entity_index.insert((name.clone(), *kind), node.id);
+                    g.entity_by_name_index.entry(name.clone()).or_insert(node.id);
+                }
+                NodeKind::Record { table, row } => {
+                    g.record_index.insert((table.clone(), *row), node.id);
+                }
+                NodeKind::Table { name } => {
+                    g.table_index.insert(name.clone(), node.id);
+                }
+            }
+        }
+        g.nodes = nodes;
+        for (i, edge) in edges.iter().enumerate() {
+            if edge.id.0 as usize != i {
+                return Err(format!("edge {} stored at position {i}", edge.id.0));
+            }
+            let (a, b) = (edge.a.0 as usize, edge.b.0 as usize);
+            if a >= g.nodes.len() || b >= g.nodes.len() {
+                return Err(format!("edge {i} references missing node"));
+            }
+            g.adjacency[a].push((edge.b, edge.id));
+            g.adjacency[b].push((edge.a, edge.id));
+            let (lo, hi) = if edge.a <= edge.b { (edge.a, edge.b) } else { (edge.b, edge.a) };
+            g.edge_dedup.insert((lo, hi, edge.kind.label()), edge.id);
+        }
+        g.edges = edges;
+        Ok(g)
+    }
+
     /// Looks up an entity node by canonical name (any kind); when several
     /// kinds share the name, the smallest node id wins (deterministic).
     pub fn entity_by_name(&self, name: &str) -> Option<NodeId> {

@@ -24,4 +24,4 @@ pub mod build;
 pub mod graph;
 
 pub use build::{GraphBuildStats, GraphBuilder};
-pub use graph::{EdgeId, EdgeKind, HetGraph, Node, NodeId, NodeKind};
+pub use graph::{Edge, EdgeId, EdgeKind, HetGraph, Node, NodeId, NodeKind};

@@ -47,10 +47,10 @@ const TOOLING_CRATES: &[&str] = &["detkit", "bench", "lintkit"];
 
 /// Crates whose non-test library code must stay panic-free on untrusted
 /// input (the `unwrap-in-core` audit set; DESIGN.md §8).
-const PANIC_FREE_CRATES: &[&str] = &["core", "relstore", "hetgraph", "retrieval"];
+const PANIC_FREE_CRATES: &[&str] = &["core", "relstore", "hetgraph", "retrieval", "storekit"];
 
 /// Crates bound by the closed trace/metric namespace rule (DESIGN.md §9).
-const NAMESPACE_CRATES: &[&str] = &["core", "relstore", "hetgraph", "retrieval"];
+const NAMESPACE_CRATES: &[&str] = &["core", "relstore", "hetgraph", "retrieval", "storekit"];
 
 /// Classifies a workspace-relative path (forward slashes).
 pub fn file_scope(rel_path: &str) -> FileScope {

@@ -13,7 +13,7 @@
 //!
 //! Overlapping candidates are resolved by source priority, then span length.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use unisem_text::tokenize::{tokenize, Token, TokenKind};
 
@@ -71,6 +71,28 @@ impl EntityKind {
             EntityKind::Identifier => "identifier",
             EntityKind::Category => "category",
             EntityKind::Other => "other",
+        }
+    }
+
+    /// Parses a [`Self::label`] back into a kind (snapshot decoding).
+    pub fn from_label(label: &str) -> Option<EntityKind> {
+        match label {
+            "person" => Some(EntityKind::Person),
+            "organization" => Some(EntityKind::Organization),
+            "product" => Some(EntityKind::Product),
+            "drug" => Some(EntityKind::Drug),
+            "condition" => Some(EntityKind::Condition),
+            "location" => Some(EntityKind::Location),
+            "date" => Some(EntityKind::Date),
+            "quarter" => Some(EntityKind::Quarter),
+            "percent" => Some(EntityKind::Percent),
+            "money" => Some(EntityKind::Money),
+            "quantity" => Some(EntityKind::Quantity),
+            "metric" => Some(EntityKind::Metric),
+            "identifier" => Some(EntityKind::Identifier),
+            "category" => Some(EntityKind::Category),
+            "other" => Some(EntityKind::Other),
+            _ => None,
         }
     }
 
@@ -156,6 +178,17 @@ impl Lexicon {
     /// Looks up a canonical phrase.
     pub fn get(&self, canonical: &str) -> Option<EntityKind> {
         self.phrases.get(canonical).copied()
+    }
+
+    /// Every `(canonical phrase, kind)` pair in sorted phrase order —
+    /// the deterministic form the snapshot layer persists.
+    pub fn entries(&self) -> Vec<(String, EntityKind)> {
+        self.phrases
+            .iter()
+            .map(|(p, k)| (p.clone(), *k))
+            .collect::<BTreeMap<_, _>>()
+            .into_iter()
+            .collect()
     }
 
     /// Number of phrases.

@@ -1,0 +1,323 @@
+//! Buffer pool: a bounded page cache over the [`Pager`] with
+//! deterministic clock (second-chance) eviction.
+//!
+//! Determinism contract: cache behaviour is a pure function of the
+//! access sequence. Frames are scanned by a clock hand that advances one
+//! frame per probe; the page → frame map is a `BTreeMap`, so any
+//! iteration (notably [`flush_all`](BufferPool::flush_all), which writes
+//! dirty pages in ascending page-id order) is ordered. No wall clock,
+//! no randomization, no address-keyed hashing anywhere.
+//!
+//! Metrics (when a registry is attached): `store.page_hits`,
+//! `store.page_misses`, `store.evictions`, `store.flushes` — a closed
+//! set registered in `tracekit`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use tracekit::{Metric, MetricsRegistry};
+
+use crate::page::{Page, PageKind};
+use crate::pager::Pager;
+use crate::StoreError;
+
+/// Default number of resident frames.
+pub const DEFAULT_POOL_FRAMES: usize = 64;
+
+#[derive(Debug)]
+struct Frame {
+    page: Page,
+    dirty: bool,
+    referenced: bool,
+}
+
+/// A bounded, write-back page cache.
+#[derive(Debug)]
+pub struct BufferPool {
+    pager: Pager,
+    frames: Vec<Option<Frame>>,
+    /// page id → frame index; BTreeMap so traversals are ordered.
+    map: BTreeMap<u32, usize>,
+    hand: usize,
+    next_page_id: u32,
+    /// Recycled page ids, LIFO. In-memory only: free pages are also
+    /// marked [`PageKind::Free`] on disk so reopening can rebuild state.
+    free_list: Vec<u32>,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames over `pager`.
+    pub fn new(pager: Pager, capacity: usize, metrics: Option<Arc<MetricsRegistry>>) -> BufferPool {
+        let capacity = capacity.max(1);
+        let next_page_id = pager.num_pages();
+        BufferPool {
+            pager,
+            frames: (0..capacity).map(|_| None).collect(),
+            map: BTreeMap::new(),
+            hand: 0,
+            next_page_id,
+            free_list: Vec::new(),
+            metrics,
+        }
+    }
+
+    /// Pages in the underlying file (allocated high-water mark).
+    pub fn num_pages(&self) -> u32 {
+        self.next_page_id
+    }
+
+    fn incr(&self, metric: Metric) {
+        if let Some(m) = &self.metrics {
+            m.incr(metric);
+        }
+    }
+
+    /// Allocates a page id (recycling the free list LIFO) and installs a
+    /// fresh page of `kind` in the cache.
+    pub fn allocate(&mut self, kind: PageKind) -> Result<u32, StoreError> {
+        let id = match self.free_list.pop() {
+            Some(id) => id,
+            None => {
+                let id = self.next_page_id;
+                self.next_page_id = id
+                    .checked_add(1)
+                    .ok_or_else(|| StoreError::Io("page id space exhausted".to_string()))?;
+                id
+            }
+        };
+        let frame_idx = self.frame_for(id, Some(Page::new(id, kind)))?;
+        if let Some(frame) = &mut self.frames[frame_idx] {
+            frame.dirty = true;
+        }
+        Ok(id)
+    }
+
+    /// Returns a page to the free list and rewrites it as
+    /// [`PageKind::Free`] so the on-disk image carries no stale content.
+    pub fn free(&mut self, id: u32) -> Result<(), StoreError> {
+        self.write(id, |page| {
+            *page = Page::new(id, PageKind::Free);
+        })?;
+        self.free_list.push(id);
+        Ok(())
+    }
+
+    /// Reads page `id` through the cache.
+    pub fn read<R>(&mut self, id: u32, f: impl FnOnce(&Page) -> R) -> Result<R, StoreError> {
+        let frame_idx = self.frame_for(id, None)?;
+        match &mut self.frames[frame_idx] {
+            Some(frame) => {
+                frame.referenced = true;
+                Ok(f(&frame.page))
+            }
+            None => Err(StoreError::Corrupt {
+                page_id: id,
+                reason: "frame vanished after pin".to_string(),
+            }),
+        }
+    }
+
+    /// Mutates page `id` through the cache, marking it dirty. The page is
+    /// sealed (checksummed) when it is eventually written back.
+    pub fn write<R>(&mut self, id: u32, f: impl FnOnce(&mut Page) -> R) -> Result<R, StoreError> {
+        let frame_idx = self.frame_for(id, None)?;
+        match &mut self.frames[frame_idx] {
+            Some(frame) => {
+                frame.referenced = true;
+                frame.dirty = true;
+                Ok(f(&mut frame.page))
+            }
+            None => Err(StoreError::Corrupt {
+                page_id: id,
+                reason: "frame vanished after pin".to_string(),
+            }),
+        }
+    }
+
+    /// Writes every dirty page back in ascending page-id order, then
+    /// syncs the file. Leaves the cache populated and clean.
+    pub fn flush_all(&mut self) -> Result<(), StoreError> {
+        let ids: Vec<u32> = self.map.keys().copied().collect();
+        for id in ids {
+            if let Some(&frame_idx) = self.map.get(&id) {
+                let flush = match &mut self.frames[frame_idx] {
+                    Some(frame) if frame.dirty => {
+                        frame.page.seal();
+                        frame.dirty = false;
+                        Some(frame.page.clone())
+                    }
+                    _ => None,
+                };
+                if let Some(page) = flush {
+                    self.incr(Metric::StoreFlushes);
+                    self.pager.write_page(&page)?;
+                }
+            }
+        }
+        self.pager.flush()
+    }
+
+    /// Finds (or loads) the frame holding `id`. When `fresh` is given the
+    /// page is installed without touching disk (allocation path).
+    fn frame_for(&mut self, id: u32, fresh: Option<Page>) -> Result<usize, StoreError> {
+        if let Some(&idx) = self.map.get(&id) {
+            self.incr(Metric::StorePageHits);
+            if let Some(page) = fresh {
+                if let Some(frame) = &mut self.frames[idx] {
+                    frame.page = page;
+                    frame.dirty = true;
+                }
+            }
+            return Ok(idx);
+        }
+        self.incr(Metric::StorePageMisses);
+        let page = match fresh {
+            Some(p) => p,
+            None => self.pager.read_page(id)?,
+        };
+        let idx = self.victim_frame()?;
+        self.frames[idx] = Some(Frame { page, dirty: false, referenced: true });
+        self.map.insert(id, idx);
+        Ok(idx)
+    }
+
+    /// Clock sweep: the first unreferenced frame (clearing reference bits
+    /// as the hand passes) is evicted, writing it back first if dirty.
+    fn victim_frame(&mut self) -> Result<usize, StoreError> {
+        let capacity = self.frames.len();
+        // An empty frame, if any, wins without eviction. Scan in index
+        // order for determinism.
+        for (idx, frame) in self.frames.iter().enumerate() {
+            if frame.is_none() {
+                return Ok(idx);
+            }
+        }
+        // Two full sweeps always find a victim: the first pass clears
+        // every reference bit it crosses.
+        for _ in 0..2 * capacity {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % capacity;
+            match &mut self.frames[idx] {
+                Some(frame) if frame.referenced => {
+                    frame.referenced = false;
+                }
+                Some(_) => {
+                    self.evict(idx)?;
+                    return Ok(idx);
+                }
+                None => return Ok(idx),
+            }
+        }
+        Err(StoreError::Io("clock sweep found no victim".to_string()))
+    }
+
+    fn evict(&mut self, idx: usize) -> Result<(), StoreError> {
+        let Some(frame) = self.frames[idx].take() else {
+            return Ok(());
+        };
+        let id = frame.page.id();
+        self.map.remove(&id);
+        self.incr(Metric::StoreEvictions);
+        if frame.dirty {
+            let mut page = frame.page;
+            page.seal();
+            self.incr(Metric::StoreFlushes);
+            self.pager.write_page(&page)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultkit::FaultPlan;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("storekit-buffer-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn pool(name: &str, capacity: usize) -> (BufferPool, std::path::PathBuf) {
+        let path = tmp(name);
+        let pager = Pager::create(&path, FaultPlan::disabled()).unwrap();
+        (BufferPool::new(pager, capacity, Some(Arc::new(MetricsRegistry::new()))), path)
+    }
+
+    #[test]
+    fn read_after_write_hits_cache() {
+        let (mut pool, path) = pool("hits", 4);
+        let id = pool.allocate(PageKind::Blob).unwrap();
+        pool.write(id, |p| p.set_payload(b"cached").map(|_| ())).unwrap().unwrap();
+        let got = pool.read(id, |p| p.payload().map(<[u8]>::to_vec)).unwrap().unwrap();
+        assert_eq!(got, b"cached");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn eviction_under_pressure_round_trips_through_disk() {
+        let (mut pool, path) = pool("pressure", 2);
+        let mut ids = Vec::new();
+        for i in 0..8u32 {
+            let id = pool.allocate(PageKind::Blob).unwrap();
+            pool.write(id, |p| p.set_payload(format!("page-{i}").as_bytes()).map(|_| ()))
+                .unwrap()
+                .unwrap();
+            ids.push(id);
+        }
+        // Revisit every page — the early ones must reload from disk.
+        for (i, &id) in ids.iter().enumerate() {
+            let got = pool.read(id, |p| p.payload().map(<[u8]>::to_vec)).unwrap().unwrap();
+            assert_eq!(got, format!("page-{i}").as_bytes(), "page {id}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flush_all_persists_everything() {
+        let (mut pool, path) = pool("flush", 4);
+        for i in 0..4u32 {
+            let id = pool.allocate(PageKind::Blob).unwrap();
+            pool.write(id, |p| p.set_payload(&[i as u8; 16]).map(|_| ())).unwrap().unwrap();
+        }
+        pool.flush_all().unwrap();
+        let mut pager = Pager::open(&path, FaultPlan::disabled()).unwrap();
+        assert_eq!(pager.num_pages(), 4);
+        for i in 0..4u32 {
+            assert_eq!(pager.read_page(i).unwrap().payload().unwrap(), &[i as u8; 16]);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn free_list_recycles_lifo() {
+        let (mut pool, path) = pool("freelist", 4);
+        let a = pool.allocate(PageKind::Blob).unwrap();
+        let b = pool.allocate(PageKind::Blob).unwrap();
+        pool.free(a).unwrap();
+        pool.free(b).unwrap();
+        assert_eq!(pool.allocate(PageKind::BtreeLeaf).unwrap(), b, "LIFO recycle");
+        assert_eq!(pool.allocate(PageKind::BtreeLeaf).unwrap(), a);
+        assert_eq!(pool.allocate(PageKind::BtreeLeaf).unwrap(), 2, "then fresh ids");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn identical_access_sequences_produce_identical_files() {
+        let run = |name: &str| -> Vec<u8> {
+            let (mut pool, path) = pool(name, 2);
+            for i in 0..6u32 {
+                let id = pool.allocate(PageKind::Blob).unwrap();
+                pool.write(id, |p| p.set_payload(&[i as u8; 32]).map(|_| ())).unwrap().unwrap();
+            }
+            pool.free(3).unwrap();
+            pool.flush_all().unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            let _ = std::fs::remove_file(&path);
+            bytes
+        };
+        assert_eq!(run("det-a"), run("det-b"), "byte-identical page files");
+    }
+}

@@ -1,0 +1,117 @@
+//! `storekit` — persistent paged storage for the unified engine.
+//!
+//! The crate turns the engine's in-memory substrates (document store,
+//! BM25 inverted index, heterogeneous graph, stats catalog) into one
+//! byte-stable snapshot file, structured as:
+//!
+//! - [`page`] — fixed 4 KiB checksummed pages with slotted records;
+//! - [`pager`] — page-granular file I/O hosting the two injected storage
+//!   fault sites (torn page, failed flush);
+//! - [`buffer`] — a bounded page cache with deterministic clock eviction
+//!   and a closed metric set (`store.page_hits` / `page_misses` /
+//!   `evictions` / `flushes`);
+//! - [`btree`] — persistent B-tree indexes with split/merge balancing
+//!   and ordered range scans, re-encoded canonically per operation;
+//! - [`snapshot`] — the page 0 directory format, blob sections, value
+//!   chunking, and the write-temp → flush → verify → rename commit
+//!   protocol;
+//! - [`codec`] — the little-endian byte codec snapshot payloads use.
+//!
+//! Determinism contract (DESIGN.md §12): page images and whole snapshot
+//! files are pure functions of the logical content and operation order,
+//! so two engine builds from the same seed produce byte-identical
+//! snapshot files, and a reopened snapshot answers every workload query
+//! byte-identically to the in-memory build that wrote it.
+//!
+//! Like the other engine crates, storekit is panic-free on untrusted
+//! input: torn pages, truncated files, and bad directories surface as
+//! typed [`StoreError`]s, and injected faults propagate as
+//! [`StoreError::Fault`] for the engine's degradation ladder.
+
+pub mod btree;
+pub mod buffer;
+pub mod codec;
+pub mod page;
+pub mod pager;
+pub mod snapshot;
+
+pub use btree::{BTree, MAX_KEY, MAX_VALUE};
+pub use buffer::{BufferPool, DEFAULT_POOL_FRAMES};
+pub use codec::{Decoder, Encoder};
+pub use page::{Page, PageKind, PAGE_SIZE, PAYLOAD_SIZE};
+pub use pager::Pager;
+pub use snapshot::{Snapshot, SnapshotWriter};
+
+use faultkit::InjectedFault;
+
+/// Typed storage errors: every failure mode of the paged layer, injected
+/// or organic, without panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Operating-system I/O failure (open, read, write, rename).
+    Io(String),
+    /// A page failed structural validation: bad magic, wrong id echo,
+    /// unknown kind, checksum mismatch (e.g. a torn write), or a slotted
+    /// record that overruns its cell.
+    Corrupt {
+        /// The page that failed validation.
+        page_id: u32,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// An injected fault fired at a storage site (torn page write or
+    /// failed flush); carries the site and key for the trace.
+    Fault(InjectedFault),
+    /// A snapshot payload failed to decode (truncation, bad framing).
+    Decode(String),
+    /// A key, value, or directory exceeded a structural limit.
+    TooLarge {
+        /// What overflowed.
+        what: String,
+        /// Its size in bytes.
+        size: usize,
+        /// The limit it exceeded.
+        max: usize,
+    },
+    /// The snapshot directory itself is malformed or inconsistent.
+    InvalidSnapshot(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage i/o: {e}"),
+            StoreError::Corrupt { page_id, reason } => {
+                write!(f, "page {page_id} corrupt: {reason}")
+            }
+            StoreError::Fault(fault) => write!(f, "storage fault: {fault}"),
+            StoreError::Decode(e) => write!(f, "snapshot decode: {e}"),
+            StoreError::TooLarge { what, size, max } => {
+                write!(f, "{what} is {size} bytes, limit {max}")
+            }
+            StoreError::InvalidSnapshot(e) => write!(f, "invalid snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<InjectedFault> for StoreError {
+    fn from(fault: InjectedFault) -> Self {
+        StoreError::Fault(fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_useful_context() {
+        let e = StoreError::Corrupt { page_id: 9, reason: "checksum mismatch".into() };
+        assert!(e.to_string().contains("page 9"));
+        let e = StoreError::TooLarge { what: "b-tree key".into(), size: 600, max: 512 };
+        assert!(e.to_string().contains("600"));
+        assert!(e.to_string().contains("512"));
+    }
+}

@@ -127,6 +127,34 @@ impl Bm25Index {
         self.search_terms(&terms, top_k)
     }
 
+    /// The scoring parameters.
+    pub fn params(&self) -> Bm25Params {
+        self.params
+    }
+
+    /// The postings table: term → `(doc_id, term_frequency)` pairs in
+    /// insertion (ascending doc id) order. Used by the snapshot layer.
+    pub fn postings(&self) -> &BTreeMap<String, Vec<(usize, u32)>> {
+        &self.postings
+    }
+
+    /// Per-document token counts, indexed by doc id.
+    pub fn doc_lens(&self) -> &[usize] {
+        &self.doc_len
+    }
+
+    /// Reassembles an index from snapshot parts. The caller is trusted to
+    /// pass parts that came from [`Self::postings`] / [`Self::doc_lens`];
+    /// `total_tokens` is recomputed from the lengths.
+    pub fn from_parts(
+        params: Bm25Params,
+        postings: BTreeMap<String, Vec<(usize, u32)>>,
+        doc_len: Vec<usize>,
+    ) -> Self {
+        let total_tokens = doc_len.iter().sum();
+        Self { params, postings, doc_len, total_tokens }
+    }
+
     /// Like [`Self::search`] but with pre-normalized query terms.
     pub fn search_terms(&self, terms: &[String], top_k: usize) -> Vec<(usize, f64)> {
         let avg = self.avg_doc_len();

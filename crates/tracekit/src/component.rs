@@ -31,9 +31,13 @@ pub const RETRIEVAL_EVIDENCE: &str = "retrieval.evidence";
 pub const ENTROPY_SAMPLES: &str = "entropy.samples";
 /// The semantic-entropy confidence gate.
 pub const ENTROPY_CONFIDENCE: &str = "entropy.confidence";
+/// Persistent page write in the storage layer (torn-page fault site).
+pub const STORE_PAGE_WRITE: &str = "store.page_write";
+/// Durable flush (fsync) in the storage layer (failed-flush fault site).
+pub const STORE_FLUSH: &str = "store.flush";
 
 /// Every registered component label.
-pub const ALL: [&str; 11] = [
+pub const ALL: [&str; 13] = [
     SEMI_PARSE,
     SEMI_FLATTEN,
     REL_EXEC,
@@ -45,6 +49,8 @@ pub const ALL: [&str; 11] = [
     RETRIEVAL_EVIDENCE,
     ENTROPY_SAMPLES,
     ENTROPY_CONFIDENCE,
+    STORE_PAGE_WRITE,
+    STORE_FLUSH,
 ];
 
 /// True when `name` is a registered component label. `Degradation::new`

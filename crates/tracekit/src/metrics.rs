@@ -15,11 +15,12 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::json_escape;
 
 /// Number of registered metrics (counters + gauges).
-pub const NUM_METRICS: usize = 42;
+pub const NUM_METRICS: usize = 46;
 /// Number of registered histograms.
 pub const NUM_HISTS: usize = 2;
 /// Number of registered wall-clock stages.
@@ -129,6 +130,14 @@ pub enum Metric {
     PlannerJoinDp,
     /// Join orders solved greedily (relation count above the DP threshold).
     PlannerJoinGreedy,
+    /// Buffer-pool page requests served from memory.
+    StorePageHits,
+    /// Buffer-pool page requests that read from the page file.
+    StorePageMisses,
+    /// Buffer-pool frames evicted by the clock sweep.
+    StoreEvictions,
+    /// Dirty pages flushed to the page file.
+    StoreFlushes,
 }
 
 impl Metric {
@@ -176,6 +185,10 @@ impl Metric {
         Metric::PlannerPlansBuilt,
         Metric::PlannerJoinDp,
         Metric::PlannerJoinGreedy,
+        Metric::StorePageHits,
+        Metric::StorePageMisses,
+        Metric::StoreEvictions,
+        Metric::StoreFlushes,
     ];
 
     /// Stable registry index.
@@ -228,6 +241,10 @@ impl Metric {
             Metric::PlannerPlansBuilt => "planner.plans_built",
             Metric::PlannerJoinDp => "planner.join_dp",
             Metric::PlannerJoinGreedy => "planner.join_greedy",
+            Metric::StorePageHits => "store.page_hits",
+            Metric::StorePageMisses => "store.page_misses",
+            Metric::StoreEvictions => "store.evictions",
+            Metric::StoreFlushes => "store.flushes",
         }
     }
 
@@ -357,7 +374,15 @@ pub struct MetricsRegistry {
     hists: [[AtomicU64; NUM_BUCKETS]; NUM_HISTS],
     stage_ns: [AtomicU64; NUM_STAGES],
     stage_count: [AtomicU64; NUM_STAGES],
+    /// Per-stage wall-clock samples (capped), so [`TimingReport`] can
+    /// report real order statistics instead of copying the mean into
+    /// every quantile field.
+    stage_samples: [Mutex<Vec<u64>>; NUM_STAGES],
 }
+
+/// Samples retained per stage; recording beyond this keeps the sums
+/// exact but stops growing the per-iteration sample vector.
+const MAX_STAGE_SAMPLES: usize = 65_536;
 
 impl Default for MetricsRegistry {
     fn default() -> Self {
@@ -373,6 +398,7 @@ impl MetricsRegistry {
             hists: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
             stage_ns: std::array::from_fn(|_| AtomicU64::new(0)),
             stage_count: std::array::from_fn(|_| AtomicU64::new(0)),
+            stage_samples: std::array::from_fn(|_| Mutex::new(Vec::new())),
         }
     }
 
@@ -408,6 +434,11 @@ impl MetricsRegistry {
     pub fn record_stage(&self, stage: Stage, ns: u64) {
         self.stage_ns[stage.index()].fetch_add(ns, Ordering::Relaxed);
         self.stage_count[stage.index()].fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut samples) = self.stage_samples[stage.index()].lock() {
+            if samples.len() < MAX_STAGE_SAMPLES {
+                samples.push(ns);
+            }
+        }
     }
 
     /// Deterministic snapshot: every counter, gauge, and histogram, in
@@ -442,6 +473,14 @@ impl MetricsRegistry {
                         self.stage_count[s.index()].load(Ordering::Relaxed),
                         self.stage_ns[s.index()].load(Ordering::Relaxed),
                     )
+                })
+                .collect(),
+            samples: Stage::ALL
+                .iter()
+                .map(|&s| {
+                    let samples =
+                        self.stage_samples[s.index()].lock().map(|g| g.clone()).unwrap_or_default();
+                    (s.name(), samples)
                 })
                 .collect(),
         }
@@ -515,6 +554,10 @@ impl fmt::Display for MetricsReport {
 pub struct TimingReport {
     /// One entry per registered [`Stage`], registry order.
     pub stages: Vec<(&'static str, u64, u64)>,
+    /// Per-stage wall-clock samples (one entry per recorded call, capped
+    /// at `MAX_STAGE_SAMPLES`), registry order. Feeds real order
+    /// statistics (median/p95/min/max) in the bench harness.
+    pub samples: Vec<(&'static str, Vec<u64>)>,
 }
 
 impl TimingReport {
@@ -526,6 +569,11 @@ impl TimingReport {
     /// Times a stage has been recorded.
     pub fn count(&self, name: &str) -> Option<u64> {
         self.stages.iter().find(|(n, _, _)| *n == name).map(|(_, c, _)| *c)
+    }
+
+    /// Per-iteration samples recorded for a stage (empty when unknown).
+    pub fn samples_of(&self, name: &str) -> &[u64] {
+        self.samples.iter().find(|(n, _)| *n == name).map(|(_, s)| s.as_slice()).unwrap_or(&[])
     }
 
     /// Stable single-line JSON.
@@ -650,6 +698,9 @@ mod tests {
         let t = r.timings();
         assert_eq!(t.count("answer.total"), Some(2));
         assert_eq!(t.total_ns("answer.total"), Some(1200));
+        assert_eq!(t.samples_of("answer.total"), &[500, 700], "per-call samples retained");
+        assert!(t.samples_of("build.graph").is_empty());
+        assert!(t.samples_of("bogus").is_empty());
         assert_eq!(t.total_ns("build.graph"), Some(0));
         assert!(t.to_json().contains("\"answer.total\":{\"count\":2,\"total_ns\":1200}"));
         assert!(t.to_string().contains("answer.total"));

@@ -1,0 +1,333 @@
+//! Persistent-storage integration suite (DESIGN.md §12).
+//!
+//! Three contracts, enforced end-to-end through the public engine API:
+//!
+//! 1. **Snapshot round-trip differential**: an engine reopened from a
+//!    snapshot answers every workload query byte-identically — text,
+//!    confidence, entropy report, route, provenance, degradations, and
+//!    the full explain trace — to the engine that saved it, at 1, 2, 4,
+//!    and 8 threads.
+//! 2. **Byte-stable snapshot files**: two engines built from the same
+//!    inputs with the same seed write byte-identical snapshot files,
+//!    regardless of build thread count; the per-page image table is
+//!    pinned by a golden snapshot (`UNISEM_BLESS=1` re-blesses).
+//! 3. **Crash consistency**: across a matrix of injected torn-page and
+//!    failed-flush faults, a failed save returns a typed error, never
+//!    corrupts the previously committed snapshot, and the target stays
+//!    cleanly reopenable.
+
+use std::path::PathBuf;
+
+use storekit::{Pager, StoreError};
+use unisem_core::{
+    Answer, EngineBuilder, EngineConfig, EngineError, FaultPlan, FaultSite, ParallelConfig,
+    UnifiedEngine,
+};
+use unisem_relstore::{DataType, Schema, Table, Value};
+use unisem_slm::{EntityKind, Lexicon};
+use unisem_workloads::ecommerce::DocSpec;
+use unisem_workloads::{
+    EcommerceConfig, EcommerceWorkload, HealthcareConfig, HealthcareWorkload, QaItem,
+};
+
+struct Workload {
+    name: &'static str,
+    lexicon: Lexicon,
+    db: unisem_relstore::Database,
+    semi: unisem_semistore::SemiStore,
+    documents: Vec<DocSpec>,
+    qa: Vec<QaItem>,
+}
+
+fn workloads() -> Vec<Workload> {
+    let e = EcommerceWorkload::generate(EcommerceConfig {
+        products: 6,
+        quarters: 3,
+        reviews_per_product: 2,
+        qa_per_category: 2,
+        seed: 0xD1FF,
+        name_offset: 0,
+    });
+    let h = HealthcareWorkload::generate(HealthcareConfig {
+        drugs: 4,
+        patients: 6,
+        trials_per_drug: 2,
+        qa_per_category: 2,
+        seed: 0x4EA17,
+    });
+    vec![
+        Workload {
+            name: "ecommerce",
+            lexicon: e.lexicon,
+            db: e.db,
+            semi: e.semi,
+            documents: e.documents,
+            qa: e.qa,
+        },
+        Workload {
+            name: "healthcare",
+            lexicon: h.lexicon,
+            db: h.db,
+            semi: h.semi,
+            documents: h.documents,
+            qa: h.qa,
+        },
+    ]
+}
+
+fn config(threads: usize) -> EngineConfig {
+    // Faults explicitly disabled: byte-identity must not depend on any
+    // ambient `UNISEM_FAULTS` plan the surrounding CI gate has armed.
+    EngineConfig {
+        seed: 0xABCD_1234,
+        trace: true,
+        faults: FaultPlan::disabled(),
+        parallel: ParallelConfig::with_threads(threads),
+        ..EngineConfig::default()
+    }
+}
+
+fn build(w: &Workload, threads: usize) -> UnifiedEngine {
+    let mut b = EngineBuilder::with_config(w.lexicon.clone(), config(threads));
+    for name in w.db.table_names() {
+        b.add_table(name, w.db.table(name).expect("listed").clone()).expect("fresh");
+    }
+    for coll in w.semi.collections() {
+        for doc in w.semi.docs(coll) {
+            b.add_json(coll, doc.clone());
+        }
+    }
+    for d in &w.documents {
+        b.add_document(d.title.clone(), d.text.clone(), d.source.clone());
+    }
+    b.build().0
+}
+
+/// A tiny fixed-input engine for the fault matrix and the golden page
+/// check: three lexicon entries, one table, two documents, one JSON
+/// collection — every modality, minimal pages.
+fn tiny_engine(faults: FaultPlan) -> UnifiedEngine {
+    let lexicon = Lexicon::new().with_entries([
+        ("Aero Widget", EntityKind::Product),
+        ("Nova Speaker", EntityKind::Product),
+        ("Acme Corp", EntityKind::Organization),
+    ]);
+    let mut b = EngineBuilder::with_config(
+        lexicon,
+        EngineConfig { seed: 0x0BAD_CAFE, trace: true, faults, ..EngineConfig::default() },
+    );
+    let sales = Table::from_rows(
+        Schema::of(&[
+            ("product", DataType::Str),
+            ("quarter", DataType::Str),
+            ("amount", DataType::Float),
+        ]),
+        vec![
+            vec![Value::str("Aero Widget"), Value::str("Q1 2024"), Value::Float(100.0)],
+            vec![Value::str("Aero Widget"), Value::str("Q2 2024"), Value::Float(150.0)],
+            vec![Value::str("Nova Speaker"), Value::str("Q1 2024"), Value::Float(90.0)],
+        ],
+    )
+    .expect("typed rows");
+    b.add_table("sales", sales).expect("fresh");
+    b.add_document(
+        "news",
+        "Acme Corp launched the Aero Widget. The Aero Widget is manufactured by Acme Corp.",
+        "news",
+    );
+    b.add_document(
+        "report",
+        "In Q2 2024, Aero Widget sales increased 50% to $150. Customers were pleased.",
+        "report",
+    );
+    b.add_json(
+        "orders",
+        unisem_semistore::parse_json(
+            r#"{"product": "Aero Widget", "quarter": "Q1 2024", "units": 10}"#,
+        )
+        .expect("valid json"),
+    );
+    b.build().0
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("unisem-storage-{}-{tag}.usk", std::process::id()));
+    p
+}
+
+fn answers(engine: &UnifiedEngine, qa: &[QaItem]) -> Vec<Answer> {
+    qa.iter().map(|item| engine.answer(&item.question)).collect()
+}
+
+#[test]
+fn snapshot_round_trip_answers_byte_identical() {
+    for w in workloads() {
+        let engine = build(&w, 1);
+        let path = tmp_path(&format!("roundtrip-{}", w.name));
+        engine.save_snapshot(&path).expect("save");
+        let baseline = answers(&engine, &w.qa);
+        assert!(!baseline.is_empty(), "{}: workload has queries", w.name);
+        for threads in [1usize, 2, 4, 8] {
+            let (reopened, report) =
+                EngineBuilder::open_snapshot(&path, config(threads)).expect("open");
+            assert_eq!(
+                report,
+                *engine.ingest_report(),
+                "{}: ingest report survives the round trip",
+                w.name
+            );
+            assert_eq!(
+                reopened.stats().render(),
+                engine.stats().render(),
+                "{}: statistics catalog survives the round trip",
+                w.name
+            );
+            let got = answers(&reopened, &w.qa);
+            for (a, b) in baseline.iter().zip(&got) {
+                assert_eq!(a, b, "{} at {threads} threads: answer diverged", w.name);
+                assert!(a.trace.is_some(), "{}: traces were opted in", w.name);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn same_seed_builds_write_byte_identical_files() {
+    for w in workloads() {
+        // Thread count is the one knob that must never leak into the
+        // bytes: build at 1 and 4 threads, compare whole files.
+        let p1 = tmp_path(&format!("bytes1-{}", w.name));
+        let p4 = tmp_path(&format!("bytes4-{}", w.name));
+        build(&w, 1).save_snapshot(&p1).expect("save at 1 thread");
+        build(&w, 4).save_snapshot(&p4).expect("save at 4 threads");
+        let b1 = std::fs::read(&p1).expect("read");
+        let b4 = std::fs::read(&p4).expect("read");
+        assert!(!b1.is_empty());
+        assert_eq!(b1, b4, "{}: snapshot bytes depend on build thread count", w.name);
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p4).ok();
+    }
+}
+
+/// Renders the page-image table of a snapshot file: one line per page
+/// with its kind tag and content checksum. Pinning this is pinning the
+/// physical layout — any page-format, allocation-order, or encoding
+/// change shows up as a diff to bless.
+fn page_image_table(path: &std::path::Path) -> String {
+    let mut pager = Pager::open(path, FaultPlan::disabled()).expect("open pager");
+    let mut out = String::new();
+    for id in 0..pager.num_pages() {
+        let page = pager.read_page(id).expect("page verifies");
+        out.push_str(&format!(
+            "page {id}: kind={:?} checksum={:016x}\n",
+            page.kind(),
+            page.checksum()
+        ));
+    }
+    out
+}
+
+#[test]
+fn snapshot_page_images_match_golden() {
+    let engine = tiny_engine(FaultPlan::disabled());
+    let path = tmp_path("golden");
+    engine.save_snapshot(&path).expect("save");
+    let actual = page_image_table(&path);
+    std::fs::remove_file(&path).ok();
+
+    let golden = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("golden/storage_pages.txt");
+    if std::env::var_os("UNISEM_BLESS").is_some() {
+        std::fs::write(&golden, &actual).expect("bless golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden).unwrap_or_else(|_| {
+        panic!("missing golden file {}; run UNISEM_BLESS=1 to create it", golden.display())
+    });
+    assert_eq!(
+        actual, expected,
+        "snapshot page images diverged from golden; \
+         re-bless with UNISEM_BLESS=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn crash_fault_matrix_preserves_committed_snapshot() {
+    let path = tmp_path("faults");
+    let clean = tiny_engine(FaultPlan::disabled());
+    clean.save_snapshot(&path).expect("initial save");
+    let committed = std::fs::read(&path).expect("read committed");
+    let question = "What was the total sales amount of Aero Widget across all quarters?";
+    let baseline = clean.answer(question);
+
+    // The matrix: each store fault site, armed at probability 1 (fires at
+    // the first touch of the site) and at ~1/2 under several seeds (fires
+    // at different pages / flushes per seed — distinct fault points).
+    let mut plans: Vec<(String, FaultPlan)> = Vec::new();
+    for site in [FaultSite::StorePageWrite, FaultSite::StoreFlush] {
+        plans.push((format!("{site:?}-always"), FaultPlan::single(site)));
+        for seed in 1u64..=4 {
+            plans.push((
+                format!("{site:?}-half-seed{seed}"),
+                FaultPlan::unset().with_site(site, 128).with_seed(seed),
+            ));
+        }
+    }
+
+    let mut fired = 0usize;
+    for (tag, plan) in plans {
+        let engine = tiny_engine(plan);
+        match engine.save_snapshot(&path) {
+            Err(EngineError::Store(StoreError::Fault(f))) => {
+                fired += 1;
+                assert!(
+                    matches!(f.site, FaultSite::StorePageWrite | FaultSite::StoreFlush),
+                    "{tag}: fault at unexpected site {:?}",
+                    f.site
+                );
+            }
+            Err(other) => panic!("{tag}: expected a typed injected-fault error, got {other}"),
+            // A probabilistic plan may spare every page this run; then the
+            // save must have committed a byte-identical file.
+            Ok(()) => {}
+        }
+        let now = std::fs::read(&path).expect("target readable after faulted save");
+        assert_eq!(
+            now, committed,
+            "{tag}: a faulted or re-run save changed the committed snapshot"
+        );
+        // The committed snapshot stays cleanly reopenable and equivalent.
+        let (reopened, _) =
+            EngineBuilder::open_snapshot(&path, clean.config()).expect("reopen after fault");
+        assert_eq!(reopened.answer(question), baseline, "{tag}: reopened answer diverged");
+    }
+    assert!(fired >= 4, "fault matrix too soft: only {fired} injected failures fired");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupt_snapshot_is_rejected_with_typed_error() {
+    let path = tmp_path("corrupt");
+    tiny_engine(FaultPlan::disabled()).save_snapshot(&path).expect("save");
+    let mut bytes = std::fs::read(&path).expect("read");
+    // Flip one payload byte in the middle of the file: the page checksum
+    // must catch it at open.
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("write corrupted");
+    match EngineBuilder::open_snapshot(&path, config(1)) {
+        Err(EngineError::Store(StoreError::Corrupt { .. })) => {}
+        Err(other) => panic!("expected a corruption error, got {other}"),
+        Ok(_) => panic!("corrupted snapshot opened cleanly"),
+    }
+    // Truncation is rejected too (file no longer a whole number of pages).
+    let shorter = &bytes[..bytes.len() - 100];
+    std::fs::write(&path, shorter).expect("write truncated");
+    match EngineBuilder::open_snapshot(&path, config(1)) {
+        Err(EngineError::Store(_)) => {}
+        Err(other) => panic!("expected a storage error, got {other}"),
+        Ok(_) => panic!("truncated snapshot opened cleanly"),
+    }
+    std::fs::remove_file(&path).ok();
+}
