@@ -67,6 +67,19 @@ CARGO_NET_OFFLINE=true UNISEM_FAULTS="seed:0xC1,store.page_write@64,store.flush@
     cargo test -q -p unisem-tests --test storage
 CARGO_NET_OFFLINE=true cargo test -q -p storekit
 
+echo "==> recovery gate: WAL crash matrix (DESIGN.md §13)"
+# The crash-recovery suite must hold with an ambient wal-site fault plan
+# armed: every scenario pins its own plan programmatically (disabled for
+# references and recoveries, single-site arms for the crash boundaries),
+# so the ambient plan proves independence. Covers: torn-append and
+# lost-flush crashes at every WAL record boundary recovering to
+# byte-identical answers at 1/2/4/8 threads, both mid-checkpoint crash
+# windows, byte-identical WAL segments across thread counts, and
+# post-delta planner statistics freshness.
+CARGO_NET_OFFLINE=true UNISEM_FAULTS="seed:0xC1,wal.append@64,wal.flush@64" \
+    cargo test -q -p unisem-tests --test recovery
+CARGO_NET_OFFLINE=true cargo test -q -p faultkit
+
 echo "==> bench smoke (profile binary)"
 # The per-stage profiler must keep producing well-formed detkit JSON lines;
 # --smoke uses reduced workloads and writes nothing (the committed

@@ -15,7 +15,7 @@ use unisem_entropy::EntropyEstimator;
 use unisem_extract::TableGenerator;
 use unisem_hetgraph::{GraphBuilder, HetGraph};
 use unisem_relstore::plan::AggFunc;
-use unisem_relstore::{Database, ExecLimits, RelError, Table};
+use unisem_relstore::{Database, ExecLimits, RelError, Table, Value};
 use unisem_retrieval::{
     ChunkRetriever, DenseRetriever, RetrievalResult, TopologyConfig, TopologyRetriever,
 };
@@ -47,6 +47,10 @@ pub enum EngineError {
     /// Persistent-storage failure while saving or opening a snapshot
     /// (see `storekit`).
     Store(storekit::StoreError),
+    /// An incremental delta could not be applied (unknown table, schema
+    /// mismatch, unresolvable graph endpoint). Nothing is logged or
+    /// applied when this is returned.
+    Delta(String),
 }
 
 impl fmt::Display for EngineError {
@@ -58,6 +62,7 @@ impl fmt::Display for EngineError {
             EngineError::Json(e) => write!(f, "json error: {e}"),
             EngineError::Fault(e) => write!(f, "{e}"),
             EngineError::Store(e) => write!(f, "storage error: {e}"),
+            EngineError::Delta(e) => write!(f, "delta error: {e}"),
         }
     }
 }
@@ -367,8 +372,28 @@ impl EngineBuilder {
             stats,
             metrics,
             sink: Arc::new(TraceSink::from_env()),
+            wal: None,
+            applied_seq: loaded.applied_seq,
         };
         Ok((engine, report))
+    }
+
+    /// [`Self::open_snapshot`] plus the crash-recovery phase (DESIGN.md
+    /// §13): opens the write-ahead log at `wal_base`, truncates any torn
+    /// tail, replays every durable delta past the snapshot's fold point,
+    /// and leaves the log attached so further [`UnifiedEngine::ingest_delta`]
+    /// calls continue its sequence. Returns the number of deltas replayed.
+    ///
+    /// A missing log is not an error — a fresh one is created (the
+    /// snapshot is simply up to date).
+    pub fn open_snapshot_with_wal(
+        path: &Path,
+        wal_base: &Path,
+        config: EngineConfig,
+    ) -> Result<(UnifiedEngine, IngestReport, usize), EngineError> {
+        let (mut engine, report) = Self::open_snapshot(path, config)?;
+        let replayed = engine.enable_wal(wal_base)?;
+        Ok((engine, report, replayed))
     }
 
     /// Ingests an unstructured document.
@@ -618,6 +643,8 @@ impl EngineBuilder {
             stats,
             metrics,
             sink: Arc::new(TraceSink::from_env()),
+            wal: None,
+            applied_seq: 0,
         };
         (engine, report)
     }
@@ -644,6 +671,13 @@ pub struct UnifiedEngine {
     /// Trace sink resolved once at build from `UNISEM_TRACE` (like the
     /// fault plan), overridable for tests via [`Self::set_trace_sink`].
     sink: Arc<TraceSink>,
+    /// Write-ahead log for incremental ingest (attached by
+    /// [`Self::enable_wal`]; clones share the log, so only one clone
+    /// should ingest).
+    wal: Option<Arc<std::sync::Mutex<storekit::Wal>>>,
+    /// Highest WAL sequence number applied to the in-memory substrates
+    /// (0 before any delta).
+    applied_seq: u64,
 }
 
 impl UnifiedEngine {
@@ -1574,8 +1608,296 @@ impl UnifiedEngine {
                 graph: &self.graph,
                 stats: &self.stats,
                 ingest: &self.ingest,
+                applied_seq: self.applied_seq,
             },
         )
+    }
+
+    /// Attaches a write-ahead log at `wal_base` (DESIGN.md §13). When
+    /// segments already exist the log is opened, any torn tail truncated,
+    /// and every durable delta with a sequence number past
+    /// [`Self::applied_seq`] replayed onto the in-memory substrates;
+    /// otherwise a fresh log is created whose numbering continues the
+    /// engine's sequence. Returns the number of deltas replayed.
+    pub fn enable_wal(&mut self, wal_base: &Path) -> Result<usize, EngineError> {
+        let faults = self.config.faults;
+        let metrics = Some(self.metrics.clone());
+        let (wal, records, _recovery) = if storekit::Wal::exists(wal_base) {
+            storekit::Wal::open(wal_base, faults, metrics)?
+        } else {
+            let wal = storekit::Wal::create(wal_base, self.applied_seq + 1, faults, metrics)?;
+            (wal, Vec::new(), storekit::WalRecovery::default())
+        };
+        // Records at or below `applied_seq` are already folded into the
+        // snapshot this engine came from (a crash between snapshot fold
+        // and log truncation leaves them behind); skip them by sequence.
+        let mut tail: Vec<(u64, crate::delta::Delta)> = Vec::with_capacity(records.len());
+        for r in &records {
+            if r.seq > self.applied_seq {
+                tail.push((r.seq, crate::delta::Delta::decode(&r.payload)?));
+            }
+        }
+        let replayed = tail.len();
+        if !tail.is_empty() {
+            let mut docs = (*self.docs).clone();
+            let mut db = self.db.clone();
+            let mut graph = (*self.graph).clone();
+            for (seq, delta) in &tail {
+                // A logged record passed staged application before it was
+                // acknowledged, so redo cannot fail on intact state; if it
+                // does, the log disagrees with the snapshot.
+                self.apply_delta(&mut docs, &mut db, &mut graph, delta).map_err(|e| {
+                    EngineError::Delta(format!("wal record {seq} failed to re-apply: {e}"))
+                })?;
+            }
+            self.applied_seq = tail.last().map(|(s, _)| *s).unwrap_or(self.applied_seq);
+            self.docs = Arc::new(docs);
+            self.db = db;
+            self.graph = Arc::new(graph);
+            self.refresh_derived();
+        }
+        self.wal = Some(Arc::new(std::sync::Mutex::new(wal)));
+        Ok(replayed)
+    }
+
+    /// Highest WAL sequence number applied to the in-memory substrates.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// True when a write-ahead log is attached.
+    pub fn wal_attached(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Ingests one incremental delta: staged in memory, appended to the
+    /// write-ahead log, made durable (fsync), and only then applied and
+    /// acknowledged. Returns the delta's WAL sequence number (or the
+    /// engine's local sequence when no log is attached).
+    pub fn ingest_delta(&mut self, delta: crate::delta::Delta) -> Result<u64, EngineError> {
+        self.ingest_deltas(std::slice::from_ref(&delta))
+    }
+
+    /// Batch form of [`Self::ingest_delta`]: all-or-nothing. The deltas
+    /// are staged on cloned substrates first (a bad delta costs nothing),
+    /// then logged under a single flush, then swapped in. Returns the
+    /// last delta's sequence number.
+    ///
+    /// Failure atomicity: if staging fails nothing is logged; if the log
+    /// append or flush fails (torn record, lost buffer) the staged state
+    /// is dropped — the in-memory engine never gets ahead of the durable
+    /// log, so an acknowledged delta is always recoverable.
+    pub fn ingest_deltas(&mut self, deltas: &[crate::delta::Delta]) -> Result<u64, EngineError> {
+        if deltas.is_empty() {
+            return Ok(self.applied_seq);
+        }
+        // Stage on clones: substrate mutation happens only after both
+        // validation and durability succeed.
+        let mut docs = (*self.docs).clone();
+        let mut db = self.db.clone();
+        let mut graph = (*self.graph).clone();
+        for delta in deltas {
+            self.apply_delta(&mut docs, &mut db, &mut graph, delta)?;
+        }
+        // Log + fsync before acknowledging (the pager's fsync-then-ack
+        // discipline). On any failure the staged clones are dropped.
+        let last_seq = if let Some(wal) = &self.wal {
+            let mut wal = wal.lock().map_err(|_| {
+                EngineError::Store(storekit::StoreError::Io("wal lock poisoned".into()))
+            })?;
+            let mut last = 0;
+            for delta in deltas {
+                last = wal.append(&delta.encode())?;
+            }
+            wal.flush()?;
+            last
+        } else {
+            self.applied_seq + deltas.len() as u64
+        };
+        self.applied_seq = last_seq;
+        self.docs = Arc::new(docs);
+        self.db = db;
+        self.graph = Arc::new(graph);
+        self.refresh_derived();
+        Ok(last_seq)
+    }
+
+    /// Checkpoint (DESIGN.md §13): folds the log into a fresh snapshot at
+    /// `path` — written, verified, and renamed into place first — then
+    /// truncates the write-ahead log. A crash between the two steps
+    /// leaves a stale-but-intact log whose records recovery skips by
+    /// sequence number, so the protocol is safe at every boundary.
+    pub fn checkpoint(&mut self, path: &Path) -> Result<(), EngineError> {
+        self.config.faults.check(Site::WalCheckpoint, "begin")?;
+        self.save_snapshot(path)?;
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock().map_err(|_| {
+                EngineError::Store(storekit::StoreError::Io("wal lock poisoned".into()))
+            })?;
+            wal.truncate_all()?;
+        }
+        self.metrics.incr(Metric::WalCheckpoints);
+        Ok(())
+    }
+
+    /// Applies one delta to staged substrate clones — the single redo
+    /// implementation shared by live ingest and WAL replay, so a
+    /// recovered engine's state is the never-crashed engine's state.
+    fn apply_delta(
+        &self,
+        docs: &mut DocStore,
+        db: &mut Database,
+        graph: &mut HetGraph,
+        delta: &crate::delta::Delta,
+    ) -> Result<(), EngineError> {
+        use crate::delta::Delta;
+        match delta {
+            Delta::DocAdd { title, text, source } => {
+                let from_chunk = docs.num_chunks();
+                docs.add_document(title.clone(), text.clone(), source.clone());
+                let mut gb = GraphBuilder::resume(self.slm.clone(), std::mem::take(graph));
+                gb.set_index_entities(self.config.enable_entity_nodes);
+                gb.add_docstore_from(docs, from_chunk);
+                *graph = gb.finish().0;
+            }
+            Delta::TableRow { table, values } => {
+                if !db.has_table(table) {
+                    return Err(EngineError::Delta(format!(
+                        "table_row targets unknown table '{table}'"
+                    )));
+                }
+                let mut t = db.table(table)?.clone();
+                let from_row = t.num_rows();
+                t.push_row(values.clone())?;
+                db.create_or_replace_table(table, t.clone());
+                if table != "extracted" {
+                    let mut gb = GraphBuilder::resume(self.slm.clone(), std::mem::take(graph));
+                    gb.set_index_entities(self.config.enable_entity_nodes);
+                    gb.add_table_rows(table, &t, from_row);
+                    *graph = gb.finish().0;
+                }
+            }
+            Delta::SemiFragment { collection, json } => {
+                let doc = unisem_semistore::parse_json(json)?;
+                // Flattened collections land as `<coll>` unless a native
+                // table shadowed the name at build time (`json_<coll>`).
+                let shadowed = format!("json_{collection}");
+                let target = if db.has_table(&shadowed) { shadowed } else { collection.clone() };
+                let frag = unisem_semistore::flatten_collection(&[doc])?;
+                if !db.has_table(&target) {
+                    // First fragment of a new collection: its flattened
+                    // schema becomes the table.
+                    db.create_table(&target, frag.clone())?;
+                    let mut gb = GraphBuilder::resume(self.slm.clone(), std::mem::take(graph));
+                    gb.set_index_entities(self.config.enable_entity_nodes);
+                    gb.add_table_rows(&target, &frag, 0);
+                    *graph = gb.finish().0;
+                    return Ok(());
+                }
+                let mut t = db.table(&target)?.clone();
+                for col in frag.schema().columns() {
+                    if t.schema().index_of(&col.name).is_none() {
+                        return Err(EngineError::Delta(format!(
+                            "fragment path '{}' is not a column of '{target}'",
+                            col.name
+                        )));
+                    }
+                }
+                let row: Vec<Value> = t
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| {
+                        let v = frag
+                            .schema()
+                            .index_of(&c.name)
+                            .map(|i| frag.cell(0, i).clone())
+                            .unwrap_or(Value::Null);
+                        // Mirror the flattener: a Str column absorbs any
+                        // typed leaf by stringifying it.
+                        if !c.dtype.admits(&v) && c.dtype == unisem_relstore::DataType::Str {
+                            Value::str(v.to_string())
+                        } else {
+                            v
+                        }
+                    })
+                    .collect();
+                let from_row = t.num_rows();
+                t.push_row(row)?;
+                db.create_or_replace_table(&target, t.clone());
+                let mut gb = GraphBuilder::resume(self.slm.clone(), std::mem::take(graph));
+                gb.set_index_entities(self.config.enable_entity_nodes);
+                gb.add_table_rows(&target, &t, from_row);
+                *graph = gb.finish().0;
+            }
+            Delta::GraphEntity { name, kind } => {
+                // Under the entity-node ablation this is a no-op, matching
+                // build-time behaviour.
+                if self.config.enable_entity_nodes {
+                    graph.add_entity(name, *kind);
+                }
+            }
+            Delta::GraphEdge { a, b, kind } => {
+                if !self.config.enable_entity_nodes {
+                    return Ok(());
+                }
+                let na = graph.entity_by_name(a).ok_or_else(|| {
+                    EngineError::Delta(format!("graph_edge endpoint '{a}' is not a known entity"))
+                })?;
+                let nb = graph.entity_by_name(b).ok_or_else(|| {
+                    EngineError::Delta(format!("graph_edge endpoint '{b}' is not a known entity"))
+                })?;
+                if na == nb {
+                    return Err(EngineError::Delta(format!(
+                        "graph_edge endpoints '{a}' and '{b}' resolve to the same node"
+                    )));
+                }
+                graph.add_edge(na, nb, kind.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the cheap derived structures after the substrates change:
+    /// the topology retriever re-wraps the new `Arc`s, the dense index
+    /// embeds only the new chunks, the planner's statistics catalog is
+    /// recollected (so explain traces never show stale row counts), and
+    /// every build gauge is re-set from the live substrates.
+    fn refresh_derived(&mut self) {
+        let mut topo_config = self.config.topology;
+        topo_config.max_frontier =
+            topo_config.max_frontier.min(self.config.governors.max_traversal_frontier);
+        self.topo = TopologyRetriever::new(
+            self.slm.clone(),
+            self.graph.clone(),
+            self.docs.clone(),
+            topo_config,
+        );
+        self.dense.extend_from(&self.docs);
+        self.stats = Arc::new(StatsCatalog::collect(&self.db, &self.docs, &self.graph));
+
+        let mut entities = 0usize;
+        let mut chunks = 0usize;
+        let mut records = 0usize;
+        for node in self.graph.nodes() {
+            match &node.kind {
+                unisem_hetgraph::NodeKind::Entity { .. } => entities += 1,
+                unisem_hetgraph::NodeKind::Chunk { .. } => chunks += 1,
+                unisem_hetgraph::NodeKind::Record { .. } => records += 1,
+                unisem_hetgraph::NodeKind::Table { .. } => {}
+            }
+        }
+        self.metrics.set(Metric::IngestTables, self.db.len() as u64);
+        self.metrics.set(Metric::IngestDocuments, self.docs.num_documents() as u64);
+        self.metrics.set(Metric::GraphNodes, self.graph.num_nodes() as u64);
+        self.metrics.set(Metric::GraphEdges, self.graph.num_edges() as u64);
+        self.metrics.set(Metric::GraphEntities, entities as u64);
+        self.metrics.set(Metric::GraphChunks, chunks as u64);
+        self.metrics.set(Metric::GraphRecords, records as u64);
+        self.metrics.set(Metric::PlannerStatsTables, self.stats.tables.len() as u64);
+        self.metrics.set(Metric::PlannerStatsColumns, self.stats.num_columns() as u64);
+        self.metrics.set(Metric::PlannerStatsPostings, self.stats.text.postings as u64);
+        self.metrics.set(Metric::PlannerStatsMaxDegree, self.stats.graph.max_degree as u64);
     }
 
     /// Chooses a cost-optimal join order over the named tables, inferring

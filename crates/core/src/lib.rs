@@ -31,6 +31,7 @@
 
 pub mod answer;
 pub mod baselines;
+pub mod delta;
 pub mod engine;
 pub mod evidence;
 pub mod ingest;
@@ -39,6 +40,7 @@ pub mod snapshot;
 
 pub use answer::{Answer, Degradation, Provenance, Route};
 pub use baselines::{DirectSlmPipeline, NaiveRagPipeline, QaPipeline, TextToSqlPipeline};
+pub use delta::Delta;
 pub use engine::{
     EngineBuilder, EngineConfig, EngineError, GovernorConfig, ParallelConfig, UnifiedEngine,
 };

@@ -61,6 +61,10 @@ pub(crate) struct SnapshotSource<'a> {
     pub stats: &'a StatsCatalog,
     /// The build's ingest report.
     pub ingest: &'a IngestReport,
+    /// Highest WAL sequence number folded into this snapshot (0 when the
+    /// engine never ingested a delta). Recovery replays only records with
+    /// a higher sequence number.
+    pub applied_seq: u64,
 }
 
 /// Everything the reader reassembles from a snapshot file.
@@ -75,9 +79,10 @@ pub(crate) struct LoadedSnapshot {
     pub graph: HetGraph,
     pub stats: StatsCatalog,
     pub ingest: IngestReport,
+    pub applied_seq: u64,
 }
 
-fn invalid(msg: impl Into<String>) -> EngineError {
+pub(crate) fn invalid(msg: impl Into<String>) -> EngineError {
     EngineError::Store(StoreError::InvalidSnapshot(msg.into()))
 }
 
@@ -97,6 +102,7 @@ pub(crate) fn write_snapshot(
     w.add_section("graph", &encode_graph(src.graph))?;
     w.add_section("stats", &encode_stats(src.stats))?;
     w.add_section("ingest", &encode_ingest(src.ingest))?;
+    w.add_section("walmeta", &encode_walmeta(src.applied_seq))?;
     for (term, posts) in src.docs.index().postings() {
         let mut e = Encoder::new();
         e.u64(posts.len() as u64);
@@ -136,6 +142,12 @@ pub(crate) fn read_snapshot(
     let graph = decode_graph(&snap.section("graph")?)?;
     let stats = decode_stats(&snap.section("stats")?)?;
     let ingest = decode_ingest(&snap.section("ingest")?)?;
+    // Absent in pre-WAL snapshots: treat as "no deltas folded".
+    let applied_seq = if snap.section_names().iter().any(|s| s == "walmeta") {
+        decode_walmeta(&snap.section("walmeta")?)?
+    } else {
+        0
+    };
 
     let mut postings: BTreeMap<String, Vec<(usize, u32)>> = BTreeMap::new();
     if snap.tree_names().iter().any(|t| t == "bm25.postings") {
@@ -180,7 +192,30 @@ pub(crate) fn read_snapshot(
         }
     }
 
-    Ok(LoadedSnapshot { seed, class, embed_dim, chunk, lexicon, docs, db, graph, stats, ingest })
+    Ok(LoadedSnapshot {
+        seed,
+        class,
+        embed_dim,
+        chunk,
+        lexicon,
+        docs,
+        db,
+        graph,
+        stats,
+        ingest,
+        applied_seq,
+    })
+}
+
+fn encode_walmeta(applied_seq: u64) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u64(applied_seq);
+    e.into_bytes()
+}
+
+fn decode_walmeta(bytes: &[u8]) -> Result<u64, EngineError> {
+    let mut d = Decoder::new(bytes);
+    d.u64().map_err(EngineError::Store)
 }
 
 fn encode_config(src: &SnapshotSource<'_>) -> Vec<u8> {
@@ -310,7 +345,7 @@ fn decode_bm25_meta(bytes: &[u8]) -> Result<(Bm25Params, Vec<usize>), EngineErro
     Ok((Bm25Params { k1, b }, doc_lens))
 }
 
-fn encode_value(e: &mut Encoder, v: &Value) {
+pub(crate) fn encode_value(e: &mut Encoder, v: &Value) {
     match v {
         Value::Null => e.u8(0),
         Value::Bool(b) => {
@@ -338,7 +373,7 @@ fn encode_value(e: &mut Encoder, v: &Value) {
     }
 }
 
-fn decode_value(d: &mut Decoder<'_>) -> Result<Value, EngineError> {
+pub(crate) fn decode_value(d: &mut Decoder<'_>) -> Result<Value, EngineError> {
     Ok(match d.u8().map_err(EngineError::Store)? {
         0 => Value::Null,
         1 => Value::Bool(d.bool().map_err(EngineError::Store)?),

@@ -26,6 +26,9 @@
 //! | `slm.generate`      | answer sampling for semantic-entropy scoring  |
 //! | `store.page_write`  | persistent page write (torn-page simulation)  |
 //! | `store.flush`       | durable flush / fsync (failed-flush simulation) |
+//! | `wal.append`        | WAL record append (torn-record simulation)    |
+//! | `wal.flush`         | WAL durable flush (lost buffered records)     |
+//! | `wal.checkpoint`    | checkpoint protocol (snapshot fold + truncate) |
 //!
 //! ## Activation
 //!
@@ -50,7 +53,7 @@ use detkit::Rng;
 
 /// Number of registered fault sites. The registry is closed so that a
 /// [`FaultPlan`] can stay `Copy` (a fixed probability table).
-pub const NUM_SITES: usize = 8;
+pub const NUM_SITES: usize = 11;
 
 /// A registered fault-injection site: one substrate boundary of the
 /// unified engine.
@@ -74,6 +77,18 @@ pub enum Site {
     /// Durable flush (fsync) in the storage layer — fires as a failed
     /// flush: buffered writes never become durable (`store.flush`).
     StoreFlush,
+    /// Write-ahead-log record append — fires as a torn record: only a
+    /// prefix of the framed record reaches the segment file
+    /// (`wal.append`).
+    WalAppend,
+    /// Write-ahead-log durable flush — fires as a lost buffer: records
+    /// appended since the last successful flush never become durable
+    /// (`wal.flush`).
+    WalFlush,
+    /// The checkpoint protocol — fires between its stages (snapshot fold,
+    /// WAL truncation), leaving a stale-but-consistent WAL behind
+    /// (`wal.checkpoint`).
+    WalCheckpoint,
 }
 
 impl Site {
@@ -87,6 +102,9 @@ impl Site {
         Site::SlmGenerate,
         Site::StorePageWrite,
         Site::StoreFlush,
+        Site::WalAppend,
+        Site::WalFlush,
+        Site::WalCheckpoint,
     ];
 
     /// Stable registry index.
@@ -100,6 +118,9 @@ impl Site {
             Site::SlmGenerate => 5,
             Site::StorePageWrite => 6,
             Site::StoreFlush => 7,
+            Site::WalAppend => 8,
+            Site::WalFlush => 9,
+            Site::WalCheckpoint => 10,
         }
     }
 
@@ -118,6 +139,9 @@ impl Site {
             Site::SlmGenerate => tracekit::component::SLM_GENERATE,
             Site::StorePageWrite => tracekit::component::STORE_PAGE_WRITE,
             Site::StoreFlush => tracekit::component::STORE_FLUSH,
+            Site::WalAppend => tracekit::component::WAL_APPEND,
+            Site::WalFlush => tracekit::component::WAL_FLUSH,
+            Site::WalCheckpoint => tracekit::component::WAL_CHECKPOINT,
         }
     }
 

@@ -65,6 +65,14 @@ impl GraphBuilder {
         }
     }
 
+    /// Resumes building on an existing graph (incremental ingest and WAL
+    /// replay): new chunks, rows, and entities extend `graph` exactly as
+    /// if they had been part of the original build, because every graph
+    /// mutator dedupes on its logical key.
+    pub fn resume(slm: Slm, graph: HetGraph) -> Self {
+        Self { graph, slm, stats: GraphBuildStats::default(), index_entities: true }
+    }
+
     /// Ablation switch (DESIGN.md §5 item 2): when disabled, no entity
     /// nodes are created — chunks and records stay unconnected islands and
     /// retrieval degrades to its lexical fallback.
@@ -98,7 +106,20 @@ impl GraphBuilder {
     /// parkit pool; graph mutation then replays sequentially in chunk
     /// order, so node/edge ids are identical to a single-threaded build.
     pub fn add_docstore(&mut self, docs: &DocStore) {
-        let chunks = docs.chunks();
+        self.add_docstore_from(docs, 0);
+    }
+
+    /// Indexes the chunks of `docs` starting at chunk index `from_chunk` —
+    /// the incremental form used by delta ingest and WAL replay. The
+    /// `NextChunk` chain continues from the chunk just before the window
+    /// when it belongs to the same document, so an incremental extension
+    /// produces the same edges as a from-scratch build of the final store.
+    pub fn add_docstore_from(&mut self, docs: &DocStore, from_chunk: usize) {
+        let all = docs.chunks();
+        if from_chunk >= all.len() {
+            return;
+        }
+        let chunks = &all[from_chunk..];
         let tagged: Vec<Option<(Vec<EntityMention>, Vec<(Token, PosTag)>)>> = if self.index_entities
         {
             let slm = &self.slm;
@@ -107,7 +128,12 @@ impl GraphBuilder {
         } else {
             chunks.iter().map(|_| None).collect()
         };
-        let mut prev: Option<(usize, NodeId)> = None; // (doc_id, chunk node)
+        // (doc_id, chunk node) — seeded from the chunk preceding the
+        // window so a resumed build continues the document's chain.
+        let mut prev: Option<(usize, NodeId)> = from_chunk
+            .checked_sub(1)
+            .and_then(|i| all.get(i))
+            .and_then(|c| self.graph.chunk_node(c.id).map(|n| (c.doc_id, n)));
         for (chunk, tags) in chunks.iter().zip(tagged) {
             let cnode = self.graph.add_chunk(chunk.id, chunk.doc_id, &chunk.text);
             self.stats.chunks += 1;
@@ -190,8 +216,16 @@ impl GraphBuilder {
     /// Indexes a relational table: table node, record nodes, and attribute
     /// edges to entities recognized in string cells.
     pub fn add_table(&mut self, name: &str, table: &Table) {
+        self.add_table_rows(name, table, 0);
+    }
+
+    /// Indexes the rows of `table` starting at `from_row` — the
+    /// incremental form used by delta ingest and WAL replay. The table
+    /// node and any already-indexed rows dedupe, so replaying a prefix is
+    /// idempotent.
+    pub fn add_table_rows(&mut self, name: &str, table: &Table, from_row: usize) {
         let tnode = self.graph.add_table(name);
-        for row in 0..table.num_rows() {
+        for row in from_row..table.num_rows() {
             let rnode = self.graph.add_record(name, row);
             self.stats.records += 1;
             self.graph.add_edge(rnode, tnode, EdgeKind::BelongsTo);
@@ -410,6 +444,59 @@ mod tests {
         // Chunks and records still exist (with structural edges only).
         assert!(stats.chunks > 0);
         assert!(g.record_node("trials", 0).is_some());
+    }
+
+    #[test]
+    fn incremental_build_matches_from_scratch() {
+        use unisem_relstore::DataType;
+        let table_v1 = Table::from_rows(
+            Schema::of(&[("product", DataType::Str)]),
+            vec![vec![Value::str("Product Alpha")]],
+        )
+        .unwrap();
+        let mut table_v2 = table_v1.clone();
+        table_v2.push_row(vec![Value::str("Drug B")]).unwrap();
+
+        let mut store = DocStore::default();
+        store.add_document(
+            "note",
+            "Patient X received Drug A in Q1 2024. The headache improved.",
+            "clinical",
+        );
+
+        let indexed_chunks = store.chunks().len();
+        let mut extended = store.clone();
+        extended.add_document("review", "Product Alpha works well. Drug B shipped.", "review");
+
+        // One builder applies the whole operation sequence...
+        let mut cont = GraphBuilder::new(slm());
+        cont.add_docstore(&store);
+        cont.add_table("sales", &table_v1);
+        cont.add_docstore_from(&extended, indexed_chunks);
+        cont.add_table_rows("sales", &table_v2, 1);
+        let (gi, _) = cont.finish();
+
+        // ...versus a builder that stops after the base build and a second
+        // builder resumed on its graph (the WAL-replay path). Same
+        // operation order ⇒ identical node/edge id assignment.
+        let mut base = GraphBuilder::new(slm());
+        base.add_docstore(&store);
+        base.add_table("sales", &table_v1);
+        let (gbase, _) = base.finish();
+        let mut resumed = GraphBuilder::resume(slm(), gbase);
+        resumed.add_docstore_from(&extended, indexed_chunks);
+        resumed.add_table_rows("sales", &table_v2, 1);
+        let (gf, _) = resumed.finish();
+
+        assert_eq!(gi.num_nodes(), gf.num_nodes());
+        assert_eq!(gi.num_edges(), gf.num_edges());
+        for id in 0..gi.num_nodes() as u32 {
+            let id = crate::graph::NodeId(id);
+            assert_eq!(gi.node(id).kind, gf.node(id).kind, "node {id:?} diverged");
+        }
+        for (a, b) in gi.edges().iter().zip(gf.edges()) {
+            assert_eq!((a.a, a.b, &a.kind), (b.a, b.b, &b.kind));
+        }
     }
 
     #[test]

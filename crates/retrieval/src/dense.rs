@@ -45,6 +45,22 @@ impl DenseRetriever {
         Self { slm, vectors, pool }
     }
 
+    /// Embeds and appends the chunks of `docs` past the already-indexed
+    /// prefix — the incremental form used by delta ingest. Embeddings are
+    /// a pure per-chunk function, so extending equals rebuilding over the
+    /// final store.
+    pub fn extend_from(&mut self, docs: &Arc<DocStore>) {
+        let chunks = docs.chunks();
+        if self.vectors.len() >= chunks.len() {
+            return;
+        }
+        let slm = &self.slm;
+        let fresh: Vec<Vec<f32>> = self
+            .pool
+            .par_map(&chunks[self.vectors.len()..], |c| slm.embedder().embed_text(&c.text));
+        self.vectors.extend(fresh);
+    }
+
     /// Number of indexed vectors.
     pub fn len(&self) -> usize {
         self.vectors.len()

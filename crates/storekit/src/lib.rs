@@ -34,6 +34,7 @@ pub mod codec;
 pub mod page;
 pub mod pager;
 pub mod snapshot;
+pub mod wal;
 
 pub use btree::{BTree, MAX_KEY, MAX_VALUE};
 pub use buffer::{BufferPool, DEFAULT_POOL_FRAMES};
@@ -41,6 +42,7 @@ pub use codec::{Decoder, Encoder};
 pub use page::{Page, PageKind, PAGE_SIZE, PAYLOAD_SIZE};
 pub use pager::Pager;
 pub use snapshot::{Snapshot, SnapshotWriter};
+pub use wal::{Wal, WalRecord, WalRecovery};
 
 use faultkit::InjectedFault;
 
@@ -75,6 +77,15 @@ pub enum StoreError {
     },
     /// The snapshot directory itself is malformed or inconsistent.
     InvalidSnapshot(String),
+    /// A write-ahead-log segment is malformed somewhere other than its
+    /// truncatable tail (bad header, non-contiguous chain, mid-log frame
+    /// damage).
+    WalCorrupt {
+        /// The segment index that failed validation.
+        segment: u32,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -90,6 +101,9 @@ impl std::fmt::Display for StoreError {
                 write!(f, "{what} is {size} bytes, limit {max}")
             }
             StoreError::InvalidSnapshot(e) => write!(f, "invalid snapshot: {e}"),
+            StoreError::WalCorrupt { segment, reason } => {
+                write!(f, "wal segment {segment} corrupt: {reason}")
+            }
         }
     }
 }

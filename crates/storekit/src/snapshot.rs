@@ -395,6 +395,45 @@ mod tests {
     }
 
     #[test]
+    fn unknown_directory_version_is_rejected() {
+        let path = tmp("verbump");
+        let mut w = SnapshotWriter::create(&path, FaultPlan::disabled(), None).unwrap();
+        w.add_section("docs", b"payload").unwrap();
+        w.commit(&path).unwrap();
+
+        // Bump the directory's format version in place: read page 0, patch
+        // the u32 after the magic string, re-seal (the checksum must stay
+        // valid — this is a future format, not a torn page), write back.
+        let mut pager = Pager::open(&path, FaultPlan::disabled()).unwrap();
+        let mut page = pager.read_page(0).unwrap();
+        let payload = page.payload().unwrap().to_vec();
+        let mut d = Decoder::new(&payload);
+        assert_eq!(d.str().unwrap(), SNAP_MAGIC);
+        let version_off = payload.len() - d.remaining();
+        let mut patched = payload;
+        patched[version_off..version_off + 4].copy_from_slice(&(SNAP_VERSION + 1).to_le_bytes());
+        page.set_payload(&patched).unwrap();
+        page.seal();
+        pager.write_page(&page).unwrap();
+        pager.flush().unwrap();
+
+        let err = match Snapshot::open(&path, FaultPlan::disabled(), None) {
+            Ok(_) => panic!("bumped-version snapshot must not open"),
+            Err(e) => e,
+        };
+        match err {
+            StoreError::InvalidSnapshot(reason) => {
+                assert!(
+                    reason.contains(&format!("version {}", SNAP_VERSION + 1)),
+                    "reason should name the offending version: {reason}"
+                );
+            }
+            other => panic!("expected InvalidSnapshot, got {other}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn sections_and_trees_round_trip() {
         let path = tmp("roundtrip");
         let mut w = SnapshotWriter::create(&path, FaultPlan::disabled(), None).unwrap();

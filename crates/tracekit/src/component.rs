@@ -35,9 +35,15 @@ pub const ENTROPY_CONFIDENCE: &str = "entropy.confidence";
 pub const STORE_PAGE_WRITE: &str = "store.page_write";
 /// Durable flush (fsync) in the storage layer (failed-flush fault site).
 pub const STORE_FLUSH: &str = "store.flush";
+/// Write-ahead-log record append (torn-record fault site).
+pub const WAL_APPEND: &str = "wal.append";
+/// Write-ahead-log durable flush — lost buffered records on failure.
+pub const WAL_FLUSH: &str = "wal.flush";
+/// Checkpoint protocol (snapshot fold + WAL truncation).
+pub const WAL_CHECKPOINT: &str = "wal.checkpoint";
 
 /// Every registered component label.
-pub const ALL: [&str; 13] = [
+pub const ALL: [&str; 16] = [
     SEMI_PARSE,
     SEMI_FLATTEN,
     REL_EXEC,
@@ -51,6 +57,9 @@ pub const ALL: [&str; 13] = [
     ENTROPY_CONFIDENCE,
     STORE_PAGE_WRITE,
     STORE_FLUSH,
+    WAL_APPEND,
+    WAL_FLUSH,
+    WAL_CHECKPOINT,
 ];
 
 /// True when `name` is a registered component label. `Degradation::new`

@@ -20,7 +20,7 @@ use std::sync::Mutex;
 use crate::json_escape;
 
 /// Number of registered metrics (counters + gauges).
-pub const NUM_METRICS: usize = 46;
+pub const NUM_METRICS: usize = 52;
 /// Number of registered histograms.
 pub const NUM_HISTS: usize = 2;
 /// Number of registered wall-clock stages.
@@ -138,6 +138,18 @@ pub enum Metric {
     StoreEvictions,
     /// Dirty pages flushed to the page file.
     StoreFlushes,
+    /// Delta records appended to the write-ahead log.
+    WalAppends,
+    /// Payload bytes appended to the write-ahead log.
+    WalAppendedBytes,
+    /// Durable WAL flushes (fsync) completed.
+    WalFlushes,
+    /// WAL records replayed during snapshot-open recovery.
+    WalReplayedRecords,
+    /// Torn WAL tails truncated during recovery.
+    WalTornTruncations,
+    /// Checkpoints folded into a fresh snapshot.
+    WalCheckpoints,
 }
 
 impl Metric {
@@ -189,6 +201,12 @@ impl Metric {
         Metric::StorePageMisses,
         Metric::StoreEvictions,
         Metric::StoreFlushes,
+        Metric::WalAppends,
+        Metric::WalAppendedBytes,
+        Metric::WalFlushes,
+        Metric::WalReplayedRecords,
+        Metric::WalTornTruncations,
+        Metric::WalCheckpoints,
     ];
 
     /// Stable registry index.
@@ -245,6 +263,12 @@ impl Metric {
             Metric::StorePageMisses => "store.page_misses",
             Metric::StoreEvictions => "store.evictions",
             Metric::StoreFlushes => "store.flushes",
+            Metric::WalAppends => "wal.appends",
+            Metric::WalAppendedBytes => "wal.appended_bytes",
+            Metric::WalFlushes => "wal.flushes",
+            Metric::WalReplayedRecords => "wal.replayed_records",
+            Metric::WalTornTruncations => "wal.torn_truncations",
+            Metric::WalCheckpoints => "wal.checkpoints",
         }
     }
 
