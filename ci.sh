@@ -91,6 +91,28 @@ if [ "$lines" -lt 18 ]; then
     exit 1
 fi
 
+echo "==> bench smoke (scalebench binary)"
+# The serving-scale macro-bench must keep producing well-formed JSON rows
+# with nonzero throughput and latency quantiles; --smoke uses one small
+# tier at 1 and 2 threads and writes nothing (the committed
+# BENCH_scale.json stays untouched).
+scale_out=$(CARGO_NET_OFFLINE=true cargo run -q --release -p unisem-bench --bin scalebench -- --smoke 2>/dev/null)
+rows=$(printf '%s\n' "$scale_out" | grep -c '"suite":"scale"')
+if [ "$rows" -lt 2 ]; then
+    echo "ERROR: scalebench --smoke emitted $rows rows (expected >= 2)"
+    exit 1
+fi
+if printf '%s\n' "$scale_out" | grep -vq '"qps":[1-9]'; then
+    echo "ERROR: scalebench --smoke produced a row without nonzero qps"
+    printf '%s\n' "$scale_out"
+    exit 1
+fi
+if printf '%s\n' "$scale_out" | grep -vq '"p99_ns":[1-9]'; then
+    echo "ERROR: scalebench --smoke produced a row without a nonzero p99"
+    printf '%s\n' "$scale_out"
+    exit 1
+fi
+
 echo "==> udlint --deny all (static determinism-contract audit)"
 # One tokenizer-based linter replaces the former awk gates (closed metric
 # namespace, unwrap audit, path-only manifests) and adds the lints awk

@@ -12,21 +12,39 @@
 //! cargo run --release -p unisem-bench --bin profile -- --smoke # CI smoke
 //! ```
 
+use std::collections::BTreeMap;
+
 use detkit::bench::Stats;
 use unisem_bench::harness::{build_ecommerce_engine, build_healthcare_engine};
 use unisem_core::{EngineConfig, TimingReport, UnifiedEngine};
 use unisem_workloads::{EcommerceConfig, EcommerceWorkload, HealthcareConfig, HealthcareWorkload};
 
-/// Flattens one engine's stage timings into `Stats` lines, computing real
-/// order statistics (median/p95/min/max) from the per-call samples the
-/// registry retains — not the degenerate all-fields-equal-the-mean lines
-/// the old aggregate-only path produced.
-fn stage_stats(workload: &str, timings: &TimingReport) -> Vec<Stats> {
-    timings
-        .stages
-        .iter()
-        .map(|&(stage, count, total_ns)| {
-            let samples = timings.samples_of(stage);
+/// Engine builds per workload: build-stage lines get real order statistics
+/// over five independent builds instead of the degenerate single sample a
+/// one-shot build produces.
+const BUILD_ITERS: usize = 5;
+
+/// Flattens stage timings from several engine runs into `Stats` lines,
+/// concatenating the per-call samples of the same stage across runs so
+/// median/p95/min/max are computed over every recorded call.
+fn stage_stats(workload: &str, reports: &[TimingReport]) -> Vec<Stats> {
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut agg: BTreeMap<&'static str, (u64, u64, Vec<u64>)> = BTreeMap::new();
+    for report in reports {
+        for &(stage, count, total_ns) in &report.stages {
+            if !agg.contains_key(stage) {
+                order.push(stage);
+            }
+            let entry = agg.entry(stage).or_default();
+            entry.0 += count;
+            entry.1 += total_ns;
+            entry.2.extend_from_slice(report.samples_of(stage));
+        }
+    }
+    order
+        .into_iter()
+        .map(|stage| {
+            let (count, total_ns, samples) = agg.remove(stage).expect("ordered keys");
             if samples.is_empty() {
                 // Sample buffer exhausted (see MAX_STAGE_SAMPLES): fall
                 // back to the aggregate mean for every field.
@@ -42,7 +60,7 @@ fn stage_stats(workload: &str, timings: &TimingReport) -> Vec<Stats> {
                     max_ns: mean,
                 };
             }
-            Stats::from_samples("profile", &format!("{workload}.{stage}"), samples.to_vec())
+            Stats::from_samples("profile", &format!("{workload}.{stage}"), samples)
         })
         .collect()
 }
@@ -50,6 +68,24 @@ fn stage_stats(workload: &str, timings: &TimingReport) -> Vec<Stats> {
 fn answer_qa(engine: &UnifiedEngine, questions: Vec<String>) {
     let answers = engine.answer_batch(&questions);
     assert_eq!(answers.len(), questions.len());
+}
+
+/// Builds the engine [`BUILD_ITERS`] times (collecting each build's stage
+/// timings), answers the QA set on the final build, and merges every run's
+/// samples into one stats set.
+fn profile_runs(
+    workload: &str,
+    build: impl Fn() -> UnifiedEngine,
+    questions: Vec<String>,
+) -> Vec<Stats> {
+    let mut reports: Vec<TimingReport> = Vec::with_capacity(BUILD_ITERS);
+    for _ in 0..BUILD_ITERS - 1 {
+        reports.push(build().timing_report());
+    }
+    let engine = build();
+    answer_qa(&engine, questions);
+    reports.push(engine.timing_report());
+    stage_stats(workload, &reports)
 }
 
 fn profile_ecommerce(smoke: bool) -> Vec<Stats> {
@@ -61,9 +97,8 @@ fn profile_ecommerce(smoke: bool) -> Vec<Stats> {
         seed: 0xEC0,
         name_offset: 0,
     });
-    let engine = build_ecommerce_engine(&w, EngineConfig::default());
-    answer_qa(&engine, w.qa.iter().map(|q| q.question.clone()).collect());
-    stage_stats("ecommerce", &engine.timing_report())
+    let questions = w.qa.iter().map(|q| q.question.clone()).collect();
+    profile_runs("ecommerce", || build_ecommerce_engine(&w, EngineConfig::default()), questions)
 }
 
 fn profile_healthcare(smoke: bool) -> Vec<Stats> {
@@ -74,9 +109,8 @@ fn profile_healthcare(smoke: bool) -> Vec<Stats> {
         qa_per_category: if smoke { 1 } else { 5 },
         seed: 0x4EA17,
     });
-    let engine = build_healthcare_engine(&w, EngineConfig::default());
-    answer_qa(&engine, w.qa.iter().map(|q| q.question.clone()).collect());
-    stage_stats("healthcare", &engine.timing_report())
+    let questions = w.qa.iter().map(|q| q.question.clone()).collect();
+    profile_runs("healthcare", || build_healthcare_engine(&w, EngineConfig::default()), questions)
 }
 
 fn main() {

@@ -1,0 +1,125 @@
+//! Serving-scale macro-bench: sweeps corpus size × thread count over
+//! [`UnifiedEngine::answer_batch`] and reports throughput plus latency
+//! order statistics from the deterministic log-linear histogram layer.
+//!
+//! For each `(size, threads)` cell the harness builds a fresh engine over
+//! a [`ScaleWorkload`] tier, answers the tier's seeded query batch, then
+//! folds the per-query `answer.total` wall-clock samples into
+//! [`tracekit::hist::Histogram`] partials built in parallel and merged
+//! index-ordered — the same mergeable-histogram machinery the metric
+//! registry uses — and extracts p50/p95/p99/max from the merged result.
+//!
+//! The default run regenerates `BENCH_scale.json` in the current
+//! directory; `--smoke` shrinks the sweep and prints to stdout only (the
+//! ci.sh gate), leaving the committed results untouched.
+//!
+//! ```sh
+//! cargo run --release -p unisem-bench --bin scalebench            # rewrite results
+//! cargo run --release -p unisem-bench --bin scalebench -- --smoke # CI smoke
+//! ```
+
+use tracekit::hist::Histogram;
+use unisem_bench::harness::build_ecommerce_engine;
+use unisem_core::{EngineConfig, ParallelConfig};
+use unisem_workloads::{ScaleConfig, ScaleWorkload};
+
+/// One measured sweep cell.
+struct ScaleRow {
+    size: usize,
+    threads: usize,
+    queries: usize,
+    qps: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+}
+
+impl ScaleRow {
+    fn to_json_line(&self) -> String {
+        format!(
+            "{{\"suite\":\"scale\",\"size\":{},\"threads\":{},\"queries\":{},\
+             \"qps\":{:.1},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            self.size,
+            self.threads,
+            self.queries,
+            self.qps,
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.max_ns
+        )
+    }
+}
+
+/// Answers one tier's batch at one thread count and measures it.
+fn run_cell(tier: &ScaleWorkload, threads: usize) -> ScaleRow {
+    let config =
+        EngineConfig { parallel: ParallelConfig::with_threads(threads), ..EngineConfig::default() };
+    let engine = build_ecommerce_engine(&tier.data, config);
+
+    let batch = tracekit::wall::Stopwatch::start();
+    let answers = engine.answer_batch(&tier.queries);
+    let elapsed_ns = batch.elapsed_ns().max(1);
+    assert_eq!(answers.len(), tier.queries.len());
+
+    // Per-query latencies from the engine's own stage-sample buffer, folded
+    // into histogram partials in parallel and merged index-ordered (merge
+    // order cannot change a bucket count: addition commutes per index).
+    let timings = engine.timing_report();
+    let samples = timings.samples_of("answer.total");
+    assert_eq!(samples.len(), tier.queries.len(), "one answer.total sample per query");
+    let chunks: Vec<&[u64]> = samples.chunks(samples.len().div_ceil(8).max(1)).collect();
+    let partials = ParallelConfig::with_threads(threads).pool().par_map(&chunks, |chunk| {
+        let mut h = Histogram::new();
+        for &ns in *chunk {
+            h.record(ns);
+        }
+        h
+    });
+    let merged = Histogram::merge_all(partials.iter());
+    assert_eq!(merged.count(), tier.queries.len() as u64);
+
+    ScaleRow {
+        size: tier.config.products,
+        threads,
+        queries: tier.queries.len(),
+        qps: tier.queries.len() as f64 * 1e9 / elapsed_ns as f64,
+        p50_ns: merged.p50(),
+        p95_ns: merged.p95(),
+        p99_ns: merged.p99(),
+        max_ns: merged.max().unwrap_or(0),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, threads, queries): (&[usize], &[usize], usize) =
+        if smoke { (&[6], &[1, 2], 12) } else { (&[8, 16, 32], &[1, 2, 4, 8], 96) };
+
+    let mut lines = String::new();
+    for &size in sizes {
+        let tier = ScaleWorkload::generate(ScaleConfig {
+            products: size,
+            quarters: 4,
+            queries,
+            seed: 0x5CA1E,
+        });
+        for &t in threads {
+            let row = run_cell(&tier, t);
+            eprintln!(
+                "size {} threads {}: {:.1} qps, p50 {} ns, p95 {} ns, p99 {} ns",
+                row.size, row.threads, row.qps, row.p50_ns, row.p95_ns, row.p99_ns
+            );
+            lines.push_str(&row.to_json_line());
+            lines.push('\n');
+        }
+    }
+
+    if smoke {
+        print!("{lines}");
+    } else {
+        std::fs::write("BENCH_scale.json", &lines).expect("write BENCH_scale.json");
+        eprintln!("wrote BENCH_scale.json ({} rows)", lines.lines().count());
+    }
+}

@@ -7,8 +7,8 @@ use std::sync::Arc;
 use faultkit::{FaultPlan, InjectedFault, Site};
 use parkit::Pool;
 use tracekit::{
-    component, EntropyVerdict, Hist, Metric, MetricsRegistry, MetricsReport, RungOutcome, Stage,
-    TimingReport, TraceScope, TraceSink, TraversalTrace,
+    component, EntropyVerdict, Hist, Metric, MetricsRegistry, MetricsReport, ResourceMeter,
+    RungOutcome, Stage, TimingReport, TraceScope, TraceSink, TraversalTrace,
 };
 use unisem_docstore::{DocStore, DocumentId};
 use unisem_entropy::EntropyEstimator;
@@ -298,6 +298,10 @@ impl EngineBuilder {
         let metrics = Arc::new(MetricsRegistry::new());
         let build_start = tracekit::wall::Stopwatch::start();
         let loaded = crate::snapshot::read_snapshot(path, config.faults, Some(metrics.clone()))?;
+        // The snapshot read is the one page-fault-heavy phase: every page
+        // the pager missed on was read from disk, so the miss count is the
+        // open's pages-read cost (a pure function of the snapshot layout).
+        metrics.observe(Hist::MeterPagesRead, metrics.get(Metric::StorePageMisses));
         config.seed = loaded.seed;
         config.model_class = loaded.class;
         config.chunk = loaded.chunk;
@@ -804,7 +808,8 @@ impl UnifiedEngine {
             TraceScope::disabled()
         };
 
-        let mut answer = self.answer_impl(question, &mut scope);
+        let mut meter = ResourceMeter::default();
+        let mut answer = self.answer_impl(question, &mut scope, &mut meter);
 
         self.metrics.incr(Metric::QueryAnswered);
         if answer.is_abstention() {
@@ -814,8 +819,21 @@ impl UnifiedEngine {
             self.metrics.incr(Metric::QueryStructuredHits);
         }
         self.metrics.add(Metric::QueryDegradations, answer.degradations.len() as u64);
+        // Per-query resource accounting: one histogram observation per
+        // meter field per query (zeros included — the histogram shape is
+        // a pure function of the workload, never of which branches ran).
+        self.metrics.observe(Hist::QueryDegradationDepth, answer.degradations.len() as u64);
+        self.metrics.observe(Hist::QueryProvenance, answer.provenance.len() as u64);
+        self.metrics.observe(Hist::MeterPagesRead, meter.pages_read);
+        self.metrics.observe(Hist::MeterPostingsScanned, meter.postings_scanned);
+        self.metrics.observe(Hist::MeterNodesPopped, meter.nodes_popped);
+        self.metrics.observe(Hist::MeterDenseCompared, meter.dense_compared);
+        self.metrics.observe(Hist::MeterSlmCalls, meter.slm_calls);
+        self.metrics.observe(Hist::MeterSlmSamples, meter.slm_samples);
+        self.metrics.observe(Hist::MeterWalBytes, meter.wal_bytes);
         self.metrics.record_stage(Stage::AnswerTotal, start.elapsed_ns());
 
+        scope.set_meter(meter);
         let trace = scope.finish(answer.route.label());
         let block = match (&trace, sinking) {
             (Some(t), true) => Some(tracekit::render_block(t, start.elapsed_ns())),
@@ -831,18 +849,28 @@ impl UnifiedEngine {
     /// the legacy degradation ladder ([`EngineConfig::legacy_ladder`]).
     /// The two paths are differentially tested to produce byte-identical
     /// answers; only the recorded explain plan differs.
-    fn answer_impl(&self, question: &str, scope: &mut TraceScope) -> Answer {
+    fn answer_impl(
+        &self,
+        question: &str,
+        scope: &mut TraceScope,
+        meter: &mut ResourceMeter,
+    ) -> Answer {
         if self.config.legacy_ladder {
-            self.answer_ladder(question, scope)
+            self.answer_ladder(question, scope, meter)
         } else {
-            self.answer_planned(question, scope)
+            self.answer_planned(question, scope, meter)
         }
     }
 
     /// The pre-planner resolution ladder, kept verbatim as the
     /// differential-testing oracle; `scope` collects the explain trace
     /// (free when disabled).
-    fn answer_ladder(&self, question: &str, scope: &mut TraceScope) -> Answer {
+    fn answer_ladder(
+        &self,
+        question: &str,
+        scope: &mut TraceScope,
+        meter: &mut ResourceMeter,
+    ) -> Answer {
         let faults = self.config.faults;
         let governors = self.config.governors;
         let mut degradations: Vec<Degradation> = Vec::new();
@@ -881,6 +909,7 @@ impl UnifiedEngine {
         }
 
         let intent = self.parser.analyze(question);
+        meter.slm_calls += 1;
         scope.event("intent.parsed", || {
             format!(
                 "entities={} plain_lookup={} comparative={}",
@@ -906,7 +935,7 @@ impl UnifiedEngine {
                     let evidence = vec![SupportedAnswer::new(text.clone(), 6.0)];
                     let report = self.estimator.estimate(question, &evidence);
                     self.metrics.record_stage(Stage::AnswerEntropy, entropy_start.elapsed_ns());
-                    self.record_entropy(&report);
+                    self.record_entropy(&report, meter);
                     let confidence = report.confidence();
                     scope.rung("structured", RungOutcome::Succeeded, || {
                         format!("table '{table}' ({} result rows)", result.num_rows())
@@ -972,10 +1001,15 @@ impl UnifiedEngine {
                     component::GRAPH_TRAVERSE,
                     format!("topology traversal unavailable: {f}; using dense retrieval"),
                 ));
-                self.dense.retrieve(question, self.config.retrieval_top_k)
+                self.dense_retrieve_metered(question, meter)
             } else {
                 let (hits, stats) =
                     self.topo.retrieve_with_stats(question, self.config.retrieval_top_k);
+                // One SLM call for anchor entity tagging; traversal work
+                // and posting scans are pure functions of query + corpus.
+                meter.slm_calls += 1;
+                meter.nodes_popped += stats.nodes_popped as u64;
+                meter.postings_scanned += stats.postings_scanned as u64;
                 self.metrics.incr(Metric::TraverseQueries);
                 self.metrics.add(Metric::TraverseAnchors, stats.anchors as u64);
                 self.metrics.add(Metric::TraverseNodesTouched, stats.nodes_touched as u64);
@@ -1011,7 +1045,7 @@ impl UnifiedEngine {
                 dense_fallback: true,
                 ..TraversalTrace::default()
             });
-            self.dense.retrieve(question, self.config.retrieval_top_k)
+            self.dense_retrieve_metered(question, meter)
         };
         self.metrics.record_stage(Stage::AnswerRetrieval, retrieval_start.elapsed_ns());
         let chunk_triples: Vec<(usize, String, f64)> = hits
@@ -1029,7 +1063,7 @@ impl UnifiedEngine {
         let entropy_start = tracekit::wall::Stopwatch::start();
         let report = self.estimator.estimate(question, &supported);
         self.metrics.record_stage(Stage::AnswerEntropy, entropy_start.elapsed_ns());
-        self.record_entropy(&report);
+        self.record_entropy(&report, meter);
         let confidence = report.confidence();
 
         let chunks: Vec<usize> = evidence.iter().map(|e| e.chunk_id).collect();
@@ -1114,7 +1148,12 @@ impl UnifiedEngine {
     /// different order changes row enumeration order and therefore
     /// float-accumulation order in aggregates. The reordering optimizer is
     /// exposed through [`Self::optimized_multi_join`] instead.
-    fn answer_planned(&self, question: &str, scope: &mut TraceScope) -> Answer {
+    fn answer_planned(
+        &self,
+        question: &str,
+        scope: &mut TraceScope,
+        meter: &mut ResourceMeter,
+    ) -> Answer {
         let faults = self.config.faults;
         let governors = self.config.governors;
         let mut degradations: Vec<Degradation> = Vec::new();
@@ -1163,6 +1202,7 @@ impl UnifiedEngine {
         actuals.gate = Some("passed".to_string());
 
         let intent = self.parser.analyze(question);
+        meter.slm_calls += 1;
         scope.event("intent.parsed", || {
             format!(
                 "entities={} plain_lookup={} comparative={}",
@@ -1252,7 +1292,7 @@ impl UnifiedEngine {
                     let evidence = vec![SupportedAnswer::new(text.clone(), 6.0)];
                     let report = self.estimator.estimate(question, &evidence);
                     self.metrics.record_stage(Stage::AnswerEntropy, entropy_start.elapsed_ns());
-                    self.record_entropy(&report);
+                    self.record_entropy(&report, meter);
                     let confidence = report.confidence();
                     scope.rung("structured", RungOutcome::Succeeded, || {
                         format!("table '{table}' ({} result rows)", result.num_rows())
@@ -1323,10 +1363,15 @@ impl UnifiedEngine {
                     format!("topology traversal unavailable: {f}; using dense retrieval"),
                 ));
                 actuals.retrieval = Some(format!("dense fallback ({f})"));
-                self.dense.retrieve(question, self.config.retrieval_top_k)
+                self.dense_retrieve_metered(question, meter)
             } else {
                 let (hits, stats) =
                     self.topo.retrieve_with_stats(question, self.config.retrieval_top_k);
+                // One SLM call for anchor entity tagging; traversal work
+                // and posting scans are pure functions of query + corpus.
+                meter.slm_calls += 1;
+                meter.nodes_popped += stats.nodes_popped as u64;
+                meter.postings_scanned += stats.postings_scanned as u64;
                 self.metrics.incr(Metric::TraverseQueries);
                 self.metrics.add(Metric::TraverseAnchors, stats.anchors as u64);
                 self.metrics.add(Metric::TraverseNodesTouched, stats.nodes_touched as u64);
@@ -1369,7 +1414,7 @@ impl UnifiedEngine {
                 dense_fallback: true,
                 ..TraversalTrace::default()
             });
-            let hits = self.dense.retrieve(question, self.config.retrieval_top_k);
+            let hits = self.dense_retrieve_metered(question, meter);
             actuals.retrieval = Some(format!("dense scan hits={}", hits.len()));
             hits
         };
@@ -1386,7 +1431,7 @@ impl UnifiedEngine {
         let entropy_start = tracekit::wall::Stopwatch::start();
         let report = self.estimator.estimate(question, &supported);
         self.metrics.record_stage(Stage::AnswerEntropy, entropy_start.elapsed_ns());
-        self.record_entropy(&report);
+        self.record_entropy(&report, meter);
         let confidence = report.confidence();
         actuals.entail = Some(format!(
             "samples={} clusters={} confidence={confidence:.2}",
@@ -1706,10 +1751,14 @@ impl UnifiedEngine {
                 EngineError::Store(storekit::StoreError::Io("wal lock poisoned".into()))
             })?;
             let mut last = 0;
+            let mut wal_bytes = 0u64;
             for delta in deltas {
-                last = wal.append(&delta.encode())?;
+                let encoded = delta.encode();
+                wal_bytes += encoded.len() as u64;
+                last = wal.append(&encoded)?;
             }
             wal.flush()?;
+            self.metrics.observe(Hist::MeterWalBytes, wal_bytes);
             last
         } else {
             self.applied_seq + deltas.len() as u64
@@ -1927,11 +1976,26 @@ impl UnifiedEngine {
         Some(order)
     }
 
-    /// Records one entropy estimate in the closed metric registry.
-    fn record_entropy(&self, report: &unisem_entropy::EntropyReport) {
+    /// Records one entropy estimate in the closed metric registry and on
+    /// the per-query resource meter (one SLM call, `n_samples` samples).
+    fn record_entropy(&self, report: &unisem_entropy::EntropyReport, meter: &mut ResourceMeter) {
         self.metrics.incr(Metric::EntropyEstimates);
         self.metrics.add(Metric::EntropySamples, report.n_samples as u64);
         self.metrics.add(Metric::EntropyClusters, report.n_clusters as u64);
+        meter.slm_calls += 1;
+        meter.slm_samples += report.n_samples as u64;
+    }
+
+    /// Dense retrieval with resource-meter accounting: one SLM call (the
+    /// query embedding) plus one similarity comparison per stored vector.
+    fn dense_retrieve_metered(
+        &self,
+        question: &str,
+        meter: &mut ResourceMeter,
+    ) -> Vec<RetrievalResult> {
+        meter.slm_calls += 1;
+        meter.dense_compared += self.dense.len() as u64;
+        self.dense.retrieve(question, self.config.retrieval_top_k)
     }
 
     /// Answers a batch of independent questions across the configured

@@ -53,8 +53,8 @@ pub use planner::{
 pub use faultkit::{FaultPlan, InjectedFault, Site as FaultSite};
 pub use storekit::StoreError;
 pub use tracekit::{
-    component, EntropyVerdict, MetricsReport, QueryTrace, TimingReport, TraceSink, TraceSpec,
-    TraversalTrace,
+    component, EntropyVerdict, FlameGraph, MetricsReport, QueryTrace, ResourceMeter, TimingReport,
+    TraceSink, TraceSpec, TraversalTrace,
 };
 pub use unisem_entropy::EntropyReport;
 pub use unisem_relstore::{Database, Table, Value};

@@ -201,6 +201,13 @@ impl DocStore {
         self.index.posting_stats()
     }
 
+    /// Posting entries a [`Self::search`] for `query` scans — the
+    /// per-query resource-meter accounting (pure function of query and
+    /// corpus; independent of `top_k`).
+    pub fn postings_scanned(&self, query: &str) -> usize {
+        self.index.postings_scanned(query)
+    }
+
     /// Approximate resident bytes of the inverted index (for E2).
     pub fn index_bytes(&self) -> usize {
         self.index.approx_bytes()

@@ -94,6 +94,10 @@ pub struct TraversalStats {
     /// Whether any anchor's traversal hit [`TopologyConfig::max_frontier`]
     /// and was truncated (a degradation signal for the engine).
     pub frontier_capped: bool,
+    /// Posting entries the lexical component scanned (both the fallback
+    /// and the fusion search hit the same posting lists for a given
+    /// query, so this is a pure function of query and corpus).
+    pub postings_scanned: usize,
 }
 
 /// The topology-enhanced retriever.
@@ -304,6 +308,7 @@ impl TopologyRetriever {
         let anchors: &[NodeId] = if primary.is_empty() { &constraints } else { &primary };
         let mut stats = TraversalStats {
             anchors: primary.len() + constraints.len(),
+            postings_scanned: self.docs.postings_scanned(query),
             ..TraversalStats::default()
         };
 

@@ -92,6 +92,19 @@ impl Bm25Index {
         (self.postings.len(), total, max)
     }
 
+    /// Posting entries a search for `query` scans: the summed posting-list
+    /// lengths of its normalized terms. This is exactly the work
+    /// [`Self::search`] does for the same query (`top_k` only truncates
+    /// the output), so it is a pure function of the query and the corpus —
+    /// the resource-meter contract.
+    pub fn postings_scanned(&self, query: &str) -> usize {
+        tokenize_words(query)
+            .iter()
+            .map(|t| normalize_token(t))
+            .map(|term| self.postings.get(&term).map_or(0, Vec::len))
+            .sum()
+    }
+
     /// Approximate resident size of the index in bytes (for the E2 storage
     /// experiment): postings entries plus term keys plus doc-length array.
     pub fn approx_bytes(&self) -> usize {
@@ -257,6 +270,19 @@ mod tests {
         ix.add_document("fox and many many many many other completely unrelated words here");
         let hits = ix.search("fox", 2);
         assert_eq!(hits[0].0, 0);
+    }
+
+    #[test]
+    fn postings_scanned_counts_matching_lists() {
+        let ix = sample();
+        // "fox" appears in docs 0 and 1; "zebra" is unindexed.
+        assert_eq!(ix.postings_scanned("fox"), 2);
+        assert_eq!(ix.postings_scanned("zebra"), 0);
+        assert_eq!(ix.postings_scanned("fox zebra"), 2);
+        // Repeated terms scan their posting list once per occurrence,
+        // mirroring what search_terms actually does.
+        assert_eq!(ix.postings_scanned("fox fox"), 4);
+        assert!(ix.postings_scanned("alpha product sales quarter") > 0);
     }
 
     #[test]

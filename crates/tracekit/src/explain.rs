@@ -6,7 +6,9 @@
 //! at any thread count. All recording methods take closures so a disabled
 //! scope costs one branch and zero allocations.
 
+use crate::flame::FlameGraph;
 use crate::json_escape;
+use crate::meter::ResourceMeter;
 use crate::trace::{wall_clock_enabled, TraceSink};
 
 /// One logical-clock event inside a query.
@@ -105,6 +107,8 @@ pub struct QueryTrace {
     pub traversal: Option<TraversalTrace>,
     /// Entropy verdict, if estimation ran.
     pub entropy: Option<EntropyVerdict>,
+    /// Physical-resource meter for the query, if the engine metered it.
+    pub meter: Option<ResourceMeter>,
     /// The route the answer reports.
     pub route: String,
     /// Logical-clock event log.
@@ -161,6 +165,10 @@ impl QueryTrace {
             )),
             None => out.push_str(",\"entropy\":null"),
         }
+        match &self.meter {
+            Some(m) => out.push_str(&format!(",\"meter\":{}", m.to_json())),
+            None => out.push_str(",\"meter\":null"),
+        }
         out.push_str("}\n");
         out
     }
@@ -196,6 +204,7 @@ impl TraceScope {
                 plan: None,
                 traversal: None,
                 entropy: None,
+                meter: None,
                 route: String::new(),
                 events: Vec::new(),
             })),
@@ -249,6 +258,13 @@ impl TraceScope {
         }
     }
 
+    /// Records the per-query resource meter.
+    pub fn set_meter(&mut self, meter: ResourceMeter) {
+        if let ScopeState::Enabled(trace) = &mut self.state {
+            trace.meter = Some(meter);
+        }
+    }
+
     /// Finishes the scope, returning the trace (None when disabled).
     pub fn finish(self, route: &str) -> Option<QueryTrace> {
         match self.state {
@@ -262,11 +278,21 @@ impl TraceScope {
 }
 
 /// Renders one query's sink block: the deterministic JSON-lines from
-/// [`QueryTrace::to_jsonl`], plus — only when `UNISEM_TRACE_WALL=1` — one
-/// out-of-band wall-clock line. The wall line is the *only* place a
-/// duration may appear; it is redacted (absent) by default.
+/// [`QueryTrace::to_jsonl`], one folded-flamegraph line (so `UNISEM_TRACE`
+/// dumps carry the span aggregation), plus — only when
+/// `UNISEM_TRACE_WALL=1` — one out-of-band wall-clock line. The wall line
+/// is the *only* place a duration may appear; it is redacted (absent) by
+/// default.
 pub fn render_block(trace: &QueryTrace, wall_ns: u64) -> String {
     let mut block = trace.to_jsonl();
+    let flame = FlameGraph::from_trace(trace);
+    if !flame.is_empty() {
+        block.push_str(&format!(
+            "{{\"type\":\"flame\",\"q\":\"{}\",\"folded\":\"{}\"}}\n",
+            json_escape(&trace.question),
+            json_escape(&flame.to_folded())
+        ));
+    }
     if wall_clock_enabled() {
         block.push_str(&format!(
             "{{\"type\":\"wall\",\"q\":\"{}\",\"total_ns\":{wall_ns}}}\n",
@@ -302,6 +328,7 @@ mod tests {
             confidence: 1.0,
             abstained: false,
         });
+        scope.set_meter(ResourceMeter { slm_calls: 3, postings_scanned: 12, ..Default::default() });
         scope
     }
 
@@ -339,6 +366,8 @@ mod tests {
         assert!(a.contains("\"plan\":\"Aggregate(Scan(orders))\""));
         assert!(a.contains("\"anchors\":2"));
         assert!(a.contains("\"confidence\":1.0"));
+        assert!(a.contains("\"meter\":{\"pages_read\":0,\"postings_scanned\":12"), "{a}");
+        assert!(a.contains("\"slm_calls\":3"));
         assert!(!a.contains("_ns"), "no timings inside the deterministic block: {a}");
         for line in a.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "JSON-lines shape: {line}");
@@ -354,6 +383,9 @@ mod tests {
         assert!(jsonl.contains("\"plan\":null"));
         assert!(jsonl.contains("\"traversal\":null"));
         assert!(jsonl.contains("\"entropy\":null"));
+        assert!(jsonl.contains("\"meter\":null"));
+        // An empty trace also folds to an empty flamegraph: no flame line.
+        assert!(!render_block(&trace, 0).contains("\"type\":\"flame\""));
     }
 
     #[test]
@@ -367,6 +399,8 @@ mod tests {
         assert_eq!(mem.writes(), 1);
         let captured = mem.drain_memory();
         assert!(captured.contains("\"type\":\"summary\""));
+        assert!(captured.contains("\"type\":\"flame\""), "sink blocks carry the folded stacks");
+        assert!(captured.contains("answer;entropy;sample 5"), "{captured}");
         // UNISEM_TRACE_WALL unset in the test env: the wall line is redacted.
         assert!(!captured.contains("\"type\":\"wall\""));
     }

@@ -36,6 +36,9 @@
 
 pub mod component;
 pub mod explain;
+pub mod flame;
+pub mod hist;
+pub mod meter;
 pub mod metrics;
 pub mod trace;
 pub mod wall;
@@ -44,6 +47,9 @@ pub use explain::{
     emit, render_block, EntropyVerdict, QueryTrace, RungAttempt, RungOutcome, TraceEvent,
     TraceScope, TraversalTrace,
 };
+pub use flame::FlameGraph;
+pub use hist::Histogram;
+pub use meter::ResourceMeter;
 pub use metrics::{Hist, Metric, MetricsRegistry, MetricsReport, Stage, TimingReport};
 pub use trace::{TraceSink, TraceSpec};
 

@@ -2,10 +2,14 @@
 //!
 //! Metric names are compile-time enum variants — there is no string-keyed
 //! API, so a dynamically-constructed metric name is unrepresentable (ci.sh
-//! additionally greps call sites to keep it that way). Counters and gauges
-//! are plain atomics; histograms bucket by powers of two. Every value
-//! recorded into a [`MetricsRegistry`] must be a pure function of the data
-//! (row counts, frontier sizes, sample counts), **never** of timing, so a
+//! additionally lints call sites to keep it that way). The
+//! [`registry_enum!`] macro generates each enum, its `ALL` table, and the
+//! name mappings from one variant list, so a variant missing from `ALL` or
+//! `from_name` is a build error rather than a test failure. Counters and
+//! gauges are plain atomics; histograms bucket on the shared log-linear
+//! layout from [`crate::hist`]. Every value recorded into a
+//! [`MetricsRegistry`] must be a pure function of the data (row counts,
+//! frontier sizes, meter totals), **never** of timing, so a
 //! [`MetricsReport`] snapshot is byte-identical at any thread count.
 //!
 //! Wall-clock stage timings are deliberately quarantined in a separate
@@ -17,20 +21,63 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::hist;
 use crate::json_escape;
 
+/// Declares a closed registry enum. The single variant list generates the
+/// enum itself plus `COUNT`, `ALL`, `index()`, `name()`, and
+/// `from_name()`, so the registry cannot drift out of sync with the enum:
+/// a variant that exists is in `ALL` by construction.
+macro_rules! registry_enum {
+    (
+        $(#[$outer:meta])*
+        $vis:vis enum $Enum:ident {
+            $( $(#[$vmeta:meta])* $Variant:ident => $name:literal, )+
+        }
+    ) => {
+        $(#[$outer])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        $vis enum $Enum {
+            $( $(#[$vmeta])* $Variant, )+
+        }
+
+        impl $Enum {
+            /// Number of registered variants.
+            $vis const COUNT: usize = [$($Enum::$Variant),+].len();
+
+            /// Every registered variant, in registry (declaration) order.
+            $vis const ALL: [$Enum; Self::COUNT] = [$($Enum::$Variant),+];
+
+            /// Stable registry index.
+            $vis fn index(self) -> usize {
+                self as usize
+            }
+
+            /// Stable dotted name (`subsystem.measure`).
+            $vis fn name(self) -> &'static str {
+                match self { $( $Enum::$Variant => $name, )+ }
+            }
+
+            /// Looks a variant up by its dotted name.
+            $vis fn from_name(name: &str) -> Option<$Enum> {
+                match name { $( $name => Some($Enum::$Variant), )+ _ => None }
+            }
+        }
+    };
+}
+
 /// Number of registered metrics (counters + gauges).
-pub const NUM_METRICS: usize = 52;
+pub const NUM_METRICS: usize = Metric::COUNT;
 /// Number of registered histograms.
-pub const NUM_HISTS: usize = 2;
+pub const NUM_HISTS: usize = Hist::COUNT;
 /// Number of registered wall-clock stages.
-pub const NUM_STAGES: usize = 10;
-/// Histogram bucket upper bounds (≤, powers of two); one overflow bucket
-/// follows.
-pub const HIST_BOUNDS: [u64; 17] =
-    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536];
-/// Buckets per histogram (bounds + overflow).
-pub const NUM_BUCKETS: usize = HIST_BOUNDS.len() + 1;
+pub const NUM_STAGES: usize = Stage::COUNT;
+/// Largest value the registry histograms track in a regular bucket;
+/// anything above lands in the single overflow bucket.
+pub const MAX_TRACKED: u64 = 65_535;
+/// Buckets per registry histogram: the log-linear buckets covering
+/// `0..=MAX_TRACKED` plus one overflow bucket.
+pub const NUM_BUCKETS: usize = hist::bucket_index(MAX_TRACKED) + 2;
 
 /// How a metric is written.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,236 +89,122 @@ pub enum MetricKind {
     Gauge,
 }
 
-/// The closed metric registry: every counter and gauge the engine records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Metric {
-    /// Relational tables registered at build (native + flattened +
-    /// extracted).
-    IngestTables,
-    /// Semi-structured collections successfully flattened.
-    IngestCollections,
-    /// Unstructured documents indexed.
-    IngestDocuments,
-    /// Rows in the `extracted` table.
-    IngestExtractedRows,
-    /// Sources quarantined during ingestion/build.
-    IngestQuarantined,
-    /// Nodes in the heterogeneous graph.
-    GraphNodes,
-    /// Edges in the heterogeneous graph.
-    GraphEdges,
-    /// Distinct entity nodes created at build.
-    GraphEntities,
-    /// Chunks indexed into the graph.
-    GraphChunks,
-    /// Table records indexed into the graph.
-    GraphRecords,
-    /// Queries answered (including abstentions).
-    QueryAnswered,
-    /// Queries that ended in abstention.
-    QueryAbstained,
-    /// Degradation-ladder downgrades recorded across all queries.
-    QueryDegradations,
-    /// Queries resolved on the structured route.
-    QueryStructuredHits,
-    /// Topology traversals run.
-    TraverseQueries,
-    /// Anchor nodes linked across all traversals.
-    TraverseAnchors,
-    /// Distinct nodes discovered across all traversals.
-    TraverseNodesTouched,
-    /// Heap expansions performed across all traversals.
-    TraverseNodesPopped,
-    /// Chunk candidates scored across all traversals.
-    TraverseChunksScored,
-    /// Traversals truncated by the frontier governor.
-    TraverseFrontierCapped,
-    /// Traversals that fell back to pure lexical retrieval.
-    TraverseLexicalFallback,
-    /// Queries that fell back to dense retrieval (traversal fault).
-    DenseFallbackQueries,
-    /// Logical plans executed on the structured route.
-    RelPlansExecuted,
-    /// Base-table rows scanned by plan execution.
-    RelRowsScanned,
-    /// Join output rows materialized by plan execution.
-    RelRowsJoined,
-    /// Executions aborted by the join row budget.
-    RelBudgetHits,
-    /// Plan executions that failed (other than budget hits).
-    RelExecErrors,
-    /// Operator syntheses that failed.
-    RelSynthesisErrors,
-    /// Entropy estimates computed.
-    EntropyEstimates,
-    /// Answer samples drawn for entropy estimation.
-    EntropySamples,
-    /// Semantic clusters formed across all estimates.
-    EntropyClusters,
-    /// Deterministic fault injections that fired.
-    FaultsFired,
-    /// `answer_batch` invocations.
-    BatchCalls,
-    /// Questions submitted through `answer_batch`.
-    BatchItems,
-    /// parkit chunks dispatched for batch answering (width-invariant).
-    BatchChunks,
-    /// Tables covered by the planner's build-time statistics catalog.
-    PlannerStatsTables,
-    /// Column statistics (cardinality + NULL counts) collected at build.
-    PlannerStatsColumns,
-    /// Inverted-index postings counted into the statistics catalog.
-    PlannerStatsPostings,
-    /// Maximum graph node degree recorded in the statistics catalog.
-    PlannerStatsMaxDegree,
-    /// Logical plans synthesized and optimized by the cost-based planner.
-    PlannerPlansBuilt,
-    /// Join orders solved exactly (dynamic programming over subsets).
-    PlannerJoinDp,
-    /// Join orders solved greedily (relation count above the DP threshold).
-    PlannerJoinGreedy,
-    /// Buffer-pool page requests served from memory.
-    StorePageHits,
-    /// Buffer-pool page requests that read from the page file.
-    StorePageMisses,
-    /// Buffer-pool frames evicted by the clock sweep.
-    StoreEvictions,
-    /// Dirty pages flushed to the page file.
-    StoreFlushes,
-    /// Delta records appended to the write-ahead log.
-    WalAppends,
-    /// Payload bytes appended to the write-ahead log.
-    WalAppendedBytes,
-    /// Durable WAL flushes (fsync) completed.
-    WalFlushes,
-    /// WAL records replayed during snapshot-open recovery.
-    WalReplayedRecords,
-    /// Torn WAL tails truncated during recovery.
-    WalTornTruncations,
-    /// Checkpoints folded into a fresh snapshot.
-    WalCheckpoints,
+registry_enum! {
+    /// The closed metric registry: every counter and gauge the engine
+    /// records.
+    pub enum Metric {
+        /// Relational tables registered at build (native + flattened +
+        /// extracted).
+        IngestTables => "ingest.tables",
+        /// Semi-structured collections successfully flattened.
+        IngestCollections => "ingest.collections",
+        /// Unstructured documents indexed.
+        IngestDocuments => "ingest.documents",
+        /// Rows in the `extracted` table.
+        IngestExtractedRows => "ingest.extracted_rows",
+        /// Sources quarantined during ingestion/build.
+        IngestQuarantined => "ingest.quarantined",
+        /// Nodes in the heterogeneous graph.
+        GraphNodes => "graph.nodes",
+        /// Edges in the heterogeneous graph.
+        GraphEdges => "graph.edges",
+        /// Distinct entity nodes created at build.
+        GraphEntities => "graph.entities",
+        /// Chunks indexed into the graph.
+        GraphChunks => "graph.chunks",
+        /// Table records indexed into the graph.
+        GraphRecords => "graph.records",
+        /// Queries answered (including abstentions).
+        QueryAnswered => "query.answered",
+        /// Queries that ended in abstention.
+        QueryAbstained => "query.abstained",
+        /// Degradation-ladder downgrades recorded across all queries.
+        QueryDegradations => "query.degradations",
+        /// Queries resolved on the structured route.
+        QueryStructuredHits => "query.structured_hits",
+        /// Topology traversals run.
+        TraverseQueries => "traverse.queries",
+        /// Anchor nodes linked across all traversals.
+        TraverseAnchors => "traverse.anchors",
+        /// Distinct nodes discovered across all traversals.
+        TraverseNodesTouched => "traverse.nodes_touched",
+        /// Heap expansions performed across all traversals.
+        TraverseNodesPopped => "traverse.nodes_popped",
+        /// Chunk candidates scored across all traversals.
+        TraverseChunksScored => "traverse.chunks_scored",
+        /// Traversals truncated by the frontier governor.
+        TraverseFrontierCapped => "traverse.frontier_capped",
+        /// Traversals that fell back to pure lexical retrieval.
+        TraverseLexicalFallback => "traverse.lexical_fallback",
+        /// Queries that fell back to dense retrieval (traversal fault).
+        DenseFallbackQueries => "dense.fallback_queries",
+        /// Logical plans executed on the structured route.
+        RelPlansExecuted => "relstore.plans_executed",
+        /// Base-table rows scanned by plan execution.
+        RelRowsScanned => "relstore.rows_scanned",
+        /// Join output rows materialized by plan execution.
+        RelRowsJoined => "relstore.rows_joined",
+        /// Executions aborted by the join row budget.
+        RelBudgetHits => "relstore.budget_hits",
+        /// Plan executions that failed (other than budget hits).
+        RelExecErrors => "relstore.exec_errors",
+        /// Operator syntheses that failed.
+        RelSynthesisErrors => "relstore.synthesis_errors",
+        /// Entropy estimates computed.
+        EntropyEstimates => "entropy.estimates",
+        /// Answer samples drawn for entropy estimation.
+        EntropySamples => "entropy.samples",
+        /// Semantic clusters formed across all estimates.
+        EntropyClusters => "entropy.clusters",
+        /// Deterministic fault injections that fired.
+        FaultsFired => "faultkit.fired",
+        /// `answer_batch` invocations.
+        BatchCalls => "parkit.batch_calls",
+        /// Questions submitted through `answer_batch`.
+        BatchItems => "parkit.batch_items",
+        /// parkit chunks dispatched for batch answering (width-invariant).
+        BatchChunks => "parkit.batch_chunks",
+        /// Tables covered by the planner's build-time statistics catalog.
+        PlannerStatsTables => "planner.stats_tables",
+        /// Column statistics (cardinality + NULL counts) collected at
+        /// build.
+        PlannerStatsColumns => "planner.stats_columns",
+        /// Inverted-index postings counted into the statistics catalog.
+        PlannerStatsPostings => "planner.stats_postings",
+        /// Maximum graph node degree recorded in the statistics catalog.
+        PlannerStatsMaxDegree => "planner.stats_max_degree",
+        /// Logical plans synthesized and optimized by the cost-based
+        /// planner.
+        PlannerPlansBuilt => "planner.plans_built",
+        /// Join orders solved exactly (dynamic programming over subsets).
+        PlannerJoinDp => "planner.join_dp",
+        /// Join orders solved greedily (relation count above the DP
+        /// threshold).
+        PlannerJoinGreedy => "planner.join_greedy",
+        /// Buffer-pool page requests served from memory.
+        StorePageHits => "store.page_hits",
+        /// Buffer-pool page requests that read from the page file.
+        StorePageMisses => "store.page_misses",
+        /// Buffer-pool frames evicted by the clock sweep.
+        StoreEvictions => "store.evictions",
+        /// Dirty pages flushed to the page file.
+        StoreFlushes => "store.flushes",
+        /// Delta records appended to the write-ahead log.
+        WalAppends => "wal.appends",
+        /// Payload bytes appended to the write-ahead log.
+        WalAppendedBytes => "wal.appended_bytes",
+        /// Durable WAL flushes (fsync) completed.
+        WalFlushes => "wal.flushes",
+        /// WAL records replayed during snapshot-open recovery.
+        WalReplayedRecords => "wal.replayed_records",
+        /// Torn WAL tails truncated during recovery.
+        WalTornTruncations => "wal.torn_truncations",
+        /// Checkpoints folded into a fresh snapshot.
+        WalCheckpoints => "wal.checkpoints",
+    }
 }
 
 impl Metric {
-    /// Every registered metric, in registry (declaration) order.
-    pub const ALL: [Metric; NUM_METRICS] = [
-        Metric::IngestTables,
-        Metric::IngestCollections,
-        Metric::IngestDocuments,
-        Metric::IngestExtractedRows,
-        Metric::IngestQuarantined,
-        Metric::GraphNodes,
-        Metric::GraphEdges,
-        Metric::GraphEntities,
-        Metric::GraphChunks,
-        Metric::GraphRecords,
-        Metric::QueryAnswered,
-        Metric::QueryAbstained,
-        Metric::QueryDegradations,
-        Metric::QueryStructuredHits,
-        Metric::TraverseQueries,
-        Metric::TraverseAnchors,
-        Metric::TraverseNodesTouched,
-        Metric::TraverseNodesPopped,
-        Metric::TraverseChunksScored,
-        Metric::TraverseFrontierCapped,
-        Metric::TraverseLexicalFallback,
-        Metric::DenseFallbackQueries,
-        Metric::RelPlansExecuted,
-        Metric::RelRowsScanned,
-        Metric::RelRowsJoined,
-        Metric::RelBudgetHits,
-        Metric::RelExecErrors,
-        Metric::RelSynthesisErrors,
-        Metric::EntropyEstimates,
-        Metric::EntropySamples,
-        Metric::EntropyClusters,
-        Metric::FaultsFired,
-        Metric::BatchCalls,
-        Metric::BatchItems,
-        Metric::BatchChunks,
-        Metric::PlannerStatsTables,
-        Metric::PlannerStatsColumns,
-        Metric::PlannerStatsPostings,
-        Metric::PlannerStatsMaxDegree,
-        Metric::PlannerPlansBuilt,
-        Metric::PlannerJoinDp,
-        Metric::PlannerJoinGreedy,
-        Metric::StorePageHits,
-        Metric::StorePageMisses,
-        Metric::StoreEvictions,
-        Metric::StoreFlushes,
-        Metric::WalAppends,
-        Metric::WalAppendedBytes,
-        Metric::WalFlushes,
-        Metric::WalReplayedRecords,
-        Metric::WalTornTruncations,
-        Metric::WalCheckpoints,
-    ];
-
-    /// Stable registry index.
-    pub fn index(self) -> usize {
-        self as usize
-    }
-
-    /// Stable dotted name (`subsystem.measure`).
-    pub fn name(self) -> &'static str {
-        match self {
-            Metric::IngestTables => "ingest.tables",
-            Metric::IngestCollections => "ingest.collections",
-            Metric::IngestDocuments => "ingest.documents",
-            Metric::IngestExtractedRows => "ingest.extracted_rows",
-            Metric::IngestQuarantined => "ingest.quarantined",
-            Metric::GraphNodes => "graph.nodes",
-            Metric::GraphEdges => "graph.edges",
-            Metric::GraphEntities => "graph.entities",
-            Metric::GraphChunks => "graph.chunks",
-            Metric::GraphRecords => "graph.records",
-            Metric::QueryAnswered => "query.answered",
-            Metric::QueryAbstained => "query.abstained",
-            Metric::QueryDegradations => "query.degradations",
-            Metric::QueryStructuredHits => "query.structured_hits",
-            Metric::TraverseQueries => "traverse.queries",
-            Metric::TraverseAnchors => "traverse.anchors",
-            Metric::TraverseNodesTouched => "traverse.nodes_touched",
-            Metric::TraverseNodesPopped => "traverse.nodes_popped",
-            Metric::TraverseChunksScored => "traverse.chunks_scored",
-            Metric::TraverseFrontierCapped => "traverse.frontier_capped",
-            Metric::TraverseLexicalFallback => "traverse.lexical_fallback",
-            Metric::DenseFallbackQueries => "dense.fallback_queries",
-            Metric::RelPlansExecuted => "relstore.plans_executed",
-            Metric::RelRowsScanned => "relstore.rows_scanned",
-            Metric::RelRowsJoined => "relstore.rows_joined",
-            Metric::RelBudgetHits => "relstore.budget_hits",
-            Metric::RelExecErrors => "relstore.exec_errors",
-            Metric::RelSynthesisErrors => "relstore.synthesis_errors",
-            Metric::EntropyEstimates => "entropy.estimates",
-            Metric::EntropySamples => "entropy.samples",
-            Metric::EntropyClusters => "entropy.clusters",
-            Metric::FaultsFired => "faultkit.fired",
-            Metric::BatchCalls => "parkit.batch_calls",
-            Metric::BatchItems => "parkit.batch_items",
-            Metric::BatchChunks => "parkit.batch_chunks",
-            Metric::PlannerStatsTables => "planner.stats_tables",
-            Metric::PlannerStatsColumns => "planner.stats_columns",
-            Metric::PlannerStatsPostings => "planner.stats_postings",
-            Metric::PlannerStatsMaxDegree => "planner.stats_max_degree",
-            Metric::PlannerPlansBuilt => "planner.plans_built",
-            Metric::PlannerJoinDp => "planner.join_dp",
-            Metric::PlannerJoinGreedy => "planner.join_greedy",
-            Metric::StorePageHits => "store.page_hits",
-            Metric::StorePageMisses => "store.page_misses",
-            Metric::StoreEvictions => "store.evictions",
-            Metric::StoreFlushes => "store.flushes",
-            Metric::WalAppends => "wal.appends",
-            Metric::WalAppendedBytes => "wal.appended_bytes",
-            Metric::WalFlushes => "wal.flushes",
-            Metric::WalReplayedRecords => "wal.replayed_records",
-            Metric::WalTornTruncations => "wal.torn_truncations",
-            Metric::WalCheckpoints => "wal.checkpoints",
-        }
-    }
-
     /// Counter or gauge.
     pub fn kind(self) -> MetricKind {
         match self {
@@ -291,99 +224,61 @@ impl Metric {
             _ => MetricKind::Counter,
         }
     }
+}
 
-    /// Looks a metric up by its dotted name.
-    pub fn from_name(name: &str) -> Option<Metric> {
-        Metric::ALL.into_iter().find(|m| m.name() == name)
+registry_enum! {
+    /// The closed histogram registry (distributions over deterministic
+    /// values — sizes, depths, and per-query resource-meter totals; never
+    /// durations).
+    pub enum Hist {
+        /// Frontier size (nodes touched) per traversal.
+        TraverseFrontier => "traverse.frontier_size",
+        /// Result rows per successfully executed plan.
+        RelResultRows => "relstore.result_rows",
+        /// Degradation-ladder downgrades per query.
+        QueryDegradationDepth => "query.degradation_depth",
+        /// Provenance items attached per answer.
+        QueryProvenance => "query.provenance_items",
+        /// Buffer-pool pages read per query (resource meter).
+        MeterPagesRead => "meter.pages_read",
+        /// Inverted-index postings scanned per query (resource meter).
+        MeterPostingsScanned => "meter.postings_scanned",
+        /// Graph heap expansions per query (resource meter).
+        MeterNodesPopped => "meter.nodes_popped",
+        /// Dense vectors compared per query (resource meter).
+        MeterDenseCompared => "meter.dense_compared",
+        /// SLM invocations per query (resource meter).
+        MeterSlmCalls => "meter.slm_calls",
+        /// SLM answer samples drawn per query (resource meter).
+        MeterSlmSamples => "meter.slm_samples",
+        /// WAL bytes appended per ingest batch (resource meter).
+        MeterWalBytes => "meter.wal_bytes",
     }
 }
 
-/// The closed histogram registry (buckets over deterministic values).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Hist {
-    /// Frontier size (nodes touched) per traversal.
-    TraverseFrontier,
-    /// Result rows per successfully executed plan.
-    RelResultRows,
-}
-
-impl Hist {
-    /// Every registered histogram, in registry order.
-    pub const ALL: [Hist; NUM_HISTS] = [Hist::TraverseFrontier, Hist::RelResultRows];
-
-    /// Stable registry index.
-    pub fn index(self) -> usize {
-        self as usize
-    }
-
-    /// Stable dotted name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Hist::TraverseFrontier => "traverse.frontier_size",
-            Hist::RelResultRows => "relstore.result_rows",
-        }
-    }
-}
-
-/// The closed wall-clock stage registry (feeds [`TimingReport`] only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Stage {
-    /// Whole engine build.
-    BuildTotal,
-    /// Semi-structured collection flattening.
-    BuildFlatten,
-    /// Relational table generation over documents.
-    BuildExtract,
-    /// Heterogeneous graph construction.
-    BuildGraph,
-    /// Dense retriever embedding build.
-    BuildDense,
-    /// Planner statistics-catalog collection.
-    BuildStats,
-    /// Whole `answer` call.
-    AnswerTotal,
-    /// Structured route (synthesis + plan execution).
-    AnswerStructured,
-    /// Retrieval rung (traversal or dense).
-    AnswerRetrieval,
-    /// Entropy estimation.
-    AnswerEntropy,
-}
-
-impl Stage {
-    /// Every registered stage, in registry order.
-    pub const ALL: [Stage; NUM_STAGES] = [
-        Stage::BuildTotal,
-        Stage::BuildFlatten,
-        Stage::BuildExtract,
-        Stage::BuildGraph,
-        Stage::BuildDense,
-        Stage::BuildStats,
-        Stage::AnswerTotal,
-        Stage::AnswerStructured,
-        Stage::AnswerRetrieval,
-        Stage::AnswerEntropy,
-    ];
-
-    /// Stable registry index.
-    pub fn index(self) -> usize {
-        self as usize
-    }
-
-    /// Stable dotted name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Stage::BuildTotal => "build.total",
-            Stage::BuildFlatten => "build.flatten",
-            Stage::BuildExtract => "build.extract",
-            Stage::BuildGraph => "build.graph",
-            Stage::BuildDense => "build.dense",
-            Stage::BuildStats => "build.stats",
-            Stage::AnswerTotal => "answer.total",
-            Stage::AnswerStructured => "answer.structured",
-            Stage::AnswerRetrieval => "answer.retrieval",
-            Stage::AnswerEntropy => "answer.entropy",
-        }
+registry_enum! {
+    /// The closed wall-clock stage registry (feeds [`TimingReport`] only).
+    pub enum Stage {
+        /// Whole engine build.
+        BuildTotal => "build.total",
+        /// Semi-structured collection flattening.
+        BuildFlatten => "build.flatten",
+        /// Relational table generation over documents.
+        BuildExtract => "build.extract",
+        /// Heterogeneous graph construction.
+        BuildGraph => "build.graph",
+        /// Dense retriever embedding build.
+        BuildDense => "build.dense",
+        /// Planner statistics-catalog collection.
+        BuildStats => "build.stats",
+        /// Whole `answer` call.
+        AnswerTotal => "answer.total",
+        /// Structured route (synthesis + plan execution).
+        AnswerStructured => "answer.structured",
+        /// Retrieval rung (traversal or dense).
+        AnswerRetrieval => "answer.retrieval",
+        /// Entropy estimation.
+        AnswerEntropy => "answer.entropy",
     }
 }
 
@@ -447,9 +342,10 @@ impl MetricsRegistry {
         self.counters[metric.index()].load(Ordering::Relaxed)
     }
 
-    /// Records one observation into a histogram.
+    /// Records one observation into a histogram. Values above
+    /// [`MAX_TRACKED`] land in the overflow bucket.
     pub fn observe(&self, hist: Hist, value: u64) {
-        let bucket = HIST_BOUNDS.iter().position(|&b| value <= b).unwrap_or(NUM_BUCKETS - 1);
+        let bucket = hist::bucket_index(value).min(NUM_BUCKETS - 1);
         self.hists[hist.index()][bucket].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -475,7 +371,7 @@ impl MetricsRegistry {
             .map(|&h| {
                 let buckets = (0..NUM_BUCKETS)
                     .map(|b| {
-                        let le = HIST_BOUNDS.get(b).copied();
+                        let le = (b < NUM_BUCKETS - 1).then(|| hist::bucket_upper(b));
                         (le, self.hists[h.index()][b].load(Ordering::Relaxed))
                     })
                     .collect();
@@ -525,6 +421,38 @@ impl MetricsReport {
     /// Looks a counter/gauge value up by name.
     pub fn get(&self, name: &str) -> Option<u64> {
         self.metrics.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram buckets by name.
+    pub fn hist(&self, name: &str) -> Option<&[(Option<u64>, u64)]> {
+        self.histograms.iter().find(|(n, _)| *n == name).map(|(_, b)| b.as_slice())
+    }
+
+    /// Total observations recorded into a histogram.
+    pub fn hist_total(&self, name: &str) -> Option<u64> {
+        self.hist(name).map(|buckets| buckets.iter().map(|(_, c)| c).sum())
+    }
+
+    /// Quantile `q` of a histogram, reported as the bucket's inclusive
+    /// upper bound (`u64::MAX` when the rank falls in the overflow
+    /// bucket; 0 when empty). The registry tracks bucket counts only, so
+    /// unlike [`crate::hist::Histogram::quantile`] there is no exact
+    /// min/max clamp.
+    pub fn hist_quantile(&self, name: &str, q: f64) -> Option<u64> {
+        let buckets = self.hist(name)?;
+        let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+        if total == 0 {
+            return Some(0);
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (le, count) in buckets {
+            seen += count;
+            if seen >= rank {
+                return Some(le.unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
     }
 
     /// Stable single-line JSON (key order = registry order), suitable for
@@ -641,15 +569,39 @@ mod tests {
         }
         for (i, h) in Hist::ALL.into_iter().enumerate() {
             assert_eq!(h.index(), i);
+            assert_eq!(Hist::from_name(h.name()), Some(h));
         }
         for (i, s) in Stage::ALL.into_iter().enumerate() {
             assert_eq!(s.index(), i);
+            assert_eq!(Stage::from_name(s.name()), Some(s));
         }
         assert_eq!(Metric::from_name("nope"), None);
         let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), NUM_METRICS, "duplicate metric name");
+    }
+
+    #[test]
+    fn names_use_registered_prefixes() {
+        // The closed namespace: every metric and histogram name must live
+        // under one of these subsystem prefixes. Adding a variant with a
+        // novel prefix forces this list (and the DESIGN.md §14 table) to
+        // grow in the same review.
+        const PREFIXES: [&str; 13] = [
+            "ingest", "graph", "query", "traverse", "dense", "relstore", "entropy", "faultkit",
+            "parkit", "planner", "store", "wal", "meter",
+        ];
+        let check = |name: &str| {
+            let prefix = name.split('.').next().unwrap_or("");
+            assert!(PREFIXES.contains(&prefix), "unregistered metric prefix: {name}");
+        };
+        for m in Metric::ALL {
+            check(m.name());
+        }
+        for h in Hist::ALL {
+            check(h.name());
+        }
     }
 
     #[test]
@@ -664,17 +616,37 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_by_powers_of_two() {
+    fn histogram_buckets_are_log_linear() {
         let r = MetricsRegistry::new();
         r.observe(Hist::TraverseFrontier, 0);
         r.observe(Hist::TraverseFrontier, 1);
         r.observe(Hist::TraverseFrontier, 5);
+        r.observe(Hist::TraverseFrontier, 9);
         r.observe(Hist::TraverseFrontier, 1_000_000);
         let report = r.snapshot();
         let (_, buckets) = &report.histograms[Hist::TraverseFrontier.index()];
-        assert_eq!(buckets[0], (Some(1), 2), "0 and 1 land in le_1");
-        assert_eq!(buckets[3], (Some(8), 1), "5 lands in le_8");
-        assert_eq!(buckets[NUM_BUCKETS - 1], (None, 1), "overflow bucket");
+        assert_eq!(buckets[0], (Some(0), 1), "0 lands in le_0");
+        assert_eq!(buckets[1], (Some(1), 1), "1 lands in le_1");
+        assert_eq!(buckets[5], (Some(5), 1), "small values get exact buckets");
+        assert_eq!(buckets[8], (Some(9), 1), "9 lands in le_9");
+        assert_eq!(buckets[NUM_BUCKETS - 1], (None, 1), "beyond MAX_TRACKED is overflow");
+        assert_eq!(buckets[NUM_BUCKETS - 2].0, Some(MAX_TRACKED), "last regular bucket");
+        assert_eq!(report.hist_total("traverse.frontier_size"), Some(5));
+    }
+
+    #[test]
+    fn report_quantiles_walk_bucket_bounds() {
+        let r = MetricsRegistry::new();
+        for v in [1u64, 2, 3, 4] {
+            r.observe(Hist::RelResultRows, v);
+        }
+        let report = r.snapshot();
+        assert_eq!(report.hist_quantile("relstore.result_rows", 0.5), Some(2));
+        assert_eq!(report.hist_quantile("relstore.result_rows", 1.0), Some(4));
+        assert_eq!(report.hist_quantile("query.degradation_depth", 0.5), Some(0), "empty hist");
+        assert_eq!(report.hist_quantile("bogus", 0.5), None);
+        r.observe(Hist::RelResultRows, MAX_TRACKED + 1);
+        assert_eq!(r.snapshot().hist_quantile("relstore.result_rows", 1.0), Some(u64::MAX));
     }
 
     #[test]
@@ -691,7 +663,8 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.starts_with("{\"metrics\":{\"ingest.tables\":0"), "{a}");
         assert!(a.contains("\"query.answered\":1"));
-        assert!(a.contains("\"traverse.frontier_size\":{\"le_1\":0"));
+        assert!(a.contains("\"traverse.frontier_size\":{\"le_0\":0"));
+        assert!(a.contains("\"meter.slm_calls\":{\"le_0\":0"));
         assert!(r.snapshot().to_string().contains("query.answered"));
     }
 
@@ -711,7 +684,7 @@ mod tests {
         assert_eq!(r.get(Metric::EntropySamples), 4000);
         let report = r.snapshot();
         let (_, buckets) = &report.histograms[Hist::RelResultRows.index()];
-        assert_eq!(buckets[2], (Some(4), 4000));
+        assert_eq!(buckets[3], (Some(3), 4000));
     }
 
     #[test]

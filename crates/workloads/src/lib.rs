@@ -21,8 +21,10 @@ pub mod healthcare;
 pub mod names;
 pub mod qa;
 pub mod reports;
+pub mod scale;
 
 pub use ecommerce::{EcommerceConfig, EcommerceWorkload};
 pub use healthcare::{HealthcareConfig, HealthcareWorkload};
 pub use qa::{answer_matches, GoldAnswer, QaCategory, QaItem};
 pub use reports::{GoldFact, ReportCorpus};
+pub use scale::{ScaleConfig, ScaleWorkload};

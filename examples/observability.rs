@@ -1,5 +1,6 @@
-//! Observability tour (DESIGN.md §9): per-query explain traces, the closed
-//! metric registry, and trace-sink emission.
+//! Observability tour (DESIGN.md §9, §14): per-query explain traces with
+//! resource meters, span flamegraphs, the closed metric registry with its
+//! latency/size histograms, and trace-sink emission.
 //!
 //! Run with:
 //! ```sh
@@ -8,6 +9,7 @@
 //! UNISEM_TRACE=stderr cargo run -p unisem-core --example observability
 //! ```
 
+use tracekit::FlameGraph;
 use unisem_core::{EngineBuilder, EngineConfig, EntityKind, Lexicon};
 use unisem_relstore::{DataType, Schema, Table, Value};
 
@@ -46,16 +48,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (engine, _report) = builder.build();
 
-    for question in [
+    let questions = [
         "What was the total sales amount of Aero Widget across all quarters?",
         "Which manufacturer makes the Aero Widget?",
         "What was the total sales of the Phantom Gizmo in Q2 2024?",
-    ] {
+    ];
+    // Running totals of the per-query meters, cross-checked against the
+    // registry at the end: the trace-level and registry-level views of
+    // resource consumption must agree exactly.
+    let mut total_nodes_popped = 0u64;
+    let mut total_slm_samples = 0u64;
+    let mut flame = FlameGraph::new();
+
+    for question in questions {
         let answer = engine.answer(question);
         println!("Q: {question}");
         println!("A: {answer}");
         // The explain trace: ladder rungs attempted (with outcomes), the
-        // synthesized plan, traversal stats, and the entropy verdict.
+        // synthesized plan, traversal stats, the entropy verdict, and the
+        // per-query resource meter.
         let trace = answer.trace.as_ref().expect("EngineConfig::trace attaches one");
         println!("  route taken: {}", trace.route);
         for rung in &trace.rungs {
@@ -76,17 +87,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 e.n_samples, e.n_clusters, e.confidence, e.abstained
             );
         }
+        // The resource meter: work performed, as pure functions of query
+        // + corpus (deterministic at every thread count).
+        let meter = trace.meter.as_ref().expect("traced answers carry a meter");
+        let fields = meter
+            .fields()
+            .iter()
+            .map(|(name, v)| format!("{name}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("  meter: {fields}");
+        total_nodes_popped += meter.nodes_popped;
+        total_slm_samples += meter.slm_samples;
+        flame.add_trace(trace);
         println!();
     }
 
-    // The closed metric registry: every counter/gauge has a compile-time
-    // name; the snapshot is deterministic for a given workload.
+    // The span flamegraph: folded stacks (`parent;child weight`) folded
+    // from the three traces — deterministic, so the same workload always
+    // folds to the same bytes.
+    println!("flamegraph (folded stacks, all queries):");
+    for line in flame.to_folded().lines() {
+        println!("  {line}");
+    }
+
+    // The closed metric registry: every counter/gauge/histogram has a
+    // compile-time name; the snapshot is deterministic for a given
+    // workload.
     let metrics = engine.metrics_report();
-    println!("metrics snapshot (deterministic):");
+    println!("\nmetrics snapshot (deterministic):");
     for name in ["query.answered", "query.abstained", "traverse.queries", "relstore.plans_executed"]
     {
         println!("  {name} = {}", metrics.get(name).unwrap_or(0));
     }
+    println!(
+        "  meter.slm_calls histogram: {} observations, p50<= {}",
+        metrics.hist_total("meter.slm_calls").unwrap_or(0),
+        metrics.hist_quantile("meter.slm_calls", 0.5).unwrap_or(0),
+    );
+
+    // Cross-check: the per-query meters and the registry are two views of
+    // the same work and must agree exactly.
+    assert_eq!(metrics.hist_total("meter.slm_calls"), Some(questions.len() as u64));
+    assert_eq!(metrics.get("traverse.nodes_popped"), Some(total_nodes_popped));
+    assert_eq!(metrics.get("entropy.samples"), Some(total_slm_samples));
 
     // Wall-clock stage timings live in a *separate* report, so determinism
     // checks never see them.

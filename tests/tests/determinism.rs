@@ -2,7 +2,9 @@
 //! answers, and experiment measurements — the property every experiment in
 //! EXPERIMENTS.md relies on.
 
-use unisem_core::{EngineBuilder, EngineConfig, FaultPlan, ParallelConfig, UnifiedEngine};
+use unisem_core::{
+    EngineBuilder, EngineConfig, FaultPlan, FlameGraph, ParallelConfig, UnifiedEngine,
+};
 use unisem_workloads::{EcommerceConfig, EcommerceWorkload};
 
 fn engine(seed: u64) -> (EcommerceWorkload, UnifiedEngine) {
@@ -186,26 +188,37 @@ fn trace_and_metrics_byte_identical_across_threads_and_faults() {
             }
             b.build().0
         };
+        // Trace JSON covers the meter; the folded flamegraph and the
+        // metrics snapshot (with its meter histograms) are additionally
+        // compared as rendered bytes.
+        let render = |e: &UnifiedEngine| -> (Vec<String>, Vec<String>) {
+            e.answer_batch(&questions)
+                .iter()
+                .map(|a| {
+                    let t = a.trace.as_ref().expect("trace opted in");
+                    (t.to_jsonl(), FlameGraph::from_trace(t).to_folded())
+                })
+                .unzip()
+        };
         let spec = plan.spec();
         let reference_engine = build(1);
-        let reference_traces: Vec<String> = reference_engine
-            .answer_batch(&questions)
-            .iter()
-            .map(|a| a.trace.as_ref().expect("trace opted in").to_jsonl())
-            .collect();
+        let (reference_traces, reference_folded) = render(&reference_engine);
         let reference_metrics = reference_engine.metrics_report().to_json();
         for threads in [2, 4, 8] {
             let e = build(threads);
-            let traces: Vec<String> = e
-                .answer_batch(&questions)
-                .iter()
-                .map(|a| a.trace.as_ref().expect("trace opted in").to_jsonl())
-                .collect();
+            let (traces, folded) = render(&e);
             for ((q, got), want) in questions.iter().zip(&traces).zip(&reference_traces) {
                 assert_eq!(
                     got.as_bytes(),
                     want.as_bytes(),
                     "threads={threads} faults='{spec}' trace: {q}"
+                );
+            }
+            for ((q, got), want) in questions.iter().zip(&folded).zip(&reference_folded) {
+                assert_eq!(
+                    got.as_bytes(),
+                    want.as_bytes(),
+                    "threads={threads} faults='{spec}' flamegraph: {q}"
                 );
             }
             assert_eq!(

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use unisem_core::{
-    EngineBuilder, EngineConfig, EntityKind, Lexicon, Route, TraceSink, UnifiedEngine,
+    EngineBuilder, EngineConfig, EntityKind, FlameGraph, Lexicon, Route, TraceSink, UnifiedEngine,
 };
 use unisem_relstore::{DataType, Schema, Table, Value};
 
@@ -160,8 +160,68 @@ fn metrics_report_covers_build_and_query_pipeline() {
     assert_eq!(m.get("not.a.metric"), None);
     let json = m.to_json();
     assert!(json.contains("\"query.answered\":3"), "{json}");
+    assert!(json.contains("\"meter.slm_calls\""), "meter histograms in the snapshot: {json}");
     // Wall-clock timings live in a separate report with recorded stages.
     let timings = e.timing_report();
     assert!(timings.count("answer.total") >= Some(3));
     assert!(!json.contains("total_ns"), "no wall-clock values in the metrics snapshot");
+}
+
+/// The per-query resource meter and the closed registry are two views of
+/// the same work: summed per-query meters must equal the registry's
+/// counters, and each meter field records exactly one histogram
+/// observation per query.
+#[test]
+fn meter_totals_match_registry_counters_and_histograms() {
+    let e = engine_with(EngineConfig { trace: true, ..EngineConfig::default() });
+    let mut nodes_popped = 0u64;
+    let mut slm_samples = 0u64;
+    for q in QUESTIONS {
+        let a = e.answer(q);
+        let meter = a.trace.as_ref().and_then(|t| t.meter).expect("traced answers carry a meter");
+        assert!(meter.slm_calls >= 2, "intent parse + entropy estimate: {q}");
+        nodes_popped += meter.nodes_popped;
+        slm_samples += meter.slm_samples;
+    }
+    let m = e.metrics_report();
+    assert_eq!(m.get("traverse.nodes_popped"), Some(nodes_popped));
+    assert_eq!(m.get("entropy.samples"), Some(slm_samples));
+    for hist in [
+        "meter.pages_read",
+        "meter.postings_scanned",
+        "meter.nodes_popped",
+        "meter.dense_compared",
+        "meter.slm_calls",
+        "meter.slm_samples",
+        "meter.wal_bytes",
+        "query.degradation_depth",
+        "query.provenance_items",
+    ] {
+        assert_eq!(m.hist_total(hist), Some(QUESTIONS.len() as u64), "{hist}");
+    }
+    // Histograms are closed-registry too, and bucket layouts end in the
+    // overflow bucket.
+    assert_eq!(m.hist("not.a.hist"), None);
+    let buckets = m.hist("meter.slm_calls").expect("registered");
+    assert_eq!(buckets.last().map(|(le, _)| *le), Some(None), "overflow bucket last");
+    assert!(m.hist_quantile("meter.slm_calls", 0.5).unwrap() >= 2);
+}
+
+/// Flamegraph folding is deterministic (same trace, same bytes), sorted in
+/// its folded output, and conserves weights from the trace it folds.
+#[test]
+fn flamegraph_folding_is_sorted_and_stable() {
+    let e = engine_with(EngineConfig { trace: true, ..EngineConfig::default() });
+    let trace = e.answer(QUESTIONS[1]).trace.expect("opted in");
+    let folded = FlameGraph::from_trace(&trace).to_folded();
+    assert!(folded.lines().all(|l| l.starts_with("answer")), "{folded}");
+    assert!(folded.contains("answer;entropy;sample"), "{folded}");
+    assert!(folded.contains("answer;meter;slm_calls"), "{folded}");
+    let mut lines: Vec<&str> = folded.lines().collect();
+    let original = lines.clone();
+    lines.sort_unstable();
+    assert_eq!(lines, original, "folded stacks emitted in sorted order");
+    // Byte-stable across re-answers of the same question.
+    let again = FlameGraph::from_trace(&e.answer(QUESTIONS[1]).trace.expect("opted in"));
+    assert_eq!(again.to_folded().as_bytes(), folded.as_bytes());
 }
