@@ -102,33 +102,56 @@ if [ "$rows" -lt 2 ]; then
     echo "ERROR: scalebench --smoke emitted $rows rows (expected >= 2)"
     exit 1
 fi
-if printf '%s\n' "$scale_out" | grep -vq '"qps":[1-9]'; then
+# Quantile checks apply to the scale rows only: any stray diagnostic line
+# on stdout would trivially "lack" qps and fail the inverted grep, so
+# filter to the suite's own rows before asserting shape.
+scale_rows=$(printf '%s\n' "$scale_out" | grep '"suite":"scale"')
+if printf '%s\n' "$scale_rows" | grep -vq '"qps":[1-9]'; then
     echo "ERROR: scalebench --smoke produced a row without nonzero qps"
-    printf '%s\n' "$scale_out"
+    printf '%s\n' "$scale_rows"
     exit 1
 fi
-if printf '%s\n' "$scale_out" | grep -vq '"p99_ns":[1-9]'; then
+if printf '%s\n' "$scale_rows" | grep -vq '"p99_ns":[1-9]'; then
     echo "ERROR: scalebench --smoke produced a row without a nonzero p99"
-    printf '%s\n' "$scale_out"
+    printf '%s\n' "$scale_rows"
     exit 1
 fi
 
 echo "==> udlint --deny all (static determinism-contract audit)"
-# One tokenizer-based linter replaces the former awk gates (closed metric
-# namespace, unwrap audit, path-only manifests) and adds the lints awk
-# could not express: hash-order iteration hazards, wall-clock reads
-# outside tracekit::wall, raw thread spawns, and env reads outside the
-# UNISEM_* surface. `udlint --list` names every lint; suppressions need
+# One linter replaces the former awk gates (closed metric namespace,
+# unwrap audit, path-only manifests) and adds the lints awk could not
+# express. Token passes catch per-line hazards (hash-order iteration,
+# wall-clock reads outside tracekit::wall, raw thread spawns, env reads
+# outside the UNISEM_* surface); the semantic passes parse every crate,
+# build the workspace symbol/call graph, and enforce the cross-file
+# contracts (transitive-wallclock, uncovered-io-site, dead-registry-entry,
+# meter-mirror). `udlint --list` names every lint, `udlint --explain
+# <lint>` documents each one; suppressions need
 # `// udlint: allow(<lint>) -- <reason>` and are budgeted below.
 CARGO_NET_OFFLINE=true cargo run -q --release -p lintkit --bin udlint -- --deny all
+
+echo "==> udlint determinism gate (byte-identical JSON across runs)"
+# The semantic passes walk a call graph; any hash-order or traversal-order
+# leak in the analysis itself would show up as report churn. Two full
+# runs must render byte-identical JSON — same guarantee CI relies on to
+# diff reports across machines.
+report_a=$(CARGO_NET_OFFLINE=true cargo run -q --release -p lintkit --bin udlint -- --deny all --format json)
+report_b=$(CARGO_NET_OFFLINE=true cargo run -q --release -p lintkit --bin udlint -- --deny all --format json)
+if [ "$report_a" != "$report_b" ]; then
+    echo "ERROR: udlint JSON report differs between two runs over the same tree"
+    diff <(printf '%s\n' "$report_a") <(printf '%s\n' "$report_b") || true
+    exit 1
+fi
 
 echo "==> suppression budget meta-gate"
 # The committed budget (lint-budget.txt) is the ceiling on active
 # `udlint: allow` suppressions. New suppressions fail CI until the budget
 # is raised in the same review — so the count can only grow deliberately,
-# and only shrinking it is frictionless.
+# and only shrinking it is frictionless. udlint prints the bare count as
+# the last line of stdout; tail -n1 keeps the gate immune to any cargo
+# noise that lands ahead of it.
 budget=$(tr -d '[:space:]' < lint-budget.txt)
-count=$(CARGO_NET_OFFLINE=true cargo run -q --release -p lintkit --bin udlint -- --suppressions)
+count=$(CARGO_NET_OFFLINE=true cargo run -q --release -p lintkit --bin udlint -- --suppressions | tail -n1)
 if [ "$count" -gt "$budget" ]; then
     echo "ERROR: $count udlint suppressions exceed the committed budget of $budget"
     echo "       (fix the findings, or raise lint-budget.txt under review)"

@@ -1,0 +1,801 @@
+//! An item-level recursive-descent parser over the lexed token stream.
+//!
+//! The token-level passes (PR 5) see one file at a time and no structure:
+//! they can flag a raw `Instant::now()` but cannot say *which function*
+//! contains it, let alone who calls that function from another crate. This
+//! parser recovers exactly the structure the semantic passes need — the
+//! item tree (`fn` / `struct` / `enum` / `impl` / `trait` / `mod` / `use`
+//! / macro invocations) with names, body spans, and the `#[cfg(test)]`
+//! marking the lexer already computed — and nothing more. No expressions,
+//! no types, no trait solving: function bodies stay token ranges that
+//! passes scan for patterns, which is what keeps the parser small enough
+//! to be trustworthy and total.
+//!
+//! # Totality and recovery
+//!
+//! The parser never fails and never panics. Anything it does not
+//! recognize at item position is skipped one *balanced chunk* at a time
+//! (a matched delimiter group counts as one chunk), so a syntax island it
+//! cannot read costs at most the island — the next recognizable item is
+//! parsed normally. `tests/parser_corpus.rs` holds the adversarial corpus
+//! (macro soup, nested mods, `impl Trait`, where-clauses, attribute
+//! stacking) proving recovery on each.
+//!
+//! Spans are *sig-indices* — positions in [`SourceFile::sig`], the
+//! comment-stripped token stream — so passes compose with the existing
+//! `sig_text` / `sig_line` / `sig_in_test` accessors.
+
+use crate::source::SourceFile;
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn name(…) { … }` (free, impl, or trait-default).
+    Fn,
+    /// `struct Name { … }` / tuple / unit struct.
+    Struct,
+    /// `enum Name { … }`.
+    Enum,
+    /// `union Name { … }`.
+    Union,
+    /// `trait Name { … }` (children hold default-bodied methods).
+    Trait,
+    /// `impl [Trait for] Type { … }` — `name` is the *self type*.
+    Impl,
+    /// `mod name;` or `mod name { … }` (children hold the inline items).
+    Mod,
+    /// `use path::to::{items};` — the token span holds the full path.
+    Use,
+    /// `const NAME: T = …;`
+    Const,
+    /// `static NAME: T = …;`
+    Static,
+    /// `type Alias = …;`
+    TypeAlias,
+    /// `macro_rules! name { … }`.
+    MacroDef,
+    /// Item-position macro invocation `name! { … }` (e.g. `registry_enum!`).
+    MacroCall,
+    /// `extern crate name;`
+    ExternCrate,
+}
+
+/// One parsed item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item class.
+    pub kind: ItemKind,
+    /// Declared name. For [`ItemKind::Impl`] this is the *self type*'s
+    /// final path segment; for [`ItemKind::Use`] the final bound name is
+    /// not computed here (resolution reads the token span instead);
+    /// empty when unnamed/unreadable.
+    pub name: String,
+    /// 1-based line of the introducing keyword.
+    pub line: u32,
+    /// Sig-index of the item's first token (the keyword, not attributes).
+    pub start: usize,
+    /// Sig-index of the item's last token (`}` or `;`), inclusive.
+    pub end: usize,
+    /// Sig-index range strictly *inside* the item's brace/paren block
+    /// (`(lo, hi)` inclusive; `None` for brace-less items or empty
+    /// blocks). For [`ItemKind::Fn`] this is the body; for
+    /// [`ItemKind::MacroCall`] the tokens between the delimiters.
+    pub body: Option<(usize, usize)>,
+    /// True when the item sits under `#[cfg(test)]` / `#[test]` (taken
+    /// from the lexer's span marking on the introducing token).
+    pub in_test: bool,
+    /// Nested items (for `mod`, `impl`, and `trait` bodies).
+    pub children: Vec<Item>,
+}
+
+/// The item tree of one file.
+#[derive(Debug, Clone, Default)]
+pub struct Ast {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// Parses the item tree of `file`. Total: never fails, never panics.
+pub fn parse(file: &SourceFile) -> Ast {
+    let mut p = Parser { f: file };
+    let (items, _) = p.parse_items(0, file.sig.len(), false);
+    Ast { items }
+}
+
+struct Parser<'a> {
+    f: &'a SourceFile,
+}
+
+impl<'a> Parser<'a> {
+    fn text(&self, k: usize) -> &str {
+        self.f.sig_text(k)
+    }
+
+    /// Parses items in `[from, to)`; `in_trait` admits brace-less `fn`
+    /// signatures without treating them as recovery. Returns the items
+    /// and the index it stopped at.
+    fn parse_items(&mut self, from: usize, to: usize, in_trait: bool) -> (Vec<Item>, usize) {
+        let mut items = Vec::new();
+        let mut k = from;
+        while k < to {
+            match self.parse_item(k, to, in_trait) {
+                Some(item) => {
+                    k = item.end + 1;
+                    items.push(item);
+                }
+                None => {
+                    // Recovery: skip one balanced chunk and try again at
+                    // the next position. Guaranteed progress: at least
+                    // one token is consumed.
+                    k = self.skip_chunk(k, to);
+                }
+            }
+        }
+        (items, to)
+    }
+
+    /// Skips one balanced chunk starting at `k`: a matched delimiter
+    /// group, or a single token. An *unmatched* open delimiter skips
+    /// only itself — swallowing to end-of-file would take every later
+    /// item down with one garbage brace. Always advances.
+    fn skip_chunk(&self, k: usize, to: usize) -> usize {
+        let close = match self.text(k) {
+            "{" => "}",
+            "(" => ")",
+            "[" => "]",
+            _ => return k + 1,
+        };
+        let open = self.text(k).to_string();
+        let mut depth = 0usize;
+        for j in k..to {
+            let t = self.text(j);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+        }
+        k + 1
+    }
+
+    /// Index of the delimiter matching `open` at `k` (or `to - 1` when
+    /// unterminated; never past `to`).
+    fn match_delim(&self, k: usize, open: &str, close: &str, to: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = k;
+        while j < to {
+            let t = self.text(j);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        to.saturating_sub(1).max(k)
+    }
+
+    /// Skips attributes (`#[…]`, `#![…]`) starting at `k`.
+    fn skip_attributes(&self, mut k: usize, to: usize) -> usize {
+        while k < to && self.text(k) == "#" {
+            let mut j = k + 1;
+            if self.text(j) == "!" {
+                j += 1;
+            }
+            if self.text(j) != "[" {
+                break; // stray `#`: not an attribute
+            }
+            k = self.match_delim(j, "[", "]", to) + 1;
+        }
+        k
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, `pub(in …)`).
+    fn skip_visibility(&self, mut k: usize, to: usize) -> usize {
+        if self.text(k) == "pub" {
+            k += 1;
+            if k < to && self.text(k) == "(" {
+                k = self.match_delim(k, "(", ")", to) + 1;
+            }
+        }
+        k
+    }
+
+    /// Skips fn qualifiers (`const`, `async`, `unsafe`, `extern "C"`,
+    /// `default`) when they precede an item keyword.
+    fn skip_fn_qualifiers(&self, mut k: usize, to: usize) -> usize {
+        loop {
+            match self.text(k) {
+                "const" | "async" | "unsafe" | "default" if self.is_qualifier_here(k) => k += 1,
+                "extern" if self.text(k + 1) != "crate" => {
+                    // `extern "C" fn` / `unsafe extern "C" fn`.
+                    k += 1;
+                    if matches!(self.f.sig_kind(k), Some(crate::lexer::TokKind::Str)) {
+                        k += 1;
+                    }
+                }
+                _ => break,
+            }
+            if k >= to {
+                break;
+            }
+        }
+        k
+    }
+
+    /// `const`/`unsafe`/… count as qualifiers only when another item
+    /// keyword follows eventually (`const fn`, `unsafe impl`); `const X:`
+    /// is an item of its own.
+    fn is_qualifier_here(&self, k: usize) -> bool {
+        matches!(self.text(k + 1), "fn" | "unsafe" | "async" | "extern" | "impl" | "trait")
+    }
+
+    /// Skips a generic parameter list `<…>` at `k` (angle-depth counted;
+    /// `->` and `=>` are glued tokens, so `>` counting is exact).
+    fn skip_generics(&self, k: usize, to: usize) -> usize {
+        if self.text(k) != "<" {
+            return k;
+        }
+        let mut depth = 0usize;
+        let mut j = k;
+        while j < to {
+            match self.text(j) {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                // A `(`…`)` group inside generics (Fn-trait sugar) may
+                // contain no angles but is safe to step through.
+                _ => {}
+            }
+            j += 1;
+        }
+        to
+    }
+
+    /// Tries to parse one item at `k` (attributes already allowed in
+    /// front). Returns `None` when `k` does not start a recognizable
+    /// item.
+    fn parse_item(&mut self, k: usize, to: usize, in_trait: bool) -> Option<Item> {
+        let after_attrs = self.skip_attributes(k, to);
+        let after_vis = self.skip_visibility(after_attrs, to);
+        let kw = self.skip_fn_qualifiers(after_vis, to);
+        if kw >= to {
+            return None;
+        }
+        let in_test = self.f.sig_in_test(kw);
+        let line = self.f.sig_line(kw);
+        match self.text(kw) {
+            "fn" => self.parse_fn(kw, to, line, in_test, in_trait),
+            "struct" | "enum" | "union" => self.parse_adt(kw, to, line, in_test),
+            "trait" => self.parse_trait(kw, to, line, in_test),
+            "impl" => self.parse_impl(kw, to, line, in_test),
+            "mod" => self.parse_mod(kw, to, line, in_test),
+            "use" => self.parse_to_semi(kw, to, ItemKind::Use, String::new(), line, in_test),
+            "const" | "static" => {
+                let name = self.ident_at(kw + 1).unwrap_or_default();
+                let kind =
+                    if self.text(kw) == "const" { ItemKind::Const } else { ItemKind::Static };
+                self.parse_to_semi(kw, to, kind, name, line, in_test)
+            }
+            "type" => {
+                let name = self.ident_at(kw + 1).unwrap_or_default();
+                self.parse_to_semi(kw, to, ItemKind::TypeAlias, name, line, in_test)
+            }
+            "extern" if self.text(kw + 1) == "crate" => {
+                let name = self.ident_at(kw + 2).unwrap_or_default();
+                self.parse_to_semi(kw, to, ItemKind::ExternCrate, name, line, in_test)
+            }
+            "macro_rules" if self.text(kw + 1) == "!" => {
+                let name = self.ident_at(kw + 2).unwrap_or_default();
+                let open = kw + 3;
+                if self.text(open) != "{" && self.text(open) != "(" && self.text(open) != "[" {
+                    return None;
+                }
+                let (o, c) = delim_pair(self.text(open));
+                let close = self.match_delim(open, o, c, to);
+                // `macro_rules! m (…);` needs its trailing semicolon.
+                let end = if self.text(close + 1) == ";" { close + 1 } else { close };
+                Some(Item {
+                    kind: ItemKind::MacroDef,
+                    name,
+                    line,
+                    start: kw,
+                    end,
+                    body: body_range(open, close),
+                    in_test,
+                    children: Vec::new(),
+                })
+            }
+            t if is_ident_like(t) && self.text(kw + 1) == "!" => {
+                // Item-position macro invocation: `name! { … }` or
+                // `name!(…);` — registry_enum!, thread_local!, etc.
+                let open = kw + 2;
+                let name = t.to_string();
+                let (o, c) = match self.text(open) {
+                    "{" => ("{", "}"),
+                    "(" => ("(", ")"),
+                    "[" => ("[", "]"),
+                    _ => return None,
+                };
+                let close = self.match_delim(open, o, c, to);
+                let end = if o != "{" && self.text(close + 1) == ";" { close + 1 } else { close };
+                Some(Item {
+                    kind: ItemKind::MacroCall,
+                    name,
+                    line,
+                    start: kw,
+                    end,
+                    body: body_range(open, close),
+                    in_test,
+                    children: Vec::new(),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn ident_at(&self, k: usize) -> Option<String> {
+        let t = self.text(k);
+        is_ident_like(t).then(|| t.to_string())
+    }
+
+    /// `fn name<…>(…) [-> …] [where …] { body }` or `;`.
+    fn parse_fn(
+        &mut self,
+        kw: usize,
+        to: usize,
+        line: u32,
+        in_test: bool,
+        in_trait: bool,
+    ) -> Option<Item> {
+        let name = self.ident_at(kw + 1)?;
+        let mut j = self.skip_generics(kw + 2, to);
+        if self.text(j) != "(" {
+            return None;
+        }
+        j = self.match_delim(j, "(", ")", to) + 1;
+        // Return type / where clause: first `{` or `;` outside any
+        // delimiter group ends the header. Angle depth guards `where
+        // T: Iterator<Item = U>`.
+        let mut angle = 0i32;
+        while j < to {
+            match self.text(j) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "(" => j = self.match_delim(j, "(", ")", to),
+                "[" => j = self.match_delim(j, "[", "]", to),
+                "{" if angle <= 0 => {
+                    let close = self.match_delim(j, "{", "}", to);
+                    return Some(Item {
+                        kind: ItemKind::Fn,
+                        name,
+                        line,
+                        start: kw,
+                        end: close,
+                        body: body_range(j, close),
+                        in_test,
+                        children: Vec::new(),
+                    });
+                }
+                ";" if in_trait => {
+                    return Some(Item {
+                        kind: ItemKind::Fn,
+                        name,
+                        line,
+                        start: kw,
+                        end: j,
+                        body: None,
+                        in_test,
+                        children: Vec::new(),
+                    });
+                }
+                ";" => {
+                    // A body-less free fn is malformed; accept it anyway
+                    // (total parser) with no body.
+                    return Some(Item {
+                        kind: ItemKind::Fn,
+                        name,
+                        line,
+                        start: kw,
+                        end: j,
+                        body: None,
+                        in_test,
+                        children: Vec::new(),
+                    });
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// `struct`/`enum`/`union` with brace, tuple, or unit body.
+    fn parse_adt(&mut self, kw: usize, to: usize, line: u32, in_test: bool) -> Option<Item> {
+        let kind = match self.text(kw) {
+            "struct" => ItemKind::Struct,
+            "enum" => ItemKind::Enum,
+            _ => ItemKind::Union,
+        };
+        let name = self.ident_at(kw + 1)?;
+        let mut j = self.skip_generics(kw + 2, to);
+        // Tuple struct `(…)` then `;`, where clause, brace body, or `;`.
+        let mut angle = 0i32;
+        while j < to {
+            match self.text(j) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "(" => j = self.match_delim(j, "(", ")", to),
+                "[" => j = self.match_delim(j, "[", "]", to),
+                "{" if angle <= 0 => {
+                    let close = self.match_delim(j, "{", "}", to);
+                    return Some(Item {
+                        kind,
+                        name,
+                        line,
+                        start: kw,
+                        end: close,
+                        body: body_range(j, close),
+                        in_test,
+                        children: Vec::new(),
+                    });
+                }
+                ";" if angle <= 0 => {
+                    return Some(Item {
+                        kind,
+                        name,
+                        line,
+                        start: kw,
+                        end: j,
+                        body: None,
+                        in_test,
+                        children: Vec::new(),
+                    });
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// `trait Name … { items }` — children are parsed (default-bodied
+    /// methods are call-graph nodes).
+    fn parse_trait(&mut self, kw: usize, to: usize, line: u32, in_test: bool) -> Option<Item> {
+        let name = self.ident_at(kw + 1)?;
+        let open = self.find_block_open(kw + 2, to)?;
+        let close = self.match_delim(open, "{", "}", to);
+        let children = match body_range(open, close) {
+            Some((lo, hi)) => self.parse_items(lo, hi + 1, true).0,
+            None => Vec::new(),
+        };
+        Some(Item {
+            kind: ItemKind::Trait,
+            name,
+            line,
+            start: kw,
+            end: close,
+            body: body_range(open, close),
+            in_test,
+            children,
+        })
+    }
+
+    /// `impl [<…>] [Trait for] Type { items }` — `name` is the self
+    /// type's final path segment.
+    fn parse_impl(&mut self, kw: usize, to: usize, line: u32, in_test: bool) -> Option<Item> {
+        let head = self.skip_generics(kw + 1, to);
+        let open = self.find_block_open(head, to)?;
+        // Self type: the segment after `for` when present, else the head
+        // path itself. Take the last plain ident before generics/where.
+        let mut seg_from = head;
+        for j in head..open {
+            if self.text(j) == "for" {
+                seg_from = j + 1;
+            }
+            if self.text(j) == "where" {
+                break;
+            }
+        }
+        let mut name = String::new();
+        for j in seg_from..open {
+            let t = self.text(j);
+            if t == "where" || t == "<" {
+                break;
+            }
+            if is_ident_like(t) {
+                name = t.to_string();
+            }
+        }
+        let close = self.match_delim(open, "{", "}", to);
+        let children = match body_range(open, close) {
+            Some((lo, hi)) => self.parse_items(lo, hi + 1, true).0,
+            None => Vec::new(),
+        };
+        Some(Item {
+            kind: ItemKind::Impl,
+            name,
+            line,
+            start: kw,
+            end: close,
+            body: body_range(open, close),
+            in_test,
+            children,
+        })
+    }
+
+    /// `mod name;` or `mod name { items }`.
+    fn parse_mod(&mut self, kw: usize, to: usize, line: u32, in_test: bool) -> Option<Item> {
+        let name = self.ident_at(kw + 1)?;
+        match self.text(kw + 2) {
+            ";" => Some(Item {
+                kind: ItemKind::Mod,
+                name,
+                line,
+                start: kw,
+                end: kw + 2,
+                body: None,
+                in_test,
+                children: Vec::new(),
+            }),
+            "{" => {
+                let open = kw + 2;
+                let close = self.match_delim(open, "{", "}", to);
+                let children = match body_range(open, close) {
+                    Some((lo, hi)) => self.parse_items(lo, hi + 1, false).0,
+                    None => Vec::new(),
+                };
+                Some(Item {
+                    kind: ItemKind::Mod,
+                    name,
+                    line,
+                    start: kw,
+                    end: close,
+                    body: body_range(open, close),
+                    in_test,
+                    children,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Finds the opening `{` of a block header, stepping over balanced
+    /// groups and angle-bracketed generics.
+    fn find_block_open(&self, from: usize, to: usize) -> Option<usize> {
+        let mut angle = 0i32;
+        let mut j = from;
+        while j < to {
+            match self.text(j) {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "(" => j = self.match_delim(j, "(", ")", to),
+                "[" => j = self.match_delim(j, "[", "]", to),
+                "{" if angle <= 0 => return Some(j),
+                ";" if angle <= 0 => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Consumes an item that runs to its terminating `;` (use, const,
+    /// static, type, extern crate), stepping over balanced groups (a
+    /// `const X: [u8; 4] = { … };` initializer contains both).
+    fn parse_to_semi(
+        &mut self,
+        kw: usize,
+        to: usize,
+        kind: ItemKind,
+        name: String,
+        line: u32,
+        in_test: bool,
+    ) -> Option<Item> {
+        let mut j = kw + 1;
+        while j < to {
+            match self.text(j) {
+                "(" => j = self.match_delim(j, "(", ")", to),
+                "[" => j = self.match_delim(j, "[", "]", to),
+                "{" => j = self.match_delim(j, "{", "}", to),
+                ";" => {
+                    return Some(Item {
+                        kind,
+                        name,
+                        line,
+                        start: kw,
+                        end: j,
+                        body: None,
+                        in_test,
+                        children: Vec::new(),
+                    });
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+}
+
+fn delim_pair(open: &str) -> (&'static str, &'static str) {
+    match open {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => ("{", "}"),
+    }
+}
+
+fn is_ident_like(t: &str) -> bool {
+    !t.is_empty()
+        && t.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && !matches!(
+            t,
+            "fn" | "struct"
+                | "enum"
+                | "union"
+                | "trait"
+                | "impl"
+                | "mod"
+                | "use"
+                | "const"
+                | "static"
+                | "type"
+                | "extern"
+                | "pub"
+                | "where"
+                | "for"
+                | "in"
+                | "let"
+                | "match"
+                | "if"
+                | "else"
+                | "return"
+                | "while"
+                | "loop"
+        )
+}
+
+/// Inclusive sig range strictly inside `open`/`close` (None when empty).
+fn body_range(open: usize, close: usize) -> Option<(usize, usize)> {
+    (close > open + 1).then(|| (open + 1, close - 1))
+}
+
+/// Depth-first walk over an item tree, visiting every item once.
+pub fn walk<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item)) {
+    for item in items {
+        f(item);
+        walk(&item.children, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_src(src: &str) -> Ast {
+        parse(&SourceFile::parse("crates/core/src/x.rs", src))
+    }
+
+    fn names(items: &[Item]) -> Vec<(ItemKind, &str)> {
+        items.iter().map(|i| (i.kind, i.name.as_str())).collect()
+    }
+
+    #[test]
+    fn parses_plain_items() {
+        let ast = parse_src(
+            "use std::fmt;\n\
+             pub struct S { a: u32 }\n\
+             pub enum E { A, B }\n\
+             pub fn f(x: u32) -> u32 { x + 1 }\n\
+             const N: usize = 3;\n\
+             static G: u8 = 0;\n\
+             type T = Vec<u32>;\n",
+        );
+        assert_eq!(
+            names(&ast.items),
+            vec![
+                (ItemKind::Use, ""),
+                (ItemKind::Struct, "S"),
+                (ItemKind::Enum, "E"),
+                (ItemKind::Fn, "f"),
+                (ItemKind::Const, "N"),
+                (ItemKind::Static, "G"),
+                (ItemKind::TypeAlias, "T"),
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_bodies_are_token_ranges() {
+        let ast = parse_src("fn f() { a.b(); }\nfn empty() {}\n");
+        assert_eq!(ast.items.len(), 2);
+        assert!(ast.items[0].body.is_some());
+        assert_eq!(ast.items[1].body, None, "empty body has no inner range");
+    }
+
+    #[test]
+    fn impl_names_the_self_type() {
+        let ast = parse_src(
+            "impl Pager { fn write(&mut self) {} }\n\
+             impl fmt::Display for MetricsReport { fn fmt(&self) {} }\n\
+             impl<'a> Iterator for Frontier<'a> { fn next(&mut self) {} }\n",
+        );
+        let impls: Vec<&str> = ast.items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(impls, vec!["Pager", "MetricsReport", "Frontier"]);
+        assert_eq!(names(&ast.items[0].children), vec![(ItemKind::Fn, "write")]);
+    }
+
+    #[test]
+    fn nested_mods_nest() {
+        let ast = parse_src("mod a { mod b { fn deep() {} } fn mid() {} }\nmod decl;\n");
+        assert_eq!(ast.items.len(), 2);
+        let a = &ast.items[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(names(&a.children), vec![(ItemKind::Mod, "b"), (ItemKind::Fn, "mid")]);
+        assert_eq!(names(&a.children[0].children), vec![(ItemKind::Fn, "deep")]);
+        assert_eq!(ast.items[1].end - ast.items[1].start, 2, "mod decl; spans 3 tokens");
+    }
+
+    #[test]
+    fn cfg_test_marks_items() {
+        let ast = parse_src("#[cfg(test)]\nmod tests { fn t() {} }\nfn live() {}\n");
+        assert!(ast.items[0].in_test);
+        assert!(ast.items[0].children[0].in_test);
+        assert!(!ast.items[1].in_test);
+    }
+
+    #[test]
+    fn macro_invocation_at_item_position() {
+        let ast = parse_src(
+            "registry_enum! {\n    pub enum Metric { A => \"a.b\", }\n}\n\
+             thread_local!(static X: u8 = 0;);\nfn after() {}\n",
+        );
+        assert_eq!(ast.items[0].kind, ItemKind::MacroCall);
+        assert_eq!(ast.items[0].name, "registry_enum");
+        assert!(ast.items[0].body.is_some());
+        assert_eq!(ast.items[1].kind, ItemKind::MacroCall);
+        assert_eq!(names(&ast.items[2..]), vec![(ItemKind::Fn, "after")]);
+    }
+
+    #[test]
+    fn where_clauses_and_impl_trait() {
+        let ast = parse_src(
+            "pub fn g<T: Clone>(x: T) -> impl Iterator<Item = T>\nwhere\n    T: Send,\n{ \
+             std::iter::once(x) }\nfn after() {}\n",
+        );
+        assert_eq!(names(&ast.items), vec![(ItemKind::Fn, "g"), (ItemKind::Fn, "after")]);
+    }
+
+    #[test]
+    fn recovery_skips_garbage_to_next_item() {
+        let ast = parse_src(");;;= = = }{ garbage !!\nfn survivor() {}\nstruct Also;\n");
+        let got = names(&ast.items);
+        assert!(got.contains(&(ItemKind::Fn, "survivor")), "{got:?}");
+        assert!(got.contains(&(ItemKind::Struct, "Also")), "{got:?}");
+    }
+
+    #[test]
+    fn trait_with_default_and_required_methods() {
+        let ast =
+            parse_src("trait T { fn required(&self);\n fn provided(&self) { self.required() } }\n");
+        let t = &ast.items[0];
+        assert_eq!(t.kind, ItemKind::Trait);
+        assert_eq!(
+            names(&t.children),
+            vec![(ItemKind::Fn, "required"), (ItemKind::Fn, "provided")]
+        );
+        assert_eq!(t.children[0].body, None);
+        assert!(t.children[1].body.is_some());
+    }
+}

@@ -2,16 +2,22 @@
 //!
 //! ```text
 //! udlint [--root DIR] [--format text|json] [--deny all] [--pedantic]
-//!        [--suppressions] [--list]
+//!        [--suppressions] [--list] [--explain LINT] [--dump-graph]
 //! ```
 //!
 //! - `--root DIR`        tree to lint (default: current directory)
 //! - `--format json`     machine-readable, byte-stable report
 //! - `--deny all`        exit non-zero if any unsuppressed diagnostic
 //! - `--pedantic`        also run the high-noise slice-index audit
-//! - `--suppressions`    print only the active-suppression count
-//!                       (ci.sh compares it against lint-budget.txt)
+//! - `--suppressions`    print only the active-suppression count, as the
+//!                       last (and only) stdout line — ci.sh takes
+//!                       `tail -n1` and compares it to lint-budget.txt
 //! - `--list`            print the closed lint registry and exit
+//! - `--explain LINT`    print the long-form contract documentation for
+//!                       one lint and exit
+//! - `--dump-graph`      print the workspace symbol graph (module tree,
+//!                       function table, call graph) and exit; sorted
+//!                       and byte-stable like every other report
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,6 +28,7 @@ fn main() -> ExitCode {
     let mut deny = false;
     let mut pedantic = false;
     let mut count_only = false;
+    let mut dump_graph = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,15 +48,44 @@ fn main() -> ExitCode {
             },
             "--pedantic" => pedantic = true,
             "--suppressions" => count_only = true,
+            "--dump-graph" => dump_graph = true,
             "--list" => {
                 for (name, desc) in lintkit::LINTS {
                     println!("{name}\n    {desc}");
                 }
                 return ExitCode::SUCCESS;
             }
+            "--explain" => match args.next() {
+                Some(lint) => match lintkit::explain::explain(&lint) {
+                    Some(text) => {
+                        println!("{lint}\n\n{text}");
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!(
+                            "udlint: unknown lint `{lint}` (see `udlint --list` for the registry)"
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => return usage("--explain needs a lint name"),
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument `{other}`")),
         }
+    }
+
+    if dump_graph {
+        return match lintkit::runner::build_workspace(&root) {
+            Ok(ws) => {
+                print!("{}", ws.render_graph());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("udlint: cannot walk {}: {e}", root.display());
+                ExitCode::from(2)
+            }
+        };
     }
 
     let report = match lintkit::runner::run(&root, pedantic) {
@@ -83,7 +119,7 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: udlint [--root DIR] [--format text|json] [--deny all] [--pedantic] \
-         [--suppressions] [--list]"
+         [--suppressions] [--list] [--explain LINT] [--dump-graph]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

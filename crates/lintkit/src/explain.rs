@@ -1,0 +1,178 @@
+//! Long-form lint documentation for `udlint --explain <lint>`.
+//!
+//! Each entry says what the lint matches, *why the contract exists*,
+//! and what a compliant fix looks like — so a CI failure is
+//! self-explaining without opening DESIGN.md. The registry here must
+//! cover exactly [`crate::LINTS`] (enforced by a unit test), so adding
+//! a lint without documenting it does not compile past the suite.
+
+/// Returns the long-form explanation for `lint`, if it is registered.
+pub fn explain(lint: &str) -> Option<&'static str> {
+    EXPLANATIONS.iter().find(|(name, _)| *name == lint).map(|(_, text)| *text)
+}
+
+const EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        "unwrap-in-core",
+        "What: `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`, or\n\
+         `unimplemented!` in non-test library code of a panic-free crate (core,\n\
+         relstore, hetgraph, retrieval, storekit).\n\
+         Why: the engine's error contract (DESIGN.md §8) is typed degradation —\n\
+         bad input quarantines or downgrades, it never aborts the process. A\n\
+         panic in a serving path is an availability bug.\n\
+         Fix: return the crate's typed error, or degrade through the ladder. If\n\
+         the invariant is locally provable, suppress with the proof as reason.",
+    ),
+    (
+        "slice-index",
+        "What: direct `x[i]` indexing in panic-free crates (pedantic only).\n\
+         Why: indexing panics on out-of-bounds — same availability contract as\n\
+         unwrap-in-core, but noisy enough to stay behind --pedantic.\n\
+         Fix: `.get(i)` with typed handling, or iterate instead of indexing.",
+    ),
+    (
+        "unordered-iteration",
+        "What: iterating a HashMap/HashSet where the order can reach floats,\n\
+         traces, or returned collections without an interposed sort.\n\
+         Why: hash iteration order varies across runs and platforms; the engine\n\
+         promises byte-identical answers at any thread count, so any\n\
+         order-sensitive fold over a hash container is a determinism bug.\n\
+         Fix: use BTreeMap/BTreeSet, or collect-and-sort before folding.",
+    ),
+    (
+        "wallclock-in-hot-path",
+        "What: a direct `Instant::now()` / `SystemTime::now()` call site outside\n\
+         crates/tracekit/src/wall.rs.\n\
+         Why: wall time is nondeterministic input. All timing flows through\n\
+         tracekit's wall module, which is compiled out of the deterministic\n\
+         replay surface (DESIGN.md §9).\n\
+         Fix: take a Stopwatch/TimingReport from tracekit::wall, or meter\n\
+         logical resources (ResourceMeter) instead of time.",
+    ),
+    (
+        "raw-thread-spawn",
+        "What: `std::thread::spawn` or `thread::Builder` outside parkit.\n\
+         Why: raw threads race; parkit's fork-join pool schedules work\n\
+         deterministically so merges happen in a fixed order at any width.\n\
+         Fix: express the parallelism as parkit tasks.",
+    ),
+    (
+        "string-metric-label",
+        "What: a string literal or dynamically built name where the trace/metric\n\
+         API expects a registry constant.\n\
+         Why: the namespace is closed (DESIGN.md §9): every series is a\n\
+         registry_enum! variant, so dashboards and goldens enumerate it\n\
+         statically and typos cannot mint phantom series.\n\
+         Fix: add a variant to the registry in crates/tracekit/src/metrics.rs\n\
+         and record through it.",
+    ),
+    (
+        "nondeterministic-env",
+        "What: `std::env::var`/`vars` outside the blessed UNISEM_* configuration\n\
+         surface.\n\
+         Why: ambient environment reads make behavior depend on the shell that\n\
+         launched the process; the deterministic replay contract allows only\n\
+         the documented UNISEM_* knobs, read at one choke point.\n\
+         Fix: plumb the value through config, or add a documented UNISEM_* knob.",
+    ),
+    (
+        "non-path-dependency",
+        "What: a Cargo.toml dependency that is not path-only/workspace-inherited.\n\
+         Why: the workspace builds offline by policy (DESIGN.md §7); a crates.io\n\
+         dependency would break the hermetic build and widen the trust surface.\n\
+         Fix: vendor the functionality into a workspace crate.",
+    ),
+    (
+        "suppression-syntax",
+        "What: a malformed `udlint:` comment — bad grammar, unknown lint name,\n\
+         missing `-- <reason>`, or a suppression that matches no diagnostic.\n\
+         Why: suppressions are the audited escape hatch; an unused one is a\n\
+         stale justification waiting to mislead a reviewer, and an unknown name\n\
+         silences nothing while looking like it does.\n\
+         Fix: `// udlint: allow(<lint>) -- <reason>` on (or above) the offending\n\
+         line; delete suppressions that no longer match.",
+    ),
+    (
+        "transitive-wallclock",
+        "What: a non-test function whose *call graph* reaches an\n\
+         `Instant::now()`/`SystemTime::now()` read outside tracekit::wall, even\n\
+         though its own body never touches a clock. The diagnostic message\n\
+         carries the call chain down to the offending read.\n\
+         Why: the token-level wallclock lint sees one file at a time, so a\n\
+         clock read wrapped in a helper crate leaks into every caller\n\
+         invisibly. Determinism is a whole-graph property: if any path from a\n\
+         serving function reaches the clock, replay diverges.\n\
+         How: udlint parses every engine file to an item AST, builds a\n\
+         function-level call graph (name-based resolution, over-approximate by\n\
+         design), seeds a reverse BFS at each direct reader, and reports every\n\
+         reached function. tracekit::wall neither seeds nor propagates: it is\n\
+         the blessed boundary, so *calling* it is fine.\n\
+         Fix: remove the clock read below you (preferred), or route the timing\n\
+         through tracekit::wall.",
+    ),
+    (
+        "uncovered-io-site",
+        "What: a storekit function performing raw I/O (`write_all`, `sync_all`,\n\
+         `sync_data`, `set_len`) that is not in the forward call closure of any\n\
+         function that consults the fault registry (`…check(Site::…)`).\n\
+         Why: durability claims rest on the crash matrix (DESIGN.md §12–13):\n\
+         every write/flush can be made to fail or tear through the closed\n\
+         11-site faultkit registry. An I/O call the injector cannot reach is a\n\
+         crash window no test exercises — exactly the write path that eats\n\
+         data in production.\n\
+         How: the call graph is walked forward from every `check(Site::…)`\n\
+         body; coverage anywhere above the I/O counts, because the injector\n\
+         fires before the syscall on that path.\n\
+         Fix: thread the fault hook through the new I/O path (add a check at\n\
+         an existing site, or extend the site registry deliberately); suppress\n\
+         only for I/O that provably precedes any logical state (with the proof\n\
+         as the reason).",
+    ),
+    (
+        "dead-registry-entry",
+        "What: a `registry_enum!` variant (Metric/Hist/Stage) in\n\
+         crates/tracekit/src/metrics.rs with no `Enum::Variant` reference in\n\
+         non-test engine or bench/detkit code.\n\
+         Why: the closed namespace keeps phantom series out, but it can rot in\n\
+         the other direction — a variant outlives its last recording site and\n\
+         dashboards show a forever-zero series that reads as a broken engine.\n\
+         How: variants are parsed out of the macro invocation bodies (the AST\n\
+         keeps macro token ranges); references inside metrics.rs itself do not\n\
+         count, since the generated ALL/name tables mention every variant by\n\
+         construction.\n\
+         Fix: delete the variant, or wire its recording site back up.",
+    ),
+    (
+        "meter-mirror",
+        "What: the two answer paths in crates/core/src/engine.rs\n\
+         (`answer_ladder`, `answer_planned`) write different sets of\n\
+         ResourceMeter fields anywhere in their core-crate call closures.\n\
+         Why: the planner is differential-tested against the ladder on answer\n\
+         bytes — but the per-query meter is observable too (scalebench,\n\
+         observability suite), and a stage metered on one path only skews every\n\
+         A/B comparison while the answers still match byte-for-byte.\n\
+         How: the field list is parsed from the ResourceMeter struct itself, so\n\
+         new fields automatically join the contract; closures are restricted to\n\
+         the core crate because tracekit's own merge/fields helpers touch every\n\
+         field by construction.\n\
+         Fix: meter the resource on both paths (usually by sharing the helper\n\
+         that does the work), or on neither.",
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_lint_has_an_explanation_and_vice_versa() {
+        for (name, _) in crate::LINTS {
+            assert!(super::explain(name).is_some(), "lint `{name}` has no --explain text");
+        }
+        for (name, _) in super::EXPLANATIONS {
+            assert!(
+                crate::LINTS.iter().any(|(l, _)| l == name),
+                "--explain documents unknown lint `{name}`"
+            );
+        }
+        assert!(super::explain("not-a-lint").is_none());
+    }
+}

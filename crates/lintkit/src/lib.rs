@@ -20,12 +20,16 @@
 //! udlint: 1 diagnostic(s), 1 suppressed
 //! ```
 
+pub mod ast;
 pub mod diag;
+pub mod explain;
 pub mod lexer;
 pub mod manifest;
 pub mod passes;
 pub mod runner;
+pub mod semantic;
 pub mod source;
+pub mod symbols;
 
 /// The closed lint registry: `(name, one-line description)`.
 ///
@@ -69,6 +73,26 @@ pub const LINTS: &[(&str, &str)] = &[
     (
         "suppression-syntax",
         "malformed, unknown-lint, or unused `udlint: allow` comment (reason is mandatory)",
+    ),
+    (
+        "transitive-wallclock",
+        "function whose call graph reaches an Instant/SystemTime read outside tracekit::wall \
+         (semantic; caller-side of wallclock-in-hot-path)",
+    ),
+    (
+        "uncovered-io-site",
+        "raw storekit I/O (write_all/sync_all/sync_data/set_len) not dominated by a faultkit \
+         `check(Site::…)` on any call path — the crash matrix cannot reach it",
+    ),
+    (
+        "dead-registry-entry",
+        "registry_enum! variant (Metric/Hist/Stage) never recorded outside test code — a \
+         forever-zero series in every dashboard",
+    ),
+    (
+        "meter-mirror",
+        "ladder and planner answer paths in crates/core/src/engine.rs write different \
+         ResourceMeter field sets (semantic; differential-testing blind spot)",
     ),
 ];
 

@@ -5,13 +5,16 @@
 //! workspace-relative with `/` separators — so the JSON report for a
 //! given tree is byte-identical across runs and machines.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::Path;
 
 use crate::diag::{Diagnostic, Suppressed};
 use crate::manifest::lint_manifest;
 use crate::passes::{file_scope, registry, FileScope};
+use crate::semantic;
 use crate::source::{SourceFile, Suppression};
+use crate::symbols::Workspace;
 
 /// The outcome of linting a tree (or a single source, in tests).
 #[derive(Default)]
@@ -179,24 +182,96 @@ pub fn check_manifest_source(rel_path: &str, src: &str, report: &mut RunReport) 
     resolve(rel_path, raw, &suppressions, &[], |_| false, |_| true, report);
 }
 
-/// Walks `root` and lints every `.rs` and `Cargo.toml` file in scope.
-pub fn run(root: &Path, pedantic: bool) -> std::io::Result<RunReport> {
+/// Lints a whole workspace given in memory as `(rel_path, source)`
+/// pairs: file-level token passes, then the workspace-level semantic
+/// passes over the symbol graph, with one shared suppression resolution
+/// per file (so a suppression can silence either kind, and unused ones
+/// are detected across both).
+pub fn check_tree(inputs: &[(String, String)], pedantic: bool) -> RunReport {
+    let mut report = RunReport::default();
+    let mut rust: Vec<(String, String)> = Vec::new();
+    for (rel_path, src) in inputs {
+        if rel_path.ends_with(".rs") {
+            rust.push((rel_path.clone(), src.clone()));
+        } else {
+            check_manifest_source(rel_path, src, &mut report);
+        }
+    }
+
+    let ws = Workspace::build(&rust);
+    let mut sem_by_path: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    for pass in semantic::registry() {
+        let mut raw = Vec::new();
+        pass.run(&ws, &mut raw);
+        for d in raw {
+            sem_by_path.entry(d.path.clone()).or_default().push(d);
+        }
+    }
+    let sem_lints: Vec<&'static str> = semantic::registry().iter().map(|p| p.lint()).collect();
+
+    for wsf in &ws.files {
+        let rel_path = wsf.file.rel_path.clone();
+        let mut raw = Vec::new();
+        for pass in registry(pedantic) {
+            if pass.applies(&wsf.krate, &rel_path) {
+                pass.run(&wsf.file, &mut raw);
+            }
+        }
+        raw.extend(sem_by_path.remove(&rel_path).unwrap_or_default());
+        let mut active_lints: Vec<&'static str> = registry(pedantic)
+            .iter()
+            .filter(|p| p.applies(&wsf.krate, &rel_path))
+            .map(|p| p.lint())
+            .collect();
+        active_lints.extend(&sem_lints);
+        let bad: Vec<(u32, String)> =
+            wsf.file.bad_suppressions.iter().map(|b| (b.line, b.problem.clone())).collect();
+        resolve(
+            &rel_path,
+            raw,
+            &wsf.file.suppressions,
+            &bad,
+            |line| wsf.file.toks.iter().any(|t| t.line == line && t.in_test),
+            |lint| active_lints.contains(&lint),
+            &mut report,
+        );
+    }
+    // Defensive: a semantic diagnostic pointing at a path outside the
+    // engine file set cannot be suppressed, but must not vanish either.
+    for (_, diags) in sem_by_path {
+        report.diagnostics.extend(diags);
+    }
+    report.finish()
+}
+
+/// Reads every lintable file under `root` into memory.
+fn read_tree(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_files(root, Path::new(""), &mut files)?;
     files.sort();
-    let mut report = RunReport::default();
+    let mut inputs = Vec::new();
     for rel in &files {
         let Ok(src) = fs::read_to_string(root.join(rel)) else {
             continue; // non-UTF-8 or unreadable: nothing for a lexer to do
         };
-        let rel_path = rel.replace('\\', "/");
-        if rel_path.ends_with(".rs") {
-            check_rust_source(&rel_path, &src, pedantic, &mut report);
-        } else {
-            check_manifest_source(&rel_path, &src, &mut report);
-        }
+        inputs.push((rel.replace('\\', "/"), src));
     }
-    Ok(report.finish())
+    Ok(inputs)
+}
+
+/// Walks `root` and lints every `.rs` and `Cargo.toml` file in scope —
+/// token passes, then the semantic passes over the symbol graph.
+pub fn run(root: &Path, pedantic: bool) -> std::io::Result<RunReport> {
+    Ok(check_tree(&read_tree(root)?, pedantic))
+}
+
+/// Builds (only) the workspace symbol graph for `root` — backs
+/// `udlint --dump-graph`.
+pub fn build_workspace(root: &Path) -> std::io::Result<Workspace> {
+    let inputs = read_tree(root)?;
+    let rust: Vec<(String, String)> =
+        inputs.into_iter().filter(|(p, _)| p.ends_with(".rs")).collect();
+    Ok(Workspace::build(&rust))
 }
 
 /// Recursively collects lintable files, skipping `target/` and

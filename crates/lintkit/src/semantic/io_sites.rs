@@ -1,0 +1,77 @@
+//! `uncovered-io-site` — raw storage I/O with no faultkit site above it.
+//!
+//! The durability story (DESIGN.md §12–13) rests on the crash matrix:
+//! every page write, WAL append, and flush can be made to fail or tear
+//! through the closed 11-site faultkit registry, and the recovery
+//! suite proves the engine survives. That only holds if every raw I/O
+//! call is *dominated by* a `faults.check(Site::…, …)` somewhere on
+//! its call path — an I/O site the injector cannot reach is a crash
+//! window the matrix never exercises.
+//!
+//! This pass works on the storekit crate (the only engine crate that
+//! touches files at query/ingest time): it seeds the forward call
+//! closure at every *storekit* function whose body performs a
+//! `check(Site::…)` and then flags any non-test storekit function
+//! *outside* that closure whose body calls a raw I/O primitive
+//! (`write_all`, `sync_all`, `sync_data`, `set_len`). Both seeds and
+//! closure stay inside storekit on purpose: core's parse/traverse
+//! sites sit far above the storage layer and would "cover" every
+//! byte ever written — the injector must sit near the syscall to
+//! model its failure. Within the layer the pass is over-approximate:
+//! a storage-site check anywhere above the I/O counts, because the
+//! injector fires before the syscall on that path.
+
+use crate::diag::Diagnostic;
+use crate::semantic::SemanticPass;
+use crate::symbols::Workspace;
+
+/// Raw I/O primitives that must sit below a fault site.
+const RAW_IO: &[&str] = &["write_all", "sync_all", "sync_data", "set_len"];
+
+pub struct UncoveredIoSite;
+
+impl SemanticPass for UncoveredIoSite {
+    fn lint(&self) -> &'static str {
+        "uncovered-io-site"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        // Seeds: storekit functions that consult the fault registry
+        // themselves. `self.faults.check(Site::WalAppend, …)` lexes
+        // with the consecutive significant tokens `check ( Site ::`.
+        let in_storekit =
+            |i: usize| ws.fns[i].module.first().map(String::as_str) == Some("storekit");
+        let seeds: Vec<usize> = (0..ws.fns.len())
+            .filter(|&i| in_storekit(i) && ws.body_matches(i, &["check", "(", "Site", "::"]))
+            .collect();
+        // Sure edges only: a heuristic name-match edge (`File::open`
+        // resolving to `Pager::open`) must never count as coverage.
+        let (covered, _) = ws.closure(&seeds, &ws.callees_sure, in_storekit);
+
+        for i in 0..ws.fns.len() {
+            let f = &ws.fns[i];
+            if f.in_test || f.module.first().map(String::as_str) != Some("storekit") {
+                continue;
+            }
+            if covered.contains(&i) {
+                continue;
+            }
+            let file = &ws.files[f.file].file;
+            for &method in RAW_IO {
+                if let Some(k) = ws.find_in_body(i, &[".", method, "("]) {
+                    out.push(Diagnostic {
+                        path: file.rel_path.clone(),
+                        line: file.sig_line(k + 1),
+                        lint: self.lint().into(),
+                        message: format!(
+                            "raw `{}` in `{}` is not dominated by any faultkit site check \
+                             (closed 11-site registry; the crash matrix cannot reach this I/O)",
+                            method,
+                            f.qual()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

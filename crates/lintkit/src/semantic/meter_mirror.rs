@@ -1,0 +1,139 @@
+//! `meter-mirror` — the ladder and planner answer paths must meter
+//! the same resources.
+//!
+//! The cost-based planner is differential-tested against the legacy
+//! degradation ladder: byte-identical answers, same downgrade records
+//! (DESIGN.md §11). The per-query [`ResourceMeter`] is part of that
+//! observable surface — scalebench and the observability suite read
+//! it — but nothing used to force the two paths to *fill* it the same
+//! way: a new retrieval stage metered on the planner path and
+//! forgotten on the ladder path skews every A/B number silently while
+//! the answer bytes still match.
+//!
+//! This pass finds the two answer roots in `crates/core/src/engine.rs`
+//! (`answer_ladder`, `answer_planned`), takes each one's forward call
+//! closure *restricted to the core crate* (tracekit's own meter
+//! helpers — `merge`, `fields` — touch every field by construction
+//! and would wash the signal out), collects the set of `ResourceMeter`
+//! field names written (`<expr>.field += …` / `<expr>.field = …`)
+//! anywhere in each closure, and reports the symmetric difference.
+//! The field list itself is parsed from the `ResourceMeter` struct in
+//! `crates/tracekit/src/meter.rs`, so adding a field automatically
+//! extends the contract.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::semantic::{find_file, SemanticPass};
+use crate::symbols::Workspace;
+
+const ENGINE_FILE: &str = "crates/core/src/engine.rs";
+const METER_FILE: &str = "crates/tracekit/src/meter.rs";
+const ROOTS: [&str; 2] = ["answer_ladder", "answer_planned"];
+
+pub struct MeterMirror;
+
+impl SemanticPass for MeterMirror {
+    fn lint(&self) -> &'static str {
+        "meter-mirror"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let fields = meter_fields(ws);
+        if fields.is_empty() {
+            return;
+        }
+        let Some(ei) = find_file(ws, ENGINE_FILE) else { return };
+        let roots: Vec<usize> = ROOTS
+            .iter()
+            .filter_map(|name| {
+                (0..ws.fns.len()).find(|&i| ws.fns[i].file == ei && ws.fns[i].name == *name)
+            })
+            .collect();
+        if roots.len() != 2 {
+            return; // a root was renamed; the mirror contract has no anchor
+        }
+
+        let written: Vec<BTreeSet<String>> = roots
+            .iter()
+            .map(|&root| {
+                let (closure, _) = ws.closure(&[root], &ws.callees, |n| {
+                    !ws.fns[n].in_test
+                        && ws.fns[n].module.first().map(String::as_str) == Some("core")
+                });
+                let mut set = BTreeSet::new();
+                for &i in &closure {
+                    collect_writes(ws, i, &fields, &mut set);
+                }
+                set
+            })
+            .collect();
+
+        for (a, b) in [(0, 1), (1, 0)] {
+            for field in written[a].difference(&written[b]) {
+                let lagging = &ws.fns[roots[b]];
+                out.push(Diagnostic {
+                    path: ENGINE_FILE.into(),
+                    line: lagging.line,
+                    lint: self.lint().into(),
+                    message: format!(
+                        "`{}` never writes ResourceMeter field `{}` but its mirror path \
+                         `{}` does — the two answer paths must meter the same resources",
+                        lagging.qual(),
+                        field,
+                        ws.fns[roots[a]].qual(),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Field names of the `ResourceMeter` struct, parsed from its AST.
+fn meter_fields(ws: &Workspace) -> Vec<String> {
+    let Some(mi) = find_file(ws, METER_FILE) else { return Vec::new() };
+    let wsf = &ws.files[mi];
+    let mut fields = Vec::new();
+    crate::ast::walk(&wsf.ast.items, &mut |item| {
+        if item.kind != crate::ast::ItemKind::Struct || item.name != "ResourceMeter" {
+            return;
+        }
+        let Some((lo, hi)) = item.body else { return };
+        for k in lo..=hi {
+            if wsf.file.sig_kind(k) == Some(TokKind::Ident)
+                && wsf.file.sig_text(k + 1) == ":"
+                && wsf.file.sig_text(k.wrapping_sub(1)) != "#"
+            {
+                fields.push(wsf.file.sig_text(k).to_string());
+            }
+        }
+    });
+    fields
+}
+
+/// Adds to `set` every meter field that fn `i` writes: `. field =` or
+/// `. field +=` (the lexer splits `+=` into `+` `=`), excluding `==`
+/// comparisons.
+fn collect_writes(ws: &Workspace, i: usize, fields: &[String], set: &mut BTreeSet<String>) {
+    let Some((lo, hi)) = ws.fns[i].body else { return };
+    let file = &ws.files[ws.fns[i].file].file;
+    for k in lo..hi {
+        if file.sig_text(k) != "." {
+            continue;
+        }
+        let name = file.sig_text(k + 1);
+        if !fields.iter().any(|f| f == name) {
+            continue;
+        }
+        let op = file.sig_text(k + 2);
+        let is_write = match op {
+            "=" => file.sig_text(k + 3) != "=", // `==` is a comparison
+            "+" | "-" | "*" => file.sig_text(k + 3) == "=",
+            _ => false,
+        };
+        if is_write {
+            set.insert(name.to_string());
+        }
+    }
+}

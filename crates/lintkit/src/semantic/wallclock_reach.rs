@@ -1,0 +1,88 @@
+//! `transitive-wallclock` — functions that *reach* a wall-clock read.
+//!
+//! The token-level `wallclock-in-hot-path` lint flags a direct
+//! `Instant::now()` / `SystemTime::now()` call site. That is
+//! necessary but not sufficient: a helper in one crate can read the
+//! clock and a hot path in another crate can call it, and no single
+//! file shows both halves. This pass seeds a reverse breadth-first
+//! search at every direct reader outside the quarantine module
+//! (`crates/tracekit/src/wall.rs`) and walks the caller graph; every
+//! non-test function reached — other than the direct readers the
+//! token lint already reports — gets a diagnostic carrying the call
+//! chain down to the clock read.
+//!
+//! Functions in `tracekit::wall` neither seed nor propagate taint:
+//! that module is the blessed boundary where wall time is allowed, so
+//! calling *it* is fine — the contract is that nothing else touches
+//! the clock.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::semantic::{render_chain, SemanticPass};
+use crate::symbols::Workspace;
+
+/// The one module allowed to read wall clocks (DESIGN.md §9).
+const WALL_FILE: &str = "crates/tracekit/src/wall.rs";
+
+pub struct TransitiveWallclock;
+
+impl SemanticPass for TransitiveWallclock {
+    fn lint(&self) -> &'static str {
+        "transitive-wallclock"
+    }
+
+    fn run(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        // Direct readers: `Instant::now(` / `SystemTime::now(` in a
+        // non-test body outside the wall module. (Any bare `now(` with
+        // a `::` qualifier counts only for these two types — the same
+        // heuristic the token lint uses.)
+        let mut seeds = Vec::new();
+        for i in 0..ws.fns.len() {
+            let f = &ws.fns[i];
+            if f.in_test || ws.files[f.file].file.rel_path == WALL_FILE {
+                continue;
+            }
+            if reads_wall_clock(ws, i) {
+                seeds.push(i);
+            }
+        }
+        if seeds.is_empty() {
+            return;
+        }
+
+        let (reached, parent) = ws.closure(&seeds, &ws.callers, |n| {
+            !ws.fns[n].in_test && ws.files[ws.fns[n].file].file.rel_path != WALL_FILE
+        });
+
+        for &i in &reached {
+            if seeds.contains(&i) {
+                continue; // the token lint already owns the direct site
+            }
+            let f = &ws.fns[i];
+            out.push(Diagnostic {
+                path: ws.files[f.file].file.rel_path.clone(),
+                line: f.line,
+                lint: self.lint().into(),
+                message: format!(
+                    "`{}` transitively reaches a wall-clock read outside tracekit::wall \
+                     (call chain: {})",
+                    f.qual(),
+                    render_chain(ws, i, &parent)
+                ),
+            });
+        }
+    }
+}
+
+/// True when fn `i`'s body contains `Instant::now(` or
+/// `SystemTime::now(`.
+fn reads_wall_clock(ws: &Workspace, i: usize) -> bool {
+    let Some((lo, hi)) = ws.fns[i].body else { return false };
+    let file = &ws.files[ws.fns[i].file].file;
+    (lo..=hi).any(|k| {
+        file.sig_kind(k) == Some(TokKind::Ident)
+            && (file.sig_text(k) == "Instant" || file.sig_text(k) == "SystemTime")
+            && file.sig_matches(k + 1, &["::", "now", "("])
+            && k + 3 <= hi + 1
+    })
+}
